@@ -1,0 +1,36 @@
+//! Ablation sweeps under Criterion: batching, run-ahead, latency, COA
+//! granularity, diff-vs-log encoding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsmtx_bench::ablations::diff_vs_log;
+use dsmtx_sim::{batch_sweep, latency_sweep, runahead_sweep};
+use dsmtx_workloads::kernel_by_name;
+
+fn bench_ablations(c: &mut Criterion) {
+    let parser = kernel_by_name("197.parser").expect("known").profile();
+    let hmmer = kernel_by_name("456.hmmer").expect("known").profile();
+    let mut group = c.benchmark_group("ablations");
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    group.bench_function("batch_sweep_parser", |b| {
+        b.iter(|| batch_sweep(&parser, 128, &[1.0, 16.0, 256.0]))
+    });
+    group.bench_function("runahead_sweep_parser", |b| {
+        b.iter(|| runahead_sweep(&parser, 64, 0.002, &[4, 64, 1024]))
+    });
+    group.bench_function("latency_sweep_hmmer", |b| {
+        b.iter(|| latency_sweep(&hmmer, 128, &[1.0e-6, 8.0e-6, 64.0e-6]))
+    });
+    for writes in [1u64, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("diff_vs_log", writes),
+            &writes,
+            |b, &w| b.iter(|| diff_vs_log(64, w)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

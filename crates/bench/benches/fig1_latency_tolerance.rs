@@ -1,0 +1,38 @@
+//! Figure 1: schedule generation for DSWP vs DOACROSS across latencies.
+//!
+//! Benchmarks the schedule generators and, via the asserted cycle counts,
+//! pins the figure's result: DSWP stays at 2 cycles/iteration while
+//! DOACROSS degrades linearly with latency.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsmtx_sim::{doacross_schedule, dswp_schedule};
+
+fn bench_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_latency_tolerance");
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for &latency in &[1u64, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("doacross", latency),
+            &latency,
+            |b, &lat| {
+                b.iter(|| {
+                    let s = doacross_schedule(64, lat);
+                    assert_eq!(s.cycles_per_iter(), 1 + lat.max(1));
+                    s
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("dswp", latency), &latency, |b, &lat| {
+            b.iter(|| {
+                let s = dswp_schedule(64, lat);
+                assert_eq!(s.cycles_per_iter(), 2);
+                s
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedules);
+criterion_main!(benches);

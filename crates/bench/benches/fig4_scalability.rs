@@ -1,0 +1,34 @@
+//! Figure 4: the speedup-vs-cores simulation for every benchmark.
+//!
+//! Each entry simulates one benchmark's Spec-DSWP and TLS plans at 128
+//! cores (the figure's right edge); the `repro` binary prints the full
+//! 8..128 series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsmtx_sim::SimEngine;
+use dsmtx_workloads::all_kernels;
+
+fn bench_fig4(c: &mut Criterion) {
+    let engine = SimEngine::default();
+    let mut group = c.benchmark_group("fig4_scalability_128c");
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for kernel in all_kernels() {
+        let profile = kernel.profile();
+        group.bench_with_input(
+            BenchmarkId::new("spec_dswp", &profile.name),
+            &profile,
+            |b, p| b.iter(|| engine.simulate_spec_dswp(p, 128, 0.0)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tls", &profile.name),
+            &profile,
+            |b, p| b.iter(|| engine.simulate_tls(p, 128, 0.0)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figures 5(a) and 5(b): bandwidth requirements and the batching effect.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsmtx_sim::report::batching_comparison;
+use dsmtx_sim::{bandwidth_series, SimEngine};
+use dsmtx_workloads::all_kernels;
+
+fn bench_fig5a(c: &mut Criterion) {
+    let engine = SimEngine::default();
+    let mut group = c.benchmark_group("fig5a_bandwidth");
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for kernel in all_kernels() {
+        let profile = kernel.profile();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&profile.name),
+            &profile,
+            |b, p| b.iter(|| bandwidth_series(&engine, p, 3)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_fig5b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5b_batching");
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for kernel in all_kernels() {
+        let profile = kernel.profile();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&profile.name),
+            &profile,
+            |b, p| b.iter(|| batching_comparison(p)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5a, bench_fig5b);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 6: recovery-overhead simulation at a 0.1% misspeculation rate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsmtx_bench::figures::FIG6_BENCHMARKS;
+use dsmtx_sim::report::recovery_series;
+use dsmtx_sim::SimEngine;
+
+fn bench_fig6(c: &mut Criterion) {
+    let engine = SimEngine::default();
+    let mut group = c.benchmark_group("fig6_recovery");
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.sample_size(10);
+    for name in FIG6_BENCHMARKS {
+        let kernel = dsmtx_workloads::kernel_by_name(name).expect("known");
+        let profile = kernel.profile();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &profile, |b, p| {
+            b.iter(|| recovery_series(&engine, p, 0.001, &[32, 64, 96, 128]))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

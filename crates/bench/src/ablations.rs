@@ -1,0 +1,213 @@
+//! Ablation renderings: quantifying DSMTX's design choices.
+
+use dsmtx_mem::Page;
+use dsmtx_sim::{batch_sweep, coa_granularity, latency_sweep, runahead_sweep, unit_shard_sweep, ClusterConfig};
+use dsmtx_workloads::kernel_by_name;
+
+use crate::format::{speedup, Table};
+
+/// Queue batch-size sweep on the communication-bound benchmarks.
+pub fn batching_ablation_text() -> String {
+    let batches = [1.0, 4.0, 16.0, 64.0, 256.0, 1024.0];
+    let mut t = Table::new(vec![
+        "benchmark", "batch=1", "4", "16", "64", "256", "1024",
+    ]);
+    for name in ["197.parser", "179.art", "130.li"] {
+        let profile = kernel_by_name(name).expect("known").profile();
+        let pts = batch_sweep(&profile, 128, &batches);
+        let mut row = vec![name.to_string()];
+        row.extend(pts.iter().map(|p| speedup(p.speedup)));
+        t.row(row);
+    }
+    format!(
+        "Ablation: queue batch size (items per message) at 128 cores\n\
+         (the §4.2 optimization; speedup saturates once the per-message\n\
+         cost is amortized)\n\n{}",
+        t.render()
+    )
+}
+
+/// Run-ahead depth: clean throughput vs rollback cost (§5.4's trade-off).
+pub fn runahead_ablation_text() -> String {
+    let runaheads = [4u64, 16, 64, 256, 1024];
+    let profile = kernel_by_name("197.parser").expect("known").profile();
+    let mut t = Table::new(vec!["run-ahead", "clean", "MIS (0.2%)", "RFP share"]);
+    for p in runahead_sweep(&profile, 64, 0.002, &runaheads) {
+        t.row(vec![
+            p.runahead.to_string(),
+            speedup(p.clean_speedup),
+            speedup(p.misspec_speedup),
+            format!("{:.0}%", 100.0 * p.rfp_share),
+        ]);
+    }
+    format!(
+        "Ablation: run-ahead bound (outstanding MTX versions), 197.parser @64 cores\n\
+         (deeper run-ahead = faster clean runs but more squashed work per\n\
+         rollback — the paper's §5.4 closing observation)\n\n{}",
+        t.render()
+    )
+}
+
+/// Inter-node latency sweep: the system-level Figure 1.
+pub fn latency_ablation_text() -> String {
+    let latencies = [1.0e-6, 2.0e-6, 8.0e-6, 32.0e-6, 128.0e-6];
+    let profile = kernel_by_name("456.hmmer").expect("known").profile();
+    let mut t = Table::new(vec!["latency (us)", "Spec-DSWP", "TLS"]);
+    for p in latency_sweep(&profile, 128, &latencies) {
+        t.row(vec![
+            format!("{:.0}", p.latency * 1e6),
+            speedup(p.dswp),
+            speedup(p.tls),
+        ]);
+    }
+    format!(
+        "Ablation: inter-node latency, 456.hmmer @128 cores\n\
+         (Figure 1 at system scale: acyclic Spec-DSWP communication\n\
+         tolerates latency; TLS's cyclic edge does not)\n\n{}",
+        t.render()
+    )
+}
+
+/// Page vs word Copy-On-Access granularity.
+pub fn coa_ablation_text() -> String {
+    let c = ClusterConfig::paper();
+    let mut t = Table::new(vec![
+        "density",
+        "page COA (ms)",
+        "word COA (ms)",
+        "page wins by",
+    ]);
+    for density in [1.0 / 512.0, 0.05, 0.25, 1.0] {
+        let cost = coa_granularity(&c, 256, density);
+        t.row(vec![
+            format!("{:.3}", density),
+            format!("{:.2}", cost.page_granular * 1e3),
+            format!("{:.2}", cost.word_granular * 1e3),
+            format!("{:.1}x", cost.word_granular / cost.page_granular),
+        ]);
+    }
+    format!(
+        "Ablation: Copy-On-Access granularity (256-page working set)\n\
+         (§4.2: page transfers amortize the round trip and prefetch\n\
+         constructively; word-granular COA is prohibitive)\n\n{}",
+        t.render()
+    )
+}
+
+/// Measured bytes to communicate a sparse write-set: DSMTX's word-granular
+/// logs vs DMV-style page diffing (the §6 related-work comparison),
+/// computed on real [`Page`]s.
+pub fn diff_vs_log(pages: u64, writes_per_page: u64) -> (u64, u64) {
+    const DIFF_ENTRY_BYTES: u64 = 10; // word index + value
+    const PAGE_HEADER_BYTES: u64 = 32; // page id + twin bookkeeping
+    const LOG_ENTRY_BYTES: u64 = 16; // address + value
+
+    let mut diff_bytes = 0;
+    let mut log_bytes = 0;
+    for p in 0..pages {
+        let before = Page::zeroed();
+        let mut after = before.clone();
+        for w in 0..writes_per_page {
+            // Scatter writes across the page deterministically.
+            let idx = ((w * 97 + p * 13) % 512) as usize;
+            after.set_word(idx, w + 1);
+        }
+        let diff = before.diff(&after);
+        diff_bytes += PAGE_HEADER_BYTES + diff.len() as u64 * DIFF_ENTRY_BYTES;
+        log_bytes += writes_per_page * LOG_ENTRY_BYTES;
+    }
+    (diff_bytes, log_bytes)
+}
+
+/// Renders the word-log vs page-diff comparison.
+pub fn diff_ablation_text() -> String {
+    let mut t = Table::new(vec![
+        "writes/page",
+        "pages",
+        "page-diff bytes",
+        "word-log bytes",
+    ]);
+    for writes in [1u64, 4, 16, 64, 256] {
+        let (diff, log) = diff_vs_log(128, writes);
+        t.row(vec![
+            writes.to_string(),
+            "128".to_string(),
+            diff.to_string(),
+            log.to_string(),
+        ]);
+    }
+    format!(
+        "Ablation: commit-traffic encoding — DMV page diffing vs DSMTX\n\
+         word-granularity logs (§6): diffing pays a per-page cost that\n\
+         word logs avoid on sparse access patterns\n\n{}",
+        t.render()
+    )
+}
+
+/// Try-commit/commit sharding: quantifying §3.2's "the algorithms of
+/// the try-commit unit and the commit unit are parallelizable" remark on
+/// a validation-heavy configuration.
+pub fn sharding_ablation_text() -> String {
+    let mut profile = kernel_by_name("197.parser").expect("known").profile();
+    // Push the units to the bottleneck: heavy validation traffic, thin
+    // sequential stages.
+    profile.validation_words = 4096.0;
+    profile.stages[0].bytes_out = 512.0;
+    profile.stages[0].work_fraction = 0.005;
+    profile.stages[1].work_fraction = 0.99;
+    profile.stages[2].work_fraction = 0.005;
+    let mut t = Table::new(vec!["unit shards", "speedup @128"]);
+    for p in unit_shard_sweep(&profile, 128, &[1, 2, 4, 8, 16]) {
+        t.row(vec![p.shards.to_string(), speedup(p.speedup)]);
+    }
+    format!(
+        "Ablation: parallelizing the speculation-management units
+         (§3.2 notes the try-commit/commit serialization can bottleneck
+         and that both algorithms are parallelizable; a validation-heavy
+         parser variant shows the headroom)
+
+{}",
+        t.render()
+    )
+}
+
+/// All ablations in one report.
+pub fn ablations_text() -> String {
+    [
+        batching_ablation_text(),
+        runahead_ablation_text(),
+        latency_ablation_text(),
+        coa_ablation_text(),
+        diff_ablation_text(),
+        sharding_ablation_text(),
+    ]
+    .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_writes_favor_word_logs() {
+        let (diff, log) = diff_vs_log(128, 1);
+        assert!(log < diff, "sparse: log {log} vs diff {diff}");
+    }
+
+    #[test]
+    fn dense_writes_favor_page_diffs() {
+        let (diff, log) = diff_vs_log(128, 256);
+        assert!(diff < log, "dense: diff {diff} vs log {log}");
+    }
+
+    #[test]
+    fn ablation_reports_render() {
+        let text = ablations_text();
+        assert!(text.contains("queue batch size"));
+        assert!(text.contains("run-ahead bound"));
+        assert!(text.contains("inter-node latency"));
+        assert!(text.contains("Copy-On-Access granularity"));
+        assert!(text.contains("page diffing"));
+        assert!(text.contains("speculation-management units"));
+    }
+}

@@ -1,0 +1,33 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p dsmtx-bench --bin repro -- [fig1|fig2|fig3|fig4|fig5a|fig5b|fig6|table1|table2|ablations|all]
+//! ```
+
+fn main() {
+    let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let mut printed = false;
+    let mut section = |name: &str, body: &dyn Fn() -> String| {
+        if what == name || what == "all" {
+            println!("{}", body());
+            println!("{}", "=".repeat(72));
+            printed = true;
+        }
+    };
+    section("fig1", &dsmtx_bench::fig1_text);
+    section("fig2", &dsmtx_bench::taxonomy_text);
+    section("fig3", &dsmtx_bench::fig3_text);
+    section("fig4", &dsmtx_bench::fig4_text);
+    section("fig5a", &dsmtx_bench::fig5a_text);
+    section("fig5b", &|| dsmtx_bench::fig5b_text(true));
+    section("fig6", &dsmtx_bench::fig6_text);
+    section("table1", &dsmtx_bench::table1_text);
+    section("table2", &dsmtx_bench::table2_text);
+    section("ablations", &dsmtx_bench::ablations_text);
+    if !printed {
+        eprintln!(
+            "unknown target `{what}`; use fig1|fig2|fig3|fig4|fig5a|fig5b|fig6|table1|table2|ablations|all"
+        );
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,21 @@
+//! Benchmark harness: regenerates every table and figure of the paper's
+//! evaluation.
+//!
+//! Each `figN_*` function produces both the data series and a printable
+//! text rendering; the `repro` binary prints them, the Criterion benches
+//! time the underlying machinery, and the unit tests in this crate pin
+//! the *shape* claims of the paper (who wins, by roughly what factor,
+//! where the knees fall). `EXPERIMENTS.md` records paper-vs-measured for
+//! every row.
+
+pub mod ablations;
+pub mod figures;
+pub mod format;
+pub mod queuebench;
+
+pub use ablations::ablations_text;
+pub use figures::{
+    fig1_text, fig3_text, fig4_data, fig4_text, fig5a_text, fig5b_data, fig5b_text, fig6_text,
+    table1_text, table2_text, taxonomy_text, Fig4Row,
+};
+pub use queuebench::{measure_queue_throughput, QueueThroughput};

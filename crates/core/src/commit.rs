@@ -1,0 +1,335 @@
+//! The commit unit: group transaction commit, Copy-On-Access service, and
+//! recovery orchestration.
+//!
+//! The commit unit owns the only committed memory image. It executed the
+//! sequential pre-loop code (in this reproduction: the caller built
+//! [`dsmtx_mem::MasterMem`] before the run), serves COA page requests from
+//! workers and the try-commit unit, buffers the store streams of every
+//! subTX, and — once the try-commit unit validates an MTX — applies its
+//! subTX write-sets in program order (group transaction commit, §3.1:
+//! last update to an address wins). On a conflict verdict or an explicit
+//! worker misspeculation, it orchestrates the §4.3 recovery protocol and
+//! re-executes the squashed iteration single-threaded.
+
+use std::collections::{BTreeMap, HashMap};
+
+use dsmtx_fabric::{RecvPort, SendPort};
+use dsmtx_mem::MasterMem;
+use dsmtx_uva::{PageId, VAddr};
+
+use crate::config::PipelineShape;
+use crate::control::{ControlPlane, Status};
+use crate::ids::{MtxId, StageId, WorkerId};
+use crate::poll::Backoff;
+use crate::program::{CommitHook, IterOutcome, RecoveryFn};
+use crate::trace::{TraceKind, TraceSink};
+use crate::wire::Msg;
+
+/// Per-MTX events gathered from workers.
+#[derive(Debug, Default, Clone, Copy)]
+struct Events {
+    misspec: bool,
+    exit: bool,
+}
+
+/// Counters reported at the end of the run.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct CommitCounters {
+    pub committed: u64,
+    pub recovered_iterations: u64,
+    pub coa_pages_served: u64,
+    pub last_iteration: Option<MtxId>,
+    /// Conflicts detected by the try-commit unit's value validation.
+    pub validation_conflicts: u64,
+    /// Misspeculations declared explicitly by workers (`mtx_misspec`).
+    pub worker_misspecs: u64,
+}
+
+/// In-progress store-stream assembly for one worker.
+#[derive(Debug, Default)]
+struct Assembly {
+    open: Option<(MtxId, StageId)>,
+    stores: Vec<(u64, u64)>,
+}
+
+pub(crate) struct CommitUnit {
+    shape: PipelineShape,
+    ctrl: ControlPlane,
+    trace: TraceSink,
+    master: MasterMem,
+    from_workers: Vec<(WorkerId, RecvPort<Msg>)>,
+    from_trycommit: RecvPort<Msg>,
+    coa_out: Vec<(WorkerId, SendPort<Msg>)>,
+    coa_tc_out: SendPort<Msg>,
+    partial: HashMap<WorkerId, Assembly>,
+    /// Completed store sets per (mtx, stage).
+    store_sets: HashMap<(u64, u16), Vec<(u64, u64)>>,
+    events: BTreeMap<u64, Events>,
+    verdicts: BTreeMap<u64, bool>,
+    next_commit: MtxId,
+    recovery: RecoveryFn,
+    on_commit: Option<CommitHook>,
+    limit: Option<u64>,
+    counters: CommitCounters,
+}
+
+pub(crate) struct CommitWiring {
+    pub shape: PipelineShape,
+    pub ctrl: ControlPlane,
+    pub trace: TraceSink,
+    pub master: MasterMem,
+    pub from_workers: Vec<(WorkerId, RecvPort<Msg>)>,
+    pub from_trycommit: RecvPort<Msg>,
+    pub coa_out: Vec<(WorkerId, SendPort<Msg>)>,
+    pub coa_tc_out: SendPort<Msg>,
+    pub recovery: RecoveryFn,
+    pub on_commit: Option<CommitHook>,
+    pub limit: Option<u64>,
+}
+
+impl CommitUnit {
+    pub(crate) fn new(w: CommitWiring) -> Self {
+        CommitUnit {
+            shape: w.shape,
+            ctrl: w.ctrl,
+            trace: w.trace,
+            master: w.master,
+            from_workers: w.from_workers,
+            from_trycommit: w.from_trycommit,
+            coa_out: w.coa_out,
+            coa_tc_out: w.coa_tc_out,
+            partial: HashMap::new(),
+            store_sets: HashMap::new(),
+            events: BTreeMap::new(),
+            verdicts: BTreeMap::new(),
+            next_commit: MtxId(0),
+            recovery: w.recovery,
+            on_commit: w.on_commit,
+            limit: w.limit,
+            counters: CommitCounters::default(),
+        }
+    }
+
+    /// The unit's thread body; returns the final committed memory and the
+    /// run counters.
+    pub(crate) fn run(mut self) -> (MasterMem, CommitCounters) {
+        if self.limit == Some(0) {
+            self.terminate(None);
+            return (self.master, self.counters);
+        }
+        let mut backoff = Backoff::new();
+        loop {
+            let mut progress = self.ingest();
+            match self.step() {
+                StepResult::Progress => progress = true,
+                StepResult::Idle => {}
+                StepResult::Terminated => break,
+            }
+            if progress {
+                backoff.reset();
+            } else {
+                backoff.wait();
+            }
+        }
+        (self.master, self.counters)
+    }
+
+    /// Drains available input and services COA requests. Never blocks.
+    fn ingest(&mut self) -> bool {
+        let mut progress = false;
+        // Worker streams: store frames, events, COA requests.
+        for idx in 0..self.from_workers.len() {
+            // Stops on empty or on a vanished peer (handled via control).
+            while let Ok(Some(msg)) = self.from_workers[idx].1.try_consume() {
+                progress = true;
+                let worker = self.from_workers[idx].0;
+                match msg {
+                    Msg::CoaRequest { page } => self.serve_coa_worker(idx, page),
+                    Msg::SubTxBegin { mtx, stage } => {
+                        let asm = self.partial.entry(worker).or_default();
+                        assert!(asm.open.is_none(), "nested commit frame from {worker}");
+                        asm.open = Some((mtx, stage));
+                        asm.stores.clear();
+                    }
+                    Msg::Store { addr, value } => {
+                        let asm = self.partial.entry(worker).or_default();
+                        debug_assert!(asm.open.is_some(), "store outside frame");
+                        asm.stores.push((addr, value));
+                    }
+                    Msg::SubTxDone { mtx, stage, exit } => {
+                        let asm = self.partial.entry(worker).or_default();
+                        let open = asm.open.take().expect("frame footer without header");
+                        assert_eq!(open, (mtx, stage), "commit framing mismatch");
+                        self.store_sets
+                            .insert((mtx.0, stage.0), std::mem::take(&mut asm.stores));
+                        if exit {
+                            self.events.entry(mtx.0).or_default().exit = true;
+                        }
+                    }
+                    Msg::WorkerMisspec { mtx } => {
+                        self.counters.worker_misspecs += 1;
+                        self.events.entry(mtx.0).or_default().misspec = true;
+                    }
+                    other => panic!("unexpected message on commit plane: {other:?}"),
+                }
+            }
+        }
+        // Try-commit stream: verdicts and COA requests.
+        while let Ok(Some(msg)) = self.from_trycommit.try_consume() {
+            progress = true;
+            match msg {
+                Msg::CoaRequest { page } => self.serve_coa_trycommit(page),
+                Msg::VerdictOk { mtx } => {
+                    self.verdicts.insert(mtx.0, true);
+                }
+                Msg::VerdictBad { mtx } => {
+                    self.counters.validation_conflicts += 1;
+                    self.verdicts.insert(mtx.0, false);
+                }
+                other => panic!("unexpected message from try-commit: {other:?}"),
+            }
+        }
+        progress
+    }
+
+    fn serve_coa_worker(&mut self, idx: usize, page: u64) {
+        self.counters.coa_pages_served += 1;
+        let data = Box::new(self.master.page(PageId(page)));
+        let worker = self.from_workers[idx].0;
+        let port = self
+            .coa_out
+            .iter_mut()
+            .find(|(id, _)| *id == worker)
+            .map(|(_, p)| p)
+            .expect("COA reply queue");
+        // Replies are batch=1 queues with ample capacity: at most one
+        // outstanding request per worker, so this cannot block.
+        port.produce(Msg::CoaReply { page, data }).ok();
+        port.flush().ok();
+    }
+
+    fn serve_coa_trycommit(&mut self, page: u64) {
+        self.counters.coa_pages_served += 1;
+        let data = Box::new(self.master.page(PageId(page)));
+        self.coa_tc_out.produce(Msg::CoaReply { page, data }).ok();
+        self.coa_tc_out.flush().ok();
+    }
+
+    /// Tries to advance the commit cursor by one MTX.
+    fn step(&mut self) -> StepResult {
+        let m = self.next_commit;
+        let ev = self.events.get(&m.0).copied().unwrap_or_default();
+        let verdict = self.verdicts.get(&m.0).copied();
+        if ev.misspec || verdict == Some(false) {
+            return self.recover(m);
+        }
+        if verdict != Some(true) {
+            return StepResult::Idle;
+        }
+        // All stage write-sets must have arrived (they were sent at the
+        // same subTX ends that produced the validated streams).
+        let all_here = (0..self.shape.n_stages()).all(|s| self.store_sets.contains_key(&(m.0, s)));
+        if !all_here {
+            return StepResult::Idle;
+        }
+        // Group transaction commit: apply subTX write-sets in program
+        // (stage) order; the last store to an address wins.
+        let writes = (0..self.shape.n_stages()).flat_map(|s| {
+            self.store_sets
+                .remove(&(m.0, s))
+                .expect("checked above")
+                .into_iter()
+                .map(|(a, v)| (VAddr::from_raw(a), v))
+                .collect::<Vec<_>>()
+        });
+        self.master.commit_writes(writes.collect::<Vec<_>>());
+        self.counters.committed += 1;
+        self.counters.last_iteration = Some(m);
+        self.trace.record("commit", Some(m), None, TraceKind::Committed);
+        if let Some(hook) = &mut self.on_commit {
+            hook(m, &self.master);
+        }
+        self.verdicts.remove(&m.0);
+        let exit_now = self.events.remove(&m.0).is_some_and(|e| e.exit);
+        if exit_now || self.limit == Some(m.0 + 1) {
+            self.terminate(Some(m));
+            return StepResult::Terminated;
+        }
+        self.next_commit = m.next();
+        StepResult::Progress
+    }
+
+    /// Orchestrates the §4.3 recovery protocol around the squashed MTX.
+    fn recover(&mut self, boundary: MtxId) -> StepResult {
+        self.trace
+            .record("commit", Some(boundary), None, TraceKind::RecoveryStart);
+        self.ctrl.publish(Status::Recovering { boundary });
+        let barrier = self.ctrl.barrier().clone();
+        barrier.wait(); // B1: every thread is in recovery mode.
+
+        // Flush: everything buffered is speculative state at or after the
+        // boundary (all earlier MTXs already committed in order).
+        for (_, port) in &mut self.from_workers {
+            port.drain();
+        }
+        self.from_trycommit.drain();
+        for (_, port) in &mut self.coa_out {
+            port.clear();
+        }
+        self.coa_tc_out.clear();
+        self.partial.clear();
+        self.store_sets.clear();
+        self.events.clear();
+        self.verdicts.clear();
+        barrier.wait(); // B2: queues are clean everywhere.
+
+        // Re-execute the squashed iteration single-threaded on committed
+        // memory while the workers re-protect their heaps.
+        let outcome = (self.recovery)(boundary, &mut self.master);
+        self.counters.recovered_iterations += 1;
+        self.counters.last_iteration = Some(boundary);
+        self.ctrl.record_recovery();
+        if let Some(hook) = &mut self.on_commit {
+            hook(boundary, &self.master);
+        }
+        self.trace
+            .record("commit", Some(boundary), None, TraceKind::RecoveryEnd);
+
+        let done = outcome == IterOutcome::Exit || self.limit == Some(boundary.0 + 1);
+        if done {
+            self.ctrl
+                .publish(Status::Terminating { last: Some(boundary) });
+        } else {
+            self.ctrl.publish(Status::Running);
+        }
+        barrier.wait(); // B3: parallel execution may recommence.
+        if done {
+            self.trace
+                .record("commit", Some(boundary), None, TraceKind::Terminated);
+            StepResult::Terminated
+        } else {
+            self.next_commit = boundary.next();
+            StepResult::Progress
+        }
+    }
+
+    fn terminate(&mut self, last: Option<MtxId>) {
+        self.ctrl.publish(Status::Terminating { last });
+        self.trace.record("commit", last, None, TraceKind::Terminated);
+    }
+}
+
+impl std::fmt::Debug for CommitUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CommitUnit")
+            .field("next_commit", &self.next_commit)
+            .field("committed", &self.counters.committed)
+            .finish_non_exhaustive()
+    }
+}
+
+enum StepResult {
+    Progress,
+    Idle,
+    Terminated,
+}

@@ -1,0 +1,204 @@
+//! The control plane: system status, recovery epochs, interrupts.
+//!
+//! Clusters carry out-of-band control (small MPI control messages and
+//! barriers) alongside the data plane. This reproduction models that
+//! control network with one shared [`ControlPlane`] handle: the commit unit
+//! is the only writer of the status word; every thread polls it at its
+//! blocking points so that a thread stuck waiting for data can notice a
+//! rollback or termination and unwind (§4.3 requires all threads to enter
+//! recovery mode together).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dsmtx_fabric::Barrier;
+
+use crate::ids::MtxId;
+
+/// Global execution phase, as published by the commit unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// Normal speculative execution.
+    Running,
+    /// Rolling back: all MTXs at or after `boundary` are squashed; the
+    /// commit unit will re-execute `boundary` sequentially.
+    Recovering {
+        /// The first squashed MTX.
+        boundary: MtxId,
+    },
+    /// Shutting down: every MTX at or before `last` commits (already has),
+    /// everything later is squashed and the loop is done.
+    Terminating {
+        /// The last committed MTX, or `None` when the loop ran zero
+        /// iterations.
+        last: Option<MtxId>,
+    },
+}
+
+/// Why a blocked or running operation was interrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupt {
+    /// Misspeculation recovery is starting; unwind to the recovery
+    /// rendezvous.
+    Recovery {
+        /// The first squashed MTX.
+        boundary: MtxId,
+    },
+    /// The parallel section is over; unwind to shutdown.
+    Terminate,
+    /// A communication peer vanished — only possible on internal error or
+    /// panic of another thread.
+    ChannelDown,
+}
+
+impl std::fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Interrupt::Recovery { boundary } => write!(f, "recovery from {boundary}"),
+            Interrupt::Terminate => write!(f, "terminated"),
+            Interrupt::ChannelDown => write!(f, "channel down"),
+        }
+    }
+}
+
+impl std::error::Error for Interrupt {}
+
+#[derive(Debug)]
+struct Shared {
+    /// Bumped on every status change; threads poll this cheaply and only
+    /// take the lock when it moved.
+    epoch: AtomicU64,
+    status: Mutex<Status>,
+    /// Rendezvous for the recovery protocol; spans workers + try-commit +
+    /// commit.
+    barrier: Barrier,
+    /// Count of completed recoveries (observable for reports/tests).
+    recoveries: AtomicU64,
+}
+
+/// Shared control state; cloning yields another handle to the same plane.
+#[derive(Debug, Clone)]
+pub struct ControlPlane {
+    shared: Arc<Shared>,
+}
+
+impl ControlPlane {
+    /// Creates a control plane whose recovery barrier spans `parties`
+    /// threads (all workers + try-commit + commit).
+    pub fn new(parties: usize) -> Self {
+        ControlPlane {
+            shared: Arc::new(Shared {
+                epoch: AtomicU64::new(0),
+                status: Mutex::new(Status::Running),
+                barrier: Barrier::new(parties),
+                recoveries: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Current status epoch; changes whenever the status changes.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// Reads the current status.
+    pub fn status(&self) -> Status {
+        *self.shared.status.lock()
+    }
+
+    /// Commit-unit only: publishes a new status.
+    pub fn publish(&self, status: Status) {
+        *self.shared.status.lock() = status;
+        self.shared.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Commit-unit only: records one completed recovery.
+    pub fn record_recovery(&self) {
+        self.shared.recoveries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of completed recoveries.
+    pub fn recoveries(&self) -> u64 {
+        self.shared.recoveries.load(Ordering::Relaxed)
+    }
+
+    /// The recovery-protocol barrier.
+    pub fn barrier(&self) -> &Barrier {
+        &self.shared.barrier
+    }
+
+    /// Converts a non-`Running` status into the interrupt a blocked thread
+    /// should unwind with, or `None` while running.
+    pub fn interrupt(&self) -> Option<Interrupt> {
+        match self.status() {
+            Status::Running => None,
+            Status::Recovering { boundary } => Some(Interrupt::Recovery { boundary }),
+            Status::Terminating { .. } => Some(Interrupt::Terminate),
+        }
+    }
+
+    /// Polls for an interrupt only when the epoch moved since `seen_epoch`,
+    /// updating `seen_epoch`. This keeps the hot path to one atomic load.
+    #[inline]
+    pub fn poll(&self, seen_epoch: &mut u64) -> Option<Interrupt> {
+        let now = self.epoch();
+        if now == *seen_epoch {
+            return None;
+        }
+        *seen_epoch = now;
+        self.interrupt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_running() {
+        let cp = ControlPlane::new(1);
+        assert_eq!(cp.status(), Status::Running);
+        assert_eq!(cp.interrupt(), None);
+        assert_eq!(cp.recoveries(), 0);
+    }
+
+    #[test]
+    fn publish_changes_epoch_and_status() {
+        let cp = ControlPlane::new(1);
+        let e0 = cp.epoch();
+        cp.publish(Status::Recovering { boundary: MtxId(5) });
+        assert!(cp.epoch() > e0);
+        assert_eq!(cp.status(), Status::Recovering { boundary: MtxId(5) });
+        assert_eq!(cp.interrupt(), Some(Interrupt::Recovery { boundary: MtxId(5) }));
+    }
+
+    #[test]
+    fn poll_fires_once_per_epoch() {
+        let cp = ControlPlane::new(1);
+        let mut seen = cp.epoch();
+        assert_eq!(cp.poll(&mut seen), None);
+        cp.publish(Status::Terminating { last: Some(MtxId(3)) });
+        assert_eq!(cp.poll(&mut seen), Some(Interrupt::Terminate));
+        // Epoch consumed: no repeat until the next change.
+        assert_eq!(cp.poll(&mut seen), None);
+    }
+
+    #[test]
+    fn returning_to_running_clears_interrupt() {
+        let cp = ControlPlane::new(1);
+        cp.publish(Status::Recovering { boundary: MtxId(0) });
+        cp.publish(Status::Running);
+        assert_eq!(cp.interrupt(), None);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let cp = ControlPlane::new(2);
+        let cp2 = cp.clone();
+        cp.publish(Status::Terminating { last: None });
+        assert_eq!(cp2.status(), Status::Terminating { last: None });
+        cp2.record_recovery();
+        assert_eq!(cp.recoveries(), 1);
+    }
+}

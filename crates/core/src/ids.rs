@@ -1,0 +1,66 @@
+//! Identifier newtypes for the MTX runtime.
+
+use std::fmt;
+
+/// A multi-threaded transaction id.
+///
+/// MTXs wrap loop iterations and are ordered by the sequential iteration
+/// order (§3.1): committing MTX *i* before MTX *j* for `i < j` is a runtime
+/// invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct MtxId(pub u64);
+
+impl MtxId {
+    /// The following MTX in commit order.
+    pub fn next(self) -> MtxId {
+        MtxId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for MtxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mtx{}", self.0)
+    }
+}
+
+/// A pipeline stage index; stage order is the subTX (program) order within
+/// an MTX.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct StageId(pub u16);
+
+impl fmt::Display for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stage{}", self.0)
+    }
+}
+
+/// A worker thread id, dense over `0..n_workers`.
+///
+/// The try-commit and commit units have their own endpoints and are not
+/// workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct WorkerId(pub u16);
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mtx_ordering_follows_iteration_order() {
+        assert!(MtxId(0) < MtxId(1));
+        assert_eq!(MtxId(3).next(), MtxId(4));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(MtxId(7).to_string(), "mtx7");
+        assert_eq!(StageId(1).to_string(), "stage1");
+        assert_eq!(WorkerId(2).to_string(), "worker2");
+    }
+}

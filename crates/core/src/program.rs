@@ -1,0 +1,96 @@
+//! User programs: per-stage iteration bodies plus the sequential recovery
+//! body.
+//!
+//! A parallelized loop hands DSMTX one closure per pipeline stage. The
+//! closure is the body of that stage's subTX for a given iteration: it may
+//! only touch program state through the [`crate::worker::WorkerCtx`] it
+//! receives (speculative reads/writes, produces/consumes), never through
+//! captured mutable Rust state — captured state would not roll back on
+//! misspeculation.
+//!
+//! The recovery body is the *sequential* version of one whole iteration,
+//! executed by the commit unit against committed memory after a rollback
+//! (§4.3). It is the single-threaded ground truth the speculative stages
+//! must agree with.
+
+use std::sync::Arc;
+
+use dsmtx_mem::MasterMem;
+
+use crate::control::Interrupt;
+use crate::ids::MtxId;
+use crate::worker::WorkerCtx;
+
+/// What an iteration decided about the loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IterOutcome {
+    /// The loop continues past this iteration.
+    Continue,
+    /// This iteration is the last one (`mtx_terminate`): everything after
+    /// it is squashed once this iteration commits.
+    Exit,
+}
+
+/// A pipeline-stage body: executes the subTX of `mtx` at this stage.
+///
+/// Shared between the replicas of a parallel stage, hence `Fn + Send +
+/// Sync`. Return `Err` only by propagating an [`Interrupt`] from a ctx
+/// call (use `?`).
+pub type StageFn =
+    Arc<dyn Fn(&mut WorkerCtx, MtxId) -> Result<IterOutcome, Interrupt> + Send + Sync>;
+
+/// Sequential re-execution of one whole iteration on committed memory.
+pub type RecoveryFn = Box<dyn FnMut(MtxId, &mut MasterMem) -> IterOutcome + Send>;
+
+/// Optional hook run by the commit unit right after an MTX commits
+/// (the `commit_fun` of Table 1) — e.g. to validate or export in-order
+/// results during the run.
+pub type CommitHook = Box<dyn FnMut(MtxId, &MasterMem) + Send>;
+
+/// A complete parallelized program ready to run on a
+/// [`crate::system::MtxSystem`].
+pub struct Program {
+    /// The initial committed memory: everything the sequential pre-loop
+    /// code produced. Built by the caller (the commit unit is its logical
+    /// owner).
+    pub master: MasterMem,
+    /// One body per pipeline stage, in stage order.
+    pub stages: Vec<StageFn>,
+    /// Sequential re-execution used by misspeculation recovery.
+    pub recovery: RecoveryFn,
+    /// Optional per-commit hook.
+    pub on_commit: Option<CommitHook>,
+    /// If set, workers never start iterations `>= limit` and the system
+    /// terminates after committing iteration `limit - 1` (a counted loop).
+    /// `None` means termination is decided by a stage returning
+    /// [`IterOutcome::Exit`] (an uncounted loop under control
+    /// speculation).
+    pub iteration_limit: Option<u64>,
+}
+
+impl std::fmt::Debug for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Program")
+            .field("stages", &self.stages.len())
+            .field("iteration_limit", &self.iteration_limit)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_debug_is_nonempty() {
+        let p = Program {
+            master: MasterMem::new(),
+            stages: vec![],
+            recovery: Box::new(|_, _| IterOutcome::Continue),
+            on_commit: None,
+            iteration_limit: Some(4),
+        };
+        let s = format!("{p:?}");
+        assert!(s.contains("iteration_limit"));
+    }
+}

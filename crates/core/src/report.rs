@@ -1,0 +1,107 @@
+//! Run results and statistics.
+
+use std::time::Duration;
+
+use dsmtx_fabric::FabricStats;
+use dsmtx_mem::MasterMem;
+
+use crate::ids::MtxId;
+use crate::trace::TraceEvent;
+
+/// Statistics and outcome of one parallel run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Number of MTXs committed speculatively (excludes iterations
+    /// re-executed sequentially during recovery).
+    pub committed: u64,
+    /// Number of misspeculation recoveries.
+    pub recoveries: u64,
+    /// Iterations re-executed sequentially by the commit unit.
+    pub recovered_iterations: u64,
+    /// The last iteration of the loop, if the loop ran at all.
+    pub last_iteration: Option<MtxId>,
+    /// Copy-On-Access pages served by the commit unit.
+    pub coa_pages_served: u64,
+    /// Conflicts the try-commit unit detected by value validation
+    /// (speculated dependences that manifested).
+    pub validation_conflicts: u64,
+    /// Misspeculations workers declared explicitly (`mtx_misspec`,
+    /// failed control-flow speculation).
+    pub worker_misspecs: u64,
+    /// Aggregate fabric traffic (all queues).
+    pub stats: FabricStats,
+    /// Wall-clock duration of the parallel section.
+    pub elapsed: Duration,
+    /// Trace events, when tracing was enabled.
+    pub trace: Vec<TraceEvent>,
+}
+
+impl RunReport {
+    /// Total iterations whose effects reached committed memory.
+    pub fn total_iterations(&self) -> u64 {
+        self.committed + self.recovered_iterations
+    }
+
+    /// Application-level bandwidth in bytes/second, the Figure 5(a)
+    /// metric: total data transferred through DSMTX divided by execution
+    /// time.
+    pub fn bandwidth_bps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.stats.bytes() as f64 / secs
+        }
+    }
+}
+
+/// Everything a run returns: the final committed memory plus the report.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Committed memory at loop exit; read program outputs from here.
+    pub master: MasterMem,
+    /// Statistics and trace.
+    pub report: RunReport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_bandwidth() {
+        let stats = FabricStats::new();
+        stats.record_packet(4, 4000);
+        let r = RunReport {
+            committed: 10,
+            recoveries: 1,
+            recovered_iterations: 1,
+            last_iteration: Some(MtxId(10)),
+            coa_pages_served: 3,
+            validation_conflicts: 0,
+            worker_misspecs: 0,
+            stats,
+            elapsed: Duration::from_secs(2),
+            trace: Vec::new(),
+        };
+        assert_eq!(r.total_iterations(), 11);
+        assert!((r.bandwidth_bps() - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_elapsed_has_zero_bandwidth() {
+        let r = RunReport {
+            committed: 0,
+            recoveries: 0,
+            recovered_iterations: 0,
+            last_iteration: None,
+            coa_pages_served: 0,
+            validation_conflicts: 0,
+            worker_misspecs: 0,
+            stats: FabricStats::new(),
+            elapsed: Duration::ZERO,
+            trace: Vec::new(),
+        };
+        assert_eq!(r.bandwidth_bps(), 0.0);
+    }
+}

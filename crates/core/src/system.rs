@@ -1,0 +1,314 @@
+//! System construction and execution.
+//!
+//! [`MtxSystem`] is `mtx_newDSMTXsystem` of Table 1: it takes a pipeline
+//! configuration, wires the communication topology (workers of earlier
+//! stages to the executors of later stages, every worker to the try-commit
+//! and commit units, COA reply channels back), and spawns one thread per
+//! worker plus the two units — the paper's `mtx_spawn`,
+//! `mtx_tryCommitUnit`, and `mtx_commitUnit`, with `DSMTX_Init`/
+//! `DSMTX_Finalize` folded into [`MtxSystem::run`]'s setup and teardown.
+//!
+//! Only the topology the MTX protocol needs is wired — a worker connects
+//! to the workers of later stages, the units, and (for ring stages) its
+//! successor replica — so the channel count never grows quadratically in
+//! the total thread count (§3.1).
+
+use std::time::Instant;
+
+use dsmtx_fabric::{EndpointId, MeshBuilder};
+use dsmtx_uva::{OwnerId, RegionAllocator};
+
+use crate::commit::{CommitUnit, CommitWiring};
+use crate::config::{ConfigError, PipelineShape, SystemConfig};
+use crate::control::ControlPlane;
+use crate::ids::WorkerId;
+use crate::program::Program;
+use crate::report::{RunReport, RunResult};
+use crate::trace::TraceSink;
+use crate::trycommit::{TryCommitUnit, TryCommitWiring};
+use crate::wire::Msg;
+use crate::worker::{worker_main, WorkerCtx, WorkerWiring};
+
+/// Errors from running a program.
+#[derive(Debug)]
+pub enum RunError {
+    /// The program's stage-body count does not match the pipeline.
+    StageCountMismatch {
+        /// Stages in the pipeline configuration.
+        expected: u16,
+        /// Stage bodies supplied by the program.
+        actual: usize,
+    },
+    /// A runtime thread panicked (protocol violation or panicking stage
+    /// body).
+    ThreadPanic(&'static str),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::StageCountMismatch { expected, actual } => {
+                write!(f, "pipeline has {expected} stages but program has {actual}")
+            }
+            RunError::ThreadPanic(who) => write!(f, "runtime thread panicked: {who}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// The UVA region owner assigned to a worker's private heap.
+///
+/// Owner 0 is the commit unit (all state created by the sequential
+/// pre-loop code); workers own the following regions.
+pub fn worker_owner(worker: WorkerId) -> OwnerId {
+    OwnerId(worker.0 + 1)
+}
+
+/// A configured DSMTX system, ready to run programs.
+#[derive(Debug, Clone)]
+pub struct MtxSystem {
+    shape: PipelineShape,
+    tracing: bool,
+}
+
+impl MtxSystem {
+    /// Validates the configuration and builds a system.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConfigError`].
+    pub fn new(config: &SystemConfig) -> Result<Self, ConfigError> {
+        Ok(MtxSystem {
+            shape: config.build()?,
+            tracing: false,
+        })
+    }
+
+    /// Enables event tracing for subsequent runs (Figure-3 style execution
+    /// model inspection).
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.tracing = enabled;
+        self
+    }
+
+    /// The validated pipeline shape.
+    pub fn shape(&self) -> &PipelineShape {
+        &self.shape
+    }
+
+    /// Runs one parallelized loop to completion (commit of the final
+    /// iteration), returning the committed memory and a report.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::StageCountMismatch`] if the program does not fit the
+    /// pipeline; [`RunError::ThreadPanic`] if a stage body or the runtime
+    /// itself panicked.
+    pub fn run(&self, program: Program) -> Result<RunResult, RunError> {
+        let shape = &self.shape;
+        if program.stages.len() != shape.n_stages() as usize {
+            return Err(RunError::StageCountMismatch {
+                expected: shape.n_stages(),
+                actual: program.stages.len(),
+            });
+        }
+        let n_workers = shape.n_workers() as usize;
+        let trace = if self.tracing {
+            TraceSink::enabled()
+        } else {
+            TraceSink::disabled()
+        };
+        let ctrl = ControlPlane::new(n_workers + 2);
+
+        // ---- topology -------------------------------------------------
+        let mut builder = MeshBuilder::new();
+        let worker_eps: Vec<EndpointId> = (0..n_workers)
+            .map(|w| builder.endpoint(format!("worker{w}")))
+            .collect();
+        let tc_ep = builder.endpoint("try-commit");
+        let cu_ep = builder.endpoint("commit");
+
+        let batch = shape.batch();
+        let cap = shape.capacity();
+        for a in 0..n_workers {
+            let sa = shape.stage_of(WorkerId(a as u16));
+            for b in 0..n_workers {
+                let sb = shape.stage_of(WorkerId(b as u16));
+                if sa < sb {
+                    builder
+                        .connect(worker_eps[a], worker_eps[b], batch, cap)
+                        .expect("data link");
+                }
+            }
+            if let Some(next) = shape.ring_next(WorkerId(a as u16)) {
+                builder
+                    .connect(worker_eps[a], worker_eps[usize::from(next.0)], batch, cap)
+                    .expect("ring link");
+            }
+        }
+        for &ep in &worker_eps {
+            builder.connect(ep, tc_ep, batch, cap).expect("validation link");
+            builder.connect(ep, cu_ep, batch, cap).expect("commit link");
+            builder.connect(cu_ep, ep, 1, 8).expect("coa reply link");
+        }
+        builder.connect(tc_ep, cu_ep, batch, cap).expect("verdict link");
+        builder.connect(cu_ep, tc_ep, 1, 8).expect("coa reply link");
+
+        let mut mesh = builder.build::<Msg>();
+        let stats = mesh.stats();
+
+        // ---- port bundles ---------------------------------------------
+        let is_worker = |ep: EndpointId| ep != tc_ep && ep != cu_ep;
+        let as_worker = |ep: EndpointId| WorkerId(ep.0 as u16);
+
+        let mut worker_wirings = Vec::with_capacity(n_workers);
+        for (w, &ep) in worker_eps.iter().enumerate() {
+            let ports = mesh.take_ports(ep).expect("worker ports");
+            let mut out = Vec::new();
+            let mut inn = Vec::new();
+            let mut val_out = None;
+            let mut cu_out = None;
+            let mut coa_in = None;
+            for (dst, port) in ports.sends {
+                if dst == tc_ep {
+                    val_out = Some(port);
+                } else if dst == cu_ep {
+                    cu_out = Some(port);
+                } else {
+                    out.push((as_worker(dst), port));
+                }
+            }
+            for (src, port) in ports.recvs {
+                if src == cu_ep {
+                    coa_in = Some(port);
+                } else {
+                    inn.push((as_worker(src), port));
+                }
+            }
+            let worker = WorkerId(w as u16);
+            worker_wirings.push(WorkerWiring {
+                worker,
+                shape: shape.clone(),
+                ctrl: ctrl.clone(),
+                trace: trace.clone(),
+                heap: RegionAllocator::new(worker_owner(worker)),
+                out,
+                inn,
+                val_out: val_out.expect("validation port"),
+                cu_out: cu_out.expect("commit port"),
+                coa_in: coa_in.expect("coa reply port"),
+            });
+        }
+
+        let tc_wiring = {
+            let ports = mesh.take_ports(tc_ep).expect("try-commit ports");
+            let mut val_in = Vec::new();
+            let mut coa_in = None;
+            for (src, port) in ports.recvs {
+                if src == cu_ep {
+                    coa_in = Some(port);
+                } else {
+                    val_in.push((as_worker(src), port));
+                }
+            }
+            let mut to_commit = None;
+            for (dst, port) in ports.sends {
+                debug_assert_eq!(dst, cu_ep);
+                to_commit = Some(port);
+            }
+            TryCommitWiring {
+                shape: shape.clone(),
+                ctrl: ctrl.clone(),
+                trace: trace.clone(),
+                val_in,
+                to_commit: to_commit.expect("verdict port"),
+                coa_in: coa_in.expect("coa reply port"),
+            }
+        };
+
+        let cu_wiring = {
+            let ports = mesh.take_ports(cu_ep).expect("commit ports");
+            let mut from_workers = Vec::new();
+            let mut from_trycommit = None;
+            for (src, port) in ports.recvs {
+                if src == tc_ep {
+                    from_trycommit = Some(port);
+                } else {
+                    from_workers.push((as_worker(src), port));
+                }
+            }
+            let mut coa_out = Vec::new();
+            let mut coa_tc_out = None;
+            for (dst, port) in ports.sends {
+                if dst == tc_ep {
+                    coa_tc_out = Some(port);
+                } else if is_worker(dst) {
+                    coa_out.push((as_worker(dst), port));
+                }
+            }
+            CommitWiring {
+                shape: shape.clone(),
+                ctrl: ctrl.clone(),
+                trace: trace.clone(),
+                master: program.master,
+                from_workers,
+                from_trycommit: from_trycommit.expect("verdict port"),
+                coa_out,
+                coa_tc_out: coa_tc_out.expect("coa reply port"),
+                recovery: program.recovery,
+                on_commit: program.on_commit,
+                limit: program.iteration_limit,
+            }
+        };
+
+        // ---- execution ------------------------------------------------
+        let start = Instant::now();
+        let stages = program.stages;
+        let limit = program.iteration_limit;
+        let outcome = std::thread::scope(|scope| {
+            let mut worker_handles = Vec::with_capacity(n_workers);
+            for wiring in worker_wirings {
+                let stage = shape.stage_of(wiring.worker);
+                let stage_fn = stages[stage.0 as usize].clone();
+                worker_handles.push(scope.spawn(move || {
+                    let ctx = WorkerCtx::new(wiring);
+                    worker_main(ctx, stage_fn, limit)
+                }));
+            }
+            let tc_handle = scope.spawn(move || TryCommitUnit::new(tc_wiring).run());
+            let cu_handle = scope.spawn(move || CommitUnit::new(cu_wiring).run());
+
+            let commit_result = cu_handle.join();
+            let tc_result = tc_handle.join();
+            let worker_results: Vec<_> =
+                worker_handles.into_iter().map(|h| h.join()).collect();
+            (commit_result, tc_result, worker_results)
+        });
+        let elapsed = start.elapsed();
+
+        let (commit_result, tc_result, worker_results) = outcome;
+        let (master, counters) =
+            commit_result.map_err(|_| RunError::ThreadPanic("commit"))?;
+        tc_result.map_err(|_| RunError::ThreadPanic("try-commit"))?;
+        for r in &worker_results {
+            if r.is_err() {
+                return Err(RunError::ThreadPanic("worker"));
+            }
+        }
+
+        let report = RunReport {
+            committed: counters.committed,
+            recoveries: ctrl.recoveries(),
+            recovered_iterations: counters.recovered_iterations,
+            last_iteration: counters.last_iteration,
+            coa_pages_served: counters.coa_pages_served,
+            validation_conflicts: counters.validation_conflicts,
+            worker_misspecs: counters.worker_misspecs,
+            stats,
+            elapsed,
+            trace: trace.events(),
+        };
+        Ok(RunResult { master, report })
+    }
+}

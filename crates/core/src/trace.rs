@@ -1,0 +1,144 @@
+//! Execution tracing for the Figure-3 execution-model reproduction and for
+//! test assertions about runtime invariants (e.g. commit order equals
+//! iteration order).
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::ids::{MtxId, StageId};
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A worker entered a subTX (`mtx_begin`).
+    SubTxBegin,
+    /// A worker exited a subTX (`mtx_end`).
+    SubTxEnd,
+    /// Try-commit validated the MTX as conflict-free.
+    Validated,
+    /// Try-commit detected a conflict.
+    Conflict,
+    /// Commit unit committed the MTX.
+    Committed,
+    /// Commit unit started recovery for this boundary MTX.
+    RecoveryStart,
+    /// Commit unit finished recovery (pipeline restarting).
+    RecoveryEnd,
+    /// The system terminated after this MTX (if any).
+    Terminated,
+}
+
+/// One trace record.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Role string: "worker3", "try-commit", "commit".
+    pub who: &'static str,
+    /// The MTX involved, when applicable.
+    pub mtx: Option<MtxId>,
+    /// The stage involved, when applicable.
+    pub stage: Option<StageId>,
+    /// The event kind.
+    pub kind: TraceKind,
+    /// Wall-clock timestamp.
+    pub at: Instant,
+}
+
+/// Shared trace sink; cloning shares the buffer. Disabled sinks record
+/// nothing and cost one branch.
+#[derive(Debug, Clone)]
+pub struct TraceSink {
+    buf: Option<Arc<Mutex<Vec<TraceEvent>>>>,
+    origin: Instant,
+}
+
+impl TraceSink {
+    /// A recording sink.
+    pub fn enabled() -> Self {
+        TraceSink {
+            buf: Some(Arc::new(Mutex::new(Vec::new()))),
+            origin: Instant::now(),
+        }
+    }
+
+    /// A no-op sink.
+    pub fn disabled() -> Self {
+        TraceSink {
+            buf: None,
+            origin: Instant::now(),
+        }
+    }
+
+    /// True when events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.buf.is_some()
+    }
+
+    /// Records one event (no-op when disabled).
+    pub fn record(
+        &self,
+        who: &'static str,
+        mtx: Option<MtxId>,
+        stage: Option<StageId>,
+        kind: TraceKind,
+    ) {
+        if let Some(buf) = &self.buf {
+            buf.lock().push(TraceEvent {
+                who,
+                mtx,
+                stage,
+                kind,
+                at: Instant::now(),
+            });
+        }
+    }
+
+    /// Snapshots all events recorded so far, in recording order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.buf.as_ref().map_or_else(Vec::new, |b| b.lock().clone())
+    }
+
+    /// Microseconds from sink creation to `event`.
+    pub fn micros_since_origin(&self, event: &TraceEvent) -> u128 {
+        event.at.duration_since(self.origin).as_micros()
+    }
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let t = TraceSink::disabled();
+        t.record("commit", Some(MtxId(1)), None, TraceKind::Committed);
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_sink_records_in_order() {
+        let t = TraceSink::enabled();
+        t.record("worker0", Some(MtxId(0)), Some(StageId(0)), TraceKind::SubTxBegin);
+        t.record("worker0", Some(MtxId(0)), Some(StageId(0)), TraceKind::SubTxEnd);
+        let ev = t.events();
+        assert_eq!(ev.len(), 2);
+        assert_eq!(ev[0].kind, TraceKind::SubTxBegin);
+        assert_eq!(ev[1].kind, TraceKind::SubTxEnd);
+        assert!(ev[0].at <= ev[1].at);
+    }
+
+    #[test]
+    fn clones_share_buffer() {
+        let t = TraceSink::enabled();
+        let t2 = t.clone();
+        t2.record("commit", None, None, TraceKind::Terminated);
+        assert_eq!(t.events().len(), 1);
+    }
+}

@@ -1,0 +1,308 @@
+//! The try-commit unit: MTX validation off the critical path (§3.2).
+//!
+//! The unit maintains its own memory image — committed pages fetched on
+//! demand from the commit unit (Copy-On-Access), overlaid with every
+//! speculative store it has replayed. It consumes the per-subTX access
+//! streams of all workers and replays them in global program order: MTX 0
+//! stage 0, MTX 0 stage 1, …, MTX 1 stage 0, … Each replayed store updates
+//! the image; each replayed load is a *value prediction* — if the image's
+//! value at that program point differs from what the worker observed, a
+//! true dependence manifested that the plan speculated away, and the unit
+//! reports the conflict to the commit unit (§3.1's unified value
+//! prediction and checking mechanism).
+//!
+//! False (anti/output) dependences never reach this unit: memory
+//! versioning in the workers' private memories already broke them.
+
+use std::collections::HashMap;
+
+use dsmtx_fabric::{RecvPort, SendPort};
+use dsmtx_mem::{AccessKind, AccessRecord, Page, SpecMem};
+use dsmtx_uva::{PageId, VAddr};
+
+use crate::config::PipelineShape;
+use crate::control::{ControlPlane, Interrupt};
+use crate::ids::{MtxId, StageId, WorkerId};
+use crate::poll::{wait_for, Backoff};
+use crate::trace::{TraceKind, TraceSink};
+use crate::wire::Msg;
+
+/// In-progress frame assembly for one worker's validation stream.
+#[derive(Debug, Default)]
+struct Assembly {
+    open: Option<(MtxId, StageId)>,
+    records: Vec<AccessRecord>,
+}
+
+pub(crate) struct TryCommitUnit {
+    shape: PipelineShape,
+    ctrl: ControlPlane,
+    trace: TraceSink,
+    epoch: u64,
+    /// The replay image: committed pages + speculative stores in order.
+    image: SpecMem,
+    /// Validation streams, one per worker.
+    val_in: Vec<(WorkerId, RecvPort<Msg>)>,
+    /// Verdicts and COA requests to the commit unit.
+    to_commit: SendPort<Msg>,
+    /// COA replies from the commit unit.
+    coa_in: RecvPort<Msg>,
+    partial: HashMap<WorkerId, Assembly>,
+    /// Completed subTX streams awaiting their replay turn.
+    done: HashMap<(u64, u16), Vec<AccessRecord>>,
+    cursor_mtx: MtxId,
+    cursor_stage: StageId,
+    /// Set after reporting a conflict: stop replaying, wait for recovery.
+    poisoned: bool,
+}
+
+pub(crate) struct TryCommitWiring {
+    pub shape: PipelineShape,
+    pub ctrl: ControlPlane,
+    pub trace: TraceSink,
+    pub val_in: Vec<(WorkerId, RecvPort<Msg>)>,
+    pub to_commit: SendPort<Msg>,
+    pub coa_in: RecvPort<Msg>,
+}
+
+impl TryCommitUnit {
+    pub(crate) fn new(w: TryCommitWiring) -> Self {
+        let epoch = w.ctrl.epoch();
+        TryCommitUnit {
+            shape: w.shape,
+            ctrl: w.ctrl,
+            trace: w.trace,
+            epoch,
+            image: SpecMem::new(),
+            val_in: w.val_in,
+            to_commit: w.to_commit,
+            coa_in: w.coa_in,
+            partial: HashMap::new(),
+            done: HashMap::new(),
+            cursor_mtx: MtxId(0),
+            cursor_stage: StageId(0),
+            poisoned: false,
+        }
+    }
+
+    /// The unit's thread body.
+    pub(crate) fn run(mut self) {
+        let mut backoff = Backoff::new();
+        loop {
+            if let Some(intr) = self.ctrl.poll(&mut self.epoch) {
+                match intr {
+                    Interrupt::Recovery { boundary } => {
+                        self.do_recovery(boundary);
+                        continue;
+                    }
+                    Interrupt::Terminate | Interrupt::ChannelDown => return,
+                }
+            }
+            let mut progress = self.ingest();
+            if !self.poisoned {
+                match self.replay_ready() {
+                    Ok(p) => progress |= p,
+                    Err(Interrupt::Recovery { boundary }) => {
+                        self.do_recovery(boundary);
+                        continue;
+                    }
+                    Err(Interrupt::Terminate) | Err(Interrupt::ChannelDown) => return,
+                }
+            }
+            if progress {
+                backoff.reset();
+            } else {
+                backoff.wait();
+            }
+        }
+    }
+
+    /// Drains whatever is available on the validation queues into the
+    /// assembly buffers. Never blocks.
+    fn ingest(&mut self) -> bool {
+        let mut progress = false;
+        for (worker, port) in &mut self.val_in {
+            loop {
+                let msg = match port.try_consume() {
+                    Ok(Some(m)) => m,
+                    Ok(None) => break,
+                    // A dying peer is handled via the control plane.
+                    Err(_) => break,
+                };
+                progress = true;
+                let asm = self.partial.entry(*worker).or_default();
+                match msg {
+                    Msg::SubTxBegin { mtx, stage } => {
+                        assert!(asm.open.is_none(), "nested subTX from {worker}");
+                        asm.open = Some((mtx, stage));
+                        asm.records.clear();
+                    }
+                    Msg::Load { addr, value } => asm.records.push(AccessRecord {
+                        kind: AccessKind::Load,
+                        addr: VAddr::from_raw(addr),
+                        value,
+                    }),
+                    Msg::Store { addr, value } => asm.records.push(AccessRecord {
+                        kind: AccessKind::Store,
+                        addr: VAddr::from_raw(addr),
+                        value,
+                    }),
+                    Msg::SubTxEnd { mtx, stage } => {
+                        let open = asm.open.take().expect("subTX end without begin");
+                        assert_eq!(open, (mtx, stage), "subTX framing mismatch");
+                        self.done
+                            .insert((mtx.0, stage.0), std::mem::take(&mut asm.records));
+                    }
+                    other => panic!("unexpected message on validation plane: {other:?}"),
+                }
+            }
+        }
+        progress
+    }
+
+    /// Replays every stream whose program-order turn has come.
+    fn replay_ready(&mut self) -> Result<bool, Interrupt> {
+        let mut progress = false;
+        while let Some(records) = self
+            .done
+            .remove(&(self.cursor_mtx.0, self.cursor_stage.0))
+        {
+            progress = true;
+            if !self.replay(&records)? {
+                // Conflict: tell the commit unit and freeze until it
+                // orchestrates recovery.
+                self.trace.record(
+                    "try-commit",
+                    Some(self.cursor_mtx),
+                    Some(self.cursor_stage),
+                    TraceKind::Conflict,
+                );
+                self.send_to_commit(Msg::VerdictBad {
+                    mtx: self.cursor_mtx,
+                })?;
+                self.poisoned = true;
+                return Ok(true);
+            }
+            if self.cursor_stage.0 + 1 == self.shape.n_stages() {
+                self.trace.record(
+                    "try-commit",
+                    Some(self.cursor_mtx),
+                    None,
+                    TraceKind::Validated,
+                );
+                self.send_to_commit(Msg::VerdictOk {
+                    mtx: self.cursor_mtx,
+                })?;
+                self.cursor_mtx = self.cursor_mtx.next();
+                self.cursor_stage = StageId(0);
+            } else {
+                self.cursor_stage = StageId(self.cursor_stage.0 + 1);
+            }
+        }
+        Ok(progress)
+    }
+
+    /// Replays one subTX stream against the image. Returns `false` on the
+    /// first mismatching load.
+    fn replay(&mut self, records: &[AccessRecord]) -> Result<bool, Interrupt> {
+        for r in records {
+            match r.kind {
+                AccessKind::Store => self.image.apply_forwarded(r.addr, r.value),
+                AccessKind::Load => {
+                    let Self {
+                        image,
+                        to_commit,
+                        coa_in,
+                        ctrl,
+                        epoch,
+                        ..
+                    } = self;
+                    let actual = image.read_unlogged(r.addr, |page| {
+                        coa_fetch(to_commit, coa_in, ctrl, epoch, page)
+                    })?;
+                    if actual != r.value {
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    fn send_to_commit(&mut self, msg: Msg) -> Result<(), Interrupt> {
+        self.to_commit
+            .produce(msg)
+            .map_err(|_| Interrupt::ChannelDown)?;
+        let Self {
+            to_commit,
+            ctrl,
+            epoch,
+            ..
+        } = self;
+        wait_for(ctrl, epoch, || match to_commit.try_flush() {
+            Ok(true) => Ok(Some(())),
+            Ok(false) => Ok(None),
+            Err(_) => Err(Interrupt::ChannelDown),
+        })
+    }
+
+    /// §4.3 recovery: rendezvous, flush, re-protect, resume validating at
+    /// the iteration after the re-executed one.
+    fn do_recovery(&mut self, boundary: MtxId) {
+        let barrier = self.ctrl.barrier().clone();
+        barrier.wait(); // B1
+        self.to_commit.clear();
+        for (_, port) in &mut self.val_in {
+            port.drain();
+        }
+        self.coa_in.drain();
+        barrier.wait(); // B2
+        self.image.rollback();
+        self.partial.clear();
+        self.done.clear();
+        self.cursor_mtx = boundary.next();
+        self.cursor_stage = StageId(0);
+        self.poisoned = false;
+        barrier.wait(); // B3
+        self.epoch = u64::MAX;
+    }
+}
+
+impl std::fmt::Debug for TryCommitUnit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TryCommitUnit")
+            .field("cursor_mtx", &self.cursor_mtx)
+            .field("cursor_stage", &self.cursor_stage)
+            .field("poisoned", &self.poisoned)
+            .finish_non_exhaustive()
+    }
+}
+
+/// COA round trip to the commit unit (the try-commit image is initialized
+/// lazily from committed pages, exactly like a worker's memory).
+fn coa_fetch(
+    to_commit: &mut SendPort<Msg>,
+    coa_in: &mut RecvPort<Msg>,
+    ctrl: &ControlPlane,
+    epoch: &mut u64,
+    page: PageId,
+) -> Result<Page, Interrupt> {
+    to_commit
+        .produce(Msg::CoaRequest { page: page.0 })
+        .map_err(|_| Interrupt::ChannelDown)?;
+    wait_for(ctrl, epoch, || match to_commit.try_flush() {
+        Ok(true) => Ok(Some(())),
+        Ok(false) => Ok(None),
+        Err(_) => Err(Interrupt::ChannelDown),
+    })?;
+    let reply = wait_for(ctrl, epoch, || {
+        coa_in.try_consume().map_err(|_| Interrupt::ChannelDown)
+    })?;
+    match reply {
+        Msg::CoaReply { page: p, data } => {
+            assert_eq!(p, page.0, "out-of-order COA reply");
+            Ok(*data)
+        }
+        other => panic!("expected CoaReply, got {other:?}"),
+    }
+}

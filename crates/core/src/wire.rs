@@ -1,0 +1,152 @@
+//! The wire protocol: every message that crosses a thread boundary.
+//!
+//! Four logical planes share one message type so the whole system runs on a
+//! single [`dsmtx_fabric::Mesh`]:
+//!
+//! * **data plane** (worker → later-stage worker, or TLS ring neighbour):
+//!   per-iteration frames carrying forwarded uncommitted stores and
+//!   `mtx_produce`d user values;
+//! * **validation plane** (worker → try-commit): the program-ordered
+//!   access stream of each subTX, framed by `SubTxBegin`/`SubTxEnd`;
+//! * **commit plane** (worker → commit: store streams; try-commit →
+//!   commit: verdicts; worker → commit: explicit misspeculation and loop
+//!   exit events);
+//! * **COA plane** (worker/try-commit ↔ commit): page requests and
+//!   replies.
+
+use dsmtx_mem::Page;
+
+use crate::ids::{MtxId, StageId};
+
+/// A message on any DSMTX queue.
+#[derive(Debug)]
+pub enum Msg {
+    // ------------------------------------------------------ data plane --
+    /// Start of the data frame for one iteration.
+    FrameBegin {
+        /// The iteration (MTX) the frame belongs to.
+        mtx: MtxId,
+    },
+    /// An uncommitted speculative store forwarded to a later subTX
+    /// (`mtx_writeAll`/`mtx_writeTo`).
+    Forward {
+        /// Raw [`dsmtx_uva::VAddr`] bits.
+        addr: u64,
+        /// The stored value.
+        value: u64,
+    },
+    /// A user value sent with `mtx_produce`.
+    User {
+        /// The produced value.
+        value: u64,
+    },
+    /// End of the data frame for one iteration.
+    FrameEnd {
+        /// The iteration (MTX) the frame belongs to.
+        mtx: MtxId,
+    },
+
+    // ------------------------------------------------ validation plane --
+    /// Start of a subTX access stream.
+    SubTxBegin {
+        /// Enclosing MTX.
+        mtx: MtxId,
+        /// Pipeline stage executing the subTX.
+        stage: StageId,
+    },
+    /// A speculative load observation (value prediction to validate).
+    Load {
+        /// Raw address bits.
+        addr: u64,
+        /// The value the worker observed.
+        value: u64,
+    },
+    /// A speculative store.
+    Store {
+        /// Raw address bits.
+        addr: u64,
+        /// The stored value.
+        value: u64,
+    },
+    /// End of a subTX access stream.
+    SubTxEnd {
+        /// Enclosing MTX.
+        mtx: MtxId,
+        /// Pipeline stage executing the subTX.
+        stage: StageId,
+    },
+
+    // ---------------------------------------------------- commit plane --
+    /// Try-commit verdict: the MTX is conflict-free.
+    VerdictOk {
+        /// The validated MTX.
+        mtx: MtxId,
+    },
+    /// Try-commit verdict: a speculative load mismatched the committed
+    /// value; the MTX (and everything later) must roll back.
+    VerdictBad {
+        /// The conflicting MTX.
+        mtx: MtxId,
+    },
+    /// A worker detected misspeculation itself (`mtx_misspec`), e.g. failed
+    /// control-flow speculation.
+    WorkerMisspec {
+        /// The misspeculated MTX.
+        mtx: MtxId,
+    },
+    /// Footer of a store stream on the commit plane. Carries the loop-exit
+    /// decision (`mtx_terminate`) in the same message as stream
+    /// completeness so the commit unit can never commit an iteration
+    /// without knowing it was the last one.
+    SubTxDone {
+        /// Enclosing MTX.
+        mtx: MtxId,
+        /// Pipeline stage executing the subTX.
+        stage: StageId,
+        /// True when this subTX observed the sequential loop exit at this
+        /// iteration: commit everything at or before `mtx`, squash the
+        /// rest, stop.
+        exit: bool,
+    },
+
+    // ------------------------------------------------------- COA plane --
+    /// Copy-On-Access request: the sender faulted on `page`.
+    CoaRequest {
+        /// Raw [`dsmtx_uva::PageId`] bits.
+        page: u64,
+    },
+    /// Copy-On-Access reply carrying the committed page.
+    CoaReply {
+        /// Raw page id bits.
+        page: u64,
+        /// The committed page image.
+        data: Box<Page>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_is_small_enough_to_queue_cheaply() {
+        // The box keeps page payloads out of line so a queue slot stays
+        // cache-line sized.
+        assert!(std::mem::size_of::<Msg>() <= 32, "{}", std::mem::size_of::<Msg>());
+    }
+
+    #[test]
+    fn coa_reply_carries_page_by_box() {
+        let msg = Msg::CoaReply {
+            page: 7,
+            data: Box::new(Page::zeroed()),
+        };
+        match msg {
+            Msg::CoaReply { page, data } => {
+                assert_eq!(page, 7);
+                assert_eq!(data.word(0), 0);
+            }
+            _ => unreachable!(),
+        }
+    }
+}

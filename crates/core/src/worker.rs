@@ -1,0 +1,742 @@
+//! Worker threads: the Table-1 running operations.
+//!
+//! A worker executes the subTXs of one pipeline stage. Each iteration it:
+//!
+//! 1. **`begin`** (`mtx_begin`): receives the data frame of this iteration
+//!    from every earlier stage — applying forwarded uncommitted stores to
+//!    its private memory and buffering `mtx_produce`d user values — plus
+//!    the ring frame from its predecessor replica when the stage is a
+//!    synchronization ring (TLS / DOACROSS).
+//! 2. Runs the stage body, which speculatively reads/writes DSMTX memory
+//!    through this context. First touches of protected pages trigger
+//!    Copy-On-Access round trips to the commit unit.
+//! 3. **`end`** (`mtx_end`): sends the subTX's ordered access stream to the
+//!    try-commit unit, its store set to the commit unit, and a data frame
+//!    (forwards + produces) to the executor of this iteration in every
+//!    later stage (`mtx_writeAll` semantics).
+//!
+//! Every blocking point polls the control plane so the worker can unwind
+//! into the §4.3 recovery rendezvous or terminate.
+
+use std::collections::VecDeque;
+
+use dsmtx_fabric::{RecvPort, SendPort};
+use dsmtx_mem::{Page, SpecMem};
+use dsmtx_uva::{PageId, RegionAllocator, VAddr};
+
+use crate::config::PipelineShape;
+use crate::control::{ControlPlane, Interrupt};
+use crate::ids::{MtxId, StageId, WorkerId};
+use crate::poll::wait_for;
+use crate::program::{IterOutcome, StageFn};
+use crate::trace::{TraceKind, TraceSink};
+use crate::wire::Msg;
+
+/// The execution context handed to stage bodies.
+///
+/// All program state must flow through this context (speculative memory,
+/// produces/consumes); Rust state captured by the stage closure does not
+/// roll back on misspeculation.
+pub struct WorkerCtx {
+    pub(crate) worker: WorkerId,
+    pub(crate) stage: StageId,
+    pub(crate) shape: PipelineShape,
+    pub(crate) ctrl: ControlPlane,
+    pub(crate) trace: TraceSink,
+    name: &'static str,
+    epoch: u64,
+
+    spec: SpecMem,
+    heap: RegionAllocator,
+
+    /// Outgoing data queues to later-stage workers (plus the ring
+    /// successor, which is in the same stage).
+    out: Vec<(WorkerId, SendPort<Msg>)>,
+    /// Incoming data queues from earlier-stage workers (plus the ring
+    /// predecessor).
+    inn: Vec<(WorkerId, RecvPort<Msg>)>,
+    /// Validation stream to the try-commit unit.
+    val_out: SendPort<Msg>,
+    /// Store stream, events, and COA requests to the commit unit.
+    cu_out: SendPort<Msg>,
+    /// COA replies from the commit unit.
+    coa_in: RecvPort<Msg>,
+
+    // ---- per-iteration state ----
+    cur: Option<MtxId>,
+    /// Buffered user values per producing stage.
+    users: Vec<VecDeque<u64>>,
+    /// Buffered ring (synchronized-dependence) values for this iteration.
+    ring_in_vals: VecDeque<u64>,
+    /// Stores to forward to later stages at `end` (from [`WorkerCtx::write`]).
+    forwards: Vec<(VAddr, u64)>,
+    /// Stores to forward to one specific later stage
+    /// (from [`WorkerCtx::write_to_stage`]).
+    targeted_forwards: Vec<(StageId, VAddr, u64)>,
+    /// User values produced this iteration, with their target stage.
+    produces: Vec<(StageId, u64)>,
+    /// Ring values produced this iteration for the successor iteration.
+    ring_produces: Vec<u64>,
+    /// Ring loopback when the ring stage has a single replica.
+    ring_loopback: VecDeque<u64>,
+    /// After a recovery at boundary *b*, iteration *b + 1* has no ring
+    /// frame (its producer, iteration *b*, was re-executed by the commit
+    /// unit): the executor of *b + 1* must skip the ring receive and
+    /// re-derive synchronized state from committed memory.
+    ring_skip: Option<MtxId>,
+}
+
+/// Everything needed to construct a [`WorkerCtx`]; assembled by the system
+/// builder.
+pub(crate) struct WorkerWiring {
+    pub worker: WorkerId,
+    pub shape: PipelineShape,
+    pub ctrl: ControlPlane,
+    pub trace: TraceSink,
+    pub heap: RegionAllocator,
+    pub out: Vec<(WorkerId, SendPort<Msg>)>,
+    pub inn: Vec<(WorkerId, RecvPort<Msg>)>,
+    pub val_out: SendPort<Msg>,
+    pub cu_out: SendPort<Msg>,
+    pub coa_in: RecvPort<Msg>,
+}
+
+impl WorkerCtx {
+    pub(crate) fn new(w: WorkerWiring) -> Self {
+        let stage = w.shape.stage_of(w.worker);
+        let n_stages = w.shape.n_stages() as usize;
+        let epoch = w.ctrl.epoch();
+        WorkerCtx {
+            name: Box::leak(format!("worker{}", w.worker.0).into_boxed_str()),
+            worker: w.worker,
+            stage,
+            shape: w.shape,
+            ctrl: w.ctrl,
+            trace: w.trace,
+            epoch,
+            spec: SpecMem::new(),
+            heap: w.heap,
+            out: w.out,
+            inn: w.inn,
+            val_out: w.val_out,
+            cu_out: w.cu_out,
+            coa_in: w.coa_in,
+            cur: None,
+            users: vec![VecDeque::new(); n_stages],
+            ring_in_vals: VecDeque::new(),
+            forwards: Vec::new(),
+            targeted_forwards: Vec::new(),
+            produces: Vec::new(),
+            ring_produces: Vec::new(),
+            ring_loopback: VecDeque::new(),
+            ring_skip: None,
+        }
+    }
+
+    /// This worker's id.
+    pub fn worker(&self) -> WorkerId {
+        self.worker
+    }
+
+    /// The pipeline stage this worker executes.
+    pub fn stage(&self) -> StageId {
+        self.stage
+    }
+
+    /// Replica index within the stage.
+    pub fn replica(&self) -> u16 {
+        self.shape.replica_of(self.worker)
+    }
+
+    /// Replica count of this worker's stage.
+    pub fn replicas(&self) -> u16 {
+        self.shape.kind(self.stage).replicas()
+    }
+
+    /// The worker's private UVA allocator — the hooked `malloc`/`free` of
+    /// §3.3. Allocation is purely local.
+    pub fn heap(&mut self) -> &mut RegionAllocator {
+        &mut self.heap
+    }
+
+    // ------------------------------------------------------------------
+    // Memory operations
+    // ------------------------------------------------------------------
+
+    /// Speculative load (validated by the try-commit unit).
+    ///
+    /// # Errors
+    ///
+    /// Interrupted by recovery or termination.
+    pub fn read(&mut self, addr: VAddr) -> Result<u64, Interrupt> {
+        let Self {
+            spec,
+            cu_out,
+            coa_in,
+            ctrl,
+            epoch,
+            ..
+        } = self;
+        spec.read(addr, |page| coa_fetch(cu_out, coa_in, ctrl, epoch, page))
+    }
+
+    /// Unvalidated load, for data the plan knows cannot conflict (e.g.
+    /// read-only after loop entry, or this worker's private scratch). This
+    /// is the manual-parallelization bandwidth optimization; misuse turns
+    /// detectable misspeculation into silent wrong answers.
+    ///
+    /// # Errors
+    ///
+    /// Interrupted by recovery or termination.
+    pub fn read_private(&mut self, addr: VAddr) -> Result<u64, Interrupt> {
+        let Self {
+            spec,
+            cu_out,
+            coa_in,
+            ctrl,
+            epoch,
+            ..
+        } = self;
+        spec.read_unlogged(addr, |page| coa_fetch(cu_out, coa_in, ctrl, epoch, page))
+    }
+
+    /// Speculative store with `mtx_writeAll` semantics: validated,
+    /// committed, and forwarded to all later subTXs of this MTX.
+    ///
+    /// # Errors
+    ///
+    /// Interrupted by recovery or termination.
+    pub fn write(&mut self, addr: VAddr, value: u64) -> Result<(), Interrupt> {
+        self.write_no_forward(addr, value)?;
+        self.forwards.push((addr, value));
+        Ok(())
+    }
+
+    /// Speculative store forwarded only to one later stage's subTX of
+    /// this MTX (plus validation and commit) — `mtx_writeTo` with a stage
+    /// destination. A bandwidth optimization over [`WorkerCtx::write`]
+    /// when only one stage reads the value.
+    ///
+    /// # Errors
+    ///
+    /// Interrupted by recovery or termination.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `stage` is strictly later than this worker's stage.
+    pub fn write_to_stage(
+        &mut self,
+        stage: StageId,
+        addr: VAddr,
+        value: u64,
+    ) -> Result<(), Interrupt> {
+        assert!(stage > self.stage, "write_to_stage must target a later stage");
+        assert!(stage.0 < self.shape.n_stages(), "no such stage");
+        self.write_no_forward(addr, value)?;
+        self.targeted_forwards.push((stage, addr, value));
+        Ok(())
+    }
+
+    /// Speculative store that is validated and committed but *not*
+    /// forwarded to later stages (the plan knows no later subTX of this
+    /// MTX reads it) — the `mtx_writeTo(commit)` pattern.
+    ///
+    /// # Errors
+    ///
+    /// Interrupted by recovery or termination.
+    pub fn write_no_forward(&mut self, addr: VAddr, value: u64) -> Result<(), Interrupt> {
+        let Self {
+            spec,
+            cu_out,
+            coa_in,
+            ctrl,
+            epoch,
+            ..
+        } = self;
+        spec.write(addr, value, |page| {
+            coa_fetch(cu_out, coa_in, ctrl, epoch, page)
+        })
+    }
+
+    /// Private store: stays in this worker's memory version only. Used for
+    /// per-worker scratch (the memory-versioning optimization); rolled
+    /// back on recovery like everything else.
+    ///
+    /// # Errors
+    ///
+    /// Interrupted by recovery or termination.
+    pub fn write_private(&mut self, addr: VAddr, value: u64) -> Result<(), Interrupt> {
+        let Self {
+            spec,
+            cu_out,
+            coa_in,
+            ctrl,
+            epoch,
+            ..
+        } = self;
+        spec.write_unlogged(addr, value, |page| {
+            coa_fetch(cu_out, coa_in, ctrl, epoch, page)
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Pipeline data
+    // ------------------------------------------------------------------
+
+    /// Sends a user value to the next stage's subTX of this iteration
+    /// (`mtx_produce`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when called from the last stage.
+    pub fn produce(&mut self, value: u64) {
+        let next = StageId(self.stage.0 + 1);
+        assert!(
+            next.0 < self.shape.n_stages(),
+            "produce from the last stage"
+        );
+        self.produces.push((next, value));
+    }
+
+    /// Sends a user value to a specific later stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `stage` is strictly later than this worker's stage.
+    pub fn produce_to(&mut self, stage: StageId, value: u64) {
+        assert!(stage > self.stage, "produce_to must target a later stage");
+        assert!(stage.0 < self.shape.n_stages(), "no such stage");
+        self.produces.push((stage, value));
+    }
+
+    /// Consumes a value produced by the previous stage (`mtx_consume`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when no value is available — produce/consume counts are part
+    /// of the parallelization plan and must match.
+    pub fn consume(&mut self) -> u64 {
+        assert!(self.stage.0 > 0, "consume at the first stage");
+        self.consume_from(StageId(self.stage.0 - 1))
+    }
+
+    /// Consumes a value produced by `stage` for this iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no value is available from that stage.
+    pub fn consume_from(&mut self, stage: StageId) -> u64 {
+        self.try_consume_from(stage)
+            .unwrap_or_else(|| panic!("no value from {stage} in {:?}", self.cur))
+    }
+
+    /// Consumes a value from `stage` if one was produced for this
+    /// iteration.
+    pub fn try_consume_from(&mut self, stage: StageId) -> Option<u64> {
+        self.users[stage.0 as usize].pop_front()
+    }
+
+    /// Forwards a synchronized cross-iteration value to the next iteration
+    /// (ring stages only: the TLS/DOACROSS mechanism).
+    ///
+    /// # Panics
+    ///
+    /// Panics when this stage is not the declared ring stage.
+    pub fn sync_produce(&mut self, value: u64) {
+        assert_eq!(
+            self.shape.ring_stage(),
+            Some(self.stage),
+            "sync_produce outside the ring stage"
+        );
+        self.ring_produces.push(value);
+    }
+
+    /// Takes the synchronized values forwarded by the previous iteration
+    /// (empty for iteration 0).
+    pub fn sync_take(&mut self) -> Vec<u64> {
+        self.ring_in_vals.drain(..).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Speculation control
+    // ------------------------------------------------------------------
+
+    /// Declares this iteration misspeculated (`mtx_misspec`) — e.g. failed
+    /// control-flow speculation — notifies the commit unit, and waits for
+    /// the recovery (or termination) interrupt.
+    ///
+    /// # Errors
+    ///
+    /// Always returns an interrupt; call as `return ctx.misspec();`.
+    pub fn misspec<T>(&mut self) -> Result<T, Interrupt> {
+        let mtx = self.cur.expect("misspec outside an iteration");
+        // Abort the subTX: nothing of it may reach the other units.
+        self.spec.drain_log();
+        self.forwards.clear();
+        self.targeted_forwards.clear();
+        self.produces.clear();
+        self.ring_produces.clear();
+        self.cu_out
+            .produce(Msg::WorkerMisspec { mtx })
+            .map_err(|_| Interrupt::ChannelDown)?;
+        flush_port(&self.ctrl, &mut self.epoch, &mut self.cu_out)?;
+        // Block until the commit unit orchestrates recovery.
+        wait_for(&self.ctrl, &mut self.epoch, || Ok(None::<T>))
+    }
+
+    // ------------------------------------------------------------------
+    // Iteration lifecycle (used by the worker main loop; public for
+    // custom executors)
+    // ------------------------------------------------------------------
+
+    /// Enters the subTX of `mtx` (`mtx_begin`): refreshes memory with the
+    /// uncommitted stores of earlier subTXs and buffers their produces.
+    ///
+    /// # Errors
+    ///
+    /// Interrupted by recovery or termination.
+    pub fn begin(&mut self, mtx: MtxId) -> Result<(), Interrupt> {
+        self.cur = Some(mtx);
+        self.trace
+            .record(self.name, Some(mtx), Some(self.stage), TraceKind::SubTxBegin);
+        for s in 0..self.stage.0 {
+            let src = self.shape.executor(StageId(s), mtx);
+            self.recv_frame(src, mtx, false)?;
+        }
+        if self.shape.ring_stage() == Some(self.stage) && mtx.0 >= 1 {
+            if self.ring_skip.take() == Some(mtx) {
+                // The producing iteration was re-executed sequentially
+                // during recovery; synchronized state must be re-derived
+                // from committed memory (`sync_take` will be empty).
+            } else {
+                let src = self.shape.executor(self.stage, MtxId(mtx.0 - 1));
+                if src == self.worker {
+                    // Single-replica ring: values loop back locally.
+                    self.ring_in_vals = std::mem::take(&mut self.ring_loopback);
+                } else {
+                    self.recv_frame(src, mtx, true)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Exits the subTX of `mtx` (`mtx_end`): ships the access stream to
+    /// try-commit, the store set to commit, data frames to later stages,
+    /// and the ring frame to the successor iteration.
+    ///
+    /// # Errors
+    ///
+    /// Interrupted by recovery or termination.
+    pub fn end(&mut self, mtx: MtxId, outcome: IterOutcome) -> Result<(), Interrupt> {
+        debug_assert_eq!(self.cur, Some(mtx), "end without matching begin");
+        let records = self.spec.drain_log();
+        let stage = self.stage;
+
+        // Validation stream (ordered loads + stores).
+        send(&mut self.val_out, Msg::SubTxBegin { mtx, stage })?;
+        for r in &records {
+            let msg = match r.kind {
+                dsmtx_mem::spec::AccessKind::Load => Msg::Load {
+                    addr: r.addr.raw(),
+                    value: r.value,
+                },
+                dsmtx_mem::spec::AccessKind::Store => Msg::Store {
+                    addr: r.addr.raw(),
+                    value: r.value,
+                },
+            };
+            send(&mut self.val_out, msg)?;
+        }
+        send(&mut self.val_out, Msg::SubTxEnd { mtx, stage })?;
+        flush_port(&self.ctrl, &mut self.epoch, &mut self.val_out)?;
+
+        // Store stream to the commit unit (group transaction commit input).
+        send(&mut self.cu_out, Msg::SubTxBegin { mtx, stage })?;
+        for (addr, value) in SpecMem::stores_of(&records) {
+            send(
+                &mut self.cu_out,
+                Msg::Store {
+                    addr: addr.raw(),
+                    value,
+                },
+            )?;
+        }
+        send(
+            &mut self.cu_out,
+            Msg::SubTxDone {
+                mtx,
+                stage,
+                exit: outcome == IterOutcome::Exit,
+            },
+        )?;
+        flush_port(&self.ctrl, &mut self.epoch, &mut self.cu_out)?;
+
+        // Data frames to the executor of this iteration in each later
+        // stage: forwarded stores + user values.
+        let forwards = std::mem::take(&mut self.forwards);
+        let targeted = std::mem::take(&mut self.targeted_forwards);
+        let produces = std::mem::take(&mut self.produces);
+        for t in (stage.0 + 1)..self.shape.n_stages() {
+            let t = StageId(t);
+            let dst = self.shape.executor(t, mtx);
+            let Self {
+                out, ctrl, epoch, ..
+            } = self;
+            let port = port_to(out, dst);
+            send(port, Msg::FrameBegin { mtx })?;
+            for &(addr, value) in &forwards {
+                send(
+                    port,
+                    Msg::Forward {
+                        addr: addr.raw(),
+                        value,
+                    },
+                )?;
+            }
+            for &(ts, addr, value) in targeted.iter().filter(|(ts, _, _)| *ts == t) {
+                debug_assert_eq!(ts, t);
+                send(
+                    port,
+                    Msg::Forward {
+                        addr: addr.raw(),
+                        value,
+                    },
+                )?;
+            }
+            for &(ps, value) in produces.iter().filter(|(ps, _)| *ps == t) {
+                debug_assert_eq!(ps, t);
+                send(port, Msg::User { value })?;
+            }
+            send(port, Msg::FrameEnd { mtx })?;
+            flush_port(ctrl, epoch, port)?;
+        }
+
+        // Ring frame for the successor iteration.
+        if self.shape.ring_stage() == Some(stage) {
+            let ring_values = std::mem::take(&mut self.ring_produces);
+            match self.shape.ring_next(self.worker) {
+                None => self.ring_loopback = ring_values.into(),
+                Some(dst) => {
+                    let next_mtx = MtxId(mtx.0 + 1);
+                    let Self {
+                        out, ctrl, epoch, ..
+                    } = self;
+                    let port = port_to(out, dst);
+                    send(port, Msg::FrameBegin { mtx: next_mtx })?;
+                    for value in ring_values {
+                        send(port, Msg::User { value })?;
+                    }
+                    send(port, Msg::FrameEnd { mtx: next_mtx })?;
+                    flush_port(ctrl, epoch, port)?;
+                }
+            }
+        }
+
+        // Reset per-iteration state.
+        for q in &mut self.users {
+            q.clear();
+        }
+        self.ring_in_vals.clear();
+        self.trace
+            .record(self.name, Some(mtx), Some(stage), TraceKind::SubTxEnd);
+        self.cur = None;
+        Ok(())
+    }
+
+    fn recv_frame(&mut self, src: WorkerId, mtx: MtxId, is_ring: bool) -> Result<(), Interrupt> {
+        let src_stage = self.shape.stage_of(src).0 as usize;
+        let Self {
+            inn,
+            spec,
+            users,
+            ring_in_vals,
+            ctrl,
+            epoch,
+            ..
+        } = self;
+        let port = inn
+            .iter_mut()
+            .find(|(id, _)| *id == src)
+            .map(|(_, p)| p)
+            .unwrap_or_else(|| panic!("no data queue from {src}"));
+
+        let first = wait_for(ctrl, epoch, ||
+
+            port.try_consume().map_err(|_| Interrupt::ChannelDown)
+        )?;
+        match first {
+            Msg::FrameBegin { mtx: m } => {
+                assert_eq!(m, mtx, "frame out of order from {src}: got {m}, want {mtx}")
+            }
+            other => panic!("expected FrameBegin from {src}, got {other:?}"),
+        }
+        loop {
+            let msg = wait_for(ctrl, epoch, || {
+                port.try_consume().map_err(|_| Interrupt::ChannelDown)
+            })?;
+            match msg {
+                Msg::Forward { addr, value } => {
+                    spec.apply_forwarded(VAddr::from_raw(addr), value)
+                }
+                Msg::User { value } => {
+                    if is_ring {
+                        ring_in_vals.push_back(value);
+                    } else {
+                        users[src_stage].push_back(value);
+                    }
+                }
+                Msg::FrameEnd { mtx: m } => {
+                    assert_eq!(m, mtx, "frame end mismatch from {src}");
+                    return Ok(());
+                }
+                other => panic!("unexpected message in frame from {src}: {other:?}"),
+            }
+        }
+    }
+
+    /// Blocks until an interrupt arrives (used when this worker has no
+    /// iterations left under an iteration limit).
+    pub(crate) fn idle_until_interrupt(&mut self) -> Result<(), Interrupt> {
+        wait_for(&self.ctrl, &mut self.epoch, || Ok(None::<()>)).map(|_: ()| ())
+    }
+
+    /// Participates in the §4.3 recovery protocol:
+    /// barrier → flush queues → barrier → re-protect heap → barrier.
+    ///
+    /// `boundary` is the squashed MTX being re-executed by the commit
+    /// unit; its successor iteration will have no ring frame.
+    pub(crate) fn do_recovery(&mut self, boundary: MtxId) {
+        let barrier = self.ctrl.barrier().clone();
+        barrier.wait(); // B1: everyone is in recovery mode.
+        for (_, port) in &mut self.out {
+            port.clear();
+        }
+        self.val_out.clear();
+        self.cu_out.clear();
+        for (_, port) in &mut self.inn {
+            port.drain();
+        }
+        self.coa_in.drain();
+        barrier.wait(); // B2: all speculative queue state is gone.
+        self.spec.rollback(); // Reinstate heap access protection.
+        for q in &mut self.users {
+            q.clear();
+        }
+        self.ring_in_vals.clear();
+        self.ring_loopback.clear();
+        self.forwards.clear();
+        self.targeted_forwards.clear();
+        self.produces.clear();
+        self.ring_produces.clear();
+        self.cur = None;
+        // Iteration boundary+1's ring producer was re-executed by the
+        // commit unit: its executor must re-derive synchronized state
+        // from committed memory instead of waiting for a frame.
+        self.ring_skip = Some(boundary.next());
+        barrier.wait(); // B3: the commit unit re-executed; recommence.
+        // Force the next poll to re-read the status word.
+        self.epoch = u64::MAX;
+    }
+
+    /// COA installs performed by this worker so far.
+    pub fn coa_faults(&self) -> u64 {
+        self.spec.faults_served()
+    }
+}
+
+impl std::fmt::Debug for WorkerCtx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerCtx")
+            .field("worker", &self.worker)
+            .field("stage", &self.stage)
+            .field("cur", &self.cur)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Buffered, non-blocking enqueue; hard errors only on peer death.
+fn send(port: &mut SendPort<Msg>, msg: Msg) -> Result<(), Interrupt> {
+    port.produce(msg).map_err(|_| Interrupt::ChannelDown)
+}
+
+/// Interruptible flush: retries while the transport is full, unwinding on
+/// control-plane interrupts.
+fn flush_port(
+    ctrl: &ControlPlane,
+    epoch: &mut u64,
+    port: &mut SendPort<Msg>,
+) -> Result<(), Interrupt> {
+    wait_for(ctrl, epoch, || match port.try_flush() {
+        Ok(true) => Ok(Some(())),
+        Ok(false) => Ok(None),
+        Err(_) => Err(Interrupt::ChannelDown),
+    })
+}
+
+fn port_to(
+    ports: &mut [(WorkerId, SendPort<Msg>)],
+    dst: WorkerId,
+) -> &mut SendPort<Msg> {
+    ports
+        .iter_mut()
+        .find(|(id, _)| *id == dst)
+        .map(|(_, p)| p)
+        .unwrap_or_else(|| panic!("no data queue to {dst}"))
+}
+
+/// One Copy-On-Access round trip: request the page from the commit unit
+/// and wait for the reply (at most one outstanding request per worker, so
+/// replies arrive in request order).
+fn coa_fetch(
+    cu_out: &mut SendPort<Msg>,
+    coa_in: &mut RecvPort<Msg>,
+    ctrl: &ControlPlane,
+    epoch: &mut u64,
+    page: PageId,
+) -> Result<Page, Interrupt> {
+    cu_out
+        .produce(Msg::CoaRequest { page: page.0 })
+        .map_err(|_| Interrupt::ChannelDown)?;
+    flush_port(ctrl, epoch, cu_out)?;
+    let reply = wait_for(ctrl, epoch, || {
+        coa_in.try_consume().map_err(|_| Interrupt::ChannelDown)
+    })?;
+    match reply {
+        Msg::CoaReply { page: p, data } => {
+            assert_eq!(p, page.0, "out-of-order COA reply");
+            Ok(*data)
+        }
+        other => panic!("expected CoaReply, got {other:?}"),
+    }
+}
+
+/// The worker thread body: iterate over assigned MTXs, handling recovery
+/// and termination.
+pub(crate) fn worker_main(mut ctx: WorkerCtx, stage_fn: StageFn, limit: Option<u64>) -> WorkerCtx {
+    let mut next = ctx.shape.next_assigned(ctx.worker, MtxId(0));
+    loop {
+        let exhausted = limit.is_some_and(|l| next.0 >= l);
+        let result = if exhausted {
+            ctx.idle_until_interrupt()
+        } else {
+            run_iteration(&mut ctx, next, &stage_fn)
+        };
+        match result {
+            Ok(()) => next = ctx.shape.next_assigned(ctx.worker, next.next()),
+            Err(Interrupt::Recovery { boundary }) => {
+                ctx.do_recovery(boundary);
+                next = ctx.shape.next_assigned(ctx.worker, boundary.next());
+            }
+            Err(Interrupt::Terminate) => break,
+            Err(Interrupt::ChannelDown) => break,
+        }
+    }
+    ctx
+}
+
+fn run_iteration(ctx: &mut WorkerCtx, mtx: MtxId, stage_fn: &StageFn) -> Result<(), Interrupt> {
+    ctx.begin(mtx)?;
+    let outcome = stage_fn(ctx, mtx)?;
+    ctx.end(mtx, outcome)
+}

@@ -1,0 +1,120 @@
+//! Modelled per-message send/receive cost.
+//!
+//! The paper reports that `MPI_Send` and `MPI_Recv` execute between 500 and
+//! 2,295 instructions to move 8 bytes (§4.2, citing the OpenMPI
+//! implementation). DSMTX's batched queues amortize that fixed cost over an
+//! entire packet. To reproduce the unbatched-vs-batched contrast of
+//! Figure 5(b) on a machine where the real transport is a fast in-process
+//! channel, [`CostModel`] lets a queue *charge* an artificial per-packet
+//! cost by spinning for a configurable number of work units.
+
+/// Per-packet overhead charged when a packet is sent or received.
+///
+/// The unit is an abstract "instruction"; [`CostModel::charge`] burns
+/// roughly that many arithmetic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Instructions charged on each packet send.
+    pub send_instructions: u32,
+    /// Instructions charged on each packet receive.
+    pub recv_instructions: u32,
+}
+
+impl CostModel {
+    /// No artificial overhead: the raw in-process channel cost only.
+    pub const FREE: CostModel = CostModel {
+        send_instructions: 0,
+        recv_instructions: 0,
+    };
+
+    /// The paper's measured OpenMPI cost: ~500 instructions to send and up
+    /// to ~2,295 to receive 8 bytes.
+    pub const OPENMPI: CostModel = CostModel {
+        send_instructions: 500,
+        recv_instructions: 2295,
+    };
+
+    /// Creates a symmetric model charging `instructions` on both ends.
+    pub fn symmetric(instructions: u32) -> Self {
+        CostModel {
+            send_instructions: instructions,
+            recv_instructions: instructions,
+        }
+    }
+
+    /// Burns approximately `instructions` cheap ALU operations.
+    ///
+    /// The spin is side-effect-free but opaque to the optimizer, so the
+    /// charged time scales linearly with the requested instruction count.
+    #[inline]
+    pub fn charge(instructions: u32) {
+        let mut acc: u64 = 0x9E37_79B9_7F4A_7C15;
+        for i in 0..instructions {
+            acc = acc.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ u64::from(i);
+            std::hint::black_box(acc);
+        }
+    }
+
+    /// Charges the send-side cost.
+    #[inline]
+    pub fn charge_send(&self) {
+        if self.send_instructions > 0 {
+            Self::charge(self.send_instructions);
+        }
+    }
+
+    /// Charges the receive-side cost.
+    #[inline]
+    pub fn charge_recv(&self) {
+        if self.recv_instructions > 0 {
+            Self::charge(self.recv_instructions);
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::FREE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn free_model_charges_nothing_observable() {
+        // Must complete essentially instantly.
+        let t = Instant::now();
+        for _ in 0..10_000 {
+            CostModel::FREE.charge_send();
+            CostModel::FREE.charge_recv();
+        }
+        assert!(t.elapsed().as_millis() < 500);
+    }
+
+    #[test]
+    fn charge_scales_with_instruction_count() {
+        // 100x the instructions should take measurably longer (allow slack
+        // for noisy CI machines: just require any increase).
+        let reps = 2_000;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            CostModel::charge(10);
+        }
+        let small = t0.elapsed();
+        let t1 = Instant::now();
+        for _ in 0..reps {
+            CostModel::charge(1_000);
+        }
+        let large = t1.elapsed();
+        assert!(large > small, "large={large:?} small={small:?}");
+    }
+
+    #[test]
+    fn openmpi_model_matches_paper_numbers() {
+        assert_eq!(CostModel::OPENMPI.send_instructions, 500);
+        assert_eq!(CostModel::OPENMPI.recv_instructions, 2295);
+    }
+}

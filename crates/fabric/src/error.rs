@@ -1,0 +1,59 @@
+//! Error types for fabric operations.
+
+use std::fmt;
+
+/// Convenience alias for fabric results.
+pub type Result<T> = std::result::Result<T, FabricError>;
+
+/// Errors produced by queue and mesh operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricError {
+    /// The peer end of a queue has been dropped; no further transfer is
+    /// possible.
+    Disconnected,
+    /// A receive was attempted after the sender signalled end-of-stream.
+    EndOfStream,
+    /// A mesh endpoint or queue name did not resolve.
+    UnknownEndpoint(String),
+    /// A queue between the named endpoints was requested twice or never
+    /// declared.
+    BadTopology(String),
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::Disconnected => write!(f, "peer endpoint disconnected"),
+            FabricError::EndOfStream => write!(f, "end of stream"),
+            FabricError::UnknownEndpoint(name) => write!(f, "unknown endpoint `{name}`"),
+            FabricError::BadTopology(msg) => write!(f, "bad topology: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        for e in [
+            FabricError::Disconnected,
+            FabricError::EndOfStream,
+            FabricError::UnknownEndpoint("w0".into()),
+            FabricError::BadTopology("dup".into()),
+        ] {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FabricError>();
+    }
+}

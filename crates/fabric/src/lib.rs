@@ -1,0 +1,45 @@
+//! Message-passing fabric for the DSMTX runtime.
+//!
+//! A commodity cluster has no shared memory: every byte that moves between
+//! two workers moves through an explicit message. This crate is the
+//! in-process stand-in for the OpenMPI layer the paper builds on. Each
+//! DSMTX "process" is an OS thread whose program state is private; the only
+//! way state crosses a thread boundary is through the queues built here.
+//!
+//! The centerpiece is the **batched queue** ([`queue`]): the paper measures
+//! that a single `MPI_Send`/`MPI_Recv` pair costs 500–2,295 instructions to
+//! move 8 bytes, and that buffering produced values until a batch fills
+//! raises sustained queue bandwidth from ~13 MB/s to ~480 MB/s (§4.2, §5.3).
+//! [`queue::SendPort`] buffers items and ships a whole packet when the batch
+//! threshold fills; an optional [`cost::CostModel`] charges the modelled
+//! per-message overhead so the unbatched/batched contrast of Figure 5(b) can
+//! be reproduced on real threads.
+//!
+//! # Example
+//!
+//! ```
+//! use dsmtx_fabric::queue::channel;
+//!
+//! let (mut tx, mut rx) = channel::<u64>(/*batch*/ 64, /*capacity*/ 1024);
+//! for v in 0..1000u64 {
+//!     tx.produce(v).unwrap();
+//! }
+//! tx.flush().unwrap();
+//! for v in 0..1000u64 {
+//!     assert_eq!(rx.consume().unwrap(), v);
+//! }
+//! ```
+
+pub mod barrier;
+pub mod cost;
+pub mod error;
+pub mod mesh;
+pub mod queue;
+pub mod stats;
+
+pub use barrier::Barrier;
+pub use cost::CostModel;
+pub use error::{FabricError, Result};
+pub use mesh::{EndpointId, Mesh, MeshBuilder};
+pub use queue::{channel, RecvPort, SendPort};
+pub use stats::FabricStats;

@@ -1,0 +1,302 @@
+//! Topology builder: named endpoints connected by batched queues.
+//!
+//! A DSMTX system wires a fixed communication topology at start-up: each
+//! worker connects to the workers executing later subTXs, to the try-commit
+//! unit, and to the commit unit — and *only* to those (the paper stresses
+//! that the channel count must not grow quadratically in the thread count).
+//! [`MeshBuilder`] declares that topology once; [`Mesh::take_ports`] then
+//! hands every spawned thread its private bundle of ports.
+
+use std::collections::HashMap;
+
+use crate::barrier::Barrier;
+use crate::cost::CostModel;
+use crate::error::{FabricError, Result};
+use crate::queue::{channel_with, RecvPort, SendPort};
+use crate::stats::FabricStats;
+
+/// Identifier of a mesh endpoint (a thread-to-be).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EndpointId(pub usize);
+
+impl std::fmt::Display for EndpointId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ep{}", self.0)
+    }
+}
+
+/// Declares endpoints and queues, then builds a [`Mesh`].
+#[derive(Debug)]
+pub struct MeshBuilder {
+    names: Vec<String>,
+    links: Vec<(EndpointId, EndpointId, usize, usize)>,
+    cost: CostModel,
+    stats: FabricStats,
+}
+
+impl MeshBuilder {
+    /// Starts an empty topology with no artificial message cost.
+    pub fn new() -> Self {
+        MeshBuilder {
+            names: Vec::new(),
+            links: Vec::new(),
+            cost: CostModel::FREE,
+            stats: FabricStats::new(),
+        }
+    }
+
+    /// Sets the per-packet cost model applied to every queue.
+    pub fn cost_model(&mut self, cost: CostModel) -> &mut Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Registers an endpoint and returns its id.
+    pub fn endpoint(&mut self, name: impl Into<String>) -> EndpointId {
+        let id = EndpointId(self.names.len());
+        self.names.push(name.into());
+        id
+    }
+
+    /// Declares a directed queue `from → to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::BadTopology`] for unknown endpoints,
+    /// self-loops, or duplicate links.
+    pub fn connect(
+        &mut self,
+        from: EndpointId,
+        to: EndpointId,
+        batch: usize,
+        capacity: usize,
+    ) -> Result<&mut Self> {
+        if from.0 >= self.names.len() || to.0 >= self.names.len() {
+            return Err(FabricError::BadTopology(format!(
+                "link {from} -> {to} references undeclared endpoint"
+            )));
+        }
+        if from == to {
+            return Err(FabricError::BadTopology(format!("self-loop at {from}")));
+        }
+        if self.links.iter().any(|&(f, t, _, _)| f == from && t == to) {
+            return Err(FabricError::BadTopology(format!(
+                "duplicate link {from} -> {to}"
+            )));
+        }
+        self.links.push((from, to, batch, capacity));
+        Ok(self)
+    }
+
+    /// Builds the mesh, materializing every declared queue.
+    pub fn build<T>(&self) -> Mesh<T> {
+        let mut ports: HashMap<EndpointId, Ports<T>> = HashMap::new();
+        for id in 0..self.names.len() {
+            ports.insert(EndpointId(id), Ports::default());
+        }
+        for &(from, to, batch, capacity) in &self.links {
+            let (tx, rx) = channel_with(batch, capacity, self.cost, self.stats.clone());
+            ports.get_mut(&from).expect("declared").sends.push((to, tx));
+            ports.get_mut(&to).expect("declared").recvs.push((from, rx));
+        }
+        Mesh {
+            names: self.names.clone(),
+            ports,
+            barrier: Barrier::new(self.names.len().max(1)),
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Endpoint count declared so far.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no endpoint has been declared.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+impl Default for MeshBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The port bundle owned by one endpoint after the mesh is built.
+#[derive(Debug)]
+pub struct Ports<T> {
+    /// Outgoing queues, keyed by destination.
+    pub sends: Vec<(EndpointId, SendPort<T>)>,
+    /// Incoming queues, keyed by source.
+    pub recvs: Vec<(EndpointId, RecvPort<T>)>,
+}
+
+impl<T> Default for Ports<T> {
+    fn default() -> Self {
+        Ports {
+            sends: Vec::new(),
+            recvs: Vec::new(),
+        }
+    }
+}
+
+impl<T> Ports<T> {
+    /// Borrows the send port toward `to`, if connected.
+    pub fn send_to(&mut self, to: EndpointId) -> Option<&mut SendPort<T>> {
+        self.sends.iter_mut().find(|(id, _)| *id == to).map(|(_, p)| p)
+    }
+
+    /// Borrows the receive port from `from`, if connected.
+    pub fn recv_from(&mut self, from: EndpointId) -> Option<&mut RecvPort<T>> {
+        self.recvs.iter_mut().find(|(id, _)| *id == from).map(|(_, p)| p)
+    }
+}
+
+/// A fully built topology; each endpoint's ports can be taken exactly once.
+#[derive(Debug)]
+pub struct Mesh<T> {
+    names: Vec<String>,
+    ports: HashMap<EndpointId, Ports<T>>,
+    barrier: Barrier,
+    stats: FabricStats,
+}
+
+impl<T> Mesh<T> {
+    /// Removes and returns the port bundle for `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::UnknownEndpoint`] if `id` was never declared
+    /// or its ports were already taken.
+    pub fn take_ports(&mut self, id: EndpointId) -> Result<Ports<T>> {
+        self.ports
+            .remove(&id)
+            .ok_or_else(|| FabricError::UnknownEndpoint(id.to_string()))
+    }
+
+    /// The global barrier spanning all endpoints.
+    pub fn barrier(&self) -> Barrier {
+        self.barrier.clone()
+    }
+
+    /// Shared traffic statistics for every queue in the mesh.
+    pub fn stats(&self) -> FabricStats {
+        self.stats.clone()
+    }
+
+    /// The display name given to `id` at declaration time.
+    pub fn name(&self, id: EndpointId) -> Option<&str> {
+        self.names.get(id.0).map(String::as_str)
+    }
+
+    /// Number of endpoints in the mesh.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when the mesh has no endpoints.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_declared_topology() {
+        let mut b = MeshBuilder::new();
+        let w0 = b.endpoint("w0");
+        let w1 = b.endpoint("w1");
+        let commit = b.endpoint("commit");
+        b.connect(w0, w1, 4, 8).unwrap();
+        b.connect(w0, commit, 4, 8).unwrap();
+        b.connect(w1, commit, 4, 8).unwrap();
+        let mut mesh = b.build::<u64>();
+        assert_eq!(mesh.len(), 3);
+        assert_eq!(mesh.name(w0), Some("w0"));
+
+        let mut p0 = mesh.take_ports(w0).unwrap();
+        let mut p1 = mesh.take_ports(w1).unwrap();
+        let mut pc = mesh.take_ports(commit).unwrap();
+        assert_eq!(p0.sends.len(), 2);
+        assert_eq!(p0.recvs.len(), 0);
+        assert_eq!(p1.sends.len(), 1);
+        assert_eq!(p1.recvs.len(), 1);
+        assert_eq!(pc.recvs.len(), 2);
+
+        p0.send_to(w1).unwrap().produce(42).unwrap();
+        p0.send_to(w1).unwrap().flush().unwrap();
+        assert_eq!(p1.recv_from(w0).unwrap().consume().unwrap(), 42);
+
+        p1.send_to(commit).unwrap().produce(7).unwrap();
+        p1.send_to(commit).unwrap().flush().unwrap();
+        assert_eq!(pc.recv_from(w1).unwrap().consume().unwrap(), 7);
+    }
+
+    #[test]
+    fn ports_taken_once() {
+        let mut b = MeshBuilder::new();
+        let w0 = b.endpoint("w0");
+        let mut mesh = b.build::<u8>();
+        assert!(mesh.take_ports(w0).is_ok());
+        assert!(matches!(
+            mesh.take_ports(w0),
+            Err(FabricError::UnknownEndpoint(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_self_loop_and_duplicates() {
+        let mut b = MeshBuilder::new();
+        let w0 = b.endpoint("w0");
+        let w1 = b.endpoint("w1");
+        assert!(matches!(
+            b.connect(w0, w0, 1, 1),
+            Err(FabricError::BadTopology(_))
+        ));
+        b.connect(w0, w1, 1, 1).unwrap();
+        assert!(matches!(
+            b.connect(w0, w1, 1, 1),
+            Err(FabricError::BadTopology(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_undeclared_endpoint() {
+        let mut b = MeshBuilder::new();
+        let w0 = b.endpoint("w0");
+        let ghost = EndpointId(99);
+        assert!(matches!(
+            b.connect(w0, ghost, 1, 1),
+            Err(FabricError::BadTopology(_))
+        ));
+    }
+
+    #[test]
+    fn mesh_stats_aggregate_all_queues() {
+        let mut b = MeshBuilder::new();
+        let a = b.endpoint("a");
+        let c = b.endpoint("c");
+        b.connect(a, c, 1, 8).unwrap();
+        let mut mesh = b.build::<u64>();
+        let stats = mesh.stats();
+        let mut pa = mesh.take_ports(a).unwrap();
+        pa.send_to(c).unwrap().produce(1).unwrap();
+        pa.send_to(c).unwrap().produce(2).unwrap();
+        assert_eq!(stats.items(), 2);
+        assert_eq!(stats.bytes(), 16);
+    }
+
+    #[test]
+    fn barrier_spans_all_endpoints() {
+        let mut b = MeshBuilder::new();
+        b.endpoint("a");
+        b.endpoint("b");
+        let mesh = b.build::<u8>();
+        assert_eq!(mesh.barrier().parties(), 2);
+    }
+}

@@ -1,0 +1,551 @@
+//! Batched message queues.
+//!
+//! The enhanced message queue of §4.2: instead of paying the full
+//! per-message transport overhead for every produced value, the send side
+//! buffers values and ships a whole packet when the batch threshold fills
+//! (or on [`SendPort::flush`]). The receive side unpacks packets and hands
+//! values out one at a time. Unlike `MPI_Bsend`, buffer space is managed
+//! automatically; callers never allocate or recycle it.
+//!
+//! Queues are single-producer single-consumer, matching the paper's
+//! point-to-point channels between pipeline stages.
+
+use crossbeam::channel;
+
+use crate::cost::CostModel;
+use crate::error::{FabricError, Result};
+use crate::stats::FabricStats;
+
+/// A packet on the wire: either a batch of values or an end-of-stream mark.
+#[derive(Debug)]
+enum Packet<T> {
+    Data(Vec<T>),
+    Eos,
+}
+
+/// Producer end of a batched queue.
+///
+/// Values accumulate in a local buffer until `batch` of them are pending,
+/// then move as a single transport packet. Call [`SendPort::flush`] at
+/// communication points (e.g. end of a subTX) to push out a partial batch.
+#[derive(Debug)]
+pub struct SendPort<T> {
+    tx: channel::Sender<Packet<T>>,
+    buf: Vec<T>,
+    batch: usize,
+    item_bytes: u64,
+    cost: CostModel,
+    stats: FabricStats,
+    closed: bool,
+}
+
+/// Consumer end of a batched queue.
+#[derive(Debug)]
+pub struct RecvPort<T> {
+    rx: channel::Receiver<Packet<T>>,
+    cur: std::vec::IntoIter<T>,
+    cost: CostModel,
+    eos: bool,
+}
+
+/// Creates a batched SPSC queue.
+///
+/// * `batch` — number of items that triggers an automatic flush (≥ 1).
+/// * `capacity` — maximum number of in-flight packets; bounds how far a
+///   producer stage can run ahead of its consumer (the paper bounds
+///   outstanding MTX versions the same way).
+///
+/// # Panics
+///
+/// Panics if `batch` or `capacity` is zero.
+pub fn channel<T>(batch: usize, capacity: usize) -> (SendPort<T>, RecvPort<T>) {
+    channel_with(batch, capacity, CostModel::FREE, FabricStats::new())
+}
+
+/// Creates a batched SPSC queue with an explicit cost model and shared
+/// statistics handle.
+///
+/// # Panics
+///
+/// Panics if `batch` or `capacity` is zero.
+pub fn channel_with<T>(
+    batch: usize,
+    capacity: usize,
+    cost: CostModel,
+    stats: FabricStats,
+) -> (SendPort<T>, RecvPort<T>) {
+    assert!(batch >= 1, "batch must be at least 1");
+    assert!(capacity >= 1, "capacity must be at least 1");
+    let (tx, rx) = channel::bounded(capacity);
+    (
+        SendPort {
+            tx,
+            buf: Vec::with_capacity(batch),
+            batch,
+            item_bytes: std::mem::size_of::<T>() as u64,
+            cost,
+            stats,
+            closed: false,
+        },
+        RecvPort {
+            rx,
+            cur: Vec::new().into_iter(),
+            cost,
+            eos: false,
+        },
+    )
+}
+
+impl<T> SendPort<T> {
+    /// Enqueues one value, shipping a packet when the batch fills.
+    ///
+    /// If the transport is momentarily full the value simply stays
+    /// buffered — like the paper's queue, buffer space is managed
+    /// automatically and a producer is never forced to block mid-compute.
+    /// Use [`SendPort::flush`] or [`SendPort::try_flush`] at communication
+    /// points to guarantee delivery.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::Disconnected`] if the consumer was dropped.
+    pub fn produce(&mut self, value: T) -> Result<()> {
+        debug_assert!(!self.closed, "produce after close");
+        self.buf.push(value);
+        if self.buf.len() >= self.batch {
+            self.try_flush()?;
+        }
+        Ok(())
+    }
+
+    /// Ships any buffered values as a packet, blocking while the transport
+    /// is full. No-op when the buffer is empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::Disconnected`] if the consumer was dropped.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(self.batch));
+        let items = batch.len() as u64;
+        self.cost.charge_send();
+        self.stats.record_packet(items, items * self.item_bytes);
+        self.tx
+            .send(Packet::Data(batch))
+            .map_err(|_| FabricError::Disconnected)
+    }
+
+    /// Ships buffered values without blocking.
+    ///
+    /// Returns `Ok(true)` when the buffer is now empty (sent, or nothing
+    /// to send) and `Ok(false)` when the transport is full — retry later.
+    /// Interruptible senders (the DSMTX recovery protocol) poll this
+    /// instead of [`SendPort::flush`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::Disconnected`] if the consumer was dropped.
+    pub fn try_flush(&mut self) -> Result<bool> {
+        if self.buf.is_empty() {
+            return Ok(true);
+        }
+        let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(self.batch));
+        let items = batch.len() as u64;
+        match self.tx.try_send(Packet::Data(batch)) {
+            Ok(()) => {
+                self.cost.charge_send();
+                self.stats.record_packet(items, items * self.item_bytes);
+                Ok(true)
+            }
+            Err(channel::TrySendError::Full(Packet::Data(batch))) => {
+                // Put the batch back; the next flush retries.
+                self.buf = batch;
+                Ok(false)
+            }
+            Err(channel::TrySendError::Full(_)) => unreachable!("data packet returned"),
+            Err(channel::TrySendError::Disconnected(_)) => Err(FabricError::Disconnected),
+        }
+    }
+
+    /// Flushes and sends the end-of-stream mark. Further `produce` calls
+    /// are a logic error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::Disconnected`] if the consumer was dropped.
+    pub fn close(&mut self) -> Result<()> {
+        if self.closed {
+            return Ok(());
+        }
+        self.flush()?;
+        self.closed = true;
+        self.tx
+            .send(Packet::Eos)
+            .map_err(|_| FabricError::Disconnected)
+    }
+
+    /// Discards all locally buffered (not yet shipped) values.
+    ///
+    /// Used during misspeculation recovery: buffered speculative values
+    /// must not survive the rollback (§4.3 step "flush queues").
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Number of values currently buffered (not yet shipped).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The configured batch threshold.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+}
+
+impl<T> RecvPort<T> {
+    /// Blocks until one value is available and returns it.
+    ///
+    /// # Errors
+    ///
+    /// * [`FabricError::EndOfStream`] after the producer [`SendPort::close`]s.
+    /// * [`FabricError::Disconnected`] if the producer was dropped without
+    ///   closing.
+    pub fn consume(&mut self) -> Result<T> {
+        loop {
+            if let Some(v) = self.cur.next() {
+                return Ok(v);
+            }
+            if self.eos {
+                return Err(FabricError::EndOfStream);
+            }
+            match self.rx.recv() {
+                Ok(Packet::Data(batch)) => {
+                    self.cost.charge_recv();
+                    self.cur = batch.into_iter();
+                }
+                Ok(Packet::Eos) => self.eos = true,
+                Err(_) => return Err(FabricError::Disconnected),
+            }
+        }
+    }
+
+    /// Returns one value if immediately available, without blocking.
+    ///
+    /// `Ok(None)` means no data is currently queued.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RecvPort::consume`].
+    pub fn try_consume(&mut self) -> Result<Option<T>> {
+        loop {
+            if let Some(v) = self.cur.next() {
+                return Ok(Some(v));
+            }
+            if self.eos {
+                return Err(FabricError::EndOfStream);
+            }
+            match self.rx.try_recv() {
+                Ok(Packet::Data(batch)) => {
+                    self.cost.charge_recv();
+                    self.cur = batch.into_iter();
+                }
+                Ok(Packet::Eos) => self.eos = true,
+                Err(channel::TryRecvError::Empty) => return Ok(None),
+                Err(channel::TryRecvError::Disconnected) => {
+                    return Err(FabricError::Disconnected)
+                }
+            }
+        }
+    }
+
+    /// Discards every value currently in flight or partially unpacked.
+    ///
+    /// Used during misspeculation recovery while all threads are inside the
+    /// recovery barriers, so no new speculative packets can race in. An
+    /// end-of-stream mark encountered while draining is preserved.
+    pub fn drain(&mut self) -> usize {
+        let mut dropped = self.cur.len();
+        self.cur = Vec::new().into_iter();
+        while let Ok(pkt) = self.rx.try_recv() {
+            match pkt {
+                Packet::Data(batch) => dropped += batch.len(),
+                Packet::Eos => self.eos = true,
+            }
+        }
+        dropped
+    }
+
+    /// True once the end-of-stream mark has been observed and all prior
+    /// values consumed.
+    pub fn is_eos(&self) -> bool {
+        self.eos && self.cur.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_in_order() {
+        let (mut tx, mut rx) = channel::<u32>(4, 16);
+        for v in 0..10 {
+            tx.produce(v).unwrap();
+        }
+        tx.flush().unwrap();
+        for v in 0..10 {
+            assert_eq!(rx.consume().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn try_consume_sees_nothing_before_flush() {
+        let (mut tx, mut rx) = channel::<u32>(100, 16);
+        tx.produce(7).unwrap();
+        assert_eq!(rx.try_consume().unwrap(), None);
+        tx.flush().unwrap();
+        assert_eq!(rx.try_consume().unwrap(), Some(7));
+        assert_eq!(rx.try_consume().unwrap(), None);
+    }
+
+    #[test]
+    fn batch_of_one_ships_immediately() {
+        let (mut tx, mut rx) = channel::<u8>(1, 16);
+        tx.produce(9).unwrap();
+        assert_eq!(rx.try_consume().unwrap(), Some(9));
+    }
+
+    #[test]
+    fn close_yields_end_of_stream() {
+        let (mut tx, mut rx) = channel::<u8>(8, 16);
+        tx.produce(1).unwrap();
+        tx.close().unwrap();
+        assert_eq!(rx.consume().unwrap(), 1);
+        assert_eq!(rx.consume(), Err(FabricError::EndOfStream));
+        assert!(rx.is_eos());
+    }
+
+    #[test]
+    fn dropped_sender_reports_disconnect() {
+        let (tx, mut rx) = channel::<u8>(8, 16);
+        drop(tx);
+        assert_eq!(rx.consume(), Err(FabricError::Disconnected));
+    }
+
+    #[test]
+    fn dropped_receiver_reports_disconnect_on_flush() {
+        let (mut tx, rx) = channel::<u8>(8, 16);
+        tx.produce(1).unwrap();
+        drop(rx);
+        assert_eq!(tx.flush(), Err(FabricError::Disconnected));
+    }
+
+    #[test]
+    fn drain_discards_in_flight_and_partial() {
+        let (mut tx, mut rx) = channel::<u32>(2, 16);
+        for v in 0..6 {
+            tx.produce(v).unwrap();
+        }
+        // Unpack the first packet partially.
+        assert_eq!(rx.consume().unwrap(), 0);
+        let dropped = rx.drain();
+        assert_eq!(dropped, 5);
+        assert_eq!(rx.try_consume().unwrap(), None);
+    }
+
+    #[test]
+    fn drain_preserves_eos() {
+        let (mut tx, mut rx) = channel::<u32>(2, 16);
+        tx.produce(1).unwrap();
+        tx.close().unwrap();
+        rx.drain();
+        assert_eq!(rx.consume(), Err(FabricError::EndOfStream));
+    }
+
+    #[test]
+    fn clear_discards_unshipped_only() {
+        let (mut tx, mut rx) = channel::<u32>(4, 16);
+        for v in 0..4 {
+            tx.produce(v).unwrap(); // exactly one full batch ships
+        }
+        tx.produce(99).unwrap(); // stays buffered
+        assert_eq!(tx.buffered(), 1);
+        tx.clear();
+        assert_eq!(tx.buffered(), 0);
+        tx.close().unwrap();
+        let mut seen = Vec::new();
+        while let Ok(v) = rx.consume() {
+            seen.push(v);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn stats_count_packets_items_bytes() {
+        let stats = FabricStats::new();
+        let (mut tx, _rx) = channel_with::<u64>(4, 16, CostModel::FREE, stats.clone());
+        for v in 0..8u64 {
+            tx.produce(v).unwrap();
+        }
+        assert_eq!(stats.packets(), 2);
+        assert_eq!(stats.items(), 8);
+        assert_eq!(stats.bytes(), 64);
+        assert!((stats.mean_batch() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_thread_transfer() {
+        let (mut tx, mut rx) = channel::<u64>(32, 64);
+        let producer = std::thread::spawn(move || {
+            for v in 0..10_000u64 {
+                tx.produce(v).unwrap();
+            }
+            tx.close().unwrap();
+        });
+        let mut expected = 0u64;
+        while let Ok(v) = rx.consume() {
+            assert_eq!(v, expected);
+            expected += 1;
+        }
+        assert_eq!(expected, 10_000);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "batch must be at least 1")]
+    fn zero_batch_panics() {
+        let _ = channel::<u8>(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_panics() {
+        let _ = channel::<u8>(1, 0);
+    }
+}
+
+#[cfg(test)]
+mod try_flush_tests {
+    use super::*;
+
+    #[test]
+    fn try_flush_reports_full_and_retries() {
+        let (mut tx, mut rx) = channel::<u32>(1, 1);
+        tx.produce(1).unwrap(); // fills the single transport slot
+        tx.produce(2).unwrap(); // transport full: stays buffered
+        assert!(!tx.try_flush().unwrap(), "transport full");
+        assert_eq!(tx.buffered(), 1, "batch put back");
+        assert_eq!(rx.consume().unwrap(), 1);
+        assert!(tx.try_flush().unwrap());
+        assert_eq!(rx.consume().unwrap(), 2);
+    }
+
+    #[test]
+    fn try_flush_empty_is_true() {
+        let (mut tx, _rx) = channel::<u32>(4, 4);
+        assert!(tx.try_flush().unwrap());
+    }
+
+    #[test]
+    fn produce_never_blocks_when_transport_full() {
+        let (mut tx, mut rx) = channel::<u32>(1, 1);
+        for v in 0..100 {
+            tx.produce(v).unwrap(); // must not block even with capacity 1
+        }
+        // Everything is recoverable: drain interleaved with flushes.
+        let mut seen = Vec::new();
+        loop {
+            while let Some(v) = rx.try_consume().unwrap() {
+                seen.push(v);
+            }
+            if tx.try_flush().unwrap() && tx.buffered() == 0 {
+                while let Some(v) = rx.try_consume().unwrap() {
+                    seen.push(v);
+                }
+                break;
+            }
+        }
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any batch/capacity combination delivers the exact sequence when
+        /// the consumer drains interleaved with flush retries.
+        #[test]
+        fn exact_delivery_for_any_tuning(
+            values in proptest::collection::vec(any::<u32>(), 0..300),
+            batch in 1usize..20,
+            capacity in 1usize..8,
+        ) {
+            let (mut tx, mut rx) = channel::<u32>(batch, capacity);
+            let mut seen = Vec::with_capacity(values.len());
+            for &v in &values {
+                tx.produce(v).unwrap();
+                // Interleave draining so small capacities make progress.
+                while let Some(got) = rx.try_consume().unwrap() {
+                    seen.push(got);
+                }
+            }
+            loop {
+                let done = tx.try_flush().unwrap();
+                while let Some(got) = rx.try_consume().unwrap() {
+                    seen.push(got);
+                }
+                if done && tx.buffered() == 0 {
+                    break;
+                }
+            }
+            prop_assert_eq!(seen, values);
+        }
+
+        /// Stats account exactly for every produced item.
+        #[test]
+        fn stats_count_every_item(
+            n in 0u64..500,
+            batch in 1usize..64,
+        ) {
+            let stats = FabricStats::new();
+            let (mut tx, mut rx) =
+                channel_with::<u64>(batch, 1024, CostModel::FREE, stats.clone());
+            for v in 0..n {
+                tx.produce(v).unwrap();
+            }
+            tx.flush().unwrap();
+            prop_assert_eq!(stats.items(), n);
+            prop_assert_eq!(stats.bytes(), n * 8);
+            let mut count = 0;
+            while rx.try_consume().unwrap().is_some() {
+                count += 1;
+            }
+            prop_assert_eq!(count, n);
+        }
+
+        /// drain() always leaves the receiver empty, regardless of what
+        /// was in flight or partially unpacked.
+        #[test]
+        fn drain_leaves_nothing(
+            produced in 0usize..200,
+            consumed_first in 0usize..200,
+            batch in 1usize..16,
+        ) {
+            let (mut tx, mut rx) = channel::<usize>(batch, 256);
+            for v in 0..produced {
+                tx.produce(v).unwrap();
+            }
+            tx.flush().unwrap();
+            for _ in 0..consumed_first.min(produced) {
+                let _ = rx.try_consume().unwrap();
+            }
+            rx.drain();
+            prop_assert_eq!(rx.try_consume().unwrap(), None);
+        }
+    }
+}

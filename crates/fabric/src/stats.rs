@@ -1,0 +1,97 @@
+//! Transfer statistics.
+//!
+//! Figure 5(a) of the paper reports per-application bandwidth, computed by
+//! dividing the total data transferred through DSMTX by execution time.
+//! Every queue in the fabric shares a [`FabricStats`] handle so that the
+//! runtime can make the same measurement.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared counters of fabric traffic.
+///
+/// Cloning is cheap; clones observe the same underlying counters.
+#[derive(Debug, Clone, Default)]
+pub struct FabricStats {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    /// Packets handed to the underlying transport (one per batch flush).
+    packets: AtomicU64,
+    /// Logical items produced (before batching).
+    items: AtomicU64,
+    /// Payload bytes moved (item size × items).
+    bytes: AtomicU64,
+}
+
+impl FabricStats {
+    /// Creates a fresh set of zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a packet of `items` logical items totalling `bytes` bytes.
+    pub fn record_packet(&self, items: u64, bytes: u64) {
+        self.inner.packets.fetch_add(1, Ordering::Relaxed);
+        self.inner.items.fetch_add(items, Ordering::Relaxed);
+        self.inner.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Number of transport packets sent so far.
+    pub fn packets(&self) -> u64 {
+        self.inner.packets.load(Ordering::Relaxed)
+    }
+
+    /// Number of logical items sent so far.
+    pub fn items(&self) -> u64 {
+        self.inner.items.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes sent so far.
+    pub fn bytes(&self) -> u64 {
+        self.inner.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Average batch size (items per packet), or 0.0 if nothing was sent.
+    pub fn mean_batch(&self) -> f64 {
+        let p = self.packets();
+        if p == 0 {
+            0.0
+        } else {
+            self.items() as f64 / p as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = FabricStats::new();
+        s.record_packet(10, 80);
+        s.record_packet(30, 240);
+        assert_eq!(s.packets(), 2);
+        assert_eq!(s.items(), 40);
+        assert_eq!(s.bytes(), 320);
+        assert!((s.mean_batch() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let s = FabricStats::new();
+        let t = s.clone();
+        s.record_packet(1, 8);
+        t.record_packet(2, 16);
+        assert_eq!(s.items(), 3);
+        assert_eq!(t.bytes(), 24);
+    }
+
+    #[test]
+    fn empty_stats_have_zero_mean_batch() {
+        assert_eq!(FabricStats::new().mean_batch(), 0.0);
+    }
+}

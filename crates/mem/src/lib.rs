@@ -1,0 +1,59 @@
+//! Versioned speculative memory for DSMTX.
+//!
+//! Every DSMTX thread executes against a *private* software memory — the
+//! stand-in for the private physical address space of a cluster node. The
+//! pieces:
+//!
+//! * [`page::Page`] — a 4 KiB page of 512 words, the Copy-On-Access
+//!   transfer unit.
+//! * [`table::PageTable`] — a worker's page table. Pages start
+//!   [`table::PageState::Unmapped`] (the paper's access-protected state);
+//!   the first touch raises a [`PageFault`] which the runtime services by
+//!   fetching the committed page from the commit unit. Rollback re-protects
+//!   everything by dropping resident pages.
+//! * [`spec::SpecMem`] — a page table plus read/write logs: speculative
+//!   stores are recorded for uncommitted-value forwarding and commit,
+//!   speculative loads are recorded for value-based validation by the
+//!   try-commit unit.
+//! * [`master::MasterMem`] — the commit unit's committed image. Fresh pages
+//!   are zero-filled, mirroring demand-zero allocation.
+//!
+//! Memory versioning falls out of this structure: each worker's private
+//! pages are an independent version of the data, so false (anti/output)
+//! memory dependences between MTXs never manifest — exactly the "multiple
+//! versions of the block array" behaviour the paper describes for
+//! `164.gzip` and `256.bzip2`.
+
+//! # Example
+//!
+//! ```
+//! use dsmtx_mem::{MasterMem, SpecMem};
+//! use dsmtx_uva::{OwnerId, VAddr};
+//! # use dsmtx_mem::Page;
+//!
+//! // The commit unit owns committed memory ...
+//! let mut master = MasterMem::new();
+//! let addr = VAddr::new(OwnerId(0), 8);
+//! master.write(addr, 7);
+//!
+//! // ... and a worker speculates against its private view, faulting
+//! // committed pages in on first touch (Copy-On-Access).
+//! let mut spec = SpecMem::new();
+//! let v = spec.read(addr, |page| Ok::<Page, std::convert::Infallible>(master.page(page)))?;
+//! assert_eq!(v, 7);
+//! // The access was logged for validation by the try-commit unit.
+//! assert_eq!(spec.log().len(), 1);
+//! # Ok::<(), std::convert::Infallible>(())
+//! ```
+
+pub mod log;
+pub mod master;
+pub mod page;
+pub mod spec;
+pub mod table;
+
+pub use log::{ReadLog, WriteLog};
+pub use master::MasterMem;
+pub use page::{Page, PageDiff};
+pub use spec::{AccessKind, AccessRecord, SpecMem};
+pub use table::{PageFault, PageState, PageTable};

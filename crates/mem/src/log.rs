@@ -1,0 +1,144 @@
+//! Read and write logs.
+//!
+//! Speculative stores are logged so they can be forwarded — to later
+//! subTXs (uncommitted value forwarding), to the try-commit unit (for
+//! validation against later loads), and to the commit unit (for group
+//! transaction commit). Speculative loads are logged as `(addr, observed)`
+//! pairs; the try-commit unit treats the observed value as a prediction and
+//! flags misspeculation when the committed value differs (§3.1).
+
+use dsmtx_uva::VAddr;
+
+/// One logged memory access: the address and the value stored or observed.
+pub type Access = (VAddr, u64);
+
+/// Log of speculative stores in program order.
+///
+/// Program order matters: group transaction commit replays stores in order
+/// so the *last* store to an address wins.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WriteLog {
+    entries: Vec<Access>,
+}
+
+impl WriteLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a store.
+    #[inline]
+    pub fn record(&mut self, addr: VAddr, value: u64) {
+        self.entries.push((addr, value));
+    }
+
+    /// Removes and returns all entries in program order.
+    pub fn drain(&mut self) -> Vec<Access> {
+        std::mem::take(&mut self.entries)
+    }
+
+    /// Views the entries without draining.
+    pub fn entries(&self) -> &[Access] {
+        &self.entries
+    }
+
+    /// Number of logged stores.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Discards all entries (rollback).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// Log of speculative loads: each entry predicts the committed value.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReadLog {
+    entries: Vec<Access>,
+}
+
+impl ReadLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a load observation.
+    #[inline]
+    pub fn record(&mut self, addr: VAddr, observed: u64) {
+        self.entries.push((addr, observed));
+    }
+
+    /// Removes and returns all entries in program order.
+    pub fn drain(&mut self) -> Vec<Access> {
+        std::mem::take(&mut self.entries)
+    }
+
+    /// Views the entries without draining.
+    pub fn entries(&self) -> &[Access] {
+        &self.entries
+    }
+
+    /// Number of logged loads.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Discards all entries (rollback).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsmtx_uva::OwnerId;
+
+    fn a(off: u64) -> VAddr {
+        VAddr::new(OwnerId(0), off)
+    }
+
+    #[test]
+    fn write_log_preserves_program_order() {
+        let mut log = WriteLog::new();
+        log.record(a(8), 1);
+        log.record(a(16), 2);
+        log.record(a(8), 3); // later store to same address
+        let drained = log.drain();
+        assert_eq!(drained, vec![(a(8), 1), (a(16), 2), (a(8), 3)]);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn read_log_records_observations() {
+        let mut log = ReadLog::new();
+        log.record(a(8), 42);
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.entries(), &[(a(8), 42)]);
+        log.clear();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn drain_empties_without_reallocating_future_use() {
+        let mut log = WriteLog::new();
+        log.record(a(8), 1);
+        let _ = log.drain();
+        log.record(a(24), 9);
+        assert_eq!(log.len(), 1);
+    }
+}

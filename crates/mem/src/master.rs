@@ -1,0 +1,128 @@
+//! The commit unit's committed memory image.
+//!
+//! Only the commit unit executes the sequential, non-transactional portions
+//! of the program, so its memory is always the single source of committed
+//! truth (§3.1). Pages are created zero-filled on first write (demand
+//! zero); [`MasterMem::page`] serves Copy-On-Access requests.
+
+use std::collections::HashMap;
+
+use dsmtx_uva::{PageId, VAddr};
+
+use crate::page::Page;
+
+/// Committed memory: the image COA fetches from and group commit updates.
+#[derive(Debug, Default)]
+pub struct MasterMem {
+    pages: HashMap<PageId, Page>,
+    commits_applied: u64,
+}
+
+impl MasterMem {
+    /// An empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the committed word at `addr` (zero if never written).
+    #[inline]
+    pub fn read(&self, addr: VAddr) -> u64 {
+        self.pages
+            .get(&addr.page())
+            .map_or(0, |p| p.word(addr.word_in_page()))
+    }
+
+    /// Writes the committed word at `addr`, creating the page on demand.
+    #[inline]
+    pub fn write(&mut self, addr: VAddr, value: u64) {
+        self.pages
+            .entry(addr.page())
+            .or_default()
+            .set_word(addr.word_in_page(), value);
+    }
+
+    /// Returns a copy of the committed page for COA transfer.
+    ///
+    /// Unwritten pages read as zero pages, like fresh anonymous memory.
+    pub fn page(&self, id: PageId) -> Page {
+        self.pages.get(&id).cloned().unwrap_or_default()
+    }
+
+    /// Applies one MTX's write-set in program order (group transaction
+    /// commit): when a location is stored by several subTXs, the last
+    /// update takes effect.
+    pub fn commit_writes<I>(&mut self, writes: I)
+    where
+        I: IntoIterator<Item = (VAddr, u64)>,
+    {
+        for (addr, value) in writes {
+            self.write(addr, value);
+        }
+        self.commits_applied += 1;
+    }
+
+    /// Number of `commit_writes` calls so far (committed MTX count).
+    pub fn commits_applied(&self) -> u64 {
+        self.commits_applied
+    }
+
+    /// Number of materialized (non-zero-backed) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsmtx_uva::OwnerId;
+
+    fn a(off: u64) -> VAddr {
+        VAddr::new(OwnerId(0), off)
+    }
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let m = MasterMem::new();
+        assert_eq!(m.read(a(8)), 0);
+        assert_eq!(m.page(a(8).page()), Page::zeroed());
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut m = MasterMem::new();
+        m.write(a(8), 5);
+        assert_eq!(m.read(a(8)), 5);
+        assert_eq!(m.read(a(16)), 0);
+    }
+
+    #[test]
+    fn group_commit_last_writer_wins() {
+        let mut m = MasterMem::new();
+        // Two subTXs of one MTX write the same address; subTX order is
+        // program order, so the later value must stick.
+        m.commit_writes(vec![(a(8), 1), (a(16), 7), (a(8), 2)]);
+        assert_eq!(m.read(a(8)), 2);
+        assert_eq!(m.read(a(16)), 7);
+        assert_eq!(m.commits_applied(), 1);
+    }
+
+    #[test]
+    fn page_snapshot_is_a_copy() {
+        let mut m = MasterMem::new();
+        m.write(a(8), 1);
+        let snap = m.page(a(8).page());
+        m.write(a(8), 2);
+        assert_eq!(snap.word(a(8).word_in_page()), 1, "snapshot must not alias");
+        assert_eq!(m.read(a(8)), 2);
+    }
+
+    #[test]
+    fn pages_materialize_on_write_only() {
+        let mut m = MasterMem::new();
+        let _ = m.read(a(4096 * 10));
+        assert_eq!(m.resident_pages(), 0);
+        m.write(a(0), 1);
+        assert_eq!(m.resident_pages(), 1);
+    }
+}

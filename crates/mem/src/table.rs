@@ -1,0 +1,289 @@
+//! Worker page tables with access protection.
+//!
+//! At the start of parallel execution each worker's heap is fully
+//! access-protected (§4.2): every page is [`PageState::Unmapped`]. The
+//! first touch of a word on an unmapped page raises a [`PageFault`]; the
+//! runtime services it by asking the commit unit for the committed page
+//! (Copy-On-Access) and installing it. Rollback calls
+//! [`PageTable::protect_all`], dropping all resident pages so that COA
+//! refetches committed state.
+
+use std::collections::HashMap;
+
+use dsmtx_uva::{PageId, VAddr};
+
+use crate::page::Page;
+
+/// Raised when an access touches a page that is not locally resident.
+///
+/// Carries the page that must be fetched from its home before the access
+/// can retry — the software analogue of an `mprotect` fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageFault(pub PageId);
+
+impl std::fmt::Display for PageFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "page fault on {}", self.0)
+    }
+}
+
+impl std::error::Error for PageFault {}
+
+/// Residency state of one page in a worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageState {
+    /// Access-protected: the next touch faults and triggers COA.
+    Unmapped,
+    /// Locally resident; `dirty` records whether a speculative store hit it.
+    Resident {
+        /// The local copy of the page.
+        page: Page,
+        /// True once any word was speculatively written.
+        dirty: bool,
+    },
+}
+
+/// A worker's page table.
+///
+/// Pages not present in the map are implicitly [`PageState::Unmapped`];
+/// `protect_all` therefore just clears the map.
+#[derive(Debug, Default)]
+pub struct PageTable {
+    pages: HashMap<PageId, (Page, bool)>,
+    /// Pages fetched via COA since the last reset (for statistics).
+    faults_served: u64,
+}
+
+impl PageTable {
+    /// An empty, fully protected table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads the word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PageFault`] when the containing page is unmapped.
+    #[inline]
+    pub fn read(&self, addr: VAddr) -> Result<u64, PageFault> {
+        let page_id = addr.page();
+        match self.pages.get(&page_id) {
+            Some((page, _)) => Ok(page.word(addr.word_in_page())),
+            None => Err(PageFault(page_id)),
+        }
+    }
+
+    /// Writes the word at `addr`, marking the page dirty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PageFault`] when the containing page is unmapped: DSMTX
+    /// fetches the committed page even on a write so that the page's other
+    /// words stay coherent.
+    #[inline]
+    pub fn write(&mut self, addr: VAddr, value: u64) -> Result<(), PageFault> {
+        let page_id = addr.page();
+        match self.pages.get_mut(&page_id) {
+            Some((page, dirty)) => {
+                page.set_word(addr.word_in_page(), value);
+                *dirty = true;
+                Ok(())
+            }
+            None => Err(PageFault(page_id)),
+        }
+    }
+
+    /// Installs a page fetched via Copy-On-Access. The page starts clean.
+    pub fn install(&mut self, id: PageId, page: Page) {
+        self.faults_served += 1;
+        self.pages.insert(id, (page, false));
+    }
+
+    /// Writes a word into a page that the runtime knows is being created
+    /// locally (e.g. the target of forwarded uncommitted values), mapping a
+    /// zero page if absent instead of faulting.
+    pub fn write_or_map_zero(&mut self, addr: VAddr, value: u64) {
+        let page_id = addr.page();
+        let (page, dirty) = self
+            .pages
+            .entry(page_id)
+            .or_insert_with(|| (Page::zeroed(), false));
+        page.set_word(addr.word_in_page(), value);
+        *dirty = true;
+    }
+
+    /// Re-protects the entire heap: every page becomes unmapped, exactly
+    /// what recovery step 4 of §4.3 does. Returns the number of pages
+    /// dropped.
+    pub fn protect_all(&mut self) -> usize {
+        let n = self.pages.len();
+        self.pages.clear();
+        n
+    }
+
+    /// State of the page containing nothing beyond residency and dirtiness.
+    pub fn state(&self, id: PageId) -> PageState {
+        match self.pages.get(&id) {
+            Some((page, dirty)) => PageState::Resident {
+                page: page.clone(),
+                dirty: *dirty,
+            },
+            None => PageState::Unmapped,
+        }
+    }
+
+    /// True when the page is resident.
+    pub fn is_resident(&self, id: PageId) -> bool {
+        self.pages.contains_key(&id)
+    }
+
+    /// Number of resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of COA installs since construction.
+    pub fn faults_served(&self) -> u64 {
+        self.faults_served
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsmtx_uva::OwnerId;
+
+    fn addr(owner: u16, off: u64) -> VAddr {
+        VAddr::new(OwnerId(owner), off)
+    }
+
+    #[test]
+    fn fresh_table_faults_on_read_and_write() {
+        let mut t = PageTable::new();
+        let a = addr(1, 64);
+        assert_eq!(t.read(a), Err(PageFault(a.page())));
+        assert_eq!(t.write(a, 9), Err(PageFault(a.page())));
+    }
+
+    #[test]
+    fn install_then_access() {
+        let mut t = PageTable::new();
+        let a = addr(1, 64);
+        let mut p = Page::zeroed();
+        p.set_word(a.word_in_page(), 123);
+        t.install(a.page(), p);
+        assert_eq!(t.read(a).unwrap(), 123);
+        t.write(a, 124).unwrap();
+        assert_eq!(t.read(a).unwrap(), 124);
+        assert!(matches!(
+            t.state(a.page()),
+            PageState::Resident { dirty: true, .. }
+        ));
+    }
+
+    #[test]
+    fn install_starts_clean() {
+        let mut t = PageTable::new();
+        let a = addr(0, 0);
+        t.install(a.page(), Page::zeroed());
+        assert!(matches!(
+            t.state(a.page()),
+            PageState::Resident { dirty: false, .. }
+        ));
+    }
+
+    #[test]
+    fn protect_all_reprotects_everything() {
+        let mut t = PageTable::new();
+        let a = addr(2, 0);
+        let b = addr(2, 8192);
+        t.install(a.page(), Page::zeroed());
+        t.install(b.page(), Page::zeroed());
+        assert_eq!(t.resident_pages(), 2);
+        assert_eq!(t.protect_all(), 2);
+        assert_eq!(t.resident_pages(), 0);
+        assert_eq!(t.read(a), Err(PageFault(a.page())));
+    }
+
+    #[test]
+    fn write_or_map_zero_avoids_fault() {
+        let mut t = PageTable::new();
+        let a = addr(3, 16);
+        t.write_or_map_zero(a, 77);
+        assert_eq!(t.read(a).unwrap(), 77);
+        // Other words of the mapped page read as zero.
+        assert_eq!(t.read(a.add_words(1)).unwrap(), 0);
+    }
+
+    #[test]
+    fn faults_served_counts_installs() {
+        let mut t = PageTable::new();
+        assert_eq!(t.faults_served(), 0);
+        t.install(addr(0, 0).page(), Page::zeroed());
+        t.install(addr(0, 4096).page(), Page::zeroed());
+        assert_eq!(t.faults_served(), 2);
+    }
+
+    #[test]
+    fn distinct_owners_map_distinct_pages() {
+        let mut t = PageTable::new();
+        let a = addr(1, 0);
+        let b = addr(2, 0);
+        t.write_or_map_zero(a, 1);
+        assert!(t.is_resident(a.page()));
+        assert!(!t.is_resident(b.page()));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use dsmtx_uva::OwnerId;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The page table is exactly a lazy copy of a backing image: after
+        /// installing on fault, reads always match the backing store
+        /// overlaid with local writes.
+        #[test]
+        fn table_matches_overlay_model(
+            ops in proptest::collection::vec((0u64..1024, any::<u64>(), any::<bool>()), 1..150),
+            backing in any::<u64>(),
+        ) {
+            let mut t = PageTable::new();
+            let mut model: std::collections::HashMap<u64, u64> = Default::default();
+            for (word, value, is_write) in ops {
+                let addr = VAddr::new(OwnerId(1), word * 8);
+                if is_write {
+                    if !t.is_resident(addr.page()) {
+                        let mut p = Page::zeroed();
+                        for w in 0..512 {
+                            p.set_word(w, backing);
+                        }
+                        t.install(addr.page(), p);
+                    }
+                    t.write(addr, value).unwrap();
+                    model.insert(word, value);
+                } else {
+                    let got = match t.read(addr) {
+                        Ok(v) => v,
+                        Err(PageFault(page)) => {
+                            let mut p = Page::zeroed();
+                            for w in 0..512 {
+                                p.set_word(w, backing);
+                            }
+                            t.install(page, p);
+                            t.read(addr).unwrap()
+                        }
+                    };
+                    let want = model.get(&word).copied().unwrap_or(backing);
+                    prop_assert_eq!(got, want);
+                }
+            }
+            // protect_all resets everything to faulting.
+            t.protect_all();
+            prop_assert_eq!(t.resident_pages(), 0);
+        }
+    }
+}

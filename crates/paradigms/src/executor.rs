@@ -1,0 +1,393 @@
+//! Executors: one per paradigm, wrapping the core runtime.
+//!
+//! Each executor builds the pipeline configuration its paradigm implies
+//! and runs a [`Program`]. Workloads supply stage bodies and a sequential
+//! recovery body; the executor owns the shape.
+
+use dsmtx::{
+    ConfigError, IterOutcome, MtxSystem, Program, RecoveryFn, RunError, RunResult, StageFn,
+    StageId, StageKind, SystemConfig,
+};
+use dsmtx_mem::MasterMem;
+
+/// Shared tuning knobs for all executors.
+#[derive(Debug, Clone, Copy)]
+pub struct Tuning {
+    /// Queue batch threshold (items per packet) — the §4.2 optimization.
+    pub batch: usize,
+    /// Queue capacity in packets (bounds worker run-ahead).
+    pub capacity: usize,
+}
+
+impl Default for Tuning {
+    fn default() -> Self {
+        Tuning {
+            batch: 64,
+            capacity: 256,
+        }
+    }
+}
+
+fn build(cfg: &mut SystemConfig, tuning: Tuning) -> &mut SystemConfig {
+    cfg.batch(tuning.batch).capacity(tuning.capacity)
+}
+
+/// Spec-DOALL: one parallel stage; all cross-iteration dependences are
+/// speculated away (validated by value).
+#[derive(Debug, Clone, Copy)]
+pub struct SpecDoall {
+    /// Worker replicas.
+    pub replicas: u16,
+    /// Queue tuning.
+    pub tuning: Tuning,
+}
+
+impl SpecDoall {
+    /// An executor with default tuning.
+    pub fn new(replicas: u16) -> Self {
+        SpecDoall {
+            replicas,
+            tuning: Tuning::default(),
+        }
+    }
+
+    /// Runs `body` over `limit` iterations.
+    ///
+    /// # Errors
+    ///
+    /// Configuration or runtime errors from the core system.
+    pub fn run(
+        &self,
+        master: MasterMem,
+        body: StageFn,
+        recovery: RecoveryFn,
+        limit: Option<u64>,
+    ) -> Result<RunResult, ExecError> {
+        let mut cfg = SystemConfig::new();
+        cfg.stage(StageKind::Parallel {
+            replicas: self.replicas,
+        });
+        build(&mut cfg, self.tuning);
+        let system = MtxSystem::new(&cfg)?;
+        Ok(system.run(Program {
+            master,
+            stages: vec![body],
+            recovery,
+            on_commit: None,
+            iteration_limit: limit,
+        })?)
+    }
+}
+
+/// TLS baseline: single-threaded transactions on a replica ring.
+/// Synchronized dependences are forwarded with
+/// [`dsmtx::WorkerCtx::sync_produce`]/[`dsmtx::WorkerCtx::sync_take`],
+/// putting inter-thread latency on the critical path (cyclic pattern).
+#[derive(Debug, Clone, Copy)]
+pub struct Tls {
+    /// Worker replicas.
+    pub replicas: u16,
+    /// Queue tuning.
+    pub tuning: Tuning,
+}
+
+impl Tls {
+    /// An executor with default tuning.
+    pub fn new(replicas: u16) -> Self {
+        Tls {
+            replicas,
+            tuning: Tuning::default(),
+        }
+    }
+
+    /// Runs `body` over `limit` iterations.
+    ///
+    /// # Errors
+    ///
+    /// Configuration or runtime errors from the core system.
+    pub fn run(
+        &self,
+        master: MasterMem,
+        body: StageFn,
+        recovery: RecoveryFn,
+        limit: Option<u64>,
+    ) -> Result<RunResult, ExecError> {
+        let mut cfg = SystemConfig::new();
+        cfg.stage(StageKind::Parallel {
+            replicas: self.replicas,
+        })
+        .ring(StageId(0));
+        build(&mut cfg, self.tuning);
+        let system = MtxSystem::new(&cfg)?;
+        Ok(system.run(Program {
+            master,
+            stages: vec![body],
+            recovery,
+            on_commit: None,
+            iteration_limit: limit,
+        })?)
+    }
+}
+
+/// DOACROSS: like [`Tls`] but intended for plans that synchronize *every*
+/// cross-iteration dependence, so no misspeculation can occur. The
+/// executor is identical; the type documents intent and is used by the
+/// Figure 1 comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct Doacross {
+    /// Worker replicas.
+    pub replicas: u16,
+    /// Queue tuning.
+    pub tuning: Tuning,
+}
+
+impl Doacross {
+    /// An executor with default tuning.
+    pub fn new(replicas: u16) -> Self {
+        Doacross {
+            replicas,
+            tuning: Tuning::default(),
+        }
+    }
+
+    /// Runs `body` over `limit` iterations.
+    ///
+    /// # Errors
+    ///
+    /// Configuration or runtime errors from the core system.
+    pub fn run(
+        &self,
+        master: MasterMem,
+        body: StageFn,
+        recovery: RecoveryFn,
+        limit: Option<u64>,
+    ) -> Result<RunResult, ExecError> {
+        Tls {
+            replicas: self.replicas,
+            tuning: self.tuning,
+        }
+        .run(master, body, recovery, limit)
+    }
+}
+
+/// DSWP / Spec-DSWP pipeline builder: `Pipeline::new().seq(a).par(4, b).seq(c)`.
+pub struct Pipeline {
+    stages: Vec<(StageKind, StageFn)>,
+    tuning: Tuning,
+    on_commit: Option<dsmtx::CommitHook>,
+}
+
+impl Pipeline {
+    /// An empty pipeline with default tuning.
+    pub fn new() -> Self {
+        Pipeline {
+            stages: Vec::new(),
+            tuning: Tuning::default(),
+            on_commit: None,
+        }
+    }
+
+    /// Appends a sequential stage.
+    pub fn seq(mut self, body: StageFn) -> Self {
+        self.stages.push((StageKind::Sequential, body));
+        self
+    }
+
+    /// Appends a parallel (DOALL) stage with `replicas` workers.
+    pub fn par(mut self, replicas: u16, body: StageFn) -> Self {
+        self.stages.push((StageKind::Parallel { replicas }, body));
+        self
+    }
+
+    /// Overrides queue tuning.
+    pub fn tuning(mut self, tuning: Tuning) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Installs a per-commit hook.
+    pub fn on_commit(mut self, hook: dsmtx::CommitHook) -> Self {
+        self.on_commit = Some(hook);
+        self
+    }
+
+    /// Total worker count of the pipeline.
+    pub fn workers(&self) -> u16 {
+        self.stages.iter().map(|(k, _)| k.replicas()).sum()
+    }
+
+    /// Runs the pipeline over `limit` iterations.
+    ///
+    /// # Errors
+    ///
+    /// Configuration or runtime errors from the core system.
+    pub fn run(
+        self,
+        master: MasterMem,
+        recovery: RecoveryFn,
+        limit: Option<u64>,
+    ) -> Result<RunResult, ExecError> {
+        let mut cfg = SystemConfig::new();
+        for (kind, _) in &self.stages {
+            cfg.stage(*kind);
+        }
+        build(&mut cfg, self.tuning);
+        let system = MtxSystem::new(&cfg)?;
+        Ok(system.run(Program {
+            master,
+            stages: self.stages.into_iter().map(|(_, f)| f).collect(),
+            recovery,
+            on_commit: self.on_commit,
+            iteration_limit: limit,
+        })?)
+    }
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("stages", &self.stages.len())
+            .field("workers", &self.workers())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Executor errors: configuration or runtime failure.
+#[derive(Debug)]
+pub enum ExecError {
+    /// Invalid pipeline configuration.
+    Config(ConfigError),
+    /// The run itself failed.
+    Run(RunError),
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::Config(e) => write!(f, "configuration: {e}"),
+            ExecError::Run(e) => write!(f, "run: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<ConfigError> for ExecError {
+    fn from(e: ConfigError) -> Self {
+        ExecError::Config(e)
+    }
+}
+
+impl From<RunError> for ExecError {
+    fn from(e: RunError) -> Self {
+        ExecError::Run(e)
+    }
+}
+
+/// Convenience: a recovery body that does nothing (valid only for plans
+/// whose iterations cannot misspeculate).
+pub fn no_recovery() -> RecoveryFn {
+    Box::new(|_, _| IterOutcome::Continue)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsmtx::{MtxId, WorkerCtx};
+    use dsmtx_uva::{OwnerId, RegionAllocator};
+    use std::sync::Arc;
+
+    #[test]
+    fn spec_doall_runs() {
+        let mut heap = RegionAllocator::new(OwnerId(0));
+        let out = heap.alloc_words(10).unwrap();
+        let body = Arc::new(move |ctx: &mut WorkerCtx, mtx: MtxId| {
+            ctx.write_no_forward(out.add_words(mtx.0), mtx.0 * 2)?;
+            Ok(IterOutcome::Continue)
+        });
+        let r = SpecDoall::new(3)
+            .run(MasterMem::new(), body, no_recovery(), Some(10))
+            .unwrap();
+        for i in 0..10 {
+            assert_eq!(r.master.read(out.add_words(i)), i * 2);
+        }
+    }
+
+    #[test]
+    fn tls_ring_runs() {
+        let mut heap = RegionAllocator::new(OwnerId(0));
+        let acc_cell = heap.alloc_words(1).unwrap();
+        let body = Arc::new(move |ctx: &mut WorkerCtx, mtx: MtxId| {
+            let acc = match ctx.sync_take().first() {
+                Some(&v) => v,
+                None => ctx.read(acc_cell)?,
+            };
+            let next = acc + mtx.0;
+            ctx.write_no_forward(acc_cell, next)?;
+            ctx.sync_produce(next);
+            Ok(IterOutcome::Continue)
+        });
+        let r = Tls::new(2)
+            .run(
+                MasterMem::new(),
+                body,
+                Box::new(move |mtx, m| {
+                    let acc = m.read(acc_cell);
+                    m.write(acc_cell, acc + mtx.0);
+                    IterOutcome::Continue
+                }),
+                Some(12),
+            )
+            .unwrap();
+        assert_eq!(r.master.read(acc_cell), (0..12).sum::<u64>());
+    }
+
+    #[test]
+    fn pipeline_builder_runs() {
+        let mut heap = RegionAllocator::new(OwnerId(0));
+        let sum = heap.alloc_words(1).unwrap();
+        let first = Arc::new(|ctx: &mut WorkerCtx, mtx: MtxId| {
+            ctx.produce(mtx.0 + 1);
+            Ok(IterOutcome::Continue)
+        });
+        let second = Arc::new(move |ctx: &mut WorkerCtx, _: MtxId| {
+            let v = ctx.consume();
+            ctx.produce(v * v);
+            Ok(IterOutcome::Continue)
+        });
+        let third = Arc::new(move |ctx: &mut WorkerCtx, _: MtxId| {
+            let v = ctx.consume();
+            let acc = ctx.read(sum)?;
+            ctx.write(sum, acc + v)?;
+            Ok(IterOutcome::Continue)
+        });
+        let p = Pipeline::new().seq(first).par(2, second).seq(third);
+        assert_eq!(p.workers(), 4);
+        let r = p.run(MasterMem::new(), no_recovery(), Some(6)).unwrap();
+        let expect: u64 = (1..=6u64).map(|x| x * x).sum();
+        assert_eq!(r.master.read(sum), expect);
+    }
+
+    #[test]
+    fn doacross_equals_tls_shape() {
+        let body = Arc::new(|_: &mut WorkerCtx, _: MtxId| Ok(IterOutcome::Continue));
+        let r = Doacross::new(2)
+            .run(MasterMem::new(), body, no_recovery(), Some(4))
+            .unwrap();
+        assert_eq!(r.report.committed, 4);
+    }
+
+    #[test]
+    fn exec_error_displays() {
+        let mut cfg = SystemConfig::new();
+        let err = MtxSystem::new(cfg.batch(0)).map(|_| ()).unwrap_err();
+        let e: ExecError = err.into();
+        assert!(e.to_string().contains("configuration"));
+    }
+}

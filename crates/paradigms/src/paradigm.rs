@@ -1,0 +1,231 @@
+//! Paradigm naming and the Figure-2 taxonomy.
+
+use std::fmt;
+
+/// The speculation types of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpecKind {
+    /// Control Flow Speculation: a rarely-taken branch (error paths, loop
+    /// exits, the Y-branch) is speculated untaken.
+    ControlFlow,
+    /// Memory Value Speculation: a value (e.g. "globals are reset at the
+    /// end of each iteration") is speculated unchanged.
+    MemoryValue,
+    /// Memory Versioning: false dependences broken by giving each worker
+    /// a private version of the data.
+    MemoryVersioning,
+}
+
+impl SpecKind {
+    /// The paper's abbreviation (CFS / MVS / MV).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            SpecKind::ControlFlow => "CFS",
+            SpecKind::MemoryValue => "MVS",
+            SpecKind::MemoryVersioning => "MV",
+        }
+    }
+}
+
+impl fmt::Display for SpecKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// How one pipeline stage is executed, for paradigm naming.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageLabel {
+    /// Sequential stage ("S" in `DSWP+[…]`).
+    S,
+    /// Replicated DOALL stage.
+    Doall,
+}
+
+impl fmt::Display for StageLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StageLabel::S => f.write_str("S"),
+            StageLabel::Doall => f.write_str("DOALL"),
+        }
+    }
+}
+
+/// A parallelization paradigm, named as in Table 2 / Figure 4.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Paradigm {
+    /// All iterations independent after speculation.
+    SpecDoall,
+    /// Non-speculative pipeline: `DSWP+[…]`; speculation confined to one
+    /// stage when `spec_stage` is set (e.g. `DSWP+[Spec-DOALL, S]`).
+    Dswp {
+        /// Stage labels in order.
+        stages: Vec<StageLabel>,
+        /// Index of a speculative stage, if any.
+        spec_stage: Option<usize>,
+    },
+    /// Speculation spans the entire pipeline: `Spec-DSWP+[…]`; requires
+    /// MTXs.
+    SpecDswp {
+        /// Stage labels in order.
+        stages: Vec<StageLabel>,
+    },
+    /// The TLS-only cluster baseline.
+    Tls,
+    /// DOACROSS (non-speculative, cyclic communication).
+    Doacross,
+}
+
+impl fmt::Display for Paradigm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn join(stages: &[StageLabel], spec: Option<usize>) -> String {
+            stages
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    if spec == Some(i) {
+                        format!("Spec-{s}")
+                    } else {
+                        s.to_string()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(",")
+        }
+        match self {
+            Paradigm::SpecDoall => f.write_str("Spec-DOALL"),
+            Paradigm::Dswp { stages, spec_stage } => {
+                write!(f, "DSWP+[{}]", join(stages, *spec_stage))
+            }
+            Paradigm::SpecDswp { stages } => {
+                write!(f, "Spec-DSWP+[{}]", join(stages, None))
+            }
+            Paradigm::Tls => f.write_str("TLS"),
+            Paradigm::Doacross => f.write_str("DOACROSS"),
+        }
+    }
+}
+
+impl Paradigm {
+    /// True when the paradigm needs multi-threaded transactions (an
+    /// iteration's atomic unit spans several threads) — the capability
+    /// single-threaded DSTMs lack (§2.2).
+    pub fn needs_mtx(&self) -> bool {
+        match self {
+            Paradigm::SpecDswp { .. } => true,
+            Paradigm::Dswp { spec_stage, .. } => spec_stage.is_some(),
+            Paradigm::SpecDoall | Paradigm::Tls | Paradigm::Doacross => false,
+        }
+    }
+}
+
+/// One row of the Figure 2 matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaxonomyRow {
+    /// The memory system.
+    pub system: &'static str,
+    /// What the system assumes of the hardware.
+    pub assumption: &'static str,
+    /// The parallelization paradigms it can support.
+    pub exploitable: &'static [&'static str],
+}
+
+/// The Figure 2 taxonomy: DSMTX supports the widest variety of paradigms
+/// while making the fewest hardware assumptions.
+pub fn taxonomy() -> Vec<TaxonomyRow> {
+    vec![
+        TaxonomyRow {
+            system: "Hardware MTX (HMTX)",
+            assumption: "specialized memory",
+            exploitable: &["DOALL", "TLS", "Spec-DSWP"],
+        },
+        TaxonomyRow {
+            system: "TLS memory systems",
+            assumption: "specialized memory",
+            exploitable: &["DOALL", "TLS"],
+        },
+        TaxonomyRow {
+            system: "Software MTX (SMTX)",
+            assumption: "cache-coherent shared memory",
+            exploitable: &["DOALL", "TLS", "Spec-DSWP"],
+        },
+        TaxonomyRow {
+            system: "Software TLS",
+            assumption: "cache-coherent shared memory",
+            exploitable: &["DOALL", "TLS"],
+        },
+        TaxonomyRow {
+            system: "STM/TLS on clusters",
+            assumption: "no assumptions (MPI)",
+            exploitable: &["DOALL", "TLS"],
+        },
+        TaxonomyRow {
+            system: "Distributed Software MTX (DSMTX)",
+            assumption: "no assumptions (MPI)",
+            exploitable: &["DOALL", "TLS", "Spec-DSWP"],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_the_paper() {
+        assert_eq!(Paradigm::SpecDoall.to_string(), "Spec-DOALL");
+        assert_eq!(
+            Paradigm::SpecDswp {
+                stages: vec![StageLabel::S, StageLabel::Doall, StageLabel::S]
+            }
+            .to_string(),
+            "Spec-DSWP+[S,DOALL,S]"
+        );
+        assert_eq!(
+            Paradigm::Dswp {
+                stages: vec![StageLabel::Doall, StageLabel::S],
+                spec_stage: Some(0)
+            }
+            .to_string(),
+            "DSWP+[Spec-DOALL,S]"
+        );
+        assert_eq!(Paradigm::Tls.to_string(), "TLS");
+    }
+
+    #[test]
+    fn mtx_requirement_follows_spec_scope() {
+        assert!(Paradigm::SpecDswp {
+            stages: vec![StageLabel::Doall, StageLabel::S]
+        }
+        .needs_mtx());
+        assert!(Paradigm::Dswp {
+            stages: vec![StageLabel::Doall, StageLabel::S],
+            spec_stage: Some(0)
+        }
+        .needs_mtx());
+        assert!(!Paradigm::SpecDoall.needs_mtx());
+        assert!(!Paradigm::Tls.needs_mtx());
+    }
+
+    #[test]
+    fn taxonomy_has_dsmtx_as_weakest_assumption_widest_support() {
+        let rows = taxonomy();
+        let dsmtx = rows.last().unwrap();
+        assert!(dsmtx.system.contains("DSMTX"));
+        assert!(dsmtx.assumption.contains("no assumptions"));
+        assert_eq!(dsmtx.exploitable.len(), 3);
+        // No other row with "no assumptions" supports Spec-DSWP.
+        for row in &rows[..rows.len() - 1] {
+            if row.assumption.contains("no assumptions") {
+                assert!(!row.exploitable.contains(&"Spec-DSWP"));
+            }
+        }
+    }
+
+    #[test]
+    fn spec_kind_abbreviations() {
+        assert_eq!(SpecKind::ControlFlow.to_string(), "CFS");
+        assert_eq!(SpecKind::MemoryValue.to_string(), "MVS");
+        assert_eq!(SpecKind::MemoryVersioning.to_string(), "MV");
+    }
+}

@@ -1,0 +1,613 @@
+//! The iteration-level discrete-event engine.
+//!
+//! Executors, the try-commit unit, and the commit unit are servers; data,
+//! validation, and commit traffic occupy NICs; Spec-DSWP keeps dependence
+//! recurrences thread-local (acyclic communication) while TLS's
+//! synchronized dependences put a message round trip on the critical path
+//! every iteration. Misspeculation triggers the §4.3 sequence with
+//! explicit ERM / FLQ / SEQ accounting; RFP (refill + squashed run-ahead)
+//! is the remainder of the measured overhead, exactly how the paper's
+//! Figure 6 attributes it.
+
+use crate::cluster::ClusterConfig;
+use crate::profile::{StageShape, WorkloadProfile};
+
+/// Instructions charged per validated word (value compare + bookkeeping).
+const CHECK_INSTR_PER_WORD: f64 = 10.0;
+/// Instructions charged per committed word (hash update of master image).
+const COMMIT_INSTR_PER_WORD: f64 = 12.0;
+
+/// Recovery overhead attribution (Figure 6 components), in seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RecoveryBreakdown {
+    /// Number of misspeculation episodes.
+    pub episodes: u64,
+    /// Enter Recovery Mode: synchronizing all threads into the rollback.
+    pub erm: f64,
+    /// FLush Queues: draining speculative channel state, re-protecting.
+    pub flq: f64,
+    /// SEQuential re-execution of the squashed iteration.
+    pub seq: f64,
+    /// ReFill Pipeline: refill latency plus squashed run-ahead work
+    /// (computed as measured overhead minus the explicit components).
+    pub rfp: f64,
+}
+
+impl RecoveryBreakdown {
+    /// Total attributed overhead.
+    pub fn total(&self) -> f64 {
+        self.erm + self.flq + self.seq + self.rfp
+    }
+}
+
+/// Result of simulating one parallelization at one core count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimOutcome {
+    /// Worker threads used (excludes the try-commit and commit units).
+    pub workers: u32,
+    /// Simulated wall time of the parallelized loop (all invocations).
+    pub loop_time: f64,
+    /// Sequential time of the same loop.
+    pub seq_loop_time: f64,
+    /// Loop-only speedup.
+    pub loop_speedup: f64,
+    /// Full-application speedup (Amdahl coverage applied) — the Figure 4
+    /// y-axis.
+    pub app_speedup: f64,
+    /// Bytes moved through DSMTX queues.
+    pub bytes: f64,
+    /// Application bandwidth = bytes / loop time (Figure 5(a) metric).
+    pub bandwidth: f64,
+    /// Recovery attribution (zeroed when no misspeculation was injected).
+    pub recovery: RecoveryBreakdown,
+}
+
+/// The simulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimEngine {
+    /// The modelled hardware.
+    pub cluster: ClusterConfig,
+}
+
+impl SimEngine {
+    /// An engine over the given cluster.
+    pub fn new(cluster: ClusterConfig) -> Self {
+        SimEngine { cluster }
+    }
+
+    /// Effective one-way latency when `cores` cores (spread over nodes)
+    /// participate: more nodes means more switch hops.
+    fn latency_at(&self, cores: u32) -> f64 {
+        let nodes = (cores as f64 / self.cluster.cores_per_node as f64).ceil().max(1.0);
+        self.cluster.latency * (1.0 + 0.5 * nodes.log2().max(0.0))
+    }
+
+    /// Simulates the Spec-DSWP/Spec-DOALL plan of `profile` on `cores`
+    /// total cores with the given misspeculation rate (fraction of
+    /// iterations that conflict).
+    pub fn simulate_spec_dswp(
+        &self,
+        profile: &WorkloadProfile,
+        cores: u32,
+        misspec_rate: f64,
+    ) -> SimOutcome {
+        profile.check();
+        let workers = cores.saturating_sub(2).max(profile.stages.len() as u32);
+        let seq_stages = profile.sequential_stages();
+        let par_budget = workers.saturating_sub(seq_stages).max(1);
+        let replicas: Vec<u32> = profile
+            .stages
+            .iter()
+            .map(|s| match s.shape {
+                StageShape::Sequential => 1,
+                StageShape::Parallel => par_budget,
+            })
+            .collect();
+
+        let stage_work: Vec<f64> = profile
+            .stages
+            .iter()
+            .map(|s| s.work_fraction * profile.iter_work)
+            .collect();
+        let stage_bytes_out: Vec<f64> = profile.stages.iter().map(|s| s.bytes_out).collect();
+        let val_words_per_stage: Vec<f64> = profile
+            .stages
+            .iter()
+            .map(|s| s.work_fraction * profile.validation_words)
+            .collect();
+
+        self.run_pipeline(
+            profile,
+            cores,
+            &replicas,
+            &stage_work,
+            &stage_bytes_out,
+            &val_words_per_stage,
+            profile.validation_words,
+            0.0,
+            misspec_rate,
+        )
+    }
+
+    /// Simulates the TLS-only baseline of `profile` on `cores` cores.
+    pub fn simulate_tls(
+        &self,
+        profile: &WorkloadProfile,
+        cores: u32,
+        misspec_rate: f64,
+    ) -> SimOutcome {
+        profile.check();
+        let workers = cores.saturating_sub(2).max(1);
+        let replicas = vec![workers];
+        let stage_work = vec![profile.iter_work];
+        let stage_bytes_out = vec![profile.tls.bytes_per_iter];
+        let val_words = vec![profile.tls.validation_words];
+        self.run_pipeline(
+            profile,
+            cores,
+            &replicas,
+            &stage_work,
+            &stage_bytes_out,
+            &val_words,
+            profile.tls.validation_words,
+            profile.tls.sync_fraction,
+            misspec_rate,
+        )
+    }
+
+    /// The shared recurrence. `sync_fraction > 0` adds the TLS cyclic
+    /// edge: the first `sync_fraction` of each iteration's work cannot
+    /// start until the previous iteration's synchronized value arrives.
+    #[allow(clippy::too_many_arguments)]
+    fn run_pipeline(
+        &self,
+        profile: &WorkloadProfile,
+        cores: u32,
+        replicas: &[u32],
+        stage_work: &[f64],
+        stage_bytes_out: &[f64],
+        val_words_per_stage: &[f64],
+        val_words_total: f64,
+        sync_fraction: f64,
+        misspec_rate: f64,
+    ) -> SimOutcome {
+        let c = &self.cluster;
+        let lat = self.latency_at(cores);
+        let n = profile.iterations;
+        let n_stages = replicas.len();
+        let threads: u32 = replicas.iter().sum::<u32>() + 2;
+
+        let bad_every = if misspec_rate > 0.0 {
+            Some(((1.0 / misspec_rate).round() as u64).max(1))
+        } else {
+            None
+        };
+
+        // Bytes leaving each stage per iteration: data plane plus two
+        // copies of its validation words (try-commit and commit planes).
+        let stage_wire_bytes: Vec<f64> = (0..n_stages)
+            .map(|s| stage_bytes_out[s] + 2.0 * val_words_per_stage[s] * 8.0)
+            .collect();
+        let bytes_per_iter: f64 = stage_wire_bytes.iter().sum();
+
+        let mut worker_free: Vec<Vec<f64>> =
+            replicas.iter().map(|&r| vec![0.0; r as usize]).collect();
+        let mut nic_free: Vec<Vec<f64>> =
+            replicas.iter().map(|&r| vec![0.0; r as usize]).collect();
+        let mut val_free = 0.0f64;
+        let mut commit_free = 0.0f64;
+        let mut commit_times: Vec<f64> = Vec::with_capacity(n as usize);
+        let mut dep_ready = 0.0f64; // TLS synchronized value availability
+        let mut breakdown = RecoveryBreakdown::default();
+        // First iteration after the last recovery: the steady-period
+        // estimator must not look back across a rollback's time jump.
+        let mut steady_anchor = 0u64;
+
+        // The units are single endpoints: their NIC ingress serializes the
+        // whole system's validation/commit traffic — the §3.2 caveat that
+        // serialization in the try-commit and commit units can bottleneck
+        // at high worker counts.
+        let last_stage_bytes = stage_bytes_out[n_stages - 1];
+        // Chunked applications move arrays: their message counts do not
+        // grow when queue batching is disabled (§5.3).
+        let eff_words = |words: f64| {
+            if profile.chunked {
+                words / 512.0 * c.batch_items.min(512.0)
+            } else {
+                words
+            }
+        };
+        let shards = f64::from(c.unit_shards.max(1));
+        let val_service = (c.recv_cpu_time(eff_words(val_words_total))
+            + c.instr_time(val_words_total * CHECK_INSTR_PER_WORD)
+            + c.wire_time(val_words_total * 8.0))
+            / shards;
+        let commit_service = (c.recv_cpu_time(eff_words(val_words_total))
+            + c.instr_time(val_words_total * COMMIT_INSTR_PER_WORD)
+            + c.wire_time(val_words_total * 8.0 + last_stage_bytes))
+            / shards;
+        let sync_msg_cost = c.instr_time(c.send_instr + c.recv_instr) + lat;
+
+        for i in 0..n {
+            // Run-ahead gate: workers stall until older MTX versions
+            // retire (queue capacity / outstanding versions bound).
+            let gate = if i >= c.max_runahead {
+                commit_times[(i - c.max_runahead) as usize]
+            } else {
+                0.0
+            };
+            let mut arrival = gate;
+            let mut last_val_arrival = 0.0f64;
+            for s in 0..n_stages {
+                let k = (i % u64::from(replicas[s])) as usize;
+                let mut start = worker_free[s][k].max(arrival);
+                if s == 0 && sync_fraction > 0.0 && i > 0 {
+                    start = start.max(dep_ready);
+                }
+                let words_in = if s == 0 {
+                    0.0
+                } else {
+                    stage_bytes_out[s - 1] / 8.0
+                };
+                // Applications whose data is already chunked (array
+                // produces) amortize the per-message cost regardless of
+                // queue batching (§5.3).
+                let eff = |words: f64| {
+                    if profile.chunked {
+                        words / 512.0 * c.batch_items.min(512.0)
+                    } else {
+                        words
+                    }
+                };
+                let recv = c.recv_cpu_time(eff(words_in)) + c.wire_time(words_in * 8.0);
+                let send =
+                    c.send_cpu_time(eff(stage_bytes_out[s] / 8.0 + 2.0 * val_words_per_stage[s]));
+                let done = start + recv + stage_work[s] + send;
+                if s == 0 && sync_fraction > 0.0 {
+                    // The synchronized value is produced after the serial
+                    // prefix and ships immediately (unbatched: latency
+                    // matters, not throughput).
+                    dep_ready = start + recv + sync_fraction * stage_work[s] + sync_msg_cost;
+                }
+                worker_free[s][k] = done;
+                let nic = nic_free[s][k].max(done);
+                nic_free[s][k] = nic + c.wire_time(stage_wire_bytes[s]);
+                arrival = nic_free[s][k] + lat;
+                last_val_arrival = last_val_arrival.max(arrival);
+            }
+
+            // Serial validation in MTX order.
+            let val_start = val_free.max(last_val_arrival);
+            val_free = val_start + val_service;
+
+            // At least one episode fires whenever a rate is requested,
+            // even for loops shorter than 1/rate (the paper modifies the
+            // inputs to *cause* misspeculation).
+            let is_bad = bad_every
+                .is_some_and(|k| (i + 1) % k == 0 || (k > n && i == n / 2));
+            if is_bad {
+                // §4.3: detect, rendezvous (ERM), flush (FLQ), re-execute
+                // (SEQ), refill the pipeline and redo the squashed
+                // run-ahead (RFP).
+                let t_detect = val_free;
+                let workers_drained = worker_free
+                    .iter()
+                    .flatten()
+                    .fold(t_detect, |a, &b| a.max(b));
+                let erm_end = workers_drained + c.barrier_time(threads);
+                // Flushing discards speculative queue state locally (no
+                // retransmission): memory-drain speed, not wire speed.
+                const LOCAL_DRAIN_BPS: f64 = 2.0e10;
+                let inflight_bytes = bytes_per_iter * c.max_runahead.min(i + 1) as f64;
+                let flq = inflight_bytes / LOCAL_DRAIN_BPS + c.barrier_time(threads);
+                let seq = profile.iter_work;
+                // RFP: everything past the boundary that was already in
+                // flight is squashed and re-executed, and the pipeline
+                // refills from empty. The batched queues make the
+                // run-ahead deep — the very optimization of §5.3 is why
+                // RFP dominates (the paper's observation).
+                let workers_total: u32 = replicas.iter().sum();
+                let floor = profile.iter_work / workers_total as f64;
+                // Steady-state commit period, sampled only since the last
+                // resume (a rollback's time jump must not leak into the
+                // estimate) and bounded by the serial iteration time.
+                let lookback = ((i - steady_anchor) as usize).min(32);
+                let period_est = if lookback >= 2 {
+                    let a = commit_times[i as usize - 1];
+                    let b = commit_times[i as usize - lookback];
+                    ((a - b) / (lookback as f64 - 1.0)).max(0.0)
+                } else {
+                    floor
+                };
+                let per_iter_wall = period_est.clamp(floor, profile.iter_work);
+                let squashed = c.max_runahead.min(n - (i + 1)) as f64;
+                let rfp = squashed * per_iter_wall + profile.iter_work;
+                let resume = erm_end + flq + seq + rfp + c.barrier_time(threads);
+                breakdown.episodes += 1;
+                breakdown.erm += erm_end - t_detect;
+                breakdown.flq += flq;
+                breakdown.seq += seq;
+                breakdown.rfp += rfp;
+                commit_times.push(resume);
+                for free in worker_free.iter_mut().flatten() {
+                    *free = resume;
+                }
+                for free in nic_free.iter_mut().flatten() {
+                    *free = resume;
+                }
+                val_free = resume;
+                commit_free = resume;
+                dep_ready = resume;
+                steady_anchor = i + 1;
+                continue;
+            }
+
+            // Serial group commit in MTX order.
+            let commit_start = commit_free.max(val_free + lat);
+            commit_free = commit_start + commit_service;
+            commit_times.push(commit_free);
+        }
+
+        let mut one_invocation = commit_free;
+        let mut invocations = 1u64;
+        let mut inv_bytes = 0.0f64;
+        if let Some(inv) = profile.invocation {
+            let total_workers: u32 = replicas.iter().sum();
+            // Live-in distribution is serialized on the commit unit's NIC;
+            // the reduction serializes arrivals back.
+            let init = lat + total_workers as f64 * c.wire_time(inv.init_bytes_per_worker);
+            let reduce = lat
+                + total_workers as f64
+                    * (c.wire_time(inv.reduce_bytes_per_worker)
+                        + c.recv_cpu_time(eff_words(inv.reduce_bytes_per_worker / 8.0)));
+            one_invocation += init + reduce;
+            invocations = inv.count;
+            inv_bytes = total_workers as f64
+                * (inv.init_bytes_per_worker + inv.reduce_bytes_per_worker);
+        }
+
+        let loop_time = one_invocation * invocations as f64;
+        let seq_loop_time = profile.loop_seq_time() * invocations as f64;
+        let bytes = (bytes_per_iter * n as f64 + inv_bytes) * invocations as f64;
+
+        // Figure 6's RFP is what remains of the measured overhead after
+        // the explicit components: compute it against the misspec-free
+        // timeline.
+        let mut recovery = RecoveryBreakdown::default();
+        if misspec_rate > 0.0 {
+            let clean = self.run_pipeline(
+                profile,
+                cores,
+                replicas,
+                stage_work,
+                stage_bytes_out,
+                val_words_per_stage,
+                val_words_total,
+                sync_fraction,
+                0.0,
+            );
+            let overhead = (loop_time - clean.loop_time).max(0.0);
+            let episodes = breakdown.episodes as f64 * invocations as f64;
+            let inv = invocations as f64;
+            let explicit = (breakdown.erm + breakdown.flq + breakdown.seq + breakdown.rfp) * inv;
+            recovery = RecoveryBreakdown {
+                episodes: episodes as u64,
+                erm: breakdown.erm * inv,
+                flq: breakdown.flq * inv,
+                seq: breakdown.seq * inv,
+                // Explicitly charged refill/redo plus whatever timeline
+                // slack the restart itself produced.
+                rfp: breakdown.rfp * inv + (overhead - explicit).max(0.0),
+            };
+        }
+
+        let loop_speedup = seq_loop_time / loop_time;
+        let seq_app = seq_loop_time / profile.coverage;
+        let par_app = (seq_app - seq_loop_time) + loop_time;
+        SimOutcome {
+            workers: replicas.iter().sum(),
+            loop_time,
+            seq_loop_time,
+            loop_speedup,
+            app_speedup: seq_app / par_app,
+            bytes,
+            bandwidth: bytes / loop_time,
+            recovery,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{StageProfile, TlsPlan};
+
+    fn doall_profile(iter_work: f64, iters: u64, bytes: f64) -> WorkloadProfile {
+        WorkloadProfile {
+            name: "test-doall".into(),
+            iter_work,
+            iterations: iters,
+            coverage: 1.0,
+            stages: vec![StageProfile {
+                shape: StageShape::Parallel,
+                work_fraction: 1.0,
+                bytes_out: bytes,
+            }],
+            validation_words: 8.0,
+            tls: TlsPlan {
+                sync_fraction: 0.0,
+                bytes_per_iter: bytes,
+                validation_words: 8.0,
+            },
+            chunked: false,
+            invocation: None,
+        }
+    }
+
+    fn pipeline_profile() -> WorkloadProfile {
+        WorkloadProfile {
+            name: "test-pipe".into(),
+            iter_work: 1.0e-3,
+            iterations: 2000,
+            coverage: 0.99,
+            stages: vec![
+                StageProfile {
+                    shape: StageShape::Sequential,
+                    work_fraction: 0.02,
+                    bytes_out: 1024.0,
+                },
+                StageProfile {
+                    shape: StageShape::Parallel,
+                    work_fraction: 0.96,
+                    bytes_out: 512.0,
+                },
+                StageProfile {
+                    shape: StageShape::Sequential,
+                    work_fraction: 0.02,
+                    bytes_out: 0.0,
+                },
+            ],
+            validation_words: 32.0,
+            tls: TlsPlan {
+                sync_fraction: 0.04,
+                bytes_per_iter: 256.0,
+                validation_words: 32.0,
+            },
+            chunked: false,
+            invocation: None,
+        }
+    }
+
+    #[test]
+    fn doall_speedup_scales_with_cores() {
+        let e = SimEngine::default();
+        let p = doall_profile(1.0e-3, 4000, 64.0);
+        let s8 = e.simulate_spec_dswp(&p, 8, 0.0);
+        let s32 = e.simulate_spec_dswp(&p, 32, 0.0);
+        let s128 = e.simulate_spec_dswp(&p, 128, 0.0);
+        assert!(s8.app_speedup > 4.0, "{}", s8.app_speedup);
+        assert!(s32.app_speedup > s8.app_speedup * 2.0);
+        assert!(s128.app_speedup > s32.app_speedup * 2.0);
+        assert!(s128.app_speedup <= 126.0);
+    }
+
+    #[test]
+    fn speedup_never_exceeds_worker_count() {
+        let e = SimEngine::default();
+        let p = pipeline_profile();
+        for cores in [4, 16, 64, 128] {
+            let s = e.simulate_spec_dswp(&p, cores, 0.0);
+            assert!(
+                s.loop_speedup <= s.workers as f64 + 1e-6,
+                "{} cores: {} > {}",
+                cores,
+                s.loop_speedup,
+                s.workers
+            );
+        }
+    }
+
+    #[test]
+    fn tls_cyclic_edge_limits_scaling() {
+        let e = SimEngine::default();
+        let p = pipeline_profile();
+        let dswp = e.simulate_spec_dswp(&p, 128, 0.0);
+        let tls = e.simulate_tls(&p, 128, 0.0);
+        assert!(
+            dswp.app_speedup > 1.5 * tls.app_speedup,
+            "dswp {} vs tls {}",
+            dswp.app_speedup,
+            tls.app_speedup
+        );
+        // TLS period is bounded below by the sync segment plus a message
+        // round trip, so speedup saturates near 1/sync_fraction.
+        assert!(tls.app_speedup < 1.0 / 0.04 + 1.0);
+    }
+
+    #[test]
+    fn bandwidth_bound_profiles_plateau() {
+        let e = SimEngine::default();
+        // Tiny work, huge per-iteration data: the wire is the bottleneck.
+        let p = doall_profile(2.0e-5, 4000, 200_000.0);
+        let s32 = e.simulate_spec_dswp(&p, 32, 0.0);
+        let s128 = e.simulate_spec_dswp(&p, 128, 0.0);
+        assert!(
+            s128.app_speedup < s32.app_speedup * 1.5,
+            "bandwidth wall: {} vs {}",
+            s32.app_speedup,
+            s128.app_speedup
+        );
+    }
+
+    #[test]
+    fn iteration_count_caps_parallelism() {
+        let e = SimEngine::default();
+        let p = doall_profile(1.0e-3, 40, 64.0); // only 40 iterations
+        let s128 = e.simulate_spec_dswp(&p, 128, 0.0);
+        assert!(s128.loop_speedup <= 41.0);
+    }
+
+    #[test]
+    fn misspeculation_adds_attributed_overhead() {
+        let e = SimEngine::default();
+        let p = pipeline_profile();
+        let clean = e.simulate_spec_dswp(&p, 64, 0.0);
+        let dirty = e.simulate_spec_dswp(&p, 64, 0.001);
+        assert_eq!(clean.recovery.episodes, 0);
+        assert!(dirty.recovery.episodes >= 1);
+        assert!(dirty.loop_time > clean.loop_time);
+        assert!(dirty.recovery.erm >= 0.0);
+        assert!(dirty.recovery.flq > 0.0);
+        assert!(dirty.recovery.seq > 0.0);
+        let measured = dirty.loop_time - clean.loop_time;
+        assert!(
+            (dirty.recovery.total() - measured).abs() <= measured * 0.5 + 1e-9,
+            "attribution {} vs measured {}",
+            dirty.recovery.total(),
+            measured
+        );
+    }
+
+    #[test]
+    fn invocation_sync_limits_speedup() {
+        let e = SimEngine::default();
+        let mut p = doall_profile(5.0e-5, 500, 64.0);
+        let unsynced = e.simulate_spec_dswp(&p, 128, 0.0);
+        p.invocation = Some(crate::profile::InvocationProfile {
+            count: 100,
+            init_bytes_per_worker: 40_000.0,
+            reduce_bytes_per_worker: 40_000.0,
+        });
+        let synced = e.simulate_spec_dswp(&p, 128, 0.0);
+        assert!(
+            synced.app_speedup < unsynced.app_speedup,
+            "{} !< {}",
+            synced.app_speedup,
+            unsynced.app_speedup
+        );
+    }
+
+    #[test]
+    fn batching_off_slows_communication_heavy_profiles() {
+        let p = doall_profile(1.0e-4, 2000, 8192.0);
+        let on = SimEngine::new(ClusterConfig::paper()).simulate_spec_dswp(&p, 128, 0.0);
+        let off =
+            SimEngine::new(ClusterConfig::paper_unbatched()).simulate_spec_dswp(&p, 128, 0.0);
+        assert!(
+            on.app_speedup > 1.5 * off.app_speedup,
+            "batched {} vs direct {}",
+            on.app_speedup,
+            off.app_speedup
+        );
+    }
+
+    #[test]
+    fn coverage_caps_app_speedup() {
+        let e = SimEngine::default();
+        let mut p = doall_profile(1.0e-3, 4000, 64.0);
+        p.coverage = 0.9; // Amdahl: at most 10x
+        let s = e.simulate_spec_dswp(&p, 128, 0.0);
+        assert!(s.app_speedup < 10.0);
+        assert!(s.app_speedup > 5.0);
+    }
+}

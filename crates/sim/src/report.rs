@@ -1,0 +1,208 @@
+//! Series builders for the evaluation figures.
+
+use crate::cluster::ClusterConfig;
+use crate::engine::{SimEngine, SimOutcome};
+use crate::profile::WorkloadProfile;
+
+/// One point of a Figure 4 speedup curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedupPoint {
+    /// Total cores.
+    pub cores: u32,
+    /// Full-application speedup with the benchmark's best DSMTX plan
+    /// (Spec-DSWP / Spec-DOALL).
+    pub dsmtx: f64,
+    /// Full-application speedup with the TLS-only baseline.
+    pub tls: f64,
+}
+
+/// The paper's Figure 4 x-axis: 8, 16, …, 128 cores.
+pub fn figure4_core_counts() -> Vec<u32> {
+    (1..=16).map(|k| 8 * k).collect()
+}
+
+/// Builds the Figure 4 curve for one benchmark.
+pub fn speedup_curve(
+    engine: &SimEngine,
+    profile: &WorkloadProfile,
+    core_counts: &[u32],
+) -> Vec<SpeedupPoint> {
+    core_counts
+        .iter()
+        .map(|&cores| SpeedupPoint {
+            cores,
+            dsmtx: engine.simulate_spec_dswp(profile, cores, 0.0).app_speedup,
+            tls: engine.simulate_tls(profile, cores, 0.0).app_speedup,
+        })
+        .collect()
+}
+
+/// Geometric mean of a slice of positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Figure 5(a): bandwidth (bytes/second) of the Spec-DSWP plan at
+/// consecutive core counts starting from the pipeline's minimum (stages +
+/// try-commit + commit), matching "three consecutive core counts starting
+/// from the number of pipeline stages".
+pub fn bandwidth_series(
+    engine: &SimEngine,
+    profile: &WorkloadProfile,
+    points: u32,
+) -> Vec<(u32, f64)> {
+    let min_cores = profile.stages.len() as u32 + 2;
+    (0..points)
+        .map(|k| {
+            let cores = min_cores + k;
+            let out = engine.simulate_spec_dswp(profile, cores, 0.0);
+            (cores, out.bandwidth)
+        })
+        .collect()
+}
+
+/// Figure 5(b): speedup at 128 cores with the batched DSMTX queues vs
+/// direct per-produce MPI sends.
+pub fn batching_comparison(profile: &WorkloadProfile) -> (f64, f64) {
+    let optimized = SimEngine::new(ClusterConfig::paper())
+        .simulate_spec_dswp(profile, 128, 0.0)
+        .app_speedup;
+    let direct = SimEngine::new(ClusterConfig::paper_unbatched())
+        .simulate_spec_dswp(profile, 128, 0.0)
+        .app_speedup;
+    (optimized, direct)
+}
+
+/// Figure 6: speedups and recovery attribution at a given misspeculation
+/// rate across core counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPoint {
+    /// Total cores.
+    pub cores: u32,
+    /// Speedup with no misspeculation (the full bar).
+    pub clean_speedup: f64,
+    /// Speedup with the injected misspeculation rate (MIS).
+    pub misspec_speedup: f64,
+    /// The outcome carrying the ERM/FLQ/SEQ/RFP attribution.
+    pub outcome: SimOutcome,
+}
+
+/// Builds the Figure 6 series for one benchmark.
+pub fn recovery_series(
+    engine: &SimEngine,
+    profile: &WorkloadProfile,
+    rate: f64,
+    core_counts: &[u32],
+) -> Vec<RecoveryPoint> {
+    core_counts
+        .iter()
+        .map(|&cores| {
+            let clean = engine.simulate_spec_dswp(profile, cores, 0.0);
+            let dirty = engine.simulate_spec_dswp(profile, cores, rate);
+            RecoveryPoint {
+                cores,
+                clean_speedup: clean.app_speedup,
+                misspec_speedup: dirty.app_speedup,
+                outcome: dirty,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::{StageProfile, StageShape, TlsPlan};
+
+    fn profile() -> WorkloadProfile {
+        WorkloadProfile {
+            name: "report-test".into(),
+            iter_work: 1.0e-3,
+            iterations: 1000,
+            coverage: 0.98,
+            stages: vec![
+                StageProfile {
+                    shape: StageShape::Sequential,
+                    work_fraction: 0.03,
+                    bytes_out: 512.0,
+                },
+                StageProfile {
+                    shape: StageShape::Parallel,
+                    work_fraction: 0.97,
+                    bytes_out: 0.0,
+                },
+            ],
+            validation_words: 16.0,
+            tls: TlsPlan {
+                sync_fraction: 0.03,
+                bytes_per_iter: 128.0,
+                validation_words: 16.0,
+            },
+            chunked: false,
+            invocation: None,
+        }
+    }
+
+    #[test]
+    fn figure4_axis_matches_paper() {
+        let counts = figure4_core_counts();
+        assert_eq!(counts.first(), Some(&8));
+        assert_eq!(counts.last(), Some(&128));
+        assert_eq!(counts.len(), 16);
+    }
+
+    #[test]
+    fn curve_has_one_point_per_core_count() {
+        let e = SimEngine::default();
+        let p = profile();
+        let curve = speedup_curve(&e, &p, &[8, 64, 128]);
+        assert_eq!(curve.len(), 3);
+        assert!(curve[2].dsmtx > curve[0].dsmtx);
+        for pt in &curve {
+            assert!(pt.dsmtx >= pt.tls * 0.5, "sane relative magnitudes");
+        }
+    }
+
+    #[test]
+    fn geomean_of_identical_values_is_the_value() {
+        assert!((geomean(&[4.0, 4.0, 4.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+        // Geomean of 1 and 100 is 10.
+        assert!((geomean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_series_starts_at_pipeline_minimum() {
+        let e = SimEngine::default();
+        let p = profile();
+        let series = bandwidth_series(&e, &p, 3);
+        assert_eq!(series.len(), 3);
+        assert_eq!(series[0].0, 4); // 2 stages + 2 units
+        for (_, bw) in &series {
+            assert!(*bw > 0.0);
+        }
+    }
+
+    #[test]
+    fn batching_comparison_favors_batching() {
+        let mut p = profile();
+        // Make the profile communication-heavy so the contrast shows.
+        p.stages[0].bytes_out = 16_384.0;
+        let (on, off) = batching_comparison(&p);
+        assert!(on > off, "batched {on} vs direct {off}");
+    }
+
+    #[test]
+    fn recovery_series_shows_misspec_cost() {
+        let e = SimEngine::default();
+        let p = profile();
+        let series = recovery_series(&e, &p, 0.001, &[32, 128]);
+        for pt in &series {
+            assert!(pt.misspec_speedup < pt.clean_speedup);
+            assert!(pt.outcome.recovery.episodes > 0);
+        }
+    }
+}

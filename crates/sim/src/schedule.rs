@@ -1,0 +1,225 @@
+//! Cycle-accurate schedules for the Figure 1 example.
+//!
+//! The four-statement linked-list loop (`A: while(node)`, `B: node =
+//! node->next`, `C: res = work(node)`, `D: write(res)`) is scheduled two
+//! ways on two cores:
+//!
+//! * **DOACROSS** alternates whole iterations between the cores, so the
+//!   loop-carried dependence `B(i) → A(i+1)` crosses cores every
+//!   iteration: the period is `2 + (latency - 1)` cycles.
+//! * **DSWP** pins stage `{A, B}` to core 1 and `{C, D}` to core 2, so the
+//!   recurrence stays core-local and only the acyclic `B(i) → C(i)` edge
+//!   crosses cores: the period stays 2 cycles at any latency.
+//!
+//! A forwarding latency of 1 means a value produced in cycle *t* is usable
+//! in cycle *t + 1* (pipeline-bypass convention), which reproduces the
+//! paper's timelines exactly.
+
+/// One scheduled statement instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// Core index (0-based).
+    pub core: usize,
+    /// Start cycle.
+    pub start: u64,
+    /// Statement label, e.g. "B.3".
+    pub label: String,
+    /// Iteration number (1-based, matching the figure).
+    pub iter: u64,
+}
+
+/// A two-core schedule of the example loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Scheduled cells in execution order.
+    pub cells: Vec<Cell>,
+    /// Number of cores.
+    pub cores: usize,
+    name: &'static str,
+}
+
+impl Schedule {
+    /// Steady-state cycles per iteration, measured between the last two
+    /// iterations' `A` statements.
+    pub fn cycles_per_iter(&self) -> u64 {
+        let mut a_starts: Vec<u64> = self
+            .cells
+            .iter()
+            .filter(|c| c.label.starts_with("A."))
+            .map(|c| c.start)
+            .collect();
+        a_starts.sort_unstable();
+        match a_starts.len() {
+            0 | 1 => 0,
+            k => a_starts[k - 1] - a_starts[k - 2],
+        }
+    }
+
+    /// Renders the schedule as a cycle × core grid (the Figure 1 layout).
+    pub fn render(&self) -> String {
+        let max_cycle = self.cells.iter().map(|c| c.start).max().unwrap_or(0);
+        let mut out = String::new();
+        out.push_str(&format!("{} (cycles/iter: {})\n", self.name, self.cycles_per_iter()));
+        out.push_str("cycle");
+        for core in 0..self.cores {
+            out.push_str(&format!(" | core{}", core + 1));
+        }
+        out.push('\n');
+        for cycle in 0..=max_cycle {
+            out.push_str(&format!("{cycle:5}"));
+            for core in 0..self.cores {
+                let label = self
+                    .cells
+                    .iter()
+                    .find(|c| c.core == core && c.start == cycle)
+                    .map_or("", |c| c.label.as_str());
+                out.push_str(&format!(" | {label:5}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Schedules `iters` iterations under DOACROSS with the given forwarding
+/// latency (cycles).
+pub fn doacross_schedule(iters: u64, latency: u64) -> Schedule {
+    assert!(latency >= 1, "latency is at least one cycle");
+    let mut cells = Vec::new();
+    let mut core_free = [0u64; 2];
+    let mut prev_b_end = 0u64; // end cycle (exclusive) of B in the previous iteration
+    for i in 0..iters {
+        let core = (i % 2) as usize;
+        let dep_ready = if i == 0 {
+            0
+        } else {
+            // Cross-core forward: usable latency-1 cycles after the
+            // producing cycle ends.
+            prev_b_end + (latency - 1)
+        };
+        let start = core_free[core].max(dep_ready);
+        for (k, stmt) in ["A", "B", "C", "D"].iter().enumerate() {
+            cells.push(Cell {
+                core,
+                start: start + k as u64,
+                label: format!("{stmt}.{}", i + 1),
+                iter: i + 1,
+            });
+        }
+        prev_b_end = start + 2;
+        core_free[core] = start + 4;
+    }
+    Schedule {
+        cells,
+        cores: 2,
+        name: "DOACROSS",
+    }
+}
+
+/// Schedules `iters` iterations under DSWP with the given forwarding
+/// latency (cycles): stage `{A, B}` on core 1, stage `{C, D}` on core 2.
+pub fn dswp_schedule(iters: u64, latency: u64) -> Schedule {
+    assert!(latency >= 1, "latency is at least one cycle");
+    let mut cells = Vec::new();
+    let mut core1_free = 0u64;
+    let mut core2_free = 0u64;
+    for i in 0..iters {
+        // Stage 1: the recurrence A(i) after B(i-1) is core-local.
+        let s1 = core1_free;
+        cells.push(Cell {
+            core: 0,
+            start: s1,
+            label: format!("A.{}", i + 1),
+            iter: i + 1,
+        });
+        cells.push(Cell {
+            core: 0,
+            start: s1 + 1,
+            label: format!("B.{}", i + 1),
+            iter: i + 1,
+        });
+        core1_free = s1 + 2;
+        let b_end = s1 + 2;
+        // Stage 2: waits for the forwarded value and its own predecessor.
+        let s2 = core2_free.max(b_end + (latency - 1));
+        cells.push(Cell {
+            core: 1,
+            start: s2,
+            label: format!("C.{}", i + 1),
+            iter: i + 1,
+        });
+        cells.push(Cell {
+            core: 1,
+            start: s2 + 1,
+            label: format!("D.{}", i + 1),
+            iter: i + 1,
+        });
+        core2_free = s2 + 2;
+    }
+    Schedule {
+        cells,
+        cores: 2,
+        name: "DSWP",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 1(c): at latency 1, both run at 2 cycles/iteration.
+    #[test]
+    fn latency_one_both_two_cycles() {
+        assert_eq!(doacross_schedule(6, 1).cycles_per_iter(), 2);
+        assert_eq!(dswp_schedule(6, 1).cycles_per_iter(), 2);
+    }
+
+    /// Figure 1(d): at latency 2, DOACROSS degrades to 3 cycles/iteration
+    /// while DSWP stays at 2.
+    #[test]
+    fn latency_two_only_doacross_degrades() {
+        assert_eq!(doacross_schedule(6, 2).cycles_per_iter(), 3);
+        assert_eq!(dswp_schedule(6, 2).cycles_per_iter(), 2);
+    }
+
+    /// DSWP is latency-tolerant at any latency; DOACROSS degrades
+    /// linearly.
+    #[test]
+    fn dswp_tolerates_any_latency() {
+        for lat in 1..10 {
+            assert_eq!(dswp_schedule(8, lat).cycles_per_iter(), 2, "lat {lat}");
+            assert_eq!(
+                doacross_schedule(8, lat).cycles_per_iter(),
+                1 + lat.max(1),
+                "lat {lat}"
+            );
+        }
+    }
+
+    /// The exact cell placements of Figure 1(d) DSWP: C.1 starts at cycle 3.
+    #[test]
+    fn figure_1d_dswp_placement() {
+        let s = dswp_schedule(3, 2);
+        let c1 = s.cells.iter().find(|c| c.label == "C.1").unwrap();
+        assert_eq!((c1.core, c1.start), (1, 3));
+        let a2 = s.cells.iter().find(|c| c.label == "A.2").unwrap();
+        assert_eq!((a2.core, a2.start), (0, 2));
+    }
+
+    /// The exact cell placements of Figure 1(d) DOACROSS: A.2 starts at
+    /// cycle 3 on core 2.
+    #[test]
+    fn figure_1d_doacross_placement() {
+        let s = doacross_schedule(3, 2);
+        let a2 = s.cells.iter().find(|c| c.label == "A.2").unwrap();
+        assert_eq!((a2.core, a2.start), (1, 3));
+    }
+
+    #[test]
+    fn render_contains_grid() {
+        let text = dswp_schedule(3, 1).render();
+        assert!(text.contains("DSWP"));
+        assert!(text.contains("core1 | core2"));
+        assert!(text.contains("A.1"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Virtual address arithmetic.
+//!
+//! A [`VAddr`] is a 64-bit value: the upper 16 bits name the owning thread
+//! ([`OwnerId`]), the lower 48 bits are the word-aligned byte offset within
+//! that owner's region. Pages are 4,096 bytes (the paper's experimental
+//! platform) of 512 eight-byte words; the DSMTX memory system speculates at
+//! word granularity but transfers at page granularity (Copy-On-Access).
+
+use std::fmt;
+
+/// Bytes per memory word. DSMTX forwards and validates at this granularity.
+pub const WORD_BYTES: u64 = 8;
+/// Bytes per page — the Copy-On-Access transfer unit (§4.2).
+pub const PAGE_BYTES: u64 = 4096;
+/// Words per page.
+pub const PAGE_WORDS: u64 = PAGE_BYTES / WORD_BYTES;
+
+/// Number of address bits reserved for the owner id.
+pub const OWNER_BITS: u32 = 16;
+/// Number of address bits for the intra-region offset.
+pub const OFFSET_BITS: u32 = 64 - OWNER_BITS;
+/// Mask selecting the offset portion of an address.
+pub const OFFSET_MASK: u64 = (1 << OFFSET_BITS) - 1;
+
+/// The thread that owns an address region.
+///
+/// Owner 0 is conventionally the commit unit, which also owns all state
+/// created by the sequential (non-transactional) portions of the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct OwnerId(pub u16);
+
+impl fmt::Display for OwnerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "owner{}", self.0)
+    }
+}
+
+/// A unified virtual address, valid in every thread of a DSMTX system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct VAddr(u64);
+
+impl VAddr {
+    /// Builds an address from an owner and a byte offset within its region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset` does not fit in the offset bits or is not
+    /// word-aligned.
+    pub fn new(owner: OwnerId, offset: u64) -> Self {
+        assert!(offset <= OFFSET_MASK, "offset {offset:#x} exceeds region");
+        assert!(
+            offset.is_multiple_of(WORD_BYTES),
+            "offset {offset:#x} is not word-aligned"
+        );
+        VAddr((u64::from(owner.0) << OFFSET_BITS) | offset)
+    }
+
+    /// Reinterprets a raw 64-bit value as an address.
+    ///
+    /// Unlike [`VAddr::new`], no alignment check is performed; use this for
+    /// addresses that round-tripped through [`VAddr::raw`].
+    pub fn from_raw(raw: u64) -> Self {
+        VAddr(raw)
+    }
+
+    /// The raw 64-bit representation.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The owning thread encoded in the upper bits.
+    pub fn owner(self) -> OwnerId {
+        OwnerId((self.0 >> OFFSET_BITS) as u16)
+    }
+
+    /// Byte offset within the owner's region.
+    pub fn offset(self) -> u64 {
+        self.0 & OFFSET_MASK
+    }
+
+    /// The page containing this address.
+    pub fn page(self) -> PageId {
+        PageId(self.0 / PAGE_BYTES)
+    }
+
+    /// Word index within the containing page (0..[`PAGE_WORDS`]).
+    pub fn word_in_page(self) -> usize {
+        ((self.offset() % PAGE_BYTES) / WORD_BYTES) as usize
+    }
+
+    /// The address `words` whole words after `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result would overflow the owner's region.
+    pub fn add_words(self, words: u64) -> VAddr {
+        let off = self.offset() + words * WORD_BYTES;
+        VAddr::new(self.owner(), off)
+    }
+
+    /// Whole words between `self` and `later` (which must not precede
+    /// `self` and must share an owner).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the owners differ or `later` precedes `self`.
+    pub fn words_until(self, later: VAddr) -> u64 {
+        assert_eq!(self.owner(), later.owner(), "cross-region distance");
+        assert!(later.offset() >= self.offset(), "negative distance");
+        (later.offset() - self.offset()) / WORD_BYTES
+    }
+}
+
+impl fmt::Display for VAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{:#x}", self.owner(), self.offset())
+    }
+}
+
+/// Global page number: every page in the system has a unique id because the
+/// owner bits participate in the division.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// The address of the first word of the page.
+    pub fn base(self) -> VAddr {
+        VAddr(self.0 * PAGE_BYTES)
+    }
+
+    /// The owner of every address on this page.
+    pub fn owner(self) -> OwnerId {
+        self.base().owner()
+    }
+
+    /// The address of word `index` on this page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= PAGE_WORDS`.
+    pub fn word(self, index: usize) -> VAddr {
+        assert!((index as u64) < PAGE_WORDS, "word index out of page");
+        VAddr(self.0 * PAGE_BYTES + index as u64 * WORD_BYTES)
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "page{:#x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_and_offset_round_trip() {
+        let a = VAddr::new(OwnerId(5), 0x1000);
+        assert_eq!(a.owner(), OwnerId(5));
+        assert_eq!(a.offset(), 0x1000);
+        assert_eq!(VAddr::from_raw(a.raw()), a);
+    }
+
+    #[test]
+    fn owner_zero_is_plain_offset() {
+        let a = VAddr::new(OwnerId(0), 4096);
+        assert_eq!(a.raw(), 4096);
+    }
+
+    #[test]
+    fn max_owner_and_offset() {
+        let a = VAddr::new(OwnerId(u16::MAX), OFFSET_MASK & !(WORD_BYTES - 1));
+        assert_eq!(a.owner(), OwnerId(u16::MAX));
+        assert_eq!(a.offset(), OFFSET_MASK & !(WORD_BYTES - 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds region")]
+    fn oversized_offset_panics() {
+        let _ = VAddr::new(OwnerId(0), OFFSET_MASK + 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not word-aligned")]
+    fn unaligned_offset_panics() {
+        let _ = VAddr::new(OwnerId(0), 3);
+    }
+
+    #[test]
+    fn page_math() {
+        let a = VAddr::new(OwnerId(2), 2 * PAGE_BYTES + 24);
+        let p = a.page();
+        assert_eq!(p.owner(), OwnerId(2));
+        assert_eq!(a.word_in_page(), 3);
+        assert_eq!(p.word(3), a);
+        assert_eq!(p.base().word_in_page(), 0);
+    }
+
+    #[test]
+    fn pages_of_different_owners_never_collide() {
+        let a = VAddr::new(OwnerId(1), 0);
+        let b = VAddr::new(OwnerId(2), 0);
+        assert_ne!(a.page(), b.page());
+    }
+
+    #[test]
+    fn add_words_and_distance() {
+        let a = VAddr::new(OwnerId(7), 64);
+        let b = a.add_words(10);
+        assert_eq!(b.offset(), 64 + 80);
+        assert_eq!(a.words_until(b), 10);
+        assert_eq!(a.words_until(a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cross-region distance")]
+    fn distance_across_owners_panics() {
+        let a = VAddr::new(OwnerId(1), 0);
+        let b = VAddr::new(OwnerId(2), 0);
+        let _ = a.words_until(b);
+    }
+
+    #[test]
+    fn display_formats() {
+        let a = VAddr::new(OwnerId(3), 0x40);
+        assert_eq!(a.to_string(), "owner3+0x40");
+        assert!(a.page().to_string().starts_with("page"));
+    }
+}

@@ -1,0 +1,359 @@
+//! Per-thread region allocator.
+//!
+//! Each thread satisfies allocation requests from the virtual-address
+//! region it owns, so no cross-thread synchronization is needed on the
+//! allocation path (§3.3). The allocator is a first-fit free-list over the
+//! owner's region with a bump frontier; frees coalesce with both
+//! neighbours. Allocations are word-granular; [`RegionAllocator::alloc_pages`]
+//! additionally page-aligns, which workloads use for block arrays that the
+//! runtime versions page-by-page.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::addr::{OwnerId, VAddr, OFFSET_MASK, PAGE_BYTES, WORD_BYTES};
+
+/// Errors from UVA allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UvaError {
+    /// The owner's region cannot satisfy the request.
+    ///
+    /// In the paper this is the rare case requiring synchronization with
+    /// other threads to borrow address space; this reproduction surfaces it
+    /// as an error instead.
+    RegionExhausted,
+    /// `free` was called on an address that is not the start of a live
+    /// allocation.
+    InvalidFree(VAddr),
+    /// A zero-sized allocation was requested.
+    ZeroSize,
+}
+
+impl fmt::Display for UvaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UvaError::RegionExhausted => write!(f, "owner region exhausted"),
+            UvaError::InvalidFree(a) => write!(f, "invalid free of {a}"),
+            UvaError::ZeroSize => write!(f, "zero-sized allocation"),
+        }
+    }
+}
+
+impl std::error::Error for UvaError {}
+
+/// First-fit allocator over one owner's address region.
+#[derive(Debug)]
+pub struct RegionAllocator {
+    owner: OwnerId,
+    /// Next never-allocated byte offset.
+    frontier: u64,
+    /// End of the region (exclusive byte offset).
+    limit: u64,
+    /// Free blocks: offset → length in bytes. Blocks never overlap and
+    /// never touch (touching blocks are coalesced).
+    free: BTreeMap<u64, u64>,
+    /// Live allocations: offset → length in bytes.
+    live: BTreeMap<u64, u64>,
+}
+
+impl RegionAllocator {
+    /// Creates an allocator spanning the owner's full region.
+    pub fn new(owner: OwnerId) -> Self {
+        Self::with_limit(owner, OFFSET_MASK + 1)
+    }
+
+    /// Creates an allocator restricted to the first `limit_bytes` of the
+    /// owner's region (useful for exhaustion tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit_bytes` is not word-aligned or exceeds the region.
+    pub fn with_limit(owner: OwnerId, limit_bytes: u64) -> Self {
+        assert!(limit_bytes.is_multiple_of(WORD_BYTES), "limit must be word-aligned");
+        assert!(limit_bytes <= OFFSET_MASK + 1, "limit exceeds region");
+        RegionAllocator {
+            owner,
+            // Offset 0 is reserved so that no valid allocation has a "null"
+            // address within owner 0.
+            frontier: WORD_BYTES,
+            limit: limit_bytes,
+            free: BTreeMap::new(),
+            live: BTreeMap::new(),
+        }
+    }
+
+    /// The owner whose region this allocator manages.
+    pub fn owner(&self) -> OwnerId {
+        self.owner
+    }
+
+    /// Allocates `words` contiguous words.
+    ///
+    /// # Errors
+    ///
+    /// [`UvaError::ZeroSize`] for zero words; [`UvaError::RegionExhausted`]
+    /// when neither the free list nor the frontier can satisfy the request.
+    pub fn alloc_words(&mut self, words: u64) -> Result<VAddr, UvaError> {
+        self.alloc_bytes_aligned(words * WORD_BYTES, WORD_BYTES)
+    }
+
+    /// Allocates `pages` whole pages, page-aligned.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`RegionAllocator::alloc_words`].
+    pub fn alloc_pages(&mut self, pages: u64) -> Result<VAddr, UvaError> {
+        self.alloc_bytes_aligned(pages * PAGE_BYTES, PAGE_BYTES)
+    }
+
+    fn alloc_bytes_aligned(&mut self, bytes: u64, align: u64) -> Result<VAddr, UvaError> {
+        if bytes == 0 {
+            return Err(UvaError::ZeroSize);
+        }
+        // First fit in the free list, honouring alignment by splitting.
+        let candidate = self.free.iter().find_map(|(&off, &len)| {
+            let aligned = off.next_multiple_of(align);
+            let pad = aligned - off;
+            if len >= pad + bytes {
+                Some((off, len, aligned, pad))
+            } else {
+                None
+            }
+        });
+        if let Some((off, len, aligned, pad)) = candidate {
+            self.free.remove(&off);
+            if pad > 0 {
+                self.free.insert(off, pad);
+            }
+            let tail = len - pad - bytes;
+            if tail > 0 {
+                self.free.insert(aligned + bytes, tail);
+            }
+            self.live.insert(aligned, bytes);
+            return Ok(VAddr::new(self.owner, aligned));
+        }
+        // Bump the frontier.
+        let aligned = self.frontier.next_multiple_of(align);
+        let end = aligned.checked_add(bytes).ok_or(UvaError::RegionExhausted)?;
+        if end > self.limit {
+            return Err(UvaError::RegionExhausted);
+        }
+        if aligned > self.frontier {
+            // The alignment gap becomes a free block.
+            self.insert_free(self.frontier, aligned - self.frontier);
+        }
+        self.frontier = end;
+        self.live.insert(aligned, bytes);
+        Ok(VAddr::new(self.owner, aligned))
+    }
+
+    /// Releases a previous allocation.
+    ///
+    /// # Errors
+    ///
+    /// [`UvaError::InvalidFree`] if `addr` is not the base of a live
+    /// allocation from this allocator (including double frees and
+    /// cross-owner frees).
+    pub fn free(&mut self, addr: VAddr) -> Result<(), UvaError> {
+        if addr.owner() != self.owner {
+            return Err(UvaError::InvalidFree(addr));
+        }
+        let off = addr.offset();
+        let Some(len) = self.live.remove(&off) else {
+            return Err(UvaError::InvalidFree(addr));
+        };
+        self.insert_free(off, len);
+        Ok(())
+    }
+
+    fn insert_free(&mut self, mut off: u64, mut len: u64) {
+        // Coalesce with the predecessor.
+        if let Some((&poff, &plen)) = self.free.range(..off).next_back() {
+            if poff + plen == off {
+                self.free.remove(&poff);
+                off = poff;
+                len += plen;
+            }
+        }
+        // Coalesce with the successor.
+        if let Some(&slen) = self.free.get(&(off + len)) {
+            self.free.remove(&(off + len));
+            len += slen;
+        }
+        // Merge back into the frontier when possible.
+        if off + len == self.frontier {
+            self.frontier = off;
+        } else {
+            self.free.insert(off, len);
+        }
+    }
+
+    /// Number of live allocations.
+    pub fn live_allocations(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Total bytes currently allocated.
+    pub fn live_bytes(&self) -> u64 {
+        self.live.values().sum()
+    }
+
+    /// The size in bytes of the live allocation starting at `addr`, if any.
+    pub fn allocation_size(&self, addr: VAddr) -> Option<u64> {
+        if addr.owner() != self.owner {
+            return None;
+        }
+        self.live.get(&addr.offset()).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PAGE_WORDS;
+
+    #[test]
+    fn allocations_are_disjoint_and_owned() {
+        let mut a = RegionAllocator::new(OwnerId(4));
+        let x = a.alloc_words(10).unwrap();
+        let y = a.alloc_words(1).unwrap();
+        assert_eq!(x.owner(), OwnerId(4));
+        assert_eq!(y.owner(), OwnerId(4));
+        assert!(y.offset() >= x.offset() + 80 || x.offset() >= y.offset() + 8);
+        assert_eq!(a.live_allocations(), 2);
+        assert_eq!(a.live_bytes(), 88);
+    }
+
+    #[test]
+    fn zero_alloc_rejected() {
+        let mut a = RegionAllocator::new(OwnerId(0));
+        assert_eq!(a.alloc_words(0), Err(UvaError::ZeroSize));
+    }
+
+    #[test]
+    fn free_then_realloc_reuses_space() {
+        let mut a = RegionAllocator::new(OwnerId(1));
+        let x = a.alloc_words(8).unwrap();
+        let _y = a.alloc_words(8).unwrap();
+        a.free(x).unwrap();
+        let z = a.alloc_words(8).unwrap();
+        assert_eq!(z, x, "first-fit should reuse the freed block");
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut a = RegionAllocator::new(OwnerId(1));
+        let x = a.alloc_words(4).unwrap();
+        a.free(x).unwrap();
+        assert_eq!(a.free(x), Err(UvaError::InvalidFree(x)));
+    }
+
+    #[test]
+    fn cross_owner_free_rejected() {
+        let mut a = RegionAllocator::new(OwnerId(1));
+        let foreign = VAddr::new(OwnerId(2), 8);
+        assert_eq!(a.free(foreign), Err(UvaError::InvalidFree(foreign)));
+    }
+
+    #[test]
+    fn page_alloc_is_page_aligned() {
+        let mut a = RegionAllocator::new(OwnerId(9));
+        let _pad = a.alloc_words(3).unwrap();
+        let p = a.alloc_pages(2).unwrap();
+        assert_eq!(p.offset() % PAGE_BYTES, 0);
+        assert_eq!(a.allocation_size(p), Some(2 * PAGE_BYTES));
+        // The page is fully addressable word by word.
+        let last = p.add_words(2 * PAGE_WORDS - 1);
+        assert_eq!(last.page().owner(), OwnerId(9));
+    }
+
+    #[test]
+    fn exhaustion_reported() {
+        let mut a = RegionAllocator::with_limit(OwnerId(0), 4 * WORD_BYTES);
+        // One word is reserved for "null".
+        assert!(a.alloc_words(3).is_ok());
+        assert_eq!(a.alloc_words(1), Err(UvaError::RegionExhausted));
+    }
+
+    #[test]
+    fn coalescing_allows_big_realloc() {
+        let mut a = RegionAllocator::with_limit(OwnerId(0), 1024);
+        let x = a.alloc_words(40).unwrap();
+        let y = a.alloc_words(40).unwrap();
+        let z = a.alloc_words(40).unwrap();
+        a.free(y).unwrap();
+        a.free(x).unwrap();
+        a.free(z).unwrap();
+        // All three blocks merged back; a 120-word allocation must fit.
+        assert!(a.alloc_words(120).is_ok());
+    }
+
+    #[test]
+    fn offset_zero_is_never_returned() {
+        let mut a = RegionAllocator::new(OwnerId(0));
+        let x = a.alloc_words(1).unwrap();
+        assert_ne!(x.raw(), 0, "null must stay unallocated");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any interleaving of allocs and frees keeps live blocks disjoint.
+        #[test]
+        fn live_blocks_never_overlap(ops in proptest::collection::vec((1u64..64, any::<bool>()), 1..120)) {
+            let mut a = RegionAllocator::with_limit(OwnerId(3), 1 << 20);
+            let mut live: Vec<(VAddr, u64)> = Vec::new();
+            for (words, do_free) in ops {
+                if do_free && !live.is_empty() {
+                    let (addr, _) = live.swap_remove(0);
+                    a.free(addr).unwrap();
+                } else if let Ok(addr) = a.alloc_words(words) {
+                    live.push((addr, words * 8));
+                }
+                // Check pairwise disjointness.
+                for i in 0..live.len() {
+                    for j in (i + 1)..live.len() {
+                        let (ai, li) = live[i];
+                        let (aj, lj) = live[j];
+                        let (si, ei) = (ai.offset(), ai.offset() + li);
+                        let (sj, ej) = (aj.offset(), aj.offset() + lj);
+                        prop_assert!(ei <= sj || ej <= si, "overlap {ai} {aj}");
+                    }
+                }
+            }
+        }
+
+        /// Freeing everything returns the allocator to a state where the
+        /// original maximal allocation fits again.
+        #[test]
+        fn full_free_restores_capacity(sizes in proptest::collection::vec(1u64..32, 1..40)) {
+            let mut a = RegionAllocator::with_limit(OwnerId(1), 1 << 16);
+            let mut addrs = Vec::new();
+            for s in &sizes {
+                if let Ok(addr) = a.alloc_words(*s) {
+                    addrs.push(addr);
+                }
+            }
+            for addr in addrs {
+                a.free(addr).unwrap();
+            }
+            prop_assert_eq!(a.live_allocations(), 0);
+            prop_assert_eq!(a.live_bytes(), 0);
+            // Region limit is 64 KiB with one reserved word.
+            prop_assert!(a.alloc_words((1 << 13) - 1).is_ok());
+        }
+
+        /// Owner bits survive encode/decode for every address ever handed out.
+        #[test]
+        fn owner_always_preserved(owner in 0u16..u16::MAX, words in 1u64..128) {
+            let mut a = RegionAllocator::new(OwnerId(owner));
+            let addr = a.alloc_words(words).unwrap();
+            prop_assert_eq!(addr.owner(), OwnerId(owner));
+            prop_assert_eq!(VAddr::from_raw(addr.raw()).owner(), OwnerId(owner));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Unified Virtual Address space (UVA).
+//!
+//! DSMTX gives every thread in the system the same view of virtual memory:
+//! a pointer allocated by thread 1 is valid in thread 2 without translation
+//! (§3.3 of the paper). The trick is static ownership — the space is
+//! partitioned into non-overlapping regions, one per thread, and the owner
+//! is encoded in the upper bits of the address. A thread satisfies its own
+//! allocations from the region it owns, so allocation needs no cross-thread
+//! synchronization; the owner bits tell the runtime where to fetch a page
+//! that is not resident locally.
+//!
+//! This crate provides the address arithmetic ([`addr`]) and the per-thread
+//! region allocator ([`alloc`]). The paper hooks `malloc`/`free`; programs
+//! written against this reproduction call [`alloc::RegionAllocator`]
+//! directly, which plays the same role.
+//!
+//! # Example
+//!
+//! ```
+//! use dsmtx_uva::{OwnerId, RegionAllocator, VAddr};
+//!
+//! let mut heap = RegionAllocator::new(OwnerId(3));
+//! let p: VAddr = heap.alloc_words(16)?;
+//! assert_eq!(p.owner(), OwnerId(3));
+//! heap.free(p)?;
+//! # Ok::<(), dsmtx_uva::UvaError>(())
+//! ```
+
+pub mod addr;
+pub mod alloc;
+
+pub use addr::{OwnerId, PageId, VAddr, PAGE_BYTES, PAGE_WORDS, WORD_BYTES};
+pub use alloc::{RegionAllocator, UvaError};

@@ -1,0 +1,282 @@
+//! `179.art` — SPEC CFP2000 image recognition (Adaptive Resonance Theory).
+//!
+//! Paper plan: `Spec-DSWP+[S, DOALL, S]`. Iteration execution times are
+//! highly unbalanced because the inner loops' trip counts vary, so the
+//! first stage distributes work by queue occupancy; TLS's round-trip
+//! communication makes its speedup grow slower than Spec-DSWP (§5.2).
+//! This reproduction's runtime distributes round-robin (occupancy-based
+//! dispatch is future work); the imbalance itself is faithfully present.
+//!
+//! Kernel: each iteration matches one image window against a template
+//! bank; the refinement loop's trip count is data-dependent and varies by
+//! an order of magnitude. A sequential stage tracks the global best
+//! match.
+
+use std::sync::Arc;
+
+use dsmtx::{IterOutcome, MtxId, StageId, WorkerCtx};
+use dsmtx_mem::MasterMem;
+use dsmtx_paradigms::paradigm::StageLabel;
+use dsmtx_paradigms::{Paradigm, Pipeline, SpecKind, Tls};
+use dsmtx_sim::{
+    profile::{StageProfile, StageShape},
+    TlsPlan, WorkloadProfile,
+};
+
+use crate::common::{
+    load_words, master_heap, store_words, Kernel, KernelError, Mode, Scale, Stream, Table2Entry,
+};
+
+/// Maximum refinement iterations (the imbalance knob).
+const MAX_TRIPS: u64 = 24;
+
+/// The art kernel.
+#[derive(Debug, Default)]
+pub struct Art;
+
+/// Data-dependent refinement trip count for a window.
+pub(crate) fn trips(window: &[u64]) -> u64 {
+    1 + window.first().copied().unwrap_or(0) % MAX_TRIPS
+}
+
+/// Matches one window: iterative refinement whose length varies per
+/// window. Returns the match score.
+pub(crate) fn match_window(window: &[u64]) -> u64 {
+    let t = trips(window);
+    let mut acc = 0x9E37_79B9u64;
+    for round in 0..t {
+        for &px in window {
+            acc = acc
+                .rotate_left(((px % 13) + round) as u32 % 63)
+                .wrapping_add(px.wrapping_mul(round * 2 + 1));
+        }
+    }
+    acc
+}
+
+fn generate(scale: Scale) -> Vec<u64> {
+    let mut s = Stream::new(scale.seed ^ 0x179);
+    (0..scale.iterations * scale.unit).map(|_| s.below(251)).collect()
+}
+
+/// Folds a score into the `[best_score, best_index]` state.
+fn fold_best(state: &mut [u64], score: u64, index: u64) {
+    if score > state[0] {
+        state[0] = score;
+        state[1] = index;
+    }
+}
+
+impl Art {
+    fn sequential(windows: &[u64], scale: Scale) -> Vec<u64> {
+        let mut best = [0u64, 0u64];
+        let mut out = Vec::with_capacity(scale.iterations as usize + 2);
+        for i in 0..scale.iterations {
+            let w = &windows[(i * scale.unit) as usize..((i + 1) * scale.unit) as usize];
+            let score = match_window(w);
+            out.push(score);
+            fold_best(&mut best, score, i);
+        }
+        out.extend_from_slice(&best);
+        out
+    }
+
+    fn run_generated(&self, mode: Mode, scale: Scale) -> Result<Vec<u64>, KernelError> {
+        let windows = generate(scale);
+        let n = scale.iterations;
+        let unit = scale.unit;
+        if let Mode::Sequential = mode {
+            return Ok(Self::sequential(&windows, scale));
+        }
+        let mut heap = master_heap();
+        let w_base = heap
+            .alloc_words(n * unit)
+            .map_err(|e| KernelError(e.to_string()))?;
+        let out_base = heap.alloc_words(n).map_err(|e| KernelError(e.to_string()))?;
+        let best_base = heap.alloc_words(2).map_err(|e| KernelError(e.to_string()))?;
+        let mut master = MasterMem::new();
+        store_words(&mut master, w_base, &windows);
+
+        let compute_score = move |ctx: &mut WorkerCtx, i: u64| -> Result<u64, dsmtx::Interrupt> {
+            let window: Vec<u64> = (0..unit)
+                .map(|k| ctx.read_private(w_base.add_words(i * unit + k)))
+                .collect::<Result<_, _>>()?;
+            Ok(match_window(&window))
+        };
+
+        let recovery = Box::new(move |mtx: MtxId, master: &mut MasterMem| {
+            let window = load_words(master, w_base.add_words(mtx.0 * unit), unit);
+            let score = match_window(&window);
+            master.write(out_base.add_words(mtx.0), score);
+            let mut best = [master.read(best_base), master.read(best_base.add_words(1))];
+            fold_best(&mut best, score, mtx.0);
+            master.write(best_base, best[0]);
+            master.write(best_base.add_words(1), best[1]);
+            IterOutcome::Continue
+        });
+
+        let result = match mode {
+            Mode::Dsmtx { workers } => {
+                let dispatch = Arc::new(move |ctx: &mut WorkerCtx, mtx: MtxId| {
+                    if mtx.0 >= n {
+                        return Ok(IterOutcome::Continue);
+                    }
+                    ctx.produce_to(StageId(1), mtx.0);
+                    Ok(IterOutcome::Continue)
+                });
+                let matcher = Arc::new(move |ctx: &mut WorkerCtx, mtx: MtxId| {
+                    if mtx.0 >= n {
+                        return Ok(IterOutcome::Continue);
+                    }
+                    let i = ctx.consume_from(StageId(0));
+                    let score = compute_score(ctx, i)?;
+                    ctx.produce_to(StageId(2), score);
+                    Ok(IterOutcome::Continue)
+                });
+                let reduce = Arc::new(move |ctx: &mut WorkerCtx, mtx: MtxId| {
+                    if mtx.0 >= n {
+                        return Ok(IterOutcome::Continue);
+                    }
+                    let score = ctx.consume_from(StageId(1));
+                    ctx.write_no_forward(out_base.add_words(mtx.0), score)?;
+                    let best0 = ctx.read(best_base)?;
+                    if score > best0 {
+                        ctx.write_no_forward(best_base, score)?;
+                        ctx.write_no_forward(best_base.add_words(1), mtx.0)?;
+                    }
+                    Ok(IterOutcome::Continue)
+                });
+                Pipeline::new()
+                    .seq(dispatch)
+                    .par(workers.max(1), matcher)
+                    .seq(reduce)
+                    .run(master, recovery, Some(n))?
+            }
+            Mode::Tls { workers } => {
+                let body = Arc::new(move |ctx: &mut WorkerCtx, mtx: MtxId| {
+                    if mtx.0 >= n {
+                        return Ok(IterOutcome::Continue);
+                    }
+                    let score = compute_score(ctx, mtx.0)?;
+                    ctx.write_no_forward(out_base.add_words(mtx.0), score)?;
+                    let incoming = ctx.sync_take();
+                    let mut best = if incoming.len() == 2 {
+                        [incoming[0], incoming[1]]
+                    } else {
+                        [ctx.read(best_base)?, ctx.read(best_base.add_words(1))?]
+                    };
+                    fold_best(&mut best, score, mtx.0);
+                    ctx.write_no_forward(best_base, best[0])?;
+                    ctx.write_no_forward(best_base.add_words(1), best[1])?;
+                    ctx.sync_produce(best[0]);
+                    ctx.sync_produce(best[1]);
+                    Ok(IterOutcome::Continue)
+                });
+                Tls::new(workers.max(1)).run(master, body, recovery, Some(n))?
+            }
+            Mode::Sequential => unreachable!("handled above"),
+        };
+
+        let mut out = load_words(&result.master, out_base, n);
+        out.push(result.master.read(best_base));
+        out.push(result.master.read(best_base.add_words(1)));
+        Ok(out)
+    }
+}
+
+impl Kernel for Art {
+    fn info(&self) -> Table2Entry {
+        Table2Entry {
+            name: "179.art",
+            suite: "SPEC CFP 2000",
+            description: "image recognition",
+            paradigm: Paradigm::SpecDswp {
+                stages: vec![StageLabel::S, StageLabel::Doall, StageLabel::S],
+            },
+            speculation: vec![SpecKind::MemoryVersioning],
+        }
+    }
+
+    fn profile(&self) -> WorkloadProfile {
+        WorkloadProfile {
+            name: "179.art".into(),
+            iter_work: 3.0e-3,
+            iterations: 6000,
+            coverage: 0.99,
+            stages: vec![
+                StageProfile {
+                    shape: StageShape::Sequential,
+                    work_fraction: 0.01,
+                    bytes_out: 4_096.0,
+                },
+                StageProfile {
+                    shape: StageShape::Parallel,
+                    work_fraction: 0.98,
+                    bytes_out: 16.0,
+                },
+                StageProfile {
+                    shape: StageShape::Sequential,
+                    work_fraction: 0.01,
+                    bytes_out: 0.0,
+                },
+            ],
+            validation_words: 24.0,
+            tls: TlsPlan {
+                // The round-trip for the best-match state slows TLS as
+                // cores (and hence latency) grow.
+                sync_fraction: 0.035,
+                bytes_per_iter: 256.0,
+                validation_words: 24.0,
+            },
+            chunked: false,
+            invocation: None,
+        }
+    }
+
+    fn run(&self, mode: Mode, scale: Scale) -> Result<Vec<u64>, KernelError> {
+        self.run_generated(mode, scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_modes_agree() {
+        let k = Art;
+        let scale = Scale::test();
+        let seq = k.run(Mode::Sequential, scale).unwrap();
+        let par = k.run(Mode::Dsmtx { workers: 3 }, scale).unwrap();
+        let tls = k.run(Mode::Tls { workers: 2 }, scale).unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(seq, tls);
+    }
+
+    #[test]
+    fn trip_counts_really_vary() {
+        let windows = generate(Scale::test());
+        let scale = Scale::test();
+        let counts: std::collections::HashSet<u64> = (0..scale.iterations)
+            .map(|i| trips(&windows[(i * scale.unit) as usize..((i + 1) * scale.unit) as usize]))
+            .collect();
+        assert!(counts.len() > 1, "imbalance requires varying trip counts");
+    }
+
+    #[test]
+    fn best_match_is_argmax() {
+        let k = Art;
+        let scale = Scale::test();
+        let out = k.run(Mode::Sequential, scale).unwrap();
+        let scores = &out[..scale.iterations as usize];
+        let best_score = out[scale.iterations as usize];
+        let best_index = out[scale.iterations as usize + 1];
+        assert_eq!(best_score, *scores.iter().max().unwrap());
+        assert_eq!(scores[best_index as usize], best_score);
+    }
+
+    #[test]
+    fn profile_is_consistent() {
+        Art.profile().check();
+    }
+}

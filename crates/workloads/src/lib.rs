@@ -1,0 +1,36 @@
+//! Synthetic equivalents of the paper's 11 benchmarks.
+//!
+//! SPEC CPU and PARSEC sources and inputs are licensed and unavailable, so
+//! each benchmark is reproduced as a *kernel* that mimics what the
+//! evaluation actually exercises: the loop structure, the parallelization
+//! paradigm (Table 2), the speculation types, the communication pattern,
+//! and the scalability limiter described in §5.2. Every kernel provides:
+//!
+//! * a **sequential reference** (`Mode::Sequential`),
+//! * the benchmark's best **DSMTX plan** on the real runtime
+//!   (`Mode::Dsmtx`),
+//! * the **TLS-only baseline** where the paper's plan differs
+//!   (`Mode::Tls`), and
+//! * a calibrated [`dsmtx_sim::WorkloadProfile`] that regenerates its
+//!   Figure 4/5/6 curves on the cluster simulator.
+//!
+//! All three modes must produce identical output — the integration tests
+//! enforce it, with and without injected misspeculation.
+
+pub mod common;
+pub mod registry;
+
+pub mod alvinn;
+pub mod art;
+pub mod blackscholes;
+pub mod bzip2;
+pub mod crc32;
+pub mod gzip;
+pub mod h264ref;
+pub mod hmmer;
+pub mod li;
+pub mod parser;
+pub mod swaptions;
+
+pub use common::{Kernel, KernelError, Mode, Scale, Table2Entry};
+pub use registry::{all_kernels, kernel_by_name};

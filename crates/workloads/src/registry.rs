@@ -1,0 +1,64 @@
+//! Registry of all reproduced benchmarks (Table 2 order).
+
+use crate::common::Kernel;
+
+/// All eleven reproduced benchmarks, in Table 2 order.
+pub fn all_kernels() -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(crate::alvinn::Alvinn),
+        Box::new(crate::li::Li),
+        Box::new(crate::gzip::Gzip),
+        Box::new(crate::art::Art),
+        Box::new(crate::parser::Parser),
+        Box::new(crate::bzip2::Bzip2),
+        Box::new(crate::hmmer::Hmmer),
+        Box::new(crate::h264ref::H264Ref),
+        Box::new(crate::crc32::Crc32),
+        Box::new(crate::blackscholes::BlackScholes),
+        Box::new(crate::swaptions::Swaptions),
+    ]
+}
+
+/// Looks up a kernel by its Table 2 name.
+pub fn kernel_by_name(name: &str) -> Option<Box<dyn Kernel>> {
+    all_kernels().into_iter().find(|k| k.info().name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_benchmarks_like_the_paper() {
+        assert_eq!(all_kernels().len(), 11);
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let kernels = all_kernels();
+        let names: std::collections::HashSet<_> =
+            kernels.iter().map(|k| k.info().name).collect();
+        assert_eq!(names.len(), 11);
+        for name in names {
+            assert!(kernel_by_name(name).is_some(), "{name}");
+        }
+        assert!(kernel_by_name("999.nonesuch").is_none());
+    }
+
+    #[test]
+    fn every_profile_is_consistent() {
+        for k in all_kernels() {
+            k.profile().check();
+        }
+    }
+
+    #[test]
+    fn table2_metadata_is_complete() {
+        for k in all_kernels() {
+            let info = k.info();
+            assert!(!info.suite.is_empty());
+            assert!(!info.description.is_empty());
+            assert!(!info.speculation.is_empty(), "{}", info.name);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Speculating that interpreter scripts are independent — the `130.li`
+//! structure.
+//!
+//! The parallelization speculates that no script mutates the interpreter
+//! environment or exits the interpreter. A corpus with one `SETENV`
+//! script manifests the environment dependence (caught by value
+//! validation in the try-commit unit), and one with an `EXIT` script ends
+//! the loop under control speculation. The TLS baseline orders the print
+//! through the replica ring.
+//!
+//! Run with: `cargo run -p dsmtx-examples --bin interpreter_tls`
+
+use dsmtx_workloads::li::{Corpus, Li, ENV_WORDS};
+use dsmtx_workloads::{Mode, Scale};
+
+fn run(corpus: Corpus, label: &str) {
+    let li = Li;
+    let scale = Scale {
+        iterations: 12,
+        unit: 10,
+        seed: 1130,
+    };
+    let seq = li.run_corpus(Mode::Sequential, scale, corpus).expect("seq");
+    let par = li
+        .run_corpus(Mode::Dsmtx { workers: 3 }, scale, corpus)
+        .expect("dsmtx");
+    let tls = li
+        .run_corpus(Mode::Tls { workers: 2 }, scale, corpus)
+        .expect("tls");
+    assert_eq!(seq, par, "{label}: DSWP+[Spec-DOALL,S] output");
+    assert_eq!(seq, tls, "{label}: TLS output");
+    let count = seq[seq.len() - 1 - ENV_WORDS as usize];
+    let env = &seq[seq.len() - ENV_WORDS as usize..];
+    println!("{label}: {count} scripts printed, final env = {env:?}");
+}
+
+fn main() {
+    run(
+        Corpus {
+            with_setenv: false,
+            with_exit: false,
+        },
+        "pure scripts          ",
+    );
+    run(
+        Corpus {
+            with_setenv: true,
+            with_exit: false,
+        },
+        "one SETENV script     ",
+    );
+    run(
+        Corpus {
+            with_setenv: false,
+            with_exit: true,
+        },
+        "one EXIT script       ",
+    );
+    run(
+        Corpus {
+            with_setenv: true,
+            with_exit: true,
+        },
+        "SETENV + EXIT combined",
+    );
+    println!("\nall modes agree on every corpus");
+}

@@ -1,0 +1,5 @@
+//! Workspace-level integration tests for the DSMTX reproduction.
+//!
+//! See the `tests/` directory: kernel equivalence across execution modes,
+//! property-based runtime checks, adversarial recovery scenarios, and
+//! simulator invariants.

@@ -1,0 +1,136 @@
+//! Cross-crate equivalence tests: every benchmark kernel must produce the
+//! same output sequentially, on the DSMTX plan, and on the TLS baseline —
+//! at several worker counts, and under injected misspeculation.
+
+use dsmtx_workloads::{all_kernels, Mode, Scale};
+
+#[test]
+fn every_kernel_agrees_across_modes_and_worker_counts() {
+    let scale = Scale::test();
+    for kernel in all_kernels() {
+        let name = kernel.info().name;
+        let seq = kernel.run(Mode::Sequential, scale).unwrap();
+        for workers in [1u16, 2, 4] {
+            let par = kernel.run(Mode::Dsmtx { workers }, scale).unwrap();
+            assert_eq!(seq, par, "{name} dsmtx x{workers}");
+            let tls = kernel.run(Mode::Tls { workers }, scale).unwrap();
+            assert_eq!(seq, tls, "{name} tls x{workers}");
+        }
+    }
+}
+
+#[test]
+fn every_kernel_handles_tiny_inputs() {
+    // One and two iterations exercise pipeline-fill edge cases.
+    for iterations in [1u64, 2] {
+        let scale = Scale {
+            iterations,
+            unit: 6,
+            seed: 99,
+        };
+        for kernel in all_kernels() {
+            let name = kernel.info().name;
+            let seq = kernel.run(Mode::Sequential, scale).unwrap();
+            let par = kernel.run(Mode::Dsmtx { workers: 2 }, scale).unwrap();
+            assert_eq!(seq, par, "{name} n={iterations}");
+        }
+    }
+}
+
+#[test]
+fn every_kernel_is_deterministic_across_runs() {
+    let scale = Scale::test();
+    for kernel in all_kernels() {
+        let name = kernel.info().name;
+        let a = kernel.run(Mode::Dsmtx { workers: 3 }, scale).unwrap();
+        let b = kernel.run(Mode::Dsmtx { workers: 3 }, scale).unwrap();
+        assert_eq!(a, b, "{name} must be run-to-run deterministic");
+    }
+}
+
+#[test]
+fn planted_faults_recover_everywhere() {
+    let scale = Scale::test();
+
+    let crc = dsmtx_workloads::crc32::Crc32;
+    let seq = crc.run_with_planted_error(Mode::Sequential, scale).unwrap();
+    for workers in [1u16, 3] {
+        let par = crc
+            .run_with_planted_error(Mode::Dsmtx { workers }, scale)
+            .unwrap();
+        assert_eq!(seq, par, "crc32 x{workers}");
+    }
+
+    let bs = dsmtx_workloads::blackscholes::BlackScholes;
+    let seq = bs.run_with_planted_error(Mode::Sequential, scale).unwrap();
+    let par = bs
+        .run_with_planted_error(Mode::Tls { workers: 2 }, scale)
+        .unwrap();
+    assert_eq!(seq, par, "blackscholes tls");
+
+    let sw = dsmtx_workloads::swaptions::Swaptions;
+    let seq = sw.run_with_planted_error(Mode::Sequential, scale).unwrap();
+    let par = sw
+        .run_with_planted_error(Mode::Dsmtx { workers: 2 }, scale)
+        .unwrap();
+    assert_eq!(seq, par, "swaptions");
+
+    let gz = dsmtx_workloads::gzip::Gzip;
+    let seq = gz.run_with_planted_escape(Mode::Sequential, scale).unwrap();
+    let par = gz
+        .run_with_planted_escape(Mode::Dsmtx { workers: 3 }, scale)
+        .unwrap();
+    assert_eq!(seq, par, "gzip");
+
+    let bz = dsmtx_workloads::bzip2::Bzip2;
+    let seq = bz.run_with_planted_error(Mode::Sequential, scale).unwrap();
+    let par = bz
+        .run_with_planted_error(Mode::Dsmtx { workers: 2 }, scale)
+        .unwrap();
+    assert_eq!(seq, par, "bzip2");
+
+    let ps = dsmtx_workloads::parser::Parser;
+    let seq = ps
+        .run_with_planted_unknown(Mode::Sequential, scale)
+        .unwrap();
+    for workers in [2u16, 4] {
+        let par = ps
+            .run_with_planted_unknown(Mode::Dsmtx { workers }, scale)
+            .unwrap();
+        assert_eq!(seq, par, "parser x{workers}");
+        let tls = ps
+            .run_with_planted_unknown(Mode::Tls { workers }, scale)
+            .unwrap();
+        assert_eq!(seq, tls, "parser tls x{workers}");
+    }
+}
+
+#[test]
+fn li_env_mutation_and_exit_combined() {
+    let li = dsmtx_workloads::li::Li;
+    let scale = Scale::test();
+    let corpus = dsmtx_workloads::li::Corpus {
+        with_setenv: true,
+        with_exit: true,
+    };
+    let seq = li.run_corpus(Mode::Sequential, scale, corpus).unwrap();
+    let par = li
+        .run_corpus(Mode::Dsmtx { workers: 3 }, scale, corpus)
+        .unwrap();
+    let tls = li.run_corpus(Mode::Tls { workers: 2 }, scale, corpus).unwrap();
+    assert_eq!(seq, par);
+    assert_eq!(seq, tls);
+}
+
+/// Bench-scale inputs (32 iterations x 256 words) through the real
+/// runtime: larger blocks, multi-page COA, longer pipelines.
+#[test]
+fn kernels_agree_at_bench_scale() {
+    let scale = Scale::bench();
+    for name in ["164.gzip", "456.hmmer", "197.parser"] {
+        let kernel = dsmtx_workloads::kernel_by_name(name).unwrap();
+        let seq = kernel.run(Mode::Sequential, scale).unwrap();
+        let par = kernel.run(Mode::Dsmtx { workers: 4 }, scale).unwrap();
+        assert_eq!(seq, par, "{name} at bench scale");
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based invariants of the cluster simulator over random
+//! profiles.
+
+use dsmtx_sim::profile::{StageProfile, StageShape};
+use dsmtx_sim::{SimEngine, TlsPlan, WorkloadProfile};
+use proptest::prelude::*;
+
+fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
+    (
+        1u64..5000,           // iterations
+        1u64..2000,           // iteration work in microseconds
+        0.0f64..0.2,          // first-stage fraction
+        0.0f64..0.2,          // last-stage fraction
+        0.0f64..100_000.0,    // stage-0 bytes out
+        0.0f64..0.3,          // TLS sync fraction
+        0.5f64..1.0,          // coverage
+        0.0f64..256.0,        // validation words
+    )
+        .prop_map(
+            |(iters, work_us, f0, f2, bytes0, sync, coverage, val_words)| {
+                let fp = (1.0 - f0 - f2).max(0.01);
+                let norm = f0 + fp + f2;
+                WorkloadProfile {
+                    name: "random".into(),
+                    iter_work: work_us as f64 * 1.0e-6,
+                    iterations: iters,
+                    coverage,
+                    stages: vec![
+                        StageProfile {
+                            shape: StageShape::Sequential,
+                            work_fraction: f0 / norm,
+                            bytes_out: bytes0,
+                        },
+                        StageProfile {
+                            shape: StageShape::Parallel,
+                            work_fraction: fp / norm,
+                            bytes_out: bytes0 / 4.0,
+                        },
+                        StageProfile {
+                            shape: StageShape::Sequential,
+                            work_fraction: f2 / norm,
+                            bytes_out: 0.0,
+                        },
+                    ],
+                    validation_words: val_words,
+                    tls: TlsPlan {
+                        sync_fraction: sync,
+                        bytes_per_iter: bytes0 / 8.0,
+                        validation_words: val_words,
+                    },
+                    chunked: false,
+                    invocation: None,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    /// Speedups are physical: positive, never above the worker count,
+    /// never above the Amdahl bound.
+    #[test]
+    fn speedups_are_physical(profile in arb_profile(), cores in 4u32..129) {
+        let e = SimEngine::default();
+        for out in [
+            e.simulate_spec_dswp(&profile, cores, 0.0),
+            e.simulate_tls(&profile, cores, 0.0),
+        ] {
+            prop_assert!(out.app_speedup > 0.0);
+            prop_assert!(out.loop_speedup <= out.workers as f64 + 1e-6,
+                "{} > {}", out.loop_speedup, out.workers);
+            let amdahl = 1.0 / (1.0 - profile.coverage).max(1e-12);
+            prop_assert!(out.app_speedup <= amdahl + 1e-6);
+            // Amdahl blending: the app speedup lies between the loop
+            // speedup and 1 (whichever side the loop lands on).
+            let (lo, hi) = if out.loop_speedup >= 1.0 {
+                (1.0, out.loop_speedup)
+            } else {
+                (out.loop_speedup, 1.0)
+            };
+            prop_assert!(out.app_speedup >= lo - 1e-6 && out.app_speedup <= hi + 1e-6,
+                "app {} outside [{}, {}]", out.app_speedup, lo, hi);
+            prop_assert!(out.bytes >= 0.0 && out.bandwidth >= 0.0);
+        }
+    }
+
+    /// More cores never slow the Spec-DSWP loop itself down by more than
+    /// model noise (the latency term grows mildly with node count).
+    #[test]
+    fn dswp_loop_time_roughly_monotone(profile in arb_profile()) {
+        let e = SimEngine::default();
+        let t32 = e.simulate_spec_dswp(&profile, 32, 0.0).loop_time;
+        let t128 = e.simulate_spec_dswp(&profile, 128, 0.0).loop_time;
+        prop_assert!(t128 <= t32 * 1.25, "{t128} vs {t32}");
+    }
+
+    /// Injected misspeculation never speeds a run up, and the overhead
+    /// attribution accounts for the measured slowdown.
+    #[test]
+    fn misspec_overhead_is_accounted(profile in arb_profile(), rate_inv in 10u64..400) {
+        let e = SimEngine::default();
+        let rate = 1.0 / rate_inv as f64;
+        let clean = e.simulate_spec_dswp(&profile, 64, 0.0);
+        let dirty = e.simulate_spec_dswp(&profile, 64, rate);
+        prop_assert!(dirty.loop_time >= clean.loop_time * 0.999);
+        prop_assert!(dirty.recovery.episodes >= 1);
+        let measured = dirty.loop_time - clean.loop_time;
+        // The explicit components never exceed measured overhead by more
+        // than the refill slack the model folds into RFP.
+        prop_assert!(dirty.recovery.total() >= measured * 0.5 - 1e-9);
+    }
+
+    /// A cyclic synchronized dependence caps TLS at 1/sync_fraction.
+    #[test]
+    fn tls_sync_bound_holds(profile in arb_profile()) {
+        prop_assume!(profile.tls.sync_fraction > 0.01);
+        let e = SimEngine::default();
+        let out = e.simulate_tls(&profile, 128, 0.0);
+        let cap = 1.0 / profile.tls.sync_fraction;
+        prop_assert!(out.loop_speedup <= cap * 1.05, "{} vs cap {}", out.loop_speedup, cap);
+    }
+
+    /// Disabling batching never helps a non-chunked profile.
+    #[test]
+    fn unbatched_never_faster(profile in arb_profile()) {
+        use dsmtx_sim::ClusterConfig;
+        let on = SimEngine::new(ClusterConfig::paper()).simulate_spec_dswp(&profile, 64, 0.0);
+        let off = SimEngine::new(ClusterConfig::paper_unbatched()).simulate_spec_dswp(&profile, 64, 0.0);
+        prop_assert!(off.loop_time >= on.loop_time * 0.999);
+    }
+}
