@@ -23,11 +23,9 @@ fn bench_ablations(c: &mut Criterion) {
         b.iter(|| latency_sweep(&hmmer, 128, &[1.0e-6, 8.0e-6, 64.0e-6]))
     });
     for writes in [1u64, 64] {
-        group.bench_with_input(
-            BenchmarkId::new("diff_vs_log", writes),
-            &writes,
-            |b, &w| b.iter(|| diff_vs_log(64, w)),
-        );
+        group.bench_with_input(BenchmarkId::new("diff_vs_log", writes), &writes, |b, &w| {
+            b.iter(|| diff_vs_log(64, w))
+        });
     }
     group.finish();
 }

@@ -21,11 +21,9 @@ fn bench_fig4(c: &mut Criterion) {
             &profile,
             |b, p| b.iter(|| engine.simulate_spec_dswp(p, 128, 0.0)),
         );
-        group.bench_with_input(
-            BenchmarkId::new("tls", &profile.name),
-            &profile,
-            |b, p| b.iter(|| engine.simulate_tls(p, 128, 0.0)),
-        );
+        group.bench_with_input(BenchmarkId::new("tls", &profile.name), &profile, |b, p| {
+            b.iter(|| engine.simulate_tls(p, 128, 0.0))
+        });
     }
     group.finish();
 }

@@ -112,9 +112,8 @@ fn bench_spec_mem_ops(c: &mut Criterion) {
     group.bench_function("write_read_resident", |b| {
         b.iter(|| {
             let mut mem = SpecMem::new();
-            let fetch = |_: PageId| -> Result<Page, std::convert::Infallible> {
-                Ok(Page::zeroed())
-            };
+            let fetch =
+                |_: PageId| -> Result<Page, std::convert::Infallible> { Ok(Page::zeroed()) };
             for i in 0..OPS {
                 let addr = base.add_words(i % (8 * 512));
                 mem.write(addr, i, fetch).unwrap();

@@ -1,7 +1,9 @@
 //! Ablation renderings: quantifying DSMTX's design choices.
 
 use dsmtx_mem::Page;
-use dsmtx_sim::{batch_sweep, coa_granularity, latency_sweep, runahead_sweep, unit_shard_sweep, ClusterConfig};
+use dsmtx_sim::{
+    batch_sweep, coa_granularity, latency_sweep, runahead_sweep, unit_shard_sweep, ClusterConfig,
+};
 use dsmtx_workloads::kernel_by_name;
 
 use crate::format::{speedup, Table};
@@ -9,9 +11,7 @@ use crate::format::{speedup, Table};
 /// Queue batch-size sweep on the communication-bound benchmarks.
 pub fn batching_ablation_text() -> String {
     let batches = [1.0, 4.0, 16.0, 64.0, 256.0, 1024.0];
-    let mut t = Table::new(vec![
-        "benchmark", "batch=1", "4", "16", "64", "256", "1024",
-    ]);
+    let mut t = Table::new(vec!["benchmark", "batch=1", "4", "16", "64", "256", "1024"]);
     for name in ["197.parser", "179.art", "130.li"] {
         let profile = kernel_by_name(name).expect("known").profile();
         let pts = batch_sweep(&profile, 128, &batches);

@@ -1,11 +1,59 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! cargo run --release -p dsmtx-bench --bin repro -- [fig1|fig2|fig3|fig4|fig5a|fig5b|fig6|table1|table2|ablations|all]
+//! cargo run --release -p dsmtx-bench --bin repro -- \
+//!     [fig1|fig2|fig3|fig4|fig5a|fig5b|fig6|table1|table2|ablations|trace|all] \
+//!     [--iters N] [--trace-out FILE] [--metrics-out FILE]
 //! ```
+//!
+//! The `trace` section runs a real traced pipeline and prints a
+//! stage-occupancy report; `--trace-out` additionally writes a Chrome
+//! `trace_event` JSON (open in `chrome://tracing` or Perfetto) and
+//! `--metrics-out` a JSONL metrics dump in the shared schema.
 
 fn main() {
-    let what = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut what: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut iters: u64 = 200;
+
+    let mut i = 0;
+    while i < args.len() {
+        let take_value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| {
+                eprintln!("missing value after `{}`", args[*i - 1]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--trace-out" => trace_out = Some(take_value(&mut i)),
+            "--metrics-out" => metrics_out = Some(take_value(&mut i)),
+            "--iters" => {
+                let v = take_value(&mut i);
+                iters = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --iters value `{v}`");
+                    std::process::exit(2);
+                });
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag `{flag}`");
+                std::process::exit(2);
+            }
+            name => what = Some(name.to_string()),
+        }
+        i += 1;
+    }
+    // Asking for an output file implies the trace section.
+    let what = what.unwrap_or_else(|| {
+        if trace_out.is_some() || metrics_out.is_some() {
+            "trace".into()
+        } else {
+            "all".into()
+        }
+    });
+
     let mut printed = false;
     let mut section = |name: &str, body: &dyn Fn() -> String| {
         if what == name || what == "all" {
@@ -24,9 +72,33 @@ fn main() {
     section("table1", &dsmtx_bench::table1_text);
     section("table2", &dsmtx_bench::table2_text);
     section("ablations", &dsmtx_bench::ablations_text);
+
+    if what == "trace" || what == "all" {
+        let result = dsmtx_bench::run_traced_pipeline(iters);
+        println!("{}", dsmtx_bench::occupancy_text(&result));
+        if let Some(path) = &trace_out {
+            let json = dsmtx_bench::chrome_trace_json(&result);
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote Chrome trace ({} bytes) to {path}", json.len());
+        }
+        if let Some(path) = &metrics_out {
+            let jsonl = dsmtx_bench::metrics_jsonl(&result);
+            if let Err(e) = std::fs::write(path, &jsonl) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote metrics ({} lines) to {path}", jsonl.lines().count());
+        }
+        println!("{}", "=".repeat(72));
+        printed = true;
+    }
+
     if !printed {
         eprintln!(
-            "unknown target `{what}`; use fig1|fig2|fig3|fig4|fig5a|fig5b|fig6|table1|table2|ablations|all"
+            "unknown target `{what}`; use fig1|fig2|fig3|fig4|fig5a|fig5b|fig6|table1|table2|ablations|trace|all"
         );
         std::process::exit(2);
     }

@@ -2,9 +2,7 @@
 
 use std::sync::Arc;
 
-use dsmtx::{
-    IterOutcome, MtxId, MtxSystem, Program, StageKind, SystemConfig, WorkerCtx,
-};
+use dsmtx::{IterOutcome, MtxId, MtxSystem, Program, StageKind, SystemConfig, WorkerCtx};
 use dsmtx_mem::MasterMem;
 use dsmtx_paradigms::taxonomy;
 use dsmtx_sim::report::{
@@ -22,11 +20,12 @@ use crate::format::{bandwidth, speedup, Table};
 
 /// Figure 1(c,d): the two schedules at communication latencies 1 and 2.
 pub fn fig1_text() -> String {
-    let mut out = String::from(
-        "Figure 1: DSWP is more tolerant than DOACROSS to inter-core latency\n\n",
-    );
+    let mut out =
+        String::from("Figure 1: DSWP is more tolerant than DOACROSS to inter-core latency\n\n");
     for latency in [1u64, 2] {
-        out.push_str(&format!("--- communication latency = {latency} cycle(s) ---\n"));
+        out.push_str(&format!(
+            "--- communication latency = {latency} cycle(s) ---\n"
+        ));
         out.push_str(&doacross_schedule(5, latency).render());
         out.push('\n');
         out.push_str(&dswp_schedule(5, latency).render());
@@ -83,7 +82,8 @@ pub fn fig3_text() -> String {
     });
 
     let mut cfg = SystemConfig::new();
-    cfg.stage(StageKind::Sequential).stage(StageKind::Sequential);
+    cfg.stage(StageKind::Sequential)
+        .stage(StageKind::Sequential);
     let system = MtxSystem::new(&cfg).expect("config").trace(true);
     let result = system
         .run(Program {
@@ -95,17 +95,12 @@ pub fn fig3_text() -> String {
         })
         .expect("run");
 
-    let origin = result
-        .report
-        .trace
-        .first()
-        .map(|e| e.at)
-        .unwrap_or_else(std::time::Instant::now);
+    let origin = result.report.trace.first().map_or(0, |e| e.at_us);
     let mut t = Table::new(vec!["t (us)", "who", "event", "mtx", "stage"]);
     for e in &result.report.trace {
         t.row(vec![
-            format!("{}", e.at.duration_since(origin).as_micros()),
-            e.who.to_string(),
+            format!("{}", e.at_us.saturating_sub(origin)),
+            e.role.to_string(),
             format!("{:?}", e.kind),
             e.mtx.map_or(String::new(), |m| m.to_string()),
             e.stage.map_or(String::new(), |s| s.to_string()),
@@ -169,9 +164,8 @@ pub fn fig4_data(core_counts: &[u32]) -> Vec<Fig4Row> {
 pub fn fig4_text() -> String {
     let cores = figure4_core_counts();
     let rows = fig4_data(&cores);
-    let mut out = String::from(
-        "Figure 4: full-application speedup vs cores (DSMTX best plan / TLS)\n\n",
-    );
+    let mut out =
+        String::from("Figure 4: full-application speedup vs cores (DSMTX best plan / TLS)\n\n");
     for row in rows {
         out.push_str(&format!("({}) {}\n", row.name, row.paradigm));
         let mut t = Table::new(vec!["cores", "DSMTX", "TLS"]);
@@ -196,7 +190,11 @@ pub fn fig5a_text() -> String {
     for k in all_kernels() {
         let profile = k.profile();
         for (cores, bps) in bandwidth_series(&engine, &profile, 3) {
-            t.row(vec![profile.name.clone(), cores.to_string(), bandwidth(bps)]);
+            t.row(vec![
+                profile.name.clone(),
+                cores.to_string(),
+                bandwidth(bps),
+            ]);
         }
     }
     format!(
@@ -273,7 +271,14 @@ pub fn fig6_text() -> String {
     let engine = SimEngine::default();
     let cores = [32u32, 64, 96, 128];
     let mut t = Table::new(vec![
-        "benchmark", "cores", "clean", "MIS", "ERM%", "FLQ%", "SEQ%", "RFP%",
+        "benchmark",
+        "cores",
+        "clean",
+        "MIS",
+        "ERM%",
+        "FLQ%",
+        "SEQ%",
+        "RFP%",
     ]);
     for name in FIG6_BENCHMARKS {
         let kernel = dsmtx_workloads::kernel_by_name(name).expect("known benchmark");
@@ -309,11 +314,17 @@ pub fn fig6_text() -> String {
 /// implements each operation.
 pub fn table1_text() -> String {
     let rows: &[(&str, &str)] = &[
-        ("DSMTX_Init / DSMTX_Finalize", "MtxSystem::run (setup/teardown)"),
+        (
+            "DSMTX_Init / DSMTX_Finalize",
+            "MtxSystem::run (setup/teardown)",
+        ),
         ("mtx_newDSMTXsystem", "MtxSystem::new(&SystemConfig)"),
         ("mtx_deleteSMTXsystem", "Drop impls (RAII)"),
         ("mtx_spawn", "MtxSystem::run spawns one thread per worker"),
-        ("mtx_commitUnit", "commit::CommitUnit (recovery_fun, commit_fun)"),
+        (
+            "mtx_commitUnit",
+            "commit::CommitUnit (recovery_fun, commit_fun)",
+        ),
         ("mtx_tryCommitUnit", "trycommit::TryCommitUnit"),
         ("mtx_produce", "WorkerCtx::produce / produce_to"),
         ("mtx_consume", "WorkerCtx::consume / consume_from"),
@@ -324,8 +335,14 @@ pub fn table1_text() -> String {
         ("mtx_read", "WorkerCtx::read"),
         ("mtx_misspec", "WorkerCtx::misspec"),
         ("mtx_terminate", "IterOutcome::Exit"),
-        ("mtx_doRecovery", "WorkerCtx::do_recovery (runtime-internal)"),
-        ("malloc/free hooks (UVA)", "WorkerCtx::heap (RegionAllocator)"),
+        (
+            "mtx_doRecovery",
+            "WorkerCtx::do_recovery (runtime-internal)",
+        ),
+        (
+            "malloc/free hooks (UVA)",
+            "WorkerCtx::heap (RegionAllocator)",
+        ),
     ];
     let mut t = Table::new(vec!["paper operation", "this reproduction"]);
     for (a, b) in rows {
@@ -394,7 +411,10 @@ mod tests {
 
         // 256.bzip2: TLS slightly better (it ships only the descriptor).
         let (d, t) = at(&row("256.bzip2").points, 128);
-        assert!(t > 0.9 * d && t < 1.5 * d, "bzip2 TLS slightly better: {d} vs {t}");
+        assert!(
+            t > 0.9 * d && t < 1.5 * d,
+            "bzip2 TLS slightly better: {d} vs {t}"
+        );
 
         // 456.hmmer: Spec-DSWP scales to higher core counts than TLS.
         let (d, t) = at(&row("456.hmmer").points, 128);

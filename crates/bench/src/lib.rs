@@ -12,6 +12,7 @@ pub mod ablations;
 pub mod figures;
 pub mod format;
 pub mod queuebench;
+pub mod tracedemo;
 
 pub use ablations::ablations_text;
 pub use figures::{
@@ -19,3 +20,4 @@ pub use figures::{
     table1_text, table2_text, taxonomy_text, Fig4Row,
 };
 pub use queuebench::{measure_queue_throughput, QueueThroughput};
+pub use tracedemo::{chrome_trace_json, metrics_jsonl, occupancy_text, run_traced_pipeline};

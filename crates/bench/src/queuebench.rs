@@ -25,8 +25,7 @@ pub struct QueueThroughput {
 /// size, charging the OpenMPI per-message cost, and returns the sustained
 /// bandwidth.
 pub fn measure_queue_throughput(words: u64, batch: usize) -> QueueThroughput {
-    let (mut tx, mut rx) =
-        channel_with::<u64>(batch, 1024, CostModel::OPENMPI, FabricStats::new());
+    let (mut tx, mut rx) = channel_with::<u64>(batch, 1024, CostModel::OPENMPI, FabricStats::new());
     let start = Instant::now();
     let producer = std::thread::spawn(move || {
         for v in 0..words {

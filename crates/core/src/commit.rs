@@ -22,7 +22,7 @@ use crate::control::{ControlPlane, Status};
 use crate::ids::{MtxId, StageId, WorkerId};
 use crate::poll::Backoff;
 use crate::program::{CommitHook, IterOutcome, RecoveryFn};
-use crate::trace::{TraceKind, TraceSink};
+use crate::trace::{Role, TraceKind, TraceSink};
 use crate::wire::Msg;
 
 /// Per-MTX events gathered from workers.
@@ -245,7 +245,8 @@ impl CommitUnit {
         self.master.commit_writes(writes.collect::<Vec<_>>());
         self.counters.committed += 1;
         self.counters.last_iteration = Some(m);
-        self.trace.record("commit", Some(m), None, TraceKind::Committed);
+        self.trace
+            .record(Role::Commit, Some(m), None, TraceKind::Committed);
         if let Some(hook) = &mut self.on_commit {
             hook(m, &self.master);
         }
@@ -262,7 +263,7 @@ impl CommitUnit {
     /// Orchestrates the §4.3 recovery protocol around the squashed MTX.
     fn recover(&mut self, boundary: MtxId) -> StepResult {
         self.trace
-            .record("commit", Some(boundary), None, TraceKind::RecoveryStart);
+            .record(Role::Commit, Some(boundary), None, TraceKind::RecoveryStart);
         self.ctrl.publish(Status::Recovering { boundary });
         let barrier = self.ctrl.barrier().clone();
         barrier.wait(); // B1: every thread is in recovery mode.
@@ -293,19 +294,20 @@ impl CommitUnit {
             hook(boundary, &self.master);
         }
         self.trace
-            .record("commit", Some(boundary), None, TraceKind::RecoveryEnd);
+            .record(Role::Commit, Some(boundary), None, TraceKind::RecoveryEnd);
 
         let done = outcome == IterOutcome::Exit || self.limit == Some(boundary.0 + 1);
         if done {
-            self.ctrl
-                .publish(Status::Terminating { last: Some(boundary) });
+            self.ctrl.publish(Status::Terminating {
+                last: Some(boundary),
+            });
         } else {
             self.ctrl.publish(Status::Running);
         }
         barrier.wait(); // B3: parallel execution may recommence.
         if done {
             self.trace
-                .record("commit", Some(boundary), None, TraceKind::Terminated);
+                .record(Role::Commit, Some(boundary), None, TraceKind::Terminated);
             StepResult::Terminated
         } else {
             self.next_commit = boundary.next();
@@ -315,7 +317,8 @@ impl CommitUnit {
 
     fn terminate(&mut self, last: Option<MtxId>) {
         self.ctrl.publish(Status::Terminating { last });
-        self.trace.record("commit", last, None, TraceKind::Terminated);
+        self.trace
+            .record(Role::Commit, last, None, TraceKind::Terminated);
     }
 }
 

@@ -327,7 +327,8 @@ mod tests {
     #[test]
     fn ring_wraps_within_stage() {
         let mut cfg = SystemConfig::new();
-        cfg.stage(StageKind::Parallel { replicas: 4 }).ring(StageId(0));
+        cfg.stage(StageKind::Parallel { replicas: 4 })
+            .ring(StageId(0));
         let p = cfg.build().unwrap();
         assert_eq!(p.ring_next(WorkerId(0)), Some(WorkerId(1)));
         assert_eq!(p.ring_next(WorkerId(3)), Some(WorkerId(0)));
@@ -342,22 +343,32 @@ mod tests {
     #[test]
     fn single_replica_ring_has_no_successor() {
         let mut cfg = SystemConfig::new();
-        cfg.stage(StageKind::Parallel { replicas: 1 }).ring(StageId(0));
+        cfg.stage(StageKind::Parallel { replicas: 1 })
+            .ring(StageId(0));
         let p = cfg.build().unwrap();
         assert_eq!(p.ring_next(WorkerId(0)), None);
     }
 
     #[test]
     fn validation_errors() {
-        assert_eq!(SystemConfig::new().build().unwrap_err(), ConfigError::NoStages);
+        assert_eq!(
+            SystemConfig::new().build().unwrap_err(),
+            ConfigError::NoStages
+        );
 
         let mut cfg = SystemConfig::new();
         cfg.stage(StageKind::Parallel { replicas: 0 });
-        assert_eq!(cfg.build().unwrap_err(), ConfigError::ZeroReplicas(StageId(0)));
+        assert_eq!(
+            cfg.build().unwrap_err(),
+            ConfigError::ZeroReplicas(StageId(0))
+        );
 
         let mut cfg = SystemConfig::new();
         cfg.stage(StageKind::Sequential).ring(StageId(0));
-        assert_eq!(cfg.build().unwrap_err(), ConfigError::BadRingStage(StageId(0)));
+        assert_eq!(
+            cfg.build().unwrap_err(),
+            ConfigError::BadRingStage(StageId(0))
+        );
 
         let mut cfg = SystemConfig::new();
         cfg.stage(StageKind::Sequential).batch(0);
@@ -367,7 +378,8 @@ mod tests {
     #[test]
     fn tls_shape_is_one_parallel_stage() {
         let mut cfg = SystemConfig::new();
-        cfg.stage(StageKind::Parallel { replicas: 8 }).ring(StageId(0));
+        cfg.stage(StageKind::Parallel { replicas: 8 })
+            .ring(StageId(0));
         let p = cfg.build().unwrap();
         assert_eq!(p.n_workers(), 8);
         assert_eq!(p.executor(StageId(0), MtxId(13)), WorkerId(5));

@@ -170,7 +170,10 @@ mod tests {
         cp.publish(Status::Recovering { boundary: MtxId(5) });
         assert!(cp.epoch() > e0);
         assert_eq!(cp.status(), Status::Recovering { boundary: MtxId(5) });
-        assert_eq!(cp.interrupt(), Some(Interrupt::Recovery { boundary: MtxId(5) }));
+        assert_eq!(
+            cp.interrupt(),
+            Some(Interrupt::Recovery { boundary: MtxId(5) })
+        );
     }
 
     #[test]
@@ -178,7 +181,9 @@ mod tests {
         let cp = ControlPlane::new(1);
         let mut seen = cp.epoch();
         assert_eq!(cp.poll(&mut seen), None);
-        cp.publish(Status::Terminating { last: Some(MtxId(3)) });
+        cp.publish(Status::Terminating {
+            last: Some(MtxId(3)),
+        });
         assert_eq!(cp.poll(&mut seen), Some(Interrupt::Terminate));
         // Epoch consumed: no repeat until the next change.
         assert_eq!(cp.poll(&mut seen), None);

@@ -70,6 +70,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod analysis;
 pub mod commit;
 pub mod config;
 pub mod control;
@@ -83,11 +84,12 @@ pub mod trycommit;
 pub mod wire;
 pub mod worker;
 
+pub use analysis::{CriticalPath, TraceAnalysis};
 pub use config::{ConfigError, PipelineShape, StageKind, SystemConfig};
 pub use control::{ControlPlane, Interrupt, Status};
 pub use ids::{MtxId, StageId, WorkerId};
 pub use program::{CommitHook, IterOutcome, Program, RecoveryFn, StageFn};
 pub use report::{RunReport, RunResult};
 pub use system::{worker_owner, MtxSystem, RunError};
-pub use trace::{TraceEvent, TraceKind, TraceSink};
+pub use trace::{Role, TraceEvent, TraceKind, TraceSink, DEFAULT_TRACE_CAPACITY};
 pub use worker::WorkerCtx;

@@ -4,8 +4,10 @@ use std::time::Duration;
 
 use dsmtx_fabric::FabricStats;
 use dsmtx_mem::MasterMem;
+use dsmtx_obs::{schema, Registry};
 
-use crate::ids::MtxId;
+use crate::analysis::TraceAnalysis;
+use crate::ids::{MtxId, StageId};
 use crate::trace::TraceEvent;
 
 /// Statistics and outcome of one parallel run.
@@ -34,6 +36,8 @@ pub struct RunReport {
     pub elapsed: Duration,
     /// Trace events, when tracing was enabled.
     pub trace: Vec<TraceEvent>,
+    /// Trace events discarded because the sink's capacity was reached.
+    pub trace_dropped: u64,
 }
 
 impl RunReport {
@@ -53,6 +57,44 @@ impl RunReport {
             self.stats.bytes() as f64 / secs
         }
     }
+
+    /// Derives per-stage latency histograms, occupancy, commit-queue
+    /// waits, and invariant checks from the trace. Empty (but valid)
+    /// when the run was not traced.
+    pub fn analysis(&self) -> TraceAnalysis {
+        TraceAnalysis::from_events(&self.trace)
+    }
+
+    /// Median subTX execution time for one stage, in microseconds
+    /// (0 when untraced or the stage never ran).
+    pub fn stage_p50_us(&self, stage: StageId) -> u64 {
+        self.analysis().stage_exec(stage).map_or(0, |h| h.p50())
+    }
+
+    /// 99th-percentile subTX execution time for one stage, in
+    /// microseconds.
+    pub fn stage_p99_us(&self, stage: StageId) -> u64 {
+        self.analysis().stage_exec(stage).map_or(0, |h| h.p99())
+    }
+
+    /// Exports run totals, fabric stats, and trace-derived histograms
+    /// into `reg` under the shared [`dsmtx_obs::schema`] names — the
+    /// same schema the simulator emits, so real and simulated runs
+    /// produce comparable JSONL dumps.
+    pub fn to_registry(&self, reg: &Registry) {
+        reg.counter(schema::RUN_COMMITTED, &[]).add(self.committed);
+        reg.counter(schema::RUN_RECOVERIES, &[])
+            .add(self.recoveries);
+        reg.counter(schema::RUN_BYTES, &[]).add(self.stats.bytes());
+        reg.counter(schema::RUN_TRACE_DROPPED, &[])
+            .add(self.trace_dropped);
+        reg.gauge(schema::RUN_ELAPSED_US, &[])
+            .set(self.elapsed.as_micros() as i64);
+        reg.gauge(schema::RUN_BANDWIDTH_BPS, &[])
+            .set(self.bandwidth_bps() as i64);
+        self.stats.to_registry(reg);
+        self.analysis().to_registry(reg);
+    }
 }
 
 /// Everything a run returns: the final committed memory plus the report.
@@ -67,6 +109,23 @@ pub struct RunResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::trace::{Role, TraceKind};
+
+    fn empty_report() -> RunReport {
+        RunReport {
+            committed: 0,
+            recoveries: 0,
+            recovered_iterations: 0,
+            last_iteration: None,
+            coa_pages_served: 0,
+            validation_conflicts: 0,
+            worker_misspecs: 0,
+            stats: FabricStats::new(),
+            elapsed: Duration::ZERO,
+            trace: Vec::new(),
+            trace_dropped: 0,
+        }
+    }
 
     #[test]
     fn totals_and_bandwidth() {
@@ -78,11 +137,9 @@ mod tests {
             recovered_iterations: 1,
             last_iteration: Some(MtxId(10)),
             coa_pages_served: 3,
-            validation_conflicts: 0,
-            worker_misspecs: 0,
             stats,
             elapsed: Duration::from_secs(2),
-            trace: Vec::new(),
+            ..empty_report()
         };
         assert_eq!(r.total_iterations(), 11);
         assert!((r.bandwidth_bps() - 2000.0).abs() < 1e-9);
@@ -90,18 +147,50 @@ mod tests {
 
     #[test]
     fn zero_elapsed_has_zero_bandwidth() {
-        let r = RunReport {
-            committed: 0,
-            recoveries: 0,
-            recovered_iterations: 0,
-            last_iteration: None,
-            coa_pages_served: 0,
-            validation_conflicts: 0,
-            worker_misspecs: 0,
-            stats: FabricStats::new(),
-            elapsed: Duration::ZERO,
-            trace: Vec::new(),
-        };
+        let r = empty_report();
         assert_eq!(r.bandwidth_bps(), 0.0);
+    }
+
+    #[test]
+    fn stage_latency_accessors_read_the_trace() {
+        let w = Role::Worker(0);
+        let mut r = empty_report();
+        for (i, (begin, end)) in [(0u64, 80u64), (100, 220), (300, 390)].iter().enumerate() {
+            r.trace.push(TraceEvent {
+                role: w,
+                mtx: Some(MtxId(i as u64)),
+                stage: Some(StageId(0)),
+                kind: TraceKind::SubTxBegin,
+                at_us: *begin,
+            });
+            r.trace.push(TraceEvent {
+                role: w,
+                mtx: Some(MtxId(i as u64)),
+                stage: Some(StageId(0)),
+                kind: TraceKind::SubTxEnd,
+                at_us: *end,
+            });
+        }
+        // Durations 80, 120, 90 -> p50 is the middle one, within the
+        // histogram's 12.5% bucket resolution.
+        let p50 = r.stage_p50_us(StageId(0)) as f64;
+        assert!((p50 - 90.0).abs() / 90.0 < 0.13, "p50 {p50}");
+        let p99 = r.stage_p99_us(StageId(0)) as f64;
+        assert!((p99 - 120.0).abs() / 120.0 < 0.13, "p99 {p99}");
+        // Untraced stage reads as zero.
+        assert_eq!(r.stage_p50_us(StageId(7)), 0);
+    }
+
+    #[test]
+    fn registry_export_has_run_and_fabric_metrics() {
+        let r = empty_report();
+        let reg = Registry::new();
+        r.to_registry(&reg);
+        let dump = reg.to_jsonl();
+        for line in dump.lines() {
+            dsmtx_obs::json::validate(line).unwrap();
+        }
+        assert!(dump.contains(schema::RUN_COMMITTED));
+        assert!(dump.contains(schema::FABRIC_SENT_BYTES));
     }
 }

@@ -70,6 +70,7 @@ pub fn worker_owner(worker: WorkerId) -> OwnerId {
 pub struct MtxSystem {
     shape: PipelineShape,
     tracing: bool,
+    trace_capacity: usize,
 }
 
 impl MtxSystem {
@@ -82,6 +83,7 @@ impl MtxSystem {
         Ok(MtxSystem {
             shape: config.build()?,
             tracing: false,
+            trace_capacity: crate::trace::DEFAULT_TRACE_CAPACITY,
         })
     }
 
@@ -89,6 +91,14 @@ impl MtxSystem {
     /// model inspection).
     pub fn trace(mut self, enabled: bool) -> Self {
         self.tracing = enabled;
+        self
+    }
+
+    /// Caps the trace buffer at `capacity` events for subsequent traced
+    /// runs; events past the cap are counted in
+    /// `RunReport::trace_dropped` instead of stored.
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
         self
     }
 
@@ -115,7 +125,7 @@ impl MtxSystem {
         }
         let n_workers = shape.n_workers() as usize;
         let trace = if self.tracing {
-            TraceSink::enabled()
+            TraceSink::with_capacity(self.trace_capacity)
         } else {
             TraceSink::disabled()
         };
@@ -148,15 +158,18 @@ impl MtxSystem {
             }
         }
         for &ep in &worker_eps {
-            builder.connect(ep, tc_ep, batch, cap).expect("validation link");
+            builder
+                .connect(ep, tc_ep, batch, cap)
+                .expect("validation link");
             builder.connect(ep, cu_ep, batch, cap).expect("commit link");
             builder.connect(cu_ep, ep, 1, 8).expect("coa reply link");
         }
-        builder.connect(tc_ep, cu_ep, batch, cap).expect("verdict link");
+        builder
+            .connect(tc_ep, cu_ep, batch, cap)
+            .expect("verdict link");
         builder.connect(cu_ep, tc_ep, 1, 8).expect("coa reply link");
 
         let mut mesh = builder.build::<Msg>();
-        let stats = mesh.stats();
 
         // ---- port bundles ---------------------------------------------
         let is_worker = |ep: EndpointId| ep != tc_ep && ep != cu_ep;
@@ -281,15 +294,13 @@ impl MtxSystem {
 
             let commit_result = cu_handle.join();
             let tc_result = tc_handle.join();
-            let worker_results: Vec<_> =
-                worker_handles.into_iter().map(|h| h.join()).collect();
+            let worker_results: Vec<_> = worker_handles.into_iter().map(|h| h.join()).collect();
             (commit_result, tc_result, worker_results)
         });
         let elapsed = start.elapsed();
 
         let (commit_result, tc_result, worker_results) = outcome;
-        let (master, counters) =
-            commit_result.map_err(|_| RunError::ThreadPanic("commit"))?;
+        let (master, counters) = commit_result.map_err(|_| RunError::ThreadPanic("commit"))?;
         tc_result.map_err(|_| RunError::ThreadPanic("try-commit"))?;
         for r in &worker_results {
             if r.is_err() {
@@ -305,9 +316,10 @@ impl MtxSystem {
             coa_pages_served: counters.coa_pages_served,
             validation_conflicts: counters.validation_conflicts,
             worker_misspecs: counters.worker_misspecs,
-            stats,
+            stats: mesh.stats(),
             elapsed,
             trace: trace.events(),
+            trace_dropped: trace.dropped_events(),
         };
         Ok(RunResult { master, report })
     }

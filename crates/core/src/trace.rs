@@ -1,12 +1,36 @@
-//! Execution tracing for the Figure-3 execution-model reproduction and for
+//! Execution tracing for the Figure-3 execution-model reproduction, for
 //! test assertions about runtime invariants (e.g. commit order equals
-//! iteration order).
+//! iteration order), and as the raw feed for `TraceAnalysis` and the
+//! Chrome-trace exporter.
 
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Instant;
 
 use crate::ids::{MtxId, StageId};
+
+/// Which unit recorded an event. Compact (4 bytes) and structured, so
+/// per-worker analysis needs no string parsing and recording needs no
+/// leaked strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Role {
+    /// A pipeline worker, by worker index.
+    Worker(u32),
+    /// The try-commit unit (program-order validation).
+    TryCommit,
+    /// The commit unit (group transaction commit, COA service, recovery).
+    Commit,
+}
+
+impl std::fmt::Display for Role {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Role::Worker(w) => write!(f, "worker{w}"),
+            Role::TryCommit => f.write_str("try-commit"),
+            Role::Commit => f.write_str("commit"),
+        }
+    }
+}
 
 /// What happened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,33 +54,60 @@ pub enum TraceKind {
 }
 
 /// One trace record.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
-    /// Role string: "worker3", "try-commit", "commit".
-    pub who: &'static str,
+    /// Which unit recorded the event.
+    pub role: Role,
     /// The MTX involved, when applicable.
     pub mtx: Option<MtxId>,
     /// The stage involved, when applicable.
     pub stage: Option<StageId>,
     /// The event kind.
     pub kind: TraceKind,
-    /// Wall-clock timestamp.
-    pub at: Instant,
+    /// Microseconds since the sink's origin (run start). Relative
+    /// timestamps survive serialization and are what the Chrome
+    /// `trace_event` format wants.
+    pub at_us: u64,
+}
+
+/// Default maximum buffered events (1 Mi events ≈ 40 MB); past it the
+/// sink counts drops instead of growing without bound.
+pub const DEFAULT_TRACE_CAPACITY: usize = 1 << 20;
+
+#[derive(Debug)]
+struct Buffer {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
 }
 
 /// Shared trace sink; cloning shares the buffer. Disabled sinks record
 /// nothing and cost one branch.
 #[derive(Debug, Clone)]
 pub struct TraceSink {
-    buf: Option<Arc<Mutex<Vec<TraceEvent>>>>,
+    buf: Option<Arc<Mutex<Buffer>>>,
     origin: Instant,
 }
 
 impl TraceSink {
-    /// A recording sink.
+    /// A recording sink with the default capacity.
     pub fn enabled() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// A recording sink buffering at most `capacity` events; further
+    /// records are counted in [`dropped_events`](Self::dropped_events)
+    /// rather than stored. The buffer is pre-sized (up to a sane bound)
+    /// so the hot record path never reallocates.
+    pub fn with_capacity(capacity: usize) -> Self {
         TraceSink {
-            buf: Some(Arc::new(Mutex::new(Vec::new()))),
+            buf: Some(Arc::new(Mutex::new(Buffer {
+                // Pre-size, but never more than the cap and never a
+                // silly allocation for huge caps.
+                events: Vec::with_capacity(capacity.min(1 << 16)),
+                capacity,
+                dropped: 0,
+            }))),
             origin: Instant::now(),
         }
     }
@@ -74,33 +125,35 @@ impl TraceSink {
         self.buf.is_some()
     }
 
-    /// Records one event (no-op when disabled).
-    pub fn record(
-        &self,
-        who: &'static str,
-        mtx: Option<MtxId>,
-        stage: Option<StageId>,
-        kind: TraceKind,
-    ) {
+    /// Records one event (no-op when disabled, counted when full).
+    pub fn record(&self, role: Role, mtx: Option<MtxId>, stage: Option<StageId>, kind: TraceKind) {
         if let Some(buf) = &self.buf {
-            buf.lock().push(TraceEvent {
-                who,
-                mtx,
-                stage,
-                kind,
-                at: Instant::now(),
-            });
+            let at_us = self.origin.elapsed().as_micros() as u64;
+            let mut b = buf.lock();
+            if b.events.len() < b.capacity {
+                b.events.push(TraceEvent {
+                    role,
+                    mtx,
+                    stage,
+                    kind,
+                    at_us,
+                });
+            } else {
+                b.dropped += 1;
+            }
         }
     }
 
     /// Snapshots all events recorded so far, in recording order.
     pub fn events(&self) -> Vec<TraceEvent> {
-        self.buf.as_ref().map_or_else(Vec::new, |b| b.lock().clone())
+        self.buf
+            .as_ref()
+            .map_or_else(Vec::new, |b| b.lock().events.clone())
     }
 
-    /// Microseconds from sink creation to `event`.
-    pub fn micros_since_origin(&self, event: &TraceEvent) -> u128 {
-        event.at.duration_since(self.origin).as_micros()
+    /// Events that arrived after the buffer filled and were discarded.
+    pub fn dropped_events(&self) -> u64 {
+        self.buf.as_ref().map_or(0, |b| b.lock().dropped)
     }
 }
 
@@ -117,28 +170,50 @@ mod tests {
     #[test]
     fn disabled_sink_records_nothing() {
         let t = TraceSink::disabled();
-        t.record("commit", Some(MtxId(1)), None, TraceKind::Committed);
+        t.record(Role::Commit, Some(MtxId(1)), None, TraceKind::Committed);
         assert!(t.events().is_empty());
+        assert_eq!(t.dropped_events(), 0);
         assert!(!t.is_enabled());
     }
 
     #[test]
     fn enabled_sink_records_in_order() {
         let t = TraceSink::enabled();
-        t.record("worker0", Some(MtxId(0)), Some(StageId(0)), TraceKind::SubTxBegin);
-        t.record("worker0", Some(MtxId(0)), Some(StageId(0)), TraceKind::SubTxEnd);
+        let w = Role::Worker(0);
+        t.record(w, Some(MtxId(0)), Some(StageId(0)), TraceKind::SubTxBegin);
+        t.record(w, Some(MtxId(0)), Some(StageId(0)), TraceKind::SubTxEnd);
         let ev = t.events();
         assert_eq!(ev.len(), 2);
         assert_eq!(ev[0].kind, TraceKind::SubTxBegin);
         assert_eq!(ev[1].kind, TraceKind::SubTxEnd);
-        assert!(ev[0].at <= ev[1].at);
+        assert!(ev[0].at_us <= ev[1].at_us);
     }
 
     #[test]
     fn clones_share_buffer() {
         let t = TraceSink::enabled();
         let t2 = t.clone();
-        t2.record("commit", None, None, TraceKind::Terminated);
+        t2.record(Role::Commit, None, None, TraceKind::Terminated);
         assert_eq!(t.events().len(), 1);
+    }
+
+    #[test]
+    fn capacity_bounds_growth_and_counts_drops() {
+        let t = TraceSink::with_capacity(3);
+        for i in 0..10 {
+            t.record(Role::Commit, Some(MtxId(i)), None, TraceKind::Committed);
+        }
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.dropped_events(), 7);
+        // The survivors are the earliest events.
+        assert_eq!(t.events()[0].mtx, Some(MtxId(0)));
+        assert_eq!(t.events()[2].mtx, Some(MtxId(2)));
+    }
+
+    #[test]
+    fn role_display_matches_legacy_strings() {
+        assert_eq!(Role::Worker(3).to_string(), "worker3");
+        assert_eq!(Role::TryCommit.to_string(), "try-commit");
+        assert_eq!(Role::Commit.to_string(), "commit");
     }
 }

@@ -24,7 +24,7 @@ use crate::config::PipelineShape;
 use crate::control::{ControlPlane, Interrupt};
 use crate::ids::{MtxId, StageId, WorkerId};
 use crate::poll::{wait_for, Backoff};
-use crate::trace::{TraceKind, TraceSink};
+use crate::trace::{Role, TraceKind, TraceSink};
 use crate::wire::Msg;
 
 /// In-progress frame assembly for one worker's validation stream.
@@ -163,16 +163,13 @@ impl TryCommitUnit {
     /// Replays every stream whose program-order turn has come.
     fn replay_ready(&mut self) -> Result<bool, Interrupt> {
         let mut progress = false;
-        while let Some(records) = self
-            .done
-            .remove(&(self.cursor_mtx.0, self.cursor_stage.0))
-        {
+        while let Some(records) = self.done.remove(&(self.cursor_mtx.0, self.cursor_stage.0)) {
             progress = true;
             if !self.replay(&records)? {
                 // Conflict: tell the commit unit and freeze until it
                 // orchestrates recovery.
                 self.trace.record(
-                    "try-commit",
+                    Role::TryCommit,
                     Some(self.cursor_mtx),
                     Some(self.cursor_stage),
                     TraceKind::Conflict,
@@ -185,7 +182,7 @@ impl TryCommitUnit {
             }
             if self.cursor_stage.0 + 1 == self.shape.n_stages() {
                 self.trace.record(
-                    "try-commit",
+                    Role::TryCommit,
                     Some(self.cursor_mtx),
                     None,
                     TraceKind::Validated,

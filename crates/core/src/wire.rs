@@ -132,7 +132,11 @@ mod tests {
     fn message_is_small_enough_to_queue_cheaply() {
         // The box keeps page payloads out of line so a queue slot stays
         // cache-line sized.
-        assert!(std::mem::size_of::<Msg>() <= 32, "{}", std::mem::size_of::<Msg>());
+        assert!(
+            std::mem::size_of::<Msg>() <= 32,
+            "{}",
+            std::mem::size_of::<Msg>()
+        );
     }
 
     #[test]

@@ -29,7 +29,7 @@ use crate::control::{ControlPlane, Interrupt};
 use crate::ids::{MtxId, StageId, WorkerId};
 use crate::poll::wait_for;
 use crate::program::{IterOutcome, StageFn};
-use crate::trace::{TraceKind, TraceSink};
+use crate::trace::{Role, TraceKind, TraceSink};
 use crate::wire::Msg;
 
 /// The execution context handed to stage bodies.
@@ -43,7 +43,7 @@ pub struct WorkerCtx {
     pub(crate) shape: PipelineShape,
     pub(crate) ctrl: ControlPlane,
     pub(crate) trace: TraceSink,
-    name: &'static str,
+    role: Role,
     epoch: u64,
 
     spec: SpecMem,
@@ -107,7 +107,7 @@ impl WorkerCtx {
         let n_stages = w.shape.n_stages() as usize;
         let epoch = w.ctrl.epoch();
         WorkerCtx {
-            name: Box::leak(format!("worker{}", w.worker.0).into_boxed_str()),
+            role: Role::Worker(w.worker.0 as u32),
             worker: w.worker,
             stage,
             shape: w.shape,
@@ -230,7 +230,10 @@ impl WorkerCtx {
         addr: VAddr,
         value: u64,
     ) -> Result<(), Interrupt> {
-        assert!(stage > self.stage, "write_to_stage must target a later stage");
+        assert!(
+            stage > self.stage,
+            "write_to_stage must target a later stage"
+        );
         assert!(stage.0 < self.shape.n_stages(), "no such stage");
         self.write_no_forward(addr, value)?;
         self.targeted_forwards.push((stage, addr, value));
@@ -397,8 +400,12 @@ impl WorkerCtx {
     /// Interrupted by recovery or termination.
     pub fn begin(&mut self, mtx: MtxId) -> Result<(), Interrupt> {
         self.cur = Some(mtx);
-        self.trace
-            .record(self.name, Some(mtx), Some(self.stage), TraceKind::SubTxBegin);
+        self.trace.record(
+            self.role,
+            Some(mtx),
+            Some(self.stage),
+            TraceKind::SubTxBegin,
+        );
         for s in 0..self.stage.0 {
             let src = self.shape.executor(StageId(s), mtx);
             self.recv_frame(src, mtx, false)?;
@@ -539,7 +546,7 @@ impl WorkerCtx {
         }
         self.ring_in_vals.clear();
         self.trace
-            .record(self.name, Some(mtx), Some(stage), TraceKind::SubTxEnd);
+            .record(self.role, Some(mtx), Some(stage), TraceKind::SubTxEnd);
         self.cur = None;
         Ok(())
     }
@@ -561,10 +568,9 @@ impl WorkerCtx {
             .map(|(_, p)| p)
             .unwrap_or_else(|| panic!("no data queue from {src}"));
 
-        let first = wait_for(ctrl, epoch, ||
-
+        let first = wait_for(ctrl, epoch, || {
             port.try_consume().map_err(|_| Interrupt::ChannelDown)
-        )?;
+        })?;
         match first {
             Msg::FrameBegin { mtx: m } => {
                 assert_eq!(m, mtx, "frame out of order from {src}: got {m}, want {mtx}")
@@ -576,9 +582,7 @@ impl WorkerCtx {
                 port.try_consume().map_err(|_| Interrupt::ChannelDown)
             })?;
             match msg {
-                Msg::Forward { addr, value } => {
-                    spec.apply_forwarded(VAddr::from_raw(addr), value)
-                }
+                Msg::Forward { addr, value } => spec.apply_forwarded(VAddr::from_raw(addr), value),
                 Msg::User { value } => {
                     if is_ring {
                         ring_in_vals.push_back(value);
@@ -635,7 +639,7 @@ impl WorkerCtx {
         // from committed memory instead of waiting for a frame.
         self.ring_skip = Some(boundary.next());
         barrier.wait(); // B3: the commit unit re-executed; recommence.
-        // Force the next poll to re-read the status word.
+                        // Force the next poll to re-read the status word.
         self.epoch = u64::MAX;
     }
 
@@ -674,10 +678,7 @@ fn flush_port(
     })
 }
 
-fn port_to(
-    ports: &mut [(WorkerId, SendPort<Msg>)],
-    dst: WorkerId,
-) -> &mut SendPort<Msg> {
+fn port_to(ports: &mut [(WorkerId, SendPort<Msg>)], dst: WorkerId) -> &mut SendPort<Msg> {
     ports
         .iter_mut()
         .find(|(id, _)| *id == dst)

@@ -4,8 +4,7 @@
 use std::sync::Arc;
 
 use dsmtx::{
-    IterOutcome, MtxId, MtxSystem, Program, StageId, StageKind, SystemConfig, TraceKind,
-    WorkerCtx,
+    IterOutcome, MtxId, MtxSystem, Program, StageId, StageKind, SystemConfig, TraceKind, WorkerCtx,
 };
 use dsmtx_mem::MasterMem;
 use dsmtx_uva::{OwnerId, RegionAllocator};
@@ -221,7 +220,8 @@ fn exit_outcome_terminates_uncounted_loop() {
     master.write(len_cell, 7); // the loop should run 7 iterations
 
     let mut cfg = SystemConfig::new();
-    cfg.stage(StageKind::Sequential).stage(StageKind::Sequential);
+    cfg.stage(StageKind::Sequential)
+        .stage(StageKind::Sequential);
     let system = MtxSystem::new(&cfg).unwrap();
 
     let s0 = Arc::new(move |ctx: &mut WorkerCtx, mtx: MtxId| {
@@ -269,7 +269,8 @@ fn tls_ring_synchronized_dependence() {
     }
 
     let mut cfg = SystemConfig::new();
-    cfg.stage(StageKind::Parallel { replicas: 3 }).ring(StageId(0));
+    cfg.stage(StageKind::Parallel { replicas: 3 })
+        .ring(StageId(0));
     let system = MtxSystem::new(&cfg).unwrap();
 
     let body = Arc::new(move |ctx: &mut WorkerCtx, mtx: MtxId| {
@@ -467,7 +468,8 @@ fn private_writes_stay_private() {
 #[test]
 fn stage_count_mismatch_rejected() {
     let mut cfg = SystemConfig::new();
-    cfg.stage(StageKind::Sequential).stage(StageKind::Sequential);
+    cfg.stage(StageKind::Sequential)
+        .stage(StageKind::Sequential);
     let system = MtxSystem::new(&cfg).unwrap();
     let body: dsmtx::StageFn = Arc::new(|_: &mut WorkerCtx, _: MtxId| Ok(IterOutcome::Continue));
     let err = system
@@ -557,7 +559,8 @@ fn exit_from_second_stage() {
     let master = MasterMem::new();
 
     let mut cfg = SystemConfig::new();
-    cfg.stage(StageKind::Sequential).stage(StageKind::Sequential);
+    cfg.stage(StageKind::Sequential)
+        .stage(StageKind::Sequential);
     let system = MtxSystem::new(&cfg).unwrap();
 
     let s0 = Arc::new(move |ctx: &mut WorkerCtx, mtx: MtxId| {
@@ -733,6 +736,119 @@ fn two_parallel_stages_route_correctly() {
     for i in 0..N {
         assert_eq!(result.master.read(out.add_words(i)), i * 2 + 1, "slot {i}");
     }
+}
+
+/// Runtime invariants hold on a clean traced pipeline run: commit order
+/// equals iteration order, every Committed MTX was Validated first, and
+/// every SubTxBegin has a matching SubTxEnd.
+#[test]
+fn trace_analysis_invariants_hold_on_clean_run() {
+    const N: u64 = 16;
+    let mut cfg = SystemConfig::new();
+    cfg.stage(StageKind::Sequential)
+        .stage(StageKind::Parallel { replicas: 2 });
+    let system = MtxSystem::new(&cfg).unwrap().trace(true);
+    let s0 = Arc::new(|ctx: &mut WorkerCtx, mtx: MtxId| {
+        ctx.produce(mtx.0);
+        Ok(IterOutcome::Continue)
+    });
+    let s1 = Arc::new(|ctx: &mut WorkerCtx, _: MtxId| {
+        let _ = ctx.consume();
+        Ok(IterOutcome::Continue)
+    });
+    let result = system
+        .run(Program {
+            master: MasterMem::new(),
+            stages: vec![s0, s1],
+            recovery: noop_recovery(),
+            on_commit: None,
+            iteration_limit: Some(N),
+        })
+        .unwrap();
+
+    let analysis = result.report.analysis();
+    analysis
+        .check_invariants()
+        .expect("clean run has no violations");
+    // Commit order is exactly iteration order.
+    assert_eq!(
+        analysis.commit_order(),
+        (0..N).map(MtxId).collect::<Vec<_>>().as_slice()
+    );
+    // The latency pipeline saw every MTX.
+    assert_eq!(analysis.total_latency().count(), N);
+    assert_eq!(analysis.validation_wait().count(), N);
+    assert_eq!(analysis.commit_wait().count(), N);
+    // Both stages ran and produced exec histograms.
+    assert_eq!(analysis.stages().len(), 2);
+    assert_eq!(result.report.trace_dropped, 0);
+}
+
+/// The invariants still hold through misspeculation recovery (recovery
+/// legitimately interrupts subTXs and skips the boundary iteration, which
+/// the analysis must not flag).
+#[test]
+fn trace_analysis_invariants_hold_through_recovery() {
+    const N: u64 = 12;
+    let mut heap = heap0();
+    let cell = heap.alloc_words(1).unwrap();
+    let body = Arc::new(move |ctx: &mut WorkerCtx, mtx: MtxId| {
+        let v = ctx.read(cell)?;
+        if mtx.0 == 4 {
+            ctx.write_no_forward(cell, v + 1)?;
+        }
+        Ok(IterOutcome::Continue)
+    });
+    let mut cfg = SystemConfig::new();
+    cfg.stage(StageKind::Parallel { replicas: 2 });
+    let result = MtxSystem::new(&cfg)
+        .unwrap()
+        .trace(true)
+        .run(Program {
+            master: MasterMem::new(),
+            stages: vec![body],
+            recovery: Box::new(move |mtx, m| {
+                if mtx.0 == 4 {
+                    let v = m.read(cell);
+                    m.write(cell, v + 1);
+                }
+                IterOutcome::Continue
+            }),
+            on_commit: None,
+            iteration_limit: Some(N),
+        })
+        .unwrap();
+    assert!(result.report.recoveries >= 1, "dependence must manifest");
+    let analysis = result.report.analysis();
+    analysis
+        .check_invariants()
+        .expect("recovery is not an invariant violation");
+    assert_eq!(analysis.recoveries(), result.report.recoveries);
+    // Committed MTX ids still strictly increase.
+    let order = analysis.commit_order();
+    assert!(order.windows(2).all(|w| w[0].0 < w[1].0));
+}
+
+/// A tiny trace capacity drops events past the cap and reports the count,
+/// instead of growing without bound.
+#[test]
+fn trace_capacity_caps_and_counts_drops() {
+    const N: u64 = 16;
+    let mut cfg = SystemConfig::new();
+    cfg.stage(StageKind::Parallel { replicas: 2 });
+    let system = MtxSystem::new(&cfg).unwrap().trace(true).trace_capacity(8);
+    let body = Arc::new(|_: &mut WorkerCtx, _: MtxId| Ok(IterOutcome::Continue));
+    let result = system
+        .run(Program {
+            master: MasterMem::new(),
+            stages: vec![body],
+            recovery: noop_recovery(),
+            on_commit: None,
+            iteration_limit: Some(N),
+        })
+        .unwrap();
+    assert_eq!(result.report.trace.len(), 8);
+    assert!(result.report.trace_dropped > 0, "the rest was counted");
 }
 
 /// Misspeculation causes are attributed: explicit `mtx_misspec` vs

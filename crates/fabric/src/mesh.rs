@@ -145,12 +145,18 @@ impl<T> Default for Ports<T> {
 impl<T> Ports<T> {
     /// Borrows the send port toward `to`, if connected.
     pub fn send_to(&mut self, to: EndpointId) -> Option<&mut SendPort<T>> {
-        self.sends.iter_mut().find(|(id, _)| *id == to).map(|(_, p)| p)
+        self.sends
+            .iter_mut()
+            .find(|(id, _)| *id == to)
+            .map(|(_, p)| p)
     }
 
     /// Borrows the receive port from `from`, if connected.
     pub fn recv_from(&mut self, from: EndpointId) -> Option<&mut RecvPort<T>> {
-        self.recvs.iter_mut().find(|(id, _)| *id == from).map(|(_, p)| p)
+        self.recvs
+            .iter_mut()
+            .find(|(id, _)| *id == from)
+            .map(|(_, p)| p)
     }
 }
 
@@ -289,6 +295,32 @@ mod tests {
         pa.send_to(c).unwrap().produce(2).unwrap();
         assert_eq!(stats.items(), 2);
         assert_eq!(stats.bytes(), 16);
+    }
+
+    #[test]
+    fn mesh_stats_cover_both_directions() {
+        let mut b = MeshBuilder::new();
+        let a = b.endpoint("a");
+        let c = b.endpoint("c");
+        b.connect(a, c, 2, 8).unwrap();
+        let mut mesh = b.build::<u64>();
+        let stats = mesh.stats();
+        let mut pa = mesh.take_ports(a).unwrap();
+        let mut pc = mesh.take_ports(c).unwrap();
+        let tx = pa.send_to(c).unwrap();
+        for v in 0..4u64 {
+            tx.produce(v).unwrap();
+        }
+        assert_eq!(stats.in_flight_items(), 4);
+        assert_eq!(stats.depth_high_water(), 4);
+        let rx = pc.recv_from(a).unwrap();
+        for v in 0..4u64 {
+            assert_eq!(rx.consume().unwrap(), v);
+        }
+        assert_eq!(stats.recv_items(), 4);
+        assert_eq!(stats.recv_bytes(), 32);
+        assert_eq!(stats.in_flight_items(), 0);
+        assert_eq!(stats.batch_items().count(), 2);
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! Queues are single-producer single-consumer, matching the paper's
 //! point-to-point channels between pipeline stages.
 
+use std::time::Instant;
+
 use crossbeam::channel;
 
 use crate::cost::CostModel;
@@ -44,7 +46,9 @@ pub struct SendPort<T> {
 pub struct RecvPort<T> {
     rx: channel::Receiver<Packet<T>>,
     cur: std::vec::IntoIter<T>,
+    item_bytes: u64,
     cost: CostModel,
+    stats: FabricStats,
     eos: bool,
 }
 
@@ -84,13 +88,15 @@ pub fn channel_with<T>(
             batch,
             item_bytes: std::mem::size_of::<T>() as u64,
             cost,
-            stats,
+            stats: stats.clone(),
             closed: false,
         },
         RecvPort {
             rx,
             cur: Vec::new().into_iter(),
+            item_bytes: std::mem::size_of::<T>() as u64,
             cost,
+            stats,
             eos: false,
         },
     )
@@ -130,10 +136,25 @@ impl<T> SendPort<T> {
         let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(self.batch));
         let items = batch.len() as u64;
         self.cost.charge_send();
-        self.stats.record_packet(items, items * self.item_bytes);
+        // Fast path: transport has room. Otherwise time the stall so the
+        // telemetry shows where the pipeline blocks on the fabric.
+        let batch = match self.tx.try_send(Packet::Data(batch)) {
+            Ok(()) => {
+                self.stats.record_packet(items, items * self.item_bytes);
+                return Ok(());
+            }
+            Err(channel::TrySendError::Full(Packet::Data(batch))) => batch,
+            Err(channel::TrySendError::Full(_)) => unreachable!("data packet returned"),
+            Err(channel::TrySendError::Disconnected(_)) => return Err(FabricError::Disconnected),
+        };
+        let stalled = Instant::now();
         self.tx
             .send(Packet::Data(batch))
-            .map_err(|_| FabricError::Disconnected)
+            .map_err(|_| FabricError::Disconnected)?;
+        self.stats
+            .record_send_stall_us(stalled.elapsed().as_micros() as u64);
+        self.stats.record_packet(items, items * self.item_bytes);
+        Ok(())
     }
 
     /// Ships buffered values without blocking.
@@ -220,14 +241,32 @@ impl<T> RecvPort<T> {
             if self.eos {
                 return Err(FabricError::EndOfStream);
             }
-            match self.rx.recv() {
-                Ok(Packet::Data(batch)) => {
-                    self.cost.charge_recv();
-                    self.cur = batch.into_iter();
+            // Only a wait that actually blocks counts as a recv stall.
+            let pkt = match self.rx.try_recv() {
+                Ok(pkt) => pkt,
+                Err(channel::TryRecvError::Empty) => {
+                    let stalled = Instant::now();
+                    let pkt = self.rx.recv().map_err(|_| FabricError::Disconnected)?;
+                    self.stats
+                        .record_recv_stall_us(stalled.elapsed().as_micros() as u64);
+                    pkt
                 }
-                Ok(Packet::Eos) => self.eos = true,
-                Err(_) => return Err(FabricError::Disconnected),
+                Err(channel::TryRecvError::Disconnected) => return Err(FabricError::Disconnected),
+            };
+            self.unpack(pkt);
+        }
+    }
+
+    /// Charges the cost model and records receive stats for one packet.
+    fn unpack(&mut self, pkt: Packet<T>) {
+        match pkt {
+            Packet::Data(batch) => {
+                self.cost.charge_recv();
+                let items = batch.len() as u64;
+                self.stats.record_recv(items, items * self.item_bytes);
+                self.cur = batch.into_iter();
             }
+            Packet::Eos => self.eos = true,
         }
     }
 
@@ -247,15 +286,9 @@ impl<T> RecvPort<T> {
                 return Err(FabricError::EndOfStream);
             }
             match self.rx.try_recv() {
-                Ok(Packet::Data(batch)) => {
-                    self.cost.charge_recv();
-                    self.cur = batch.into_iter();
-                }
-                Ok(Packet::Eos) => self.eos = true,
+                Ok(pkt) => self.unpack(pkt),
                 Err(channel::TryRecvError::Empty) => return Ok(None),
-                Err(channel::TryRecvError::Disconnected) => {
-                    return Err(FabricError::Disconnected)
-                }
+                Err(channel::TryRecvError::Disconnected) => return Err(FabricError::Disconnected),
             }
         }
     }
@@ -268,11 +301,20 @@ impl<T> RecvPort<T> {
     pub fn drain(&mut self) -> usize {
         let mut dropped = self.cur.len();
         self.cur = Vec::new().into_iter();
+        // Items still packed on the wire were never counted as received;
+        // account for them as drained so in-flight bookkeeping settles.
+        let mut still_packed = 0u64;
         while let Ok(pkt) = self.rx.try_recv() {
             match pkt {
-                Packet::Data(batch) => dropped += batch.len(),
+                Packet::Data(batch) => {
+                    still_packed += batch.len() as u64;
+                    dropped += batch.len();
+                }
                 Packet::Eos => self.eos = true,
             }
+        }
+        if still_packed > 0 {
+            self.stats.record_drained(still_packed);
         }
         dropped
     }
@@ -393,6 +435,74 @@ mod tests {
         assert_eq!(stats.items(), 8);
         assert_eq!(stats.bytes(), 64);
         assert!((stats.mean_batch() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recv_side_stats_mirror_send_side() {
+        let stats = FabricStats::new();
+        let (mut tx, mut rx) = channel_with::<u64>(4, 16, CostModel::FREE, stats.clone());
+        for v in 0..8u64 {
+            tx.produce(v).unwrap();
+        }
+        assert_eq!(stats.in_flight_items(), 8);
+        for _ in 0..8 {
+            rx.consume().unwrap();
+        }
+        assert_eq!(stats.recv_packets(), 2);
+        assert_eq!(stats.recv_items(), 8);
+        assert_eq!(stats.recv_bytes(), 64);
+        assert_eq!(stats.in_flight_items(), 0);
+        assert_eq!(stats.depth_high_water(), 8);
+        assert_eq!(stats.batch_items().count(), 2);
+    }
+
+    #[test]
+    fn drain_counts_only_still_packed_items() {
+        let stats = FabricStats::new();
+        let (mut tx, mut rx) = channel_with::<u32>(2, 16, CostModel::FREE, stats.clone());
+        for v in 0..6 {
+            tx.produce(v).unwrap();
+        }
+        // Unpack the first packet partially: 2 items become "received".
+        assert_eq!(rx.consume().unwrap(), 0);
+        rx.drain();
+        assert_eq!(stats.recv_items(), 2);
+        assert_eq!(stats.drained_items(), 4);
+        assert_eq!(stats.in_flight_items(), 0);
+    }
+
+    #[test]
+    fn consumer_blocking_on_empty_records_recv_stall() {
+        let stats = FabricStats::new();
+        let (mut tx, mut rx) = channel_with::<u32>(1, 4, CostModel::FREE, stats.clone());
+        let consumer = std::thread::spawn(move || rx.consume().unwrap());
+        // The consumer reaches its blocking recv well within this margin,
+        // so the wait is a genuine stall.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        tx.produce(7).unwrap();
+        assert_eq!(consumer.join().unwrap(), 7);
+        assert_eq!(stats.recv_stall_us().count(), 1, "one recv stall");
+    }
+
+    #[test]
+    fn flush_blocking_on_full_records_send_stall() {
+        let stats = FabricStats::new();
+        let (mut tx, mut rx) = channel_with::<u32>(1, 1, CostModel::FREE, stats.clone());
+        tx.produce(1).unwrap(); // ships, fills the single transport slot
+        tx.produce(2).unwrap(); // transport full: stays buffered
+        assert_eq!(tx.buffered(), 1);
+        let consumer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            let mut got = Vec::new();
+            while let Ok(v) = rx.consume() {
+                got.push(v);
+            }
+            got
+        });
+        tx.flush().unwrap(); // try_send hits Full, then blocks ~20ms
+        tx.close().unwrap();
+        assert_eq!(consumer.join().unwrap(), vec![1, 2]);
+        assert_eq!(stats.send_stall_us().count(), 1, "one send stall");
     }
 
     #[test]

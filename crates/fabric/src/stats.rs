@@ -1,19 +1,40 @@
-//! Transfer statistics.
+//! Transfer statistics and fabric telemetry.
 //!
 //! Figure 5(a) of the paper reports per-application bandwidth, computed by
 //! dividing the total data transferred through DSMTX by execution time.
 //! Every queue in the fabric shares a [`FabricStats`] handle so that the
 //! runtime can make the same measurement.
+//!
+//! Beyond the send-side totals, the handle now carries the receive side of
+//! the ledger (packets/items/bytes unpacked, items discarded by recovery
+//! drains), a queue-depth gauge with a high-water mark, and log-bucketed
+//! histograms of flush batch sizes and send/recv stalls — enough to see
+//! whether the batching layer of §4.2 is actually amortizing transport
+//! overhead, and where the pipeline blocks on the fabric.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use dsmtx_obs::{schema, Gauge, Histogram, Registry};
+
 /// Shared counters of fabric traffic.
 ///
 /// Cloning is cheap; clones observe the same underlying counters.
+/// Independent instances (e.g. one per queue) can be folded together with
+/// [`FabricStats::merge`].
 #[derive(Debug, Clone, Default)]
 pub struct FabricStats {
     inner: Arc<Counters>,
+    /// Items sent but not yet unpacked or drained; high-water mark is the
+    /// deepest the fabric ever got.
+    depth: Gauge,
+    /// Items per shipped packet.
+    batch_items: Histogram,
+    /// Microseconds a `flush` blocked on a full transport (only stalls are
+    /// recorded, so `count()` is the number of stalls).
+    send_stall_us: Histogram,
+    /// Microseconds a blocking `consume` waited for data to arrive.
+    recv_stall_us: Histogram,
 }
 
 #[derive(Debug, Default)]
@@ -24,6 +45,14 @@ struct Counters {
     items: AtomicU64,
     /// Payload bytes moved (item size × items).
     bytes: AtomicU64,
+    /// Packets unpacked by receivers.
+    recv_packets: AtomicU64,
+    /// Logical items unpacked by receivers.
+    recv_items: AtomicU64,
+    /// Payload bytes unpacked by receivers.
+    recv_bytes: AtomicU64,
+    /// Items discarded still-packed by recovery drains.
+    drained_items: AtomicU64,
 }
 
 impl FabricStats {
@@ -37,6 +66,33 @@ impl FabricStats {
         self.inner.packets.fetch_add(1, Ordering::Relaxed);
         self.inner.items.fetch_add(items, Ordering::Relaxed);
         self.inner.bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.batch_items.record(items);
+        self.depth.add(items as i64);
+    }
+
+    /// Records a received (unpacked) packet of `items` items / `bytes`
+    /// bytes.
+    pub fn record_recv(&self, items: u64, bytes: u64) {
+        self.inner.recv_packets.fetch_add(1, Ordering::Relaxed);
+        self.inner.recv_items.fetch_add(items, Ordering::Relaxed);
+        self.inner.recv_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.depth.sub(items as i64);
+    }
+
+    /// Records `items` in-flight items discarded by a recovery drain.
+    pub fn record_drained(&self, items: u64) {
+        self.inner.drained_items.fetch_add(items, Ordering::Relaxed);
+        self.depth.sub(items as i64);
+    }
+
+    /// Records a send-side stall (flush blocked on a full transport).
+    pub fn record_send_stall_us(&self, us: u64) {
+        self.send_stall_us.record(us);
+    }
+
+    /// Records a recv-side stall (consumer blocked waiting for data).
+    pub fn record_recv_stall_us(&self, us: u64) {
+        self.recv_stall_us.record(us);
     }
 
     /// Number of transport packets sent so far.
@@ -54,6 +110,38 @@ impl FabricStats {
         self.inner.bytes.load(Ordering::Relaxed)
     }
 
+    /// Number of transport packets unpacked so far.
+    pub fn recv_packets(&self) -> u64 {
+        self.inner.recv_packets.load(Ordering::Relaxed)
+    }
+
+    /// Number of logical items unpacked so far.
+    pub fn recv_items(&self) -> u64 {
+        self.inner.recv_items.load(Ordering::Relaxed)
+    }
+
+    /// Total payload bytes unpacked so far.
+    pub fn recv_bytes(&self) -> u64 {
+        self.inner.recv_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Items discarded still-packed by recovery drains.
+    pub fn drained_items(&self) -> u64 {
+        self.inner.drained_items.load(Ordering::Relaxed)
+    }
+
+    /// Items currently sent but neither unpacked nor drained.
+    pub fn in_flight_items(&self) -> u64 {
+        self.items()
+            .saturating_sub(self.recv_items() + self.drained_items())
+    }
+
+    /// Deepest the fabric ever got, in items (high-water of the depth
+    /// gauge).
+    pub fn depth_high_water(&self) -> u64 {
+        self.depth.high_water().max(0) as u64
+    }
+
     /// Average batch size (items per packet), or 0.0 if nothing was sent.
     pub fn mean_batch(&self) -> f64 {
         let p = self.packets();
@@ -62,6 +150,76 @@ impl FabricStats {
         } else {
             self.items() as f64 / p as f64
         }
+    }
+
+    /// Histogram of items per shipped packet.
+    pub fn batch_items(&self) -> &Histogram {
+        &self.batch_items
+    }
+
+    /// Histogram of send-side stall durations (µs).
+    pub fn send_stall_us(&self) -> &Histogram {
+        &self.send_stall_us
+    }
+
+    /// Histogram of recv-side stall durations (µs).
+    pub fn recv_stall_us(&self) -> &Histogram {
+        &self.recv_stall_us
+    }
+
+    /// Folds `other`'s counters, gauge, and histograms into `self`
+    /// (`other` is unchanged). Lets per-queue instances be aggregated
+    /// into one fleet-wide view after a run.
+    pub fn merge(&self, other: &FabricStats) {
+        for (mine, theirs) in [
+            (&self.inner.packets, &other.inner.packets),
+            (&self.inner.items, &other.inner.items),
+            (&self.inner.bytes, &other.inner.bytes),
+            (&self.inner.recv_packets, &other.inner.recv_packets),
+            (&self.inner.recv_items, &other.inner.recv_items),
+            (&self.inner.recv_bytes, &other.inner.recv_bytes),
+            (&self.inner.drained_items, &other.inner.drained_items),
+        ] {
+            mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.depth.merge(&other.depth);
+        self.batch_items.merge(&other.batch_items);
+        self.send_stall_us.merge(&other.send_stall_us);
+        self.recv_stall_us.merge(&other.recv_stall_us);
+    }
+
+    /// Exports every counter, the depth gauge, and the histograms into
+    /// `reg` under the shared [`dsmtx_obs::schema`] names.
+    pub fn to_registry(&self, reg: &Registry) {
+        reg.counter(schema::FABRIC_SENT_PACKETS, &[])
+            .add(self.packets());
+        reg.counter(schema::FABRIC_SENT_ITEMS, &[])
+            .add(self.items());
+        reg.counter(schema::FABRIC_SENT_BYTES, &[])
+            .add(self.bytes());
+        reg.counter(schema::FABRIC_RECV_PACKETS, &[])
+            .add(self.recv_packets());
+        reg.counter(schema::FABRIC_RECV_ITEMS, &[])
+            .add(self.recv_items());
+        reg.counter(schema::FABRIC_RECV_BYTES, &[])
+            .add(self.recv_bytes());
+        reg.counter(schema::FABRIC_DRAINED_ITEMS, &[])
+            .add(self.drained_items());
+        reg.gauge(schema::FABRIC_IN_FLIGHT_ITEMS, &[])
+            .set(self.in_flight_items() as i64);
+        reg.gauge(schema::FABRIC_DEPTH_HIGH_WATER, &[])
+            .set(self.depth_high_water() as i64);
+        reg.install_histogram(schema::FABRIC_BATCH_ITEMS, &[], self.batch_items.clone());
+        reg.install_histogram(
+            schema::FABRIC_SEND_STALL_US,
+            &[],
+            self.send_stall_us.clone(),
+        );
+        reg.install_histogram(
+            schema::FABRIC_RECV_STALL_US,
+            &[],
+            self.recv_stall_us.clone(),
+        );
     }
 }
 
@@ -78,6 +236,8 @@ mod tests {
         assert_eq!(s.items(), 40);
         assert_eq!(s.bytes(), 320);
         assert!((s.mean_batch() - 20.0).abs() < 1e-12);
+        assert_eq!(s.batch_items().count(), 2);
+        assert_eq!(s.batch_items().max(), 30);
     }
 
     #[test]
@@ -93,5 +253,88 @@ mod tests {
     #[test]
     fn empty_stats_have_zero_mean_batch() {
         assert_eq!(FabricStats::new().mean_batch(), 0.0);
+    }
+
+    #[test]
+    fn recv_and_drain_settle_in_flight() {
+        let s = FabricStats::new();
+        s.record_packet(10, 80);
+        s.record_packet(6, 48);
+        assert_eq!(s.in_flight_items(), 16);
+        assert_eq!(s.depth_high_water(), 16);
+        s.record_recv(10, 80);
+        assert_eq!(s.recv_packets(), 1);
+        assert_eq!(s.recv_items(), 10);
+        assert_eq!(s.recv_bytes(), 80);
+        assert_eq!(s.in_flight_items(), 6);
+        s.record_drained(6);
+        assert_eq!(s.drained_items(), 6);
+        assert_eq!(s.in_flight_items(), 0);
+        // High water stays at the peak even after the fabric empties.
+        assert_eq!(s.depth_high_water(), 16);
+    }
+
+    #[test]
+    fn stall_histograms_record_only_stalls() {
+        let s = FabricStats::new();
+        assert!(s.send_stall_us().is_empty());
+        s.record_send_stall_us(120);
+        s.record_recv_stall_us(40);
+        s.record_recv_stall_us(60);
+        assert_eq!(s.send_stall_us().count(), 1);
+        assert_eq!(s.recv_stall_us().count(), 2);
+        assert_eq!(s.recv_stall_us().sum(), 100);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_histograms() {
+        let a = FabricStats::new();
+        let b = FabricStats::new();
+        a.record_packet(4, 32);
+        a.record_recv(4, 32);
+        b.record_packet(8, 64);
+        b.record_drained(8);
+        b.record_send_stall_us(500);
+        a.merge(&b);
+        assert_eq!(a.packets(), 2);
+        assert_eq!(a.items(), 12);
+        assert_eq!(a.bytes(), 96);
+        assert_eq!(a.recv_items(), 4);
+        assert_eq!(a.drained_items(), 8);
+        assert_eq!(a.in_flight_items(), 0);
+        assert_eq!(a.batch_items().count(), 2);
+        assert_eq!(a.send_stall_us().count(), 1);
+        // `b` is untouched.
+        assert_eq!(b.packets(), 1);
+    }
+
+    #[test]
+    fn registry_export_covers_the_schema() {
+        let s = FabricStats::new();
+        s.record_packet(4, 32);
+        s.record_recv(4, 32);
+        s.record_send_stall_us(10);
+        let reg = Registry::new();
+        s.to_registry(&reg);
+        let dump = reg.to_jsonl();
+        for name in [
+            schema::FABRIC_SENT_PACKETS,
+            schema::FABRIC_SENT_ITEMS,
+            schema::FABRIC_SENT_BYTES,
+            schema::FABRIC_RECV_PACKETS,
+            schema::FABRIC_RECV_ITEMS,
+            schema::FABRIC_RECV_BYTES,
+            schema::FABRIC_DRAINED_ITEMS,
+            schema::FABRIC_IN_FLIGHT_ITEMS,
+            schema::FABRIC_DEPTH_HIGH_WATER,
+            schema::FABRIC_BATCH_ITEMS,
+            schema::FABRIC_SEND_STALL_US,
+            schema::FABRIC_RECV_STALL_US,
+        ] {
+            assert!(dump.contains(name), "missing {name} in:\n{dump}");
+        }
+        for line in dump.lines() {
+            dsmtx_obs::json::validate(line).unwrap();
+        }
     }
 }

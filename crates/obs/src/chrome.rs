@@ -1,0 +1,170 @@
+//! Chrome `trace_event` JSON writer.
+//!
+//! Produces the "JSON Array Format" wrapped in an object
+//! (`{"traceEvents": [...]}`), which both `chrome://tracing` and
+//! Perfetto load directly. Only the event kinds this runtime needs are
+//! supported: complete spans (`"ph":"X"`), instants (`"ph":"i"`),
+//! counters (`"ph":"C"`), and thread-name metadata (`"ph":"M"`).
+//! Timestamps and durations are microseconds, per the format spec.
+
+use crate::json;
+
+/// Accumulates trace events and renders them as one JSON document.
+#[derive(Default, Debug)]
+pub struct ChromeTrace {
+    events: Vec<String>,
+}
+
+fn args_json(args: &[(&str, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json::string(k));
+        out.push(':');
+        out.push_str(&json::string(v));
+    }
+    out.push('}');
+    out
+}
+
+impl ChromeTrace {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Names a track: shows as the row label in the trace viewer.
+    pub fn thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"name\":{}}}}}",
+            json::string(name)
+        ));
+    }
+
+    /// Orders a track within the process view (lower sorts first).
+    pub fn thread_sort_index(&mut self, pid: u64, tid: u64, index: i64) {
+        self.events.push(format!(
+            "{{\"ph\":\"M\",\"name\":\"thread_sort_index\",\"pid\":{pid},\"tid\":{tid},\
+             \"args\":{{\"sort_index\":{index}}}}}"
+        ));
+    }
+
+    /// Complete span (`ph:"X"`): one box on a track.
+    ///
+    /// The argument list mirrors the trace_event field list one-to-one;
+    /// a builder would only rename the same seven fields.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        name: &str,
+        cat: &str,
+        ts_us: u64,
+        dur_us: u64,
+        args: &[(&str, String)],
+    ) {
+        self.events.push(format!(
+            "{{\"ph\":\"X\",\"name\":{},\"cat\":{},\"pid\":{pid},\"tid\":{tid},\
+             \"ts\":{ts_us},\"dur\":{dur_us},\"args\":{}}}",
+            json::string(name),
+            json::string(cat),
+            args_json(args)
+        ));
+    }
+
+    /// Instant event (`ph:"i"`, thread scope): a tick mark.
+    pub fn instant(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        name: &str,
+        cat: &str,
+        ts_us: u64,
+        args: &[(&str, String)],
+    ) {
+        self.events.push(format!(
+            "{{\"ph\":\"i\",\"s\":\"t\",\"name\":{},\"cat\":{},\"pid\":{pid},\"tid\":{tid},\
+             \"ts\":{ts_us},\"args\":{}}}",
+            json::string(name),
+            json::string(cat),
+            args_json(args)
+        ));
+    }
+
+    /// Counter sample (`ph:"C"`): plotted as a stacked area chart.
+    pub fn counter(&mut self, pid: u64, name: &str, ts_us: u64, series: &[(&str, i64)]) {
+        let mut args = String::from("{");
+        for (i, (k, v)) in series.iter().enumerate() {
+            if i > 0 {
+                args.push(',');
+            }
+            args.push_str(&json::string(k));
+            args.push(':');
+            args.push_str(&v.to_string());
+        }
+        args.push('}');
+        self.events.push(format!(
+            "{{\"ph\":\"C\",\"name\":{},\"pid\":{pid},\"ts\":{ts_us},\"args\":{args}}}",
+            json::string(name)
+        ));
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Full document: `{"traceEvents":[...],"displayTimeUnit":"ms"}`.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(e);
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_valid_json() {
+        let mut t = ChromeTrace::new();
+        t.thread_name(1, 0, "worker0");
+        t.thread_sort_index(1, 0, 0);
+        t.span(1, 0, "mtx3", "subtx", 10, 25, &[("stage", "1".into())]);
+        t.instant(1, 100, "validated mtx3", "validate", 40, &[]);
+        t.counter(1, "queue depth", 12, &[("w0->tc", 5)]);
+        let doc = t.render();
+        crate::json::validate(&doc).expect("chrome trace parses");
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"ph\":\"M\""));
+        assert!(doc.contains("\"ph\":\"i\""));
+        assert!(doc.contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn escapes_names() {
+        let mut t = ChromeTrace::new();
+        t.span(1, 0, "weird \"name\"\n", "c", 0, 1, &[]);
+        crate::json::validate(&t.render()).unwrap();
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let t = ChromeTrace::new();
+        crate::json::validate(&t.render()).unwrap();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,70 @@
+//! Observability layer for the DSMTX reproduction.
+//!
+//! The paper's argument is quantitative (bandwidth, latency tolerance,
+//! recovery cost), so every layer of this runtime reports into a shared
+//! vocabulary defined here:
+//!
+//! - [`Histogram`] — lock-free log-bucketed latency/size histogram with
+//!   ±12.5% relative error, mergeable across threads and queues;
+//! - [`Counter`] / [`Gauge`] — monotonic and level metrics with a
+//!   high-water mark;
+//! - [`Registry`] — labeled get-or-create metric handles plus a JSONL
+//!   export, so simulated and real runs emit the same schema
+//!   ([`schema`] holds the shared metric names);
+//! - [`ChromeTrace`] — a `chrome://tracing` / Perfetto `trace_event`
+//!   JSON writer for per-MTX lifecycle spans;
+//! - [`json`] — the escaping and validation helpers backing both
+//!   exporters.
+//!
+//! This crate has no dependencies (std only) so it can sit below the
+//! fabric in the crate DAG.
+
+pub mod chrome;
+pub mod hist;
+pub mod json;
+pub mod metrics;
+
+pub use chrome::ChromeTrace;
+pub use hist::Histogram;
+pub use metrics::{Counter, Gauge, Registry};
+
+/// Shared metric names: the sim engine and the real runtime both emit
+/// these, so a JSONL dump from either is comparable row-for-row.
+pub mod schema {
+    /// Per-stage subTX execution time, labeled `stage`.
+    pub const STAGE_EXEC_US: &str = "stage.exec_us";
+    /// Last `SubTxEnd` of an MTX to its `Validated` event.
+    pub const MTX_VALIDATION_WAIT_US: &str = "mtx.validation_wait_us";
+    /// `Validated` to `Committed` (commit-queue wait).
+    pub const MTX_COMMIT_WAIT_US: &str = "mtx.commit_wait_us";
+    /// First `SubTxBegin` to `Committed`.
+    pub const MTX_TOTAL_LATENCY_US: &str = "mtx.total_latency_us";
+    /// Inter-commit period observed at the commit unit.
+    pub const MTX_COMMIT_PERIOD_US: &str = "mtx.commit_period_us";
+    /// Busy fraction (0..=1, scaled by 1e6 when stored in a gauge) of a
+    /// worker/try-commit/commit track, labeled `role`.
+    pub const ROLE_BUSY_PPM: &str = "role.busy_ppm";
+
+    /// Whole-run roll-ups.
+    pub const RUN_ELAPSED_US: &str = "run.elapsed_us";
+    pub const RUN_COMMITTED: &str = "run.committed";
+    pub const RUN_RECOVERIES: &str = "run.recoveries";
+    pub const RUN_BYTES: &str = "run.bytes";
+    pub const RUN_BANDWIDTH_BPS: &str = "run.bandwidth_bps";
+    pub const RUN_SPEEDUP_MILLI: &str = "run.speedup_milli";
+    pub const RUN_TRACE_DROPPED: &str = "run.trace_dropped";
+
+    /// Fabric counters (send and recv side) and distributions.
+    pub const FABRIC_SENT_PACKETS: &str = "fabric.sent_packets";
+    pub const FABRIC_SENT_ITEMS: &str = "fabric.sent_items";
+    pub const FABRIC_SENT_BYTES: &str = "fabric.sent_bytes";
+    pub const FABRIC_RECV_PACKETS: &str = "fabric.recv_packets";
+    pub const FABRIC_RECV_ITEMS: &str = "fabric.recv_items";
+    pub const FABRIC_RECV_BYTES: &str = "fabric.recv_bytes";
+    pub const FABRIC_DRAINED_ITEMS: &str = "fabric.drained_items";
+    pub const FABRIC_IN_FLIGHT_ITEMS: &str = "fabric.in_flight_items";
+    pub const FABRIC_DEPTH_HIGH_WATER: &str = "fabric.depth_high_water";
+    pub const FABRIC_BATCH_ITEMS: &str = "fabric.batch_items";
+    pub const FABRIC_SEND_STALL_US: &str = "fabric.send_stall_us";
+    pub const FABRIC_RECV_STALL_US: &str = "fabric.recv_stall_us";
+}

@@ -1,0 +1,357 @@
+//! Counters, gauges, and the labeled metric registry.
+
+use crate::hist::Histogram;
+use crate::json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Monotonic counter; clones share the same cell.
+#[derive(Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn value(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// Folds `other`'s count into `self`.
+    pub fn merge(&self, other: &Counter) {
+        self.add(other.value());
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.value())
+    }
+}
+
+/// Level metric with a high-water mark; clones share the same cells.
+///
+/// `add`/`sub` keep a current level (e.g. queue depth) while the
+/// high-water mark records the maximum level ever seen.
+#[derive(Clone, Default)]
+pub struct Gauge {
+    inner: Arc<GaugeInner>,
+}
+
+#[derive(Default)]
+struct GaugeInner {
+    current: AtomicI64,
+    high_water: AtomicI64,
+}
+
+impl Gauge {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&self, delta: i64) {
+        let now = self.inner.current.fetch_add(delta, Ordering::Relaxed) + delta;
+        self.inner.high_water.fetch_max(now, Ordering::Relaxed);
+    }
+
+    pub fn sub(&self, delta: i64) {
+        self.add(-delta);
+    }
+
+    pub fn set(&self, value: i64) {
+        self.inner.current.store(value, Ordering::Relaxed);
+        self.inner.high_water.fetch_max(value, Ordering::Relaxed);
+    }
+
+    pub fn value(&self) -> i64 {
+        self.inner.current.load(Ordering::Relaxed)
+    }
+
+    pub fn high_water(&self) -> i64 {
+        self.inner.high_water.load(Ordering::Relaxed)
+    }
+
+    /// Folds `other` into `self`: levels add, high-water marks take the
+    /// max (an aggregate queue's depth is the sum of its members').
+    pub fn merge(&self, other: &Gauge) {
+        if other.value() != 0 {
+            self.add(other.value());
+        }
+        self.inner
+            .high_water
+            .fetch_max(other.high_water(), Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Gauge({}, high {})", self.value(), self.high_water())
+    }
+}
+
+#[derive(Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+type Key = (String, Vec<(String, String)>);
+
+/// Get-or-create registry of labeled metrics; clones share contents.
+///
+/// Handles are cheap to clone out of the registry once and update
+/// lock-free afterwards; the registry lock is only taken at
+/// registration and export time.
+#[derive(Clone, Default)]
+pub struct Registry {
+    inner: Arc<Mutex<BTreeMap<Key, Metric>>>,
+}
+
+fn key(name: &str, labels: &[(&str, &str)]) -> Key {
+    let mut labels: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    labels.sort();
+    (name.to_string(), labels)
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counter handle for `name` + `labels`, created on first use.
+    ///
+    /// Panics if the same name+labels was registered as another type —
+    /// that is a schema bug worth failing loudly on.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.get_or_insert(name, labels, || Metric::Counter(Counter::new())) {
+            Metric::Counter(c) => c,
+            other => panic!("{name} already registered as {}", other.kind()),
+        }
+    }
+
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_insert(name, labels, || Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g,
+            other => panic!("{name} already registered as {}", other.kind()),
+        }
+    }
+
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.get_or_insert(name, labels, || Metric::Histogram(Histogram::new())) {
+            Metric::Histogram(h) => h,
+            other => panic!("{name} already registered as {}", other.kind()),
+        }
+    }
+
+    /// Registers an already-built histogram (e.g. one the fabric has
+    /// been recording into) under `name` + `labels`, replacing any
+    /// previous entry.
+    pub fn install_histogram(&self, name: &str, labels: &[(&str, &str)], hist: Histogram) {
+        self.lock()
+            .insert(key(name, labels), Metric::Histogram(hist));
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        self.lock()
+            .entry(key(name, labels))
+            .or_insert_with(make)
+            .clone()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<Key, Metric>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// One JSON object per metric, one per line, sorted by name+labels.
+    ///
+    /// Counters: `{"name","labels","type":"counter","value"}`. Gauges
+    /// add `"high_water"`. Histograms carry `count/sum/mean/min/max/
+    /// p50/p90/p99` plus the non-empty `[lower_bound, count]` buckets.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ((name, labels), metric) in self.lock().iter() {
+            out.push('{');
+            out.push_str(&format!("\"name\":{},", json::string(name)));
+            out.push_str("\"labels\":{");
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{}:{}", json::string(k), json::string(v)));
+            }
+            out.push_str("},");
+            out.push_str(&format!("\"type\":\"{}\",", metric.kind()));
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("\"value\":{}", c.value()));
+                }
+                Metric::Gauge(g) => {
+                    out.push_str(&format!(
+                        "\"value\":{},\"high_water\":{}",
+                        g.value(),
+                        g.high_water()
+                    ));
+                }
+                Metric::Histogram(h) => {
+                    out.push_str(&format!(
+                        "\"count\":{},\"sum\":{},\"mean\":{:.3},\"min\":{},\"max\":{},\
+                         \"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+                        h.count(),
+                        h.sum(),
+                        h.mean(),
+                        h.min(),
+                        h.max(),
+                        h.p50(),
+                        h.p90(),
+                        h.p99()
+                    ));
+                    for (i, (lo, n)) in h.snapshot().iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        out.push_str(&format!("[{lo},{n}]"));
+                    }
+                    out.push(']');
+                }
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Registry({} metrics)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+
+        let g = Gauge::new();
+        g.add(10);
+        g.sub(3);
+        assert_eq!(g.value(), 7);
+        assert_eq!(g.high_water(), 10);
+        g.set(2);
+        assert_eq!(g.value(), 2);
+        assert_eq!(g.high_water(), 10);
+    }
+
+    #[test]
+    fn merge_semantics() {
+        let a = Counter::new();
+        let b = Counter::new();
+        a.add(3);
+        b.add(4);
+        a.merge(&b);
+        assert_eq!(a.value(), 7);
+
+        let g1 = Gauge::new();
+        let g2 = Gauge::new();
+        g1.add(5);
+        g2.add(9);
+        g2.sub(9);
+        g1.merge(&g2);
+        assert_eq!(g1.value(), 5);
+        assert_eq!(g1.high_water(), 9);
+    }
+
+    #[test]
+    fn registry_reuses_handles_by_name_and_labels() {
+        let r = Registry::new();
+        let a = r.counter("x", &[("q", "1")]);
+        let b = r.counter("x", &[("q", "1")]);
+        let c = r.counter("x", &[("q", "2")]);
+        a.inc();
+        b.inc();
+        c.inc();
+        assert_eq!(a.value(), 2);
+        assert_eq!(c.value(), 1);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn label_order_does_not_matter() {
+        let r = Registry::new();
+        let a = r.counter("x", &[("a", "1"), ("b", "2")]);
+        let b = r.counter("x", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        assert_eq!(b.value(), 1);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn type_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x", &[]);
+        let _ = r.gauge("x", &[]);
+    }
+
+    #[test]
+    fn jsonl_is_valid_json_per_line() {
+        let r = Registry::new();
+        r.counter("runs", &[]).add(2);
+        r.gauge("depth", &[("queue", "w0->tc")]).add(5);
+        let h = r.histogram("lat_us", &[("stage", "0")]);
+        for v in [1u64, 50, 999, 12345] {
+            h.record(v);
+        }
+        let dump = r.to_jsonl();
+        assert_eq!(dump.lines().count(), 3);
+        for line in dump.lines() {
+            crate::json::validate(line).expect("each JSONL line parses");
+        }
+        assert!(dump.contains("\"type\":\"histogram\""));
+        assert!(dump.contains("\"p99\":"));
+    }
+}

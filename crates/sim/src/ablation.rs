@@ -169,11 +169,7 @@ pub struct ShardPoint {
 
 /// §3.2's closing remark, quantified: parallelizing the try-commit and
 /// commit units relieves their serialization at high worker counts.
-pub fn unit_shard_sweep(
-    profile: &WorkloadProfile,
-    cores: u32,
-    shards: &[u32],
-) -> Vec<ShardPoint> {
+pub fn unit_shard_sweep(profile: &WorkloadProfile, cores: u32, shards: &[u32]) -> Vec<ShardPoint> {
     shards
         .iter()
         .map(|&s| {

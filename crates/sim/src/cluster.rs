@@ -1,14 +1,12 @@
 //! Cluster hardware model.
 
-use serde::{Deserialize, Serialize};
-
 /// Parametric model of a commodity cluster.
 ///
 /// Defaults mirror the paper's evaluation platform (§5.1): 32 Dell
 /// PowerEdge 1950 nodes, 4 cores per node (two dual-core Xeon 5160 @
 /// 3 GHz), InfiniBand interconnect, OpenMPI messaging whose send/receive
 /// primitives cost 500–2,295 instructions per call.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClusterConfig {
     /// Number of nodes.
     pub nodes: u32,

@@ -78,7 +78,9 @@ impl SimEngine {
     /// Effective one-way latency when `cores` cores (spread over nodes)
     /// participate: more nodes means more switch hops.
     fn latency_at(&self, cores: u32) -> f64 {
-        let nodes = (cores as f64 / self.cluster.cores_per_node as f64).ceil().max(1.0);
+        let nodes = (cores as f64 / self.cluster.cores_per_node as f64)
+            .ceil()
+            .max(1.0);
         self.cluster.latency * (1.0 + 0.5 * nodes.log2().max(0.0))
     }
 
@@ -192,8 +194,7 @@ impl SimEngine {
 
         let mut worker_free: Vec<Vec<f64>> =
             replicas.iter().map(|&r| vec![0.0; r as usize]).collect();
-        let mut nic_free: Vec<Vec<f64>> =
-            replicas.iter().map(|&r| vec![0.0; r as usize]).collect();
+        let mut nic_free: Vec<Vec<f64>> = replicas.iter().map(|&r| vec![0.0; r as usize]).collect();
         let mut val_free = 0.0f64;
         let mut commit_free = 0.0f64;
         let mut commit_times: Vec<f64> = Vec::with_capacity(n as usize);
@@ -283,8 +284,7 @@ impl SimEngine {
             // At least one episode fires whenever a rate is requested,
             // even for loops shorter than 1/rate (the paper modifies the
             // inputs to *cause* misspeculation).
-            let is_bad = bad_every
-                .is_some_and(|k| (i + 1) % k == 0 || (k > n && i == n / 2));
+            let is_bad = bad_every.is_some_and(|k| (i + 1) % k == 0 || (k > n && i == n / 2));
             if is_bad {
                 // §4.3: detect, rendezvous (ERM), flush (FLQ), re-execute
                 // (SEQ), refill the pipeline and redo the squashed
@@ -362,8 +362,8 @@ impl SimEngine {
                         + c.recv_cpu_time(eff_words(inv.reduce_bytes_per_worker / 8.0)));
             one_invocation += init + reduce;
             invocations = inv.count;
-            inv_bytes = total_workers as f64
-                * (inv.init_bytes_per_worker + inv.reduce_bytes_per_worker);
+            inv_bytes =
+                total_workers as f64 * (inv.init_bytes_per_worker + inv.reduce_bytes_per_worker);
         }
 
         let loop_time = one_invocation * invocations as f64;
@@ -591,8 +591,7 @@ mod tests {
     fn batching_off_slows_communication_heavy_profiles() {
         let p = doall_profile(1.0e-4, 2000, 8192.0);
         let on = SimEngine::new(ClusterConfig::paper()).simulate_spec_dswp(&p, 128, 0.0);
-        let off =
-            SimEngine::new(ClusterConfig::paper_unbatched()).simulate_spec_dswp(&p, 128, 0.0);
+        let off = SimEngine::new(ClusterConfig::paper_unbatched()).simulate_spec_dswp(&p, 128, 0.0);
         assert!(
             on.app_speedup > 1.5 * off.app_speedup,
             "batched {} vs direct {}",

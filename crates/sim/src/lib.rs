@@ -56,6 +56,7 @@
 pub mod ablation;
 pub mod cluster;
 pub mod engine;
+pub mod metrics;
 pub mod profile;
 pub mod report;
 pub mod schedule;

@@ -8,10 +8,8 @@
 //! parallelized loop, and how the TLS-only plan differs (synchronized
 //! dependences, different communication volume).
 
-use serde::{Deserialize, Serialize};
-
 /// How one pipeline stage of a profile executes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StageShape {
     /// One worker runs every iteration's subTX.
     Sequential,
@@ -21,7 +19,7 @@ pub enum StageShape {
 }
 
 /// One pipeline stage of a Spec-DSWP plan.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StageProfile {
     /// Sequential or replicated.
     pub shape: StageShape,
@@ -33,7 +31,7 @@ pub struct StageProfile {
 }
 
 /// The TLS-only baseline plan for the same loop.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TlsPlan {
     /// Fraction of the iteration that must wait for a synchronized value
     /// from the previous iteration (0 for Spec-DOALL-style TLS). This is
@@ -50,7 +48,7 @@ pub struct TlsPlan {
 
 /// An outer-invocation structure (e.g. `052.alvinn` parallelizes the
 /// second-level loop of a nest and synchronizes at every invocation).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InvocationProfile {
     /// Number of invocations of the parallelized loop.
     pub count: u64,
@@ -62,7 +60,7 @@ pub struct InvocationProfile {
 }
 
 /// Everything the simulator needs to model one benchmark.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadProfile {
     /// Benchmark name, as in Table 2.
     pub name: String,
@@ -87,7 +85,6 @@ pub struct WorkloadProfile {
     /// without the batched queues — `052.alvinn`, `164.gzip`, and
     /// `256.bzip2` in the paper (§5.3) see no benefit from the
     /// optimization.
-    #[serde(default)]
     pub chunked: bool,
     /// Outer-loop synchronization, when present.
     pub invocation: Option<InvocationProfile>,

@@ -59,7 +59,11 @@ impl Schedule {
     pub fn render(&self) -> String {
         let max_cycle = self.cells.iter().map(|c| c.start).max().unwrap_or(0);
         let mut out = String::new();
-        out.push_str(&format!("{} (cycles/iter: {})\n", self.name, self.cycles_per_iter()));
+        out.push_str(&format!(
+            "{} (cycles/iter: {})\n",
+            self.name,
+            self.cycles_per_iter()
+        ));
         out.push_str("cycle");
         for core in 0..self.cores {
             out.push_str(&format!(" | core{}", core + 1));

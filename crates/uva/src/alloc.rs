@@ -69,7 +69,10 @@ impl RegionAllocator {
     ///
     /// Panics if `limit_bytes` is not word-aligned or exceeds the region.
     pub fn with_limit(owner: OwnerId, limit_bytes: u64) -> Self {
-        assert!(limit_bytes.is_multiple_of(WORD_BYTES), "limit must be word-aligned");
+        assert!(
+            limit_bytes.is_multiple_of(WORD_BYTES),
+            "limit must be word-aligned"
+        );
         assert!(limit_bytes <= OFFSET_MASK + 1, "limit exceeds region");
         RegionAllocator {
             owner,
@@ -134,7 +137,9 @@ impl RegionAllocator {
         }
         // Bump the frontier.
         let aligned = self.frontier.next_multiple_of(align);
-        let end = aligned.checked_add(bytes).ok_or(UvaError::RegionExhausted)?;
+        let end = aligned
+            .checked_add(bytes)
+            .ok_or(UvaError::RegionExhausted)?;
         if end > self.limit {
             return Err(UvaError::RegionExhausted);
         }

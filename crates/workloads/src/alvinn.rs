@@ -137,8 +137,8 @@ impl Alvinn {
         for _ in 0..EPOCHS {
             let grads: Vec<Vec<f64>> = (0..scale.iterations)
                 .map(|i| {
-                    let s = &samples
-                        [(i * SAMPLE_WORDS) as usize..((i + 1) * SAMPLE_WORDS) as usize];
+                    let s =
+                        &samples[(i * SAMPLE_WORDS) as usize..((i + 1) * SAMPLE_WORDS) as usize];
                     gradient(&w1, &w2, s)
                 })
                 .collect();
@@ -163,8 +163,11 @@ impl Alvinn {
             .map_err(|e| KernelError(e.to_string()))?;
 
         let mut master = MasterMem::new();
-        let weight_words: Vec<u64> =
-            w1_init.iter().chain(w2_init.iter()).map(|&f| f2w(f)).collect();
+        let weight_words: Vec<u64> = w1_init
+            .iter()
+            .chain(w2_init.iter())
+            .map(|&f| f2w(f))
+            .collect();
         store_words(&mut master, w_base, &weight_words);
         let sample_words: Vec<u64> = samples.iter().map(|&f| f2w(f)).collect();
         store_words(&mut master, s_base, &sample_words);
@@ -211,8 +214,8 @@ impl Alvinn {
                 }
                 IterOutcome::Continue
             });
-            let result = SpecDoall::new(workers.max(1))
-                .run(master, body.clone(), recovery, Some(n))?;
+            let result =
+                SpecDoall::new(workers.max(1)).run(master, body.clone(), recovery, Some(n))?;
             master = result.master;
             // Inter-invocation sequential code (commit unit): reduce the
             // gradient arrays and update the weights.
@@ -220,11 +223,10 @@ impl Alvinn {
                 .into_iter()
                 .map(w2f)
                 .collect();
-            let mut w2: Vec<f64> =
-                load_words(&master, w_base.add_words(W1_WORDS), W2_WORDS)
-                    .into_iter()
-                    .map(w2f)
-                    .collect();
+            let mut w2: Vec<f64> = load_words(&master, w_base.add_words(W1_WORDS), W2_WORDS)
+                .into_iter()
+                .map(w2f)
+                .collect();
             let grads: Vec<Vec<f64>> = (0..n)
                 .map(|i| {
                     load_words(&master, g_base.add_words(i * GRAD_WORDS), GRAD_WORDS)
@@ -234,8 +236,7 @@ impl Alvinn {
                 })
                 .collect();
             apply_epoch(&mut w1, &mut w2, &grads);
-            let weight_words: Vec<u64> =
-                w1.iter().chain(w2.iter()).map(|&f| f2w(f)).collect();
+            let weight_words: Vec<u64> = w1.iter().chain(w2.iter()).map(|&f| f2w(f)).collect();
             store_words(&mut master, w_base, &weight_words);
         }
         Ok(load_words(&master, w_base, W1_WORDS + W2_WORDS))

@@ -56,7 +56,9 @@ pub(crate) fn match_window(window: &[u64]) -> u64 {
 
 fn generate(scale: Scale) -> Vec<u64> {
     let mut s = Stream::new(scale.seed ^ 0x179);
-    (0..scale.iterations * scale.unit).map(|_| s.below(251)).collect()
+    (0..scale.iterations * scale.unit)
+        .map(|_| s.below(251))
+        .collect()
 }
 
 /// Folds a score into the `[best_score, best_index]` state.
@@ -92,8 +94,12 @@ impl Art {
         let w_base = heap
             .alloc_words(n * unit)
             .map_err(|e| KernelError(e.to_string()))?;
-        let out_base = heap.alloc_words(n).map_err(|e| KernelError(e.to_string()))?;
-        let best_base = heap.alloc_words(2).map_err(|e| KernelError(e.to_string()))?;
+        let out_base = heap
+            .alloc_words(n)
+            .map_err(|e| KernelError(e.to_string()))?;
+        let best_base = heap
+            .alloc_words(2)
+            .map_err(|e| KernelError(e.to_string()))?;
         let mut master = MasterMem::new();
         store_words(&mut master, w_base, &windows);
 

@@ -50,7 +50,13 @@ fn cnd(x: f64) -> f64 {
 /// Prices one option; `Err(())` is the rare error path the plan
 /// speculates against.
 fn price(opt: &[u64]) -> Result<u64, ()> {
-    let (s, k, r, v, t) = (w2f(opt[0]), w2f(opt[1]), w2f(opt[2]), w2f(opt[3]), w2f(opt[4]));
+    let (s, k, r, v, t) = (
+        w2f(opt[0]),
+        w2f(opt[1]),
+        w2f(opt[2]),
+        w2f(opt[3]),
+        w2f(opt[4]),
+    );
     let is_put = opt[5] != 0;
     if t <= 0.0 || v <= 0.0 || s <= 0.0 || k <= 0.0 {
         return Err(());
@@ -80,7 +86,14 @@ fn generate(scale: Scale, plant_error: bool) -> Vec<u64> {
         let vol = 0.10 + s.below(50) as f64 / 100.0;
         let time = 0.25 + s.below(16) as f64 / 4.0;
         let is_put = s.below(2);
-        input.extend_from_slice(&[f2w(spot), f2w(strike), f2w(rate), f2w(vol), f2w(time), is_put]);
+        input.extend_from_slice(&[
+            f2w(spot),
+            f2w(strike),
+            f2w(rate),
+            f2w(vol),
+            f2w(time),
+            is_put,
+        ]);
     }
     if plant_error {
         // Invalid maturity on the middle option.
@@ -94,8 +107,7 @@ impl BlackScholes {
     fn sequential(input: &[u64], scale: Scale) -> Vec<u64> {
         (0..scale.iterations)
             .map(|i| {
-                let opt = &input
-                    [(i * OPTION_WORDS) as usize..((i + 1) * OPTION_WORDS) as usize];
+                let opt = &input[(i * OPTION_WORDS) as usize..((i + 1) * OPTION_WORDS) as usize];
                 price(opt).unwrap_or_else(|()| error_output(i))
             })
             .collect()
@@ -115,15 +127,18 @@ impl BlackScholes {
         let in_base = heap
             .alloc_words(n * OPTION_WORDS)
             .map_err(|e| KernelError(e.to_string()))?;
-        let out_base = heap.alloc_words(n).map_err(|e| KernelError(e.to_string()))?;
+        let out_base = heap
+            .alloc_words(n)
+            .map_err(|e| KernelError(e.to_string()))?;
         let mut master = MasterMem::new();
         store_words(&mut master, in_base, &input);
 
-        let load_option = move |ctx: &mut WorkerCtx, i: u64| -> Result<Vec<u64>, dsmtx::Interrupt> {
-            (0..OPTION_WORDS)
-                .map(|k| ctx.read_private(in_base.add_words(i * OPTION_WORDS + k)))
-                .collect()
-        };
+        let load_option =
+            move |ctx: &mut WorkerCtx, i: u64| -> Result<Vec<u64>, dsmtx::Interrupt> {
+                (0..OPTION_WORDS)
+                    .map(|k| ctx.read_private(in_base.add_words(i * OPTION_WORDS + k)))
+                    .collect()
+            };
         let compute = Arc::new(move |ctx: &mut WorkerCtx, mtx: MtxId| {
             if mtx.0 >= n {
                 return Ok(IterOutcome::Continue);
@@ -146,17 +161,22 @@ impl BlackScholes {
             Ok(IterOutcome::Continue)
         });
         let recovery = Box::new(move |mtx: MtxId, master: &mut MasterMem| {
-            let opt = load_words(master, in_base.add_words(mtx.0 * OPTION_WORDS), OPTION_WORDS);
+            let opt = load_words(
+                master,
+                in_base.add_words(mtx.0 * OPTION_WORDS),
+                OPTION_WORDS,
+            );
             let out = price(&opt).unwrap_or_else(|()| error_output(mtx.0));
             master.write(out_base.add_words(mtx.0), out);
             IterOutcome::Continue
         });
 
         let result = match mode {
-            Mode::Dsmtx { workers } => Pipeline::new()
-                .par(workers.max(1), compute)
-                .seq(emit)
-                .run(master, recovery, Some(n))?,
+            Mode::Dsmtx { workers } => Pipeline::new().par(workers.max(1), compute).seq(emit).run(
+                master,
+                recovery,
+                Some(n),
+            )?,
             Mode::Tls { workers } => {
                 let body = Arc::new(move |ctx: &mut WorkerCtx, mtx: MtxId| {
                     if mtx.0 >= n {
@@ -260,7 +280,10 @@ mod tests {
             .run_with_planted_error(Mode::Dsmtx { workers: 2 }, scale)
             .unwrap();
         assert_eq!(seq, par);
-        assert_eq!(seq[(scale.iterations / 2) as usize], error_output(scale.iterations / 2));
+        assert_eq!(
+            seq[(scale.iterations / 2) as usize],
+            error_output(scale.iterations / 2)
+        );
     }
 
     #[test]

@@ -140,7 +140,9 @@ impl Bzip2 {
         let stream_base = heap
             .alloc_words(stream_cap)
             .map_err(|e| KernelError(e.to_string()))?;
-        let cursor = heap.alloc_words(1).map_err(|e| KernelError(e.to_string()))?;
+        let cursor = heap
+            .alloc_words(1)
+            .map_err(|e| KernelError(e.to_string()))?;
         let mut master = MasterMem::new();
         store_words(&mut master, in_base, &input);
 
@@ -172,8 +174,7 @@ impl Bzip2 {
                     if mtx.0 >= n {
                         return Ok(IterOutcome::Continue);
                     }
-                    let block: Vec<u64> =
-                        (0..unit).map(|_| ctx.consume_from(StageId(0))).collect();
+                    let block: Vec<u64> = (0..unit).map(|_| ctx.consume_from(StageId(0))).collect();
                     match mtf_rle_compress(&block) {
                         Ok(record) => {
                             ctx.produce_to(StageId(2), record.len() as u64);

@@ -59,8 +59,9 @@ fn crc_file(words: &[u64]) -> Result<u64, ()> {
 /// one file, to exercise misspeculation in tests.
 fn generate(scale: Scale, plant_error: bool) -> Vec<u64> {
     let mut s = Stream::new(scale.seed);
-    let mut input: Vec<u64> =
-        (0..scale.iterations * scale.unit).map(|_| s.next()).collect();
+    let mut input: Vec<u64> = (0..scale.iterations * scale.unit)
+        .map(|_| s.next())
+        .collect();
     for w in input.iter_mut() {
         if *w == ERROR_MARKER {
             *w = 0; // keep the corpus clean by default
@@ -83,8 +84,7 @@ impl Crc32 {
     fn sequential(input: &[u64], scale: Scale) -> Vec<u64> {
         (0..scale.iterations)
             .map(|f| {
-                let span =
-                    &input[(f * scale.unit) as usize..((f + 1) * scale.unit) as usize];
+                let span = &input[(f * scale.unit) as usize..((f + 1) * scale.unit) as usize];
                 match crc_file(span) {
                     Ok(crc) => crc,
                     Err(()) => error_output(f),
@@ -105,8 +105,12 @@ impl Crc32 {
         }
 
         let mut heap = master_heap();
-        let in_base = heap.alloc_words(n * scale.unit).map_err(|e| KernelError(e.to_string()))?;
-        let out_base = heap.alloc_words(n).map_err(|e| KernelError(e.to_string()))?;
+        let in_base = heap
+            .alloc_words(n * scale.unit)
+            .map_err(|e| KernelError(e.to_string()))?;
+        let out_base = heap
+            .alloc_words(n)
+            .map_err(|e| KernelError(e.to_string()))?;
         let mut master = MasterMem::new();
         store_words(&mut master, in_base, &input);
 
@@ -149,10 +153,11 @@ impl Crc32 {
         });
 
         let result = match mode {
-            Mode::Dsmtx { workers } => Pipeline::new()
-                .par(workers.max(1), compute)
-                .seq(emit)
-                .run(master, recovery, Some(n))?,
+            Mode::Dsmtx { workers } => Pipeline::new().par(workers.max(1), compute).seq(emit).run(
+                master,
+                recovery,
+                Some(n),
+            )?,
             Mode::Tls { workers } => {
                 // The TLS plan degenerates to Spec-DOALL here (no
                 // synchronized dependences): the compute stage writes the
@@ -259,9 +264,7 @@ mod tests {
     fn planted_error_recovers_to_sequential_answer() {
         let k = Crc32;
         let scale = Scale::test();
-        let seq = k
-            .run_with_planted_error(Mode::Sequential, scale)
-            .unwrap();
+        let seq = k.run_with_planted_error(Mode::Sequential, scale).unwrap();
         let par = k
             .run_with_planted_error(Mode::Dsmtx { workers: 2 }, scale)
             .unwrap();

@@ -114,7 +114,9 @@ fn build_master(input: &[u64], scale: Scale) -> Result<(MasterMem, Layout), Kern
     let stream_base = heap
         .alloc_words(stream_cap)
         .map_err(|e| KernelError(e.to_string()))?;
-    let cursor = heap.alloc_words(1).map_err(|e| KernelError(e.to_string()))?;
+    let cursor = heap
+        .alloc_words(1)
+        .map_err(|e| KernelError(e.to_string()))?;
     let mut master = MasterMem::new();
     store_words(&mut master, in_base, input);
     Ok((
@@ -189,8 +191,7 @@ impl Gzip {
                     if mtx.0 >= n {
                         return Ok(IterOutcome::Continue);
                     }
-                    let block: Vec<u64> =
-                        (0..unit).map(|_| ctx.consume_from(StageId(0))).collect();
+                    let block: Vec<u64> = (0..unit).map(|_| ctx.consume_from(StageId(0))).collect();
                     match rle_compress(&block) {
                         Ok(record) => {
                             ctx.produce_to(StageId(2), record.len() as u64);
@@ -244,10 +245,7 @@ impl Gzip {
                     };
                     ctx.write_no_forward(stream_base.add_words(cur), record.len() as u64)?;
                     for (k, &w) in record.iter().enumerate() {
-                        ctx.write_no_forward(
-                            stream_base.add_words(cur + 1 + k as u64),
-                            w,
-                        )?;
+                        ctx.write_no_forward(stream_base.add_words(cur + 1 + k as u64), w)?;
                     }
                     let next = cur + 1 + record.len() as u64;
                     ctx.write_no_forward(cursor, next)?;

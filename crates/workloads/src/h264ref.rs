@@ -103,18 +103,19 @@ impl H264Ref {
         let g_base = heap
             .alloc_words(n * gop_words)
             .map_err(|e| KernelError(e.to_string()))?;
-        let out_base = heap.alloc_words(n).map_err(|e| KernelError(e.to_string()))?;
-        let state_cell = heap.alloc_words(1).map_err(|e| KernelError(e.to_string()))?;
+        let out_base = heap
+            .alloc_words(n)
+            .map_err(|e| KernelError(e.to_string()))?;
+        let state_cell = heap
+            .alloc_words(1)
+            .map_err(|e| KernelError(e.to_string()))?;
         let mut master = MasterMem::new();
         store_words(&mut master, g_base, &gops);
 
         let encode_iter = move |ctx: &mut WorkerCtx, i: u64| -> Result<u64, dsmtx::Interrupt> {
             // The versioned reconstruction buffer lives in the worker's
             // own UVA region (memory versioning).
-            let scratch = ctx
-                .heap()
-                .alloc_words(px)
-                .expect("worker scratch");
+            let scratch = ctx.heap().alloc_words(px).expect("worker scratch");
             for k in 0..px {
                 ctx.write_private(scratch.add_words(k), 128)?;
             }
@@ -122,9 +123,7 @@ impl H264Ref {
             for f in 0..FRAMES {
                 let mut frame = Vec::with_capacity(px as usize);
                 for k in 0..px {
-                    frame.push(
-                        ctx.read_private(g_base.add_words(i * gop_words + f * px + k))?,
-                    );
+                    frame.push(ctx.read_private(g_base.add_words(i * gop_words + f * px + k))?);
                 }
                 for (idx, &p) in frame.iter().enumerate() {
                     let mut best = u64::MAX;
@@ -176,10 +175,11 @@ impl H264Ref {
                     ctx.write(state_cell, new_state)?;
                     Ok(IterOutcome::Continue)
                 });
-                Pipeline::new()
-                    .par(workers.max(1), encode)
-                    .seq(rate)
-                    .run(master, recovery, Some(n))?
+                Pipeline::new().par(workers.max(1), encode).seq(rate).run(
+                    master,
+                    recovery,
+                    Some(n),
+                )?
             }
             Mode::Tls { workers } => {
                 // TLS: rate control is synchronized inside the iteration —

@@ -147,8 +147,7 @@ impl Li {
         let mut env = env0.to_vec();
         let mut out = Vec::new();
         for i in 0..scale.iterations {
-            let script =
-                &scripts[(i * scale.unit) as usize..((i + 1) * scale.unit) as usize];
+            let script = &scripts[(i * scale.unit) as usize..((i + 1) * scale.unit) as usize];
             let ev = eval(script, &env);
             for (k, v) in &ev.env_writes {
                 env[*k as usize] = *v;
@@ -184,8 +183,12 @@ impl Li {
         let s_base = heap
             .alloc_words(n * unit)
             .map_err(|e| KernelError(e.to_string()))?;
-        let out_base = heap.alloc_words(n).map_err(|e| KernelError(e.to_string()))?;
-        let count_cell = heap.alloc_words(1).map_err(|e| KernelError(e.to_string()))?;
+        let out_base = heap
+            .alloc_words(n)
+            .map_err(|e| KernelError(e.to_string()))?;
+        let count_cell = heap
+            .alloc_words(1)
+            .map_err(|e| KernelError(e.to_string()))?;
         let mut master = MasterMem::new();
         store_words(&mut master, env_base, &env0);
         store_words(&mut master, s_base, &scripts);

@@ -85,8 +85,7 @@ impl Parser {
         let mut gen = 0u64;
         let mut out = Vec::with_capacity(scale.iterations as usize + 1);
         for i in 0..scale.iterations {
-            let sentence =
-                &sentences[(i * scale.unit) as usize..((i + 1) * scale.unit) as usize];
+            let sentence = &sentences[(i * scale.unit) as usize..((i + 1) * scale.unit) as usize];
             let (score, g) = parse(dict, sentence, gen);
             out.push(score);
             gen = g;
@@ -115,27 +114,32 @@ impl Parser {
         let s_base = heap
             .alloc_words(n * unit)
             .map_err(|e| KernelError(e.to_string()))?;
-        let out_base = heap.alloc_words(n).map_err(|e| KernelError(e.to_string()))?;
-        let gen_cell = heap.alloc_words(1).map_err(|e| KernelError(e.to_string()))?;
+        let out_base = heap
+            .alloc_words(n)
+            .map_err(|e| KernelError(e.to_string()))?;
+        let gen_cell = heap
+            .alloc_words(1)
+            .map_err(|e| KernelError(e.to_string()))?;
         let mut master = MasterMem::new();
         store_words(&mut master, d_base, &dict);
         store_words(&mut master, s_base, &sentences);
 
-        let parse_iter = move |ctx: &mut WorkerCtx, i: u64| -> Result<(u64, u64, u64), dsmtx::Interrupt> {
-            // The dictionary is read-only: COA copies it to each worker on
-            // first access (the §5.2 dictionary-transfer cost).
-            let dict: Vec<u64> = (0..dict_len)
-                .map(|k| ctx.read_private(d_base.add_words(k)))
-                .collect::<Result<_, _>>()?;
-            let sentence: Vec<u64> = (0..unit)
-                .map(|k| ctx.read_private(s_base.add_words(i * unit + k)))
-                .collect::<Result<_, _>>()?;
-            // The speculated global: read validated, so a concurrent bump
-            // by an error sentence manifests as misspeculation.
-            let gen = ctx.read(gen_cell)?;
-            let (score, new_gen) = parse(&dict, &sentence, gen);
-            Ok((score, gen, new_gen))
-        };
+        let parse_iter =
+            move |ctx: &mut WorkerCtx, i: u64| -> Result<(u64, u64, u64), dsmtx::Interrupt> {
+                // The dictionary is read-only: COA copies it to each worker on
+                // first access (the §5.2 dictionary-transfer cost).
+                let dict: Vec<u64> = (0..dict_len)
+                    .map(|k| ctx.read_private(d_base.add_words(k)))
+                    .collect::<Result<_, _>>()?;
+                let sentence: Vec<u64> = (0..unit)
+                    .map(|k| ctx.read_private(s_base.add_words(i * unit + k)))
+                    .collect::<Result<_, _>>()?;
+                // The speculated global: read validated, so a concurrent bump
+                // by an error sentence manifests as misspeculation.
+                let gen = ctx.read(gen_cell)?;
+                let (score, new_gen) = parse(&dict, &sentence, gen);
+                Ok((score, gen, new_gen))
+            };
 
         let recovery = Box::new(move |mtx: MtxId, master: &mut MasterMem| {
             let dict = load_words(master, d_base, dict_len);

@@ -36,8 +36,7 @@ mod tests {
     #[test]
     fn names_are_unique_and_resolvable() {
         let kernels = all_kernels();
-        let names: std::collections::HashSet<_> =
-            kernels.iter().map(|k| k.info().name).collect();
+        let names: std::collections::HashSet<_> = kernels.iter().map(|k| k.info().name).collect();
         assert_eq!(names.len(), 11);
         for name in names {
             assert!(kernel_by_name(name).is_some(), "{name}");

@@ -89,8 +89,8 @@ impl Swaptions {
     fn sequential(input: &[u64], scale: Scale) -> Vec<u64> {
         (0..scale.iterations)
             .map(|i| {
-                let rec = &input
-                    [(i * SWAPTION_WORDS) as usize..((i + 1) * SWAPTION_WORDS) as usize];
+                let rec =
+                    &input[(i * SWAPTION_WORDS) as usize..((i + 1) * SWAPTION_WORDS) as usize];
                 price(rec).unwrap_or_else(|()| error_output(i))
             })
             .collect()
@@ -113,7 +113,9 @@ impl Swaptions {
         let in_base = heap
             .alloc_words(n * SWAPTION_WORDS)
             .map_err(|e| KernelError(e.to_string()))?;
-        let out_base = heap.alloc_words(n).map_err(|e| KernelError(e.to_string()))?;
+        let out_base = heap
+            .alloc_words(n)
+            .map_err(|e| KernelError(e.to_string()))?;
         let mut master = MasterMem::new();
         store_words(&mut master, in_base, &input);
 
@@ -133,8 +135,11 @@ impl Swaptions {
             }
         });
         let recovery = Box::new(move |mtx: MtxId, master: &mut MasterMem| {
-            let rec =
-                load_words(master, in_base.add_words(mtx.0 * SWAPTION_WORDS), SWAPTION_WORDS);
+            let rec = load_words(
+                master,
+                in_base.add_words(mtx.0 * SWAPTION_WORDS),
+                SWAPTION_WORDS,
+            );
             let out = price(&rec).unwrap_or_else(|()| error_output(mtx.0));
             master.write(out_base.add_words(mtx.0), out);
             IterOutcome::Continue
@@ -224,7 +229,10 @@ mod tests {
         let lo = w2f(price(&[f2w(0.05), f2w(5.0), f2w(0.05), 42]).unwrap());
         let hi = w2f(price(&[f2w(0.05), f2w(5.0), f2w(0.35), 42]).unwrap());
         assert!(lo >= 0.0);
-        assert!(hi > lo, "higher volatility raises option value: {hi} vs {lo}");
+        assert!(
+            hi > lo,
+            "higher volatility raises option value: {hi} vs {lo}"
+        );
     }
 
     #[test]

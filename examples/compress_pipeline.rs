@@ -23,7 +23,9 @@ fn main() {
     };
 
     let seq = kernel.run(Mode::Sequential, scale).expect("sequential");
-    let par = kernel.run(Mode::Dsmtx { workers: 3 }, scale).expect("dsmtx");
+    let par = kernel
+        .run(Mode::Dsmtx { workers: 3 }, scale)
+        .expect("dsmtx");
     assert_eq!(seq, par, "pipeline output must match the reference");
     let in_words = scale.iterations * scale.unit;
     println!(

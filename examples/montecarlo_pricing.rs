@@ -20,7 +20,9 @@ fn main() {
     };
 
     let seq = kernel.run(Mode::Sequential, scale).expect("sequential");
-    let par = kernel.run(Mode::Dsmtx { workers: 4 }, scale).expect("parallel");
+    let par = kernel
+        .run(Mode::Dsmtx { workers: 4 }, scale)
+        .expect("parallel");
     assert_eq!(seq, par, "prices must be bitwise identical");
 
     println!("swaption  price");

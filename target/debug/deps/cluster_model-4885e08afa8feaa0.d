@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster_model-4885e08afa8feaa0.d: examples/cluster_model.rs
+
+/root/repo/target/debug/deps/cluster_model-4885e08afa8feaa0: examples/cluster_model.rs
+
+examples/cluster_model.rs:

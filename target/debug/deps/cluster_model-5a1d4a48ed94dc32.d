@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster_model-5a1d4a48ed94dc32.d: examples/cluster_model.rs
+
+/root/repo/target/debug/deps/cluster_model-5a1d4a48ed94dc32: examples/cluster_model.rs
+
+examples/cluster_model.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cluster_model-866144532e527d45.d: examples/cluster_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster_model-866144532e527d45.rmeta: examples/cluster_model.rs Cargo.toml
+
+examples/cluster_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compress_pipeline-38c1a35c216aae6d.d: examples/compress_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompress_pipeline-38c1a35c216aae6d.rmeta: examples/compress_pipeline.rs Cargo.toml
+
+examples/compress_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compress_pipeline-728309e5d2fc532a.d: examples/compress_pipeline.rs
+
+/root/repo/target/debug/deps/compress_pipeline-728309e5d2fc532a: examples/compress_pipeline.rs
+
+examples/compress_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compress_pipeline-dcc72ac4cf2669f7.d: examples/compress_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompress_pipeline-dcc72ac4cf2669f7.rmeta: examples/compress_pipeline.rs Cargo.toml
+
+examples/compress_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compress_pipeline-ddb7b87a2549f8bb.d: examples/compress_pipeline.rs
+
+/root/repo/target/debug/deps/compress_pipeline-ddb7b87a2549f8bb: examples/compress_pipeline.rs
+
+examples/compress_pipeline.rs:

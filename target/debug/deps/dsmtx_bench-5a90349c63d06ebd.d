@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dsmtx_bench-5a90349c63d06ebd.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/tracedemo.rs
+
+/root/repo/target/debug/deps/libdsmtx_bench-5a90349c63d06ebd.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/tracedemo.rs
+
+/root/repo/target/debug/deps/libdsmtx_bench-5a90349c63d06ebd.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/tracedemo.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/format.rs:
+crates/bench/src/queuebench.rs:
+crates/bench/src/tracedemo.rs:

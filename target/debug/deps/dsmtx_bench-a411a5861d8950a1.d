@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dsmtx_bench-a411a5861d8950a1.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/tracedemo.rs
+
+/root/repo/target/debug/deps/dsmtx_bench-a411a5861d8950a1: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/tracedemo.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/format.rs:
+crates/bench/src/queuebench.rs:
+crates/bench/src/tracedemo.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dsmtx_bench-c8c1dd6be5ee749d.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/tracedemo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsmtx_bench-c8c1dd6be5ee749d.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/tracedemo.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/format.rs:
+crates/bench/src/queuebench.rs:
+crates/bench/src/tracedemo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

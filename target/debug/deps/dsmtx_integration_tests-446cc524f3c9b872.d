@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dsmtx_integration_tests-446cc524f3c9b872.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/dsmtx_integration_tests-446cc524f3c9b872: tests/src/lib.rs
+
+tests/src/lib.rs:

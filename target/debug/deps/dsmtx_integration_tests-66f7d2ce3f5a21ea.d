@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dsmtx_integration_tests-66f7d2ce3f5a21ea.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsmtx_integration_tests-66f7d2ce3f5a21ea.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dsmtx_integration_tests-868b9aa0a2b9ddfd.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libdsmtx_integration_tests-868b9aa0a2b9ddfd.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libdsmtx_integration_tests-868b9aa0a2b9ddfd.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

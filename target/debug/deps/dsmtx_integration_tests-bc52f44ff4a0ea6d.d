@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dsmtx_integration_tests-bc52f44ff4a0ea6d.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsmtx_integration_tests-bc52f44ff4a0ea6d.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

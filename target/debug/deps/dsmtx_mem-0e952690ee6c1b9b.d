@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dsmtx_mem-0e952690ee6c1b9b.d: crates/mem/src/lib.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/spec.rs crates/mem/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsmtx_mem-0e952690ee6c1b9b.rmeta: crates/mem/src/lib.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/spec.rs crates/mem/src/table.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/log.rs:
+crates/mem/src/master.rs:
+crates/mem/src/page.rs:
+crates/mem/src/spec.rs:
+crates/mem/src/table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

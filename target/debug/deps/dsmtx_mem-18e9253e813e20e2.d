@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dsmtx_mem-18e9253e813e20e2.d: crates/mem/src/lib.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/spec.rs crates/mem/src/table.rs
+
+/root/repo/target/debug/deps/libdsmtx_mem-18e9253e813e20e2.rlib: crates/mem/src/lib.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/spec.rs crates/mem/src/table.rs
+
+/root/repo/target/debug/deps/libdsmtx_mem-18e9253e813e20e2.rmeta: crates/mem/src/lib.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/spec.rs crates/mem/src/table.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/log.rs:
+crates/mem/src/master.rs:
+crates/mem/src/page.rs:
+crates/mem/src/spec.rs:
+crates/mem/src/table.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dsmtx_mem-b9d17188098a2daf.d: crates/mem/src/lib.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/spec.rs crates/mem/src/table.rs
+
+/root/repo/target/debug/deps/dsmtx_mem-b9d17188098a2daf: crates/mem/src/lib.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/spec.rs crates/mem/src/table.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/log.rs:
+crates/mem/src/master.rs:
+crates/mem/src/page.rs:
+crates/mem/src/spec.rs:
+crates/mem/src/table.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dsmtx_obs-43e5357a2b04a4e2.d: crates/obs/src/lib.rs crates/obs/src/chrome.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs
+
+/root/repo/target/debug/deps/dsmtx_obs-43e5357a2b04a4e2: crates/obs/src/lib.rs crates/obs/src/chrome.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/chrome.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dsmtx_obs-95c020fe8afa3af3.d: crates/obs/src/lib.rs crates/obs/src/chrome.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs
+
+/root/repo/target/debug/deps/libdsmtx_obs-95c020fe8afa3af3.rlib: crates/obs/src/lib.rs crates/obs/src/chrome.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs
+
+/root/repo/target/debug/deps/libdsmtx_obs-95c020fe8afa3af3.rmeta: crates/obs/src/lib.rs crates/obs/src/chrome.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/chrome.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:

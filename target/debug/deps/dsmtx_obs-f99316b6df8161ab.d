@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dsmtx_obs-f99316b6df8161ab.d: crates/obs/src/lib.rs crates/obs/src/chrome.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsmtx_obs-f99316b6df8161ab.rmeta: crates/obs/src/lib.rs crates/obs/src/chrome.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs Cargo.toml
+
+crates/obs/src/lib.rs:
+crates/obs/src/chrome.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

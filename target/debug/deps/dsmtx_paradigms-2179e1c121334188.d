@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dsmtx_paradigms-2179e1c121334188.d: crates/paradigms/src/lib.rs crates/paradigms/src/executor.rs crates/paradigms/src/paradigm.rs
+
+/root/repo/target/debug/deps/dsmtx_paradigms-2179e1c121334188: crates/paradigms/src/lib.rs crates/paradigms/src/executor.rs crates/paradigms/src/paradigm.rs
+
+crates/paradigms/src/lib.rs:
+crates/paradigms/src/executor.rs:
+crates/paradigms/src/paradigm.rs:

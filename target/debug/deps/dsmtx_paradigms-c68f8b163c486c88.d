@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dsmtx_paradigms-c68f8b163c486c88.d: crates/paradigms/src/lib.rs crates/paradigms/src/executor.rs crates/paradigms/src/paradigm.rs
+
+/root/repo/target/debug/deps/libdsmtx_paradigms-c68f8b163c486c88.rlib: crates/paradigms/src/lib.rs crates/paradigms/src/executor.rs crates/paradigms/src/paradigm.rs
+
+/root/repo/target/debug/deps/libdsmtx_paradigms-c68f8b163c486c88.rmeta: crates/paradigms/src/lib.rs crates/paradigms/src/executor.rs crates/paradigms/src/paradigm.rs
+
+crates/paradigms/src/lib.rs:
+crates/paradigms/src/executor.rs:
+crates/paradigms/src/paradigm.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dsmtx_paradigms-df3753429c5a382d.d: crates/paradigms/src/lib.rs crates/paradigms/src/executor.rs crates/paradigms/src/paradigm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsmtx_paradigms-df3753429c5a382d.rmeta: crates/paradigms/src/lib.rs crates/paradigms/src/executor.rs crates/paradigms/src/paradigm.rs Cargo.toml
+
+crates/paradigms/src/lib.rs:
+crates/paradigms/src/executor.rs:
+crates/paradigms/src/paradigm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dsmtx_sim-7d6ec412f8c08f64.d: crates/sim/src/lib.rs crates/sim/src/ablation.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/profile.rs crates/sim/src/report.rs crates/sim/src/schedule.rs
+
+/root/repo/target/debug/deps/dsmtx_sim-7d6ec412f8c08f64: crates/sim/src/lib.rs crates/sim/src/ablation.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/profile.rs crates/sim/src/report.rs crates/sim/src/schedule.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/ablation.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/profile.rs:
+crates/sim/src/report.rs:
+crates/sim/src/schedule.rs:

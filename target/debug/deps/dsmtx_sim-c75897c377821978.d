@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dsmtx_sim-c75897c377821978.d: crates/sim/src/lib.rs crates/sim/src/ablation.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/profile.rs crates/sim/src/report.rs crates/sim/src/schedule.rs
+
+/root/repo/target/debug/deps/libdsmtx_sim-c75897c377821978.rlib: crates/sim/src/lib.rs crates/sim/src/ablation.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/profile.rs crates/sim/src/report.rs crates/sim/src/schedule.rs
+
+/root/repo/target/debug/deps/libdsmtx_sim-c75897c377821978.rmeta: crates/sim/src/lib.rs crates/sim/src/ablation.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/profile.rs crates/sim/src/report.rs crates/sim/src/schedule.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/ablation.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/profile.rs:
+crates/sim/src/report.rs:
+crates/sim/src/schedule.rs:

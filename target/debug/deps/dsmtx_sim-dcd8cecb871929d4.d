@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dsmtx_sim-dcd8cecb871929d4.d: crates/sim/src/lib.rs crates/sim/src/ablation.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/profile.rs crates/sim/src/report.rs crates/sim/src/schedule.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsmtx_sim-dcd8cecb871929d4.rmeta: crates/sim/src/lib.rs crates/sim/src/ablation.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/profile.rs crates/sim/src/report.rs crates/sim/src/schedule.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/ablation.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/profile.rs:
+crates/sim/src/report.rs:
+crates/sim/src/schedule.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dsmtx_uva-3796db6254e5dddc.d: crates/uva/src/lib.rs crates/uva/src/addr.rs crates/uva/src/alloc.rs
+
+/root/repo/target/debug/deps/dsmtx_uva-3796db6254e5dddc: crates/uva/src/lib.rs crates/uva/src/addr.rs crates/uva/src/alloc.rs
+
+crates/uva/src/lib.rs:
+crates/uva/src/addr.rs:
+crates/uva/src/alloc.rs:

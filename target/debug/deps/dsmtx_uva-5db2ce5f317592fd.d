@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dsmtx_uva-5db2ce5f317592fd.d: crates/uva/src/lib.rs crates/uva/src/addr.rs crates/uva/src/alloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsmtx_uva-5db2ce5f317592fd.rmeta: crates/uva/src/lib.rs crates/uva/src/addr.rs crates/uva/src/alloc.rs Cargo.toml
+
+crates/uva/src/lib.rs:
+crates/uva/src/addr.rs:
+crates/uva/src/alloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

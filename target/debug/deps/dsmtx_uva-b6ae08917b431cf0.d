@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dsmtx_uva-b6ae08917b431cf0.d: crates/uva/src/lib.rs crates/uva/src/addr.rs crates/uva/src/alloc.rs
+
+/root/repo/target/debug/deps/libdsmtx_uva-b6ae08917b431cf0.rlib: crates/uva/src/lib.rs crates/uva/src/addr.rs crates/uva/src/alloc.rs
+
+/root/repo/target/debug/deps/libdsmtx_uva-b6ae08917b431cf0.rmeta: crates/uva/src/lib.rs crates/uva/src/addr.rs crates/uva/src/alloc.rs
+
+crates/uva/src/lib.rs:
+crates/uva/src/addr.rs:
+crates/uva/src/alloc.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dsmtx_uva-bbb41ce9b6a32a6b.d: crates/uva/src/lib.rs crates/uva/src/addr.rs crates/uva/src/alloc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsmtx_uva-bbb41ce9b6a32a6b.rmeta: crates/uva/src/lib.rs crates/uva/src/addr.rs crates/uva/src/alloc.rs Cargo.toml
+
+crates/uva/src/lib.rs:
+crates/uva/src/addr.rs:
+crates/uva/src/alloc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

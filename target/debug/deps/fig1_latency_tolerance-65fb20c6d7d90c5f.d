@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_latency_tolerance-65fb20c6d7d90c5f.d: crates/bench/benches/fig1_latency_tolerance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_latency_tolerance-65fb20c6d7d90c5f.rmeta: crates/bench/benches/fig1_latency_tolerance.rs Cargo.toml
+
+crates/bench/benches/fig1_latency_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

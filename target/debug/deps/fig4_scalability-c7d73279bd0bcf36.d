@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_scalability-c7d73279bd0bcf36.d: crates/bench/benches/fig4_scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_scalability-c7d73279bd0bcf36.rmeta: crates/bench/benches/fig4_scalability.rs Cargo.toml
+
+crates/bench/benches/fig4_scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

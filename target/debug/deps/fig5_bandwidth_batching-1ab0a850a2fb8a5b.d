@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_bandwidth_batching-1ab0a850a2fb8a5b.d: crates/bench/benches/fig5_bandwidth_batching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_bandwidth_batching-1ab0a850a2fb8a5b.rmeta: crates/bench/benches/fig5_bandwidth_batching.rs Cargo.toml
+
+crates/bench/benches/fig5_bandwidth_batching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_recovery-dcbde590294546b6.d: crates/bench/benches/fig6_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_recovery-dcbde590294546b6.rmeta: crates/bench/benches/fig6_recovery.rs Cargo.toml
+
+crates/bench/benches/fig6_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interpreter_tls-18470efd5d6c1159.d: examples/interpreter_tls.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterpreter_tls-18470efd5d6c1159.rmeta: examples/interpreter_tls.rs Cargo.toml
+
+examples/interpreter_tls.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interpreter_tls-607bf65c9eb96c0f.d: examples/interpreter_tls.rs
+
+/root/repo/target/debug/deps/interpreter_tls-607bf65c9eb96c0f: examples/interpreter_tls.rs
+
+examples/interpreter_tls.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interpreter_tls-fc9f56b15514809c.d: examples/interpreter_tls.rs
+
+/root/repo/target/debug/deps/interpreter_tls-fc9f56b15514809c: examples/interpreter_tls.rs
+
+examples/interpreter_tls.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-4d973bcbb9140edd.d: tests/tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-4d973bcbb9140edd.rmeta: tests/tests/invariants.rs Cargo.toml
+
+tests/tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

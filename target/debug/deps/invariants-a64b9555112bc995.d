@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-a64b9555112bc995.d: tests/tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-a64b9555112bc995: tests/tests/invariants.rs
+
+tests/tests/invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-5ddb27cb47b2db19.d: tests/tests/kernels.rs
+
+/root/repo/target/debug/deps/kernels-5ddb27cb47b2db19: tests/tests/kernels.rs
+
+tests/tests/kernels.rs:

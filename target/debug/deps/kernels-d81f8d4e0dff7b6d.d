@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernels-d81f8d4e0dff7b6d.d: tests/tests/kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels-d81f8d4e0dff7b6d.rmeta: tests/tests/kernels.rs Cargo.toml
+
+tests/tests/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

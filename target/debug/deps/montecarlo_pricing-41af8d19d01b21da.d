@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/montecarlo_pricing-41af8d19d01b21da.d: examples/montecarlo_pricing.rs
+
+/root/repo/target/debug/deps/montecarlo_pricing-41af8d19d01b21da: examples/montecarlo_pricing.rs
+
+examples/montecarlo_pricing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/montecarlo_pricing-659d0e096f628546.d: examples/montecarlo_pricing.rs
+
+/root/repo/target/debug/deps/montecarlo_pricing-659d0e096f628546: examples/montecarlo_pricing.rs
+
+examples/montecarlo_pricing.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/montecarlo_pricing-681d66125b543a9b.d: examples/montecarlo_pricing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmontecarlo_pricing-681d66125b543a9b.rmeta: examples/montecarlo_pricing.rs Cargo.toml
+
+examples/montecarlo_pricing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

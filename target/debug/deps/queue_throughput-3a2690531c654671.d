@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/queue_throughput-3a2690531c654671.d: crates/bench/benches/queue_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqueue_throughput-3a2690531c654671.rmeta: crates/bench/benches/queue_throughput.rs Cargo.toml
+
+crates/bench/benches/queue_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

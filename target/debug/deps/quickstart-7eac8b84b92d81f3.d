@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-7eac8b84b92d81f3.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-7eac8b84b92d81f3: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quickstart-971da987a23c51ba.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquickstart-971da987a23c51ba.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-9ccda51198e3aeb9.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-9ccda51198e3aeb9: examples/quickstart.rs
+
+examples/quickstart.rs:

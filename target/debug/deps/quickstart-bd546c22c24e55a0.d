@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quickstart-bd546c22c24e55a0.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquickstart-bd546c22c24e55a0.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery_stress-0cfdb76f3a2a82ef.d: tests/tests/recovery_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery_stress-0cfdb76f3a2a82ef.rmeta: tests/tests/recovery_stress.rs Cargo.toml
+
+tests/tests/recovery_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery_stress-cd98890e39e3f2fb.d: tests/tests/recovery_stress.rs
+
+/root/repo/target/debug/deps/recovery_stress-cd98890e39e3f2fb: tests/tests/recovery_stress.rs
+
+tests/tests/recovery_stress.rs:

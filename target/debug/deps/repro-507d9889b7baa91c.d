@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-507d9889b7baa91c.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-507d9889b7baa91c: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

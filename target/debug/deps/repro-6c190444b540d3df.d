@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-6c190444b540d3df.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-6c190444b540d3df: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

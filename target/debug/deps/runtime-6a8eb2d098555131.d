@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime-6a8eb2d098555131.d: crates/core/tests/runtime.rs
+
+/root/repo/target/debug/deps/runtime-6a8eb2d098555131: crates/core/tests/runtime.rs
+
+crates/core/tests/runtime.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime-fe8aad9bb7c4622f.d: crates/core/tests/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime-fe8aad9bb7c4622f.rmeta: crates/core/tests/runtime.rs Cargo.toml
+
+crates/core/tests/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_microbench-35174930e5df7e62.d: crates/bench/benches/runtime_microbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_microbench-35174930e5df7e62.rmeta: crates/bench/benches/runtime_microbench.rs Cargo.toml
+
+crates/bench/benches/runtime_microbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_props-3867aaf9ed1d247f.d: tests/tests/runtime_props.rs
+
+/root/repo/target/debug/deps/runtime_props-3867aaf9ed1d247f: tests/tests/runtime_props.rs
+
+tests/tests/runtime_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_props-90bc1e79198babaf.d: tests/tests/runtime_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_props-90bc1e79198babaf.rmeta: tests/tests/runtime_props.rs Cargo.toml
+
+tests/tests/runtime_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_props-624211f996d4e00d.d: tests/tests/sim_props.rs
+
+/root/repo/target/debug/deps/sim_props-624211f996d4e00d: tests/tests/sim_props.rs
+
+tests/tests/sim_props.rs:

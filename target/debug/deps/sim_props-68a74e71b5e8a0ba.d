@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_props-68a74e71b5e8a0ba.d: tests/tests/sim_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_props-68a74e71b5e8a0ba.rmeta: tests/tests/sim_props.rs Cargo.toml
+
+tests/tests/sim_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

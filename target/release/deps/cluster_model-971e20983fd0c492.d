@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cluster_model-971e20983fd0c492.d: examples/cluster_model.rs
+
+/root/repo/target/release/deps/cluster_model-971e20983fd0c492: examples/cluster_model.rs
+
+examples/cluster_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compress_pipeline-5f9bcea19a73718c.d: examples/compress_pipeline.rs
+
+/root/repo/target/release/deps/compress_pipeline-5f9bcea19a73718c: examples/compress_pipeline.rs
+
+examples/compress_pipeline.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dsmtx_bench-b6f128dd4463c767.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/tracedemo.rs
+
+/root/repo/target/release/deps/libdsmtx_bench-b6f128dd4463c767.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/tracedemo.rs
+
+/root/repo/target/release/deps/libdsmtx_bench-b6f128dd4463c767.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/tracedemo.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/format.rs:
+crates/bench/src/queuebench.rs:
+crates/bench/src/tracedemo.rs:

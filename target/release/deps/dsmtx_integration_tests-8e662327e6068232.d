@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dsmtx_integration_tests-8e662327e6068232.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libdsmtx_integration_tests-8e662327e6068232.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libdsmtx_integration_tests-8e662327e6068232.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

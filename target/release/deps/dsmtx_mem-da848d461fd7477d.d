@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dsmtx_mem-da848d461fd7477d.d: crates/mem/src/lib.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/spec.rs crates/mem/src/table.rs
+
+/root/repo/target/release/deps/libdsmtx_mem-da848d461fd7477d.rlib: crates/mem/src/lib.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/spec.rs crates/mem/src/table.rs
+
+/root/repo/target/release/deps/libdsmtx_mem-da848d461fd7477d.rmeta: crates/mem/src/lib.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/spec.rs crates/mem/src/table.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/log.rs:
+crates/mem/src/master.rs:
+crates/mem/src/page.rs:
+crates/mem/src/spec.rs:
+crates/mem/src/table.rs:

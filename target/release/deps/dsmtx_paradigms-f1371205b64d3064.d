@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dsmtx_paradigms-f1371205b64d3064.d: crates/paradigms/src/lib.rs crates/paradigms/src/executor.rs crates/paradigms/src/paradigm.rs
+
+/root/repo/target/release/deps/libdsmtx_paradigms-f1371205b64d3064.rlib: crates/paradigms/src/lib.rs crates/paradigms/src/executor.rs crates/paradigms/src/paradigm.rs
+
+/root/repo/target/release/deps/libdsmtx_paradigms-f1371205b64d3064.rmeta: crates/paradigms/src/lib.rs crates/paradigms/src/executor.rs crates/paradigms/src/paradigm.rs
+
+crates/paradigms/src/lib.rs:
+crates/paradigms/src/executor.rs:
+crates/paradigms/src/paradigm.rs:

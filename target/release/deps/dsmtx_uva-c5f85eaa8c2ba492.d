@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dsmtx_uva-c5f85eaa8c2ba492.d: crates/uva/src/lib.rs crates/uva/src/addr.rs crates/uva/src/alloc.rs
+
+/root/repo/target/release/deps/libdsmtx_uva-c5f85eaa8c2ba492.rlib: crates/uva/src/lib.rs crates/uva/src/addr.rs crates/uva/src/alloc.rs
+
+/root/repo/target/release/deps/libdsmtx_uva-c5f85eaa8c2ba492.rmeta: crates/uva/src/lib.rs crates/uva/src/addr.rs crates/uva/src/alloc.rs
+
+crates/uva/src/lib.rs:
+crates/uva/src/addr.rs:
+crates/uva/src/alloc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/interpreter_tls-5595b7ec4be1ff29.d: examples/interpreter_tls.rs
+
+/root/repo/target/release/deps/interpreter_tls-5595b7ec4be1ff29: examples/interpreter_tls.rs
+
+examples/interpreter_tls.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/montecarlo_pricing-a8051ab72dbf51b4.d: examples/montecarlo_pricing.rs
+
+/root/repo/target/release/deps/montecarlo_pricing-a8051ab72dbf51b4: examples/montecarlo_pricing.rs
+
+examples/montecarlo_pricing.rs:

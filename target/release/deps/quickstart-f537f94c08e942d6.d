@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-f537f94c08e942d6.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-f537f94c08e942d6: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-629886dab9c92259.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-629886dab9c92259: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

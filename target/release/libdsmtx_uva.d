@@ -1,0 +1,1 @@
+/root/repo/target/release/libdsmtx_uva.rlib: /root/repo/crates/uva/src/addr.rs /root/repo/crates/uva/src/alloc.rs /root/repo/crates/uva/src/lib.rs

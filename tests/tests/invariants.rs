@@ -31,9 +31,7 @@ fn paradigm_and_profile_shapes_agree() {
             Paradigm::Dswp { stages, .. } | Paradigm::SpecDswp { stages } => {
                 let named: Vec<bool> = stages
                     .iter()
-                    .map(|s| {
-                        matches!(s, dsmtx_paradigms::paradigm::StageLabel::Doall)
-                    })
+                    .map(|s| matches!(s, dsmtx_paradigms::paradigm::StageLabel::Doall))
                     .collect();
                 assert_eq!(profile_shapes, named, "{}", info.name);
             }
@@ -41,10 +39,17 @@ fn paradigm_and_profile_shapes_agree() {
         }
         // MTX requirement matches the paper: Spec-DSWP plans need MTXs.
         let spans_pipeline = matches!(info.paradigm, Paradigm::SpecDswp { .. });
-        assert_eq!(info.paradigm.needs_mtx(), spans_pipeline || matches!(
-            info.paradigm,
-            Paradigm::Dswp { spec_stage: Some(_), .. }
-        ));
+        assert_eq!(
+            info.paradigm.needs_mtx(),
+            spans_pipeline
+                || matches!(
+                    info.paradigm,
+                    Paradigm::Dswp {
+                        spec_stage: Some(_),
+                        ..
+                    }
+                )
+        );
     }
 }
 

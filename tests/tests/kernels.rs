@@ -117,7 +117,9 @@ fn li_env_mutation_and_exit_combined() {
     let par = li
         .run_corpus(Mode::Dsmtx { workers: 3 }, scale, corpus)
         .unwrap();
-    let tls = li.run_corpus(Mode::Tls { workers: 2 }, scale, corpus).unwrap();
+    let tls = li
+        .run_corpus(Mode::Tls { workers: 2 }, scale, corpus)
+        .unwrap();
     assert_eq!(seq, par);
     assert_eq!(seq, tls);
 }

@@ -4,8 +4,7 @@
 use std::sync::Arc;
 
 use dsmtx::{
-    IterOutcome, MtxId, MtxSystem, Program, StageId, StageKind, SystemConfig, TraceKind,
-    WorkerCtx,
+    IterOutcome, MtxId, MtxSystem, Program, StageId, StageKind, SystemConfig, TraceKind, WorkerCtx,
 };
 use dsmtx_mem::MasterMem;
 use dsmtx_uva::{OwnerId, RegionAllocator};
@@ -236,7 +235,8 @@ fn ring_recovery_mid_stream() {
         Ok(IterOutcome::Continue)
     });
     let mut cfg = SystemConfig::new();
-    cfg.stage(StageKind::Parallel { replicas: 3 }).ring(StageId(0));
+    cfg.stage(StageKind::Parallel { replicas: 3 })
+        .ring(StageId(0));
     let result = MtxSystem::new(&cfg)
         .unwrap()
         .run(Program {

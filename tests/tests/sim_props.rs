@@ -7,14 +7,14 @@ use proptest::prelude::*;
 
 fn arb_profile() -> impl Strategy<Value = WorkloadProfile> {
     (
-        1u64..5000,           // iterations
-        1u64..2000,           // iteration work in microseconds
-        0.0f64..0.2,          // first-stage fraction
-        0.0f64..0.2,          // last-stage fraction
-        0.0f64..100_000.0,    // stage-0 bytes out
-        0.0f64..0.3,          // TLS sync fraction
-        0.5f64..1.0,          // coverage
-        0.0f64..256.0,        // validation words
+        1u64..5000,        // iterations
+        1u64..2000,        // iteration work in microseconds
+        0.0f64..0.2,       // first-stage fraction
+        0.0f64..0.2,       // last-stage fraction
+        0.0f64..100_000.0, // stage-0 bytes out
+        0.0f64..0.3,       // TLS sync fraction
+        0.5f64..1.0,       // coverage
+        0.0f64..256.0,     // validation words
     )
         .prop_map(
             |(iters, work_us, f0, f2, bytes0, sync, coverage, val_words)| {

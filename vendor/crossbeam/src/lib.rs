@@ -1,0 +1,135 @@
+//! Offline shim for the `crossbeam` API surface used by this workspace:
+//! only `crossbeam::channel::{bounded, Sender, Receiver}` plus the error
+//! enums. Backed by `std::sync::mpsc::sync_channel`, whose bounded
+//! blocking semantics match what the fabric queues need (rendezvous
+//! channels excepted — `bounded(0)` here still provides one slot, which
+//! the fabric never requests because it asserts `capacity > 0`).
+
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError};
+
+    #[derive(PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        Full(T),
+        Disconnected(T),
+    }
+
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.pad("Full(..)"),
+                TrySendError::Disconnected(_) => f.pad("Disconnected(..)"),
+            }
+        }
+    }
+
+    pub struct Sender<T> {
+        tx: mpsc::SyncSender<T>,
+    }
+
+    pub struct Receiver<T> {
+        rx: mpsc::Receiver<T>,
+    }
+
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        // std's sync_channel(0) is a rendezvous channel; keep at least one
+        // slot so `capacity` bounds buffering rather than forcing lockstep.
+        let (tx, rx) = mpsc::sync_channel(capacity.max(1));
+        (Sender { tx }, Receiver { rx })
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.tx.send(value)
+        }
+
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.tx.try_send(value).map_err(|e| match e {
+                mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+                mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+            })
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                tx: self.tx.clone(),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.pad("Sender { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.rx.recv()
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.rx.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.pad("Receiver { .. }")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn bounded_blocks_at_capacity() {
+            let (tx, rx) = bounded::<u32>(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            match tx.try_send(3) {
+                Err(TrySendError::Full(3)) => {}
+                other => panic!("expected Full(3), got {other:?}"),
+            }
+            assert_eq!(rx.recv().unwrap(), 1);
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.recv().unwrap(), 2);
+            assert_eq!(rx.recv().unwrap(), 3);
+        }
+
+        #[test]
+        fn disconnect_surfaces_on_both_sides() {
+            let (tx, rx) = bounded::<u32>(1);
+            drop(rx);
+            assert!(matches!(tx.try_send(9), Err(TrySendError::Disconnected(9))));
+
+            let (tx, rx) = bounded::<u32>(1);
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+            assert!(rx.recv().is_err());
+        }
+
+        #[test]
+        fn empty_is_distinct_from_disconnected() {
+            let (tx, rx) = bounded::<u32>(1);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            tx.send(7).unwrap();
+            assert_eq!(rx.try_recv(), Ok(7));
+        }
+    }
+}
