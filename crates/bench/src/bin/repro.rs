@@ -3,13 +3,20 @@
 //! ```text
 //! cargo run --release -p dsmtx-bench --bin repro -- \
 //!     [fig1|fig2|fig3|fig4|fig5a|fig5b|fig6|table1|table2|ablations|trace|all] \
-//!     [--iters N] [--trace-out FILE] [--metrics-out FILE]
+//!     [--iters N] [--trace-out FILE] [--metrics-out FILE] \
+//!     [--fault-seed S] [--fault-rate R]
 //! ```
 //!
 //! The `trace` section runs a real traced pipeline and prints a
 //! stage-occupancy report; `--trace-out` additionally writes a Chrome
 //! `trace_event` JSON (open in `chrome://tracing` or Perfetto) and
 //! `--metrics-out` a JSONL metrics dump in the shared schema.
+//!
+//! `--fault-seed S` runs the traced pipeline under the deterministic
+//! fault injector: rate `R` (default 0.1, `--fault-rate`) is split
+//! evenly over drop/delay/duplicate/reorder/stall on every link, and the
+//! fault/retry/recovery counters flow through the same occupancy report
+//! and JSONL schema. The same seed replays the same fault schedule.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -17,6 +24,8 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut iters: u64 = 200;
+    let mut fault_seed: Option<u64> = None;
+    let mut fault_rate: f64 = 0.1;
 
     let mut i = 0;
     while i < args.len() {
@@ -37,6 +46,28 @@ fn main() {
                     std::process::exit(2);
                 });
             }
+            "--fault-seed" => {
+                let v = take_value(&mut i);
+                let parsed = match v.strip_prefix("0x") {
+                    Some(hex) => u64::from_str_radix(hex, 16),
+                    None => v.parse(),
+                };
+                fault_seed = Some(parsed.unwrap_or_else(|_| {
+                    eprintln!("bad --fault-seed value `{v}`");
+                    std::process::exit(2);
+                }));
+            }
+            "--fault-rate" => {
+                let v = take_value(&mut i);
+                fault_rate = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --fault-rate value `{v}`");
+                    std::process::exit(2);
+                });
+                if !(0.0..=1.0).contains(&fault_rate) {
+                    eprintln!("--fault-rate {fault_rate} outside [0, 1]");
+                    std::process::exit(2);
+                }
+            }
             flag if flag.starts_with("--") => {
                 eprintln!("unknown flag `{flag}`");
                 std::process::exit(2);
@@ -45,9 +76,10 @@ fn main() {
         }
         i += 1;
     }
-    // Asking for an output file implies the trace section.
+    // Asking for an output file or a faulted run implies the trace
+    // section (the only one that runs a real pipeline).
     let what = what.unwrap_or_else(|| {
-        if trace_out.is_some() || metrics_out.is_some() {
+        if trace_out.is_some() || metrics_out.is_some() || fault_seed.is_some() {
             "trace".into()
         } else {
             "all".into()
@@ -74,7 +106,14 @@ fn main() {
     section("ablations", &dsmtx_bench::ablations_text);
 
     if what == "trace" || what == "all" {
-        let result = dsmtx_bench::run_traced_pipeline(iters);
+        let fault = fault_seed.map(|seed| {
+            println!(
+                "fault injection: seed={seed:#x} rate={fault_rate} (uniform over \
+                 drop/delay/duplicate/reorder/stall, all links)"
+            );
+            dsmtx::FaultConfig::new(seed, dsmtx_fabric::FaultRates::uniform(fault_rate))
+        });
+        let result = dsmtx_bench::run_traced_pipeline_faulted(iters, fault);
         println!("{}", dsmtx_bench::occupancy_text(&result));
         if let Some(path) = &trace_out {
             let json = dsmtx_bench::chrome_trace_json(&result);

@@ -20,4 +20,7 @@ pub use figures::{
     table1_text, table2_text, taxonomy_text, Fig4Row,
 };
 pub use queuebench::{measure_queue_throughput, QueueThroughput};
-pub use tracedemo::{chrome_trace_json, metrics_jsonl, occupancy_text, run_traced_pipeline};
+pub use tracedemo::{
+    chrome_trace_json, metrics_jsonl, occupancy_text, run_traced_pipeline,
+    run_traced_pipeline_faulted,
+};

@@ -18,7 +18,7 @@ use dsmtx_mem::MasterMem;
 use dsmtx_uva::{PageId, VAddr};
 
 use crate::config::PipelineShape;
-use crate::control::{ControlPlane, Status};
+use crate::control::{ControlPlane, Interrupt, Status};
 use crate::ids::{MtxId, StageId, WorkerId};
 use crate::poll::Backoff;
 use crate::program::{CommitHook, IterOutcome, RecoveryFn};
@@ -43,6 +43,9 @@ pub(crate) struct CommitCounters {
     pub validation_conflicts: u64,
     /// Misspeculations declared explicitly by workers (`mtx_misspec`).
     pub worker_misspecs: u64,
+    /// Recovery rounds run in answer to fabric-timeout requests (as
+    /// opposed to misspeculation verdicts).
+    pub fault_recoveries: u64,
 }
 
 /// In-progress store-stream assembly for one worker.
@@ -118,8 +121,31 @@ impl CommitUnit {
             return (self.master, self.counters);
         }
         let mut backoff = Backoff::new();
+        let mut epoch = self.ctrl.epoch();
         loop {
+            // The commit unit is normally the only status writer, but a
+            // thread that found its channel dead publishes the typed
+            // `Terminating` shutdown directly — honor it instead of
+            // spinning forever on queues that will never fill.
+            if let Some(Interrupt::Terminate) = self.ctrl.poll(&mut epoch) {
+                self.trace
+                    .record(Role::Commit, None, None, TraceKind::Terminated);
+                break;
+            }
             let mut progress = self.ingest();
+            // A fabric timeout anywhere converts into a recovery round at
+            // the next commit boundary — never later, or uncommitted
+            // intermediate MTXs would be silently lost.
+            if self.ctrl.take_fabric_fault() {
+                self.counters.fault_recoveries += 1;
+                match self.recover(self.next_commit) {
+                    StepResult::Terminated => break,
+                    _ => {
+                        backoff.reset();
+                        continue;
+                    }
+                }
+            }
             match self.step() {
                 StepResult::Progress => progress = true,
                 StepResult::Idle => {}
@@ -139,8 +165,17 @@ impl CommitUnit {
         let mut progress = false;
         // Worker streams: store frames, events, COA requests.
         for idx in 0..self.from_workers.len() {
-            // Stops on empty or on a vanished peer (handled via control).
-            while let Ok(Some(msg)) = self.from_workers[idx].1.try_consume() {
+            loop {
+                let msg = match self.from_workers[idx].1.try_consume() {
+                    Ok(Some(m)) => m,
+                    Ok(None) => break,
+                    Err(_) => {
+                        // The worker thread is gone: typed shutdown, not a
+                        // silent break that leaves the system spinning.
+                        self.ctrl.report_channel_down();
+                        break;
+                    }
+                };
                 progress = true;
                 let worker = self.from_workers[idx].0;
                 match msg {
@@ -175,7 +210,15 @@ impl CommitUnit {
             }
         }
         // Try-commit stream: verdicts and COA requests.
-        while let Ok(Some(msg)) = self.from_trycommit.try_consume() {
+        loop {
+            let msg = match self.from_trycommit.try_consume() {
+                Ok(Some(m)) => m,
+                Ok(None) => break,
+                Err(_) => {
+                    self.ctrl.report_channel_down();
+                    break;
+                }
+            };
             progress = true;
             match msg {
                 Msg::CoaRequest { page } => self.serve_coa_trycommit(page),
@@ -203,16 +246,35 @@ impl CommitUnit {
             .map(|(_, p)| p)
             .expect("COA reply queue");
         // Replies are batch=1 queues with ample capacity: at most one
-        // outstanding request per worker, so this cannot block.
-        port.produce(Msg::CoaReply { page, data }).ok();
-        port.flush().ok();
+        // outstanding request per worker, so fault-free this cannot block.
+        let sent = port.produce(Msg::CoaReply { page, data }).and_then(|()| {
+            // Under fault injection the flush is a bounded retry loop.
+            port.flush()
+        });
+        self.note_send_failure(sent);
     }
 
     fn serve_coa_trycommit(&mut self, page: u64) {
         self.counters.coa_pages_served += 1;
         let data = Box::new(self.master.page(PageId(page)));
-        self.coa_tc_out.produce(Msg::CoaReply { page, data }).ok();
-        self.coa_tc_out.flush().ok();
+        let sent = self
+            .coa_tc_out
+            .produce(Msg::CoaReply { page, data })
+            .and_then(|()| self.coa_tc_out.flush());
+        self.note_send_failure(sent);
+    }
+
+    /// Converts a failed COA-reply send into the appropriate control-plane
+    /// action: an exhausted retry budget self-requests a recovery round
+    /// (consumed at this unit's next loop turn); a dead peer becomes the
+    /// typed shutdown. The starved requester's own receive deadline backs
+    /// this up.
+    fn note_send_failure(&mut self, sent: dsmtx_fabric::Result<()>) {
+        match sent {
+            Ok(()) => {}
+            Err(dsmtx_fabric::FabricError::Timeout) => self.ctrl.raise_fabric_fault(),
+            Err(_) => self.ctrl.report_channel_down(),
+        }
     }
 
     /// Tries to advance the commit cursor by one MTX.
@@ -262,11 +324,24 @@ impl CommitUnit {
 
     /// Orchestrates the §4.3 recovery protocol around the squashed MTX.
     fn recover(&mut self, boundary: MtxId) -> StepResult {
+        // A typed channel-down shutdown may have raced in: publishing
+        // `Recovering` over it would park this unit at a barrier a dead
+        // thread can never reach. Honor the shutdown instead.
+        if matches!(self.ctrl.status(), Status::Terminating { .. }) {
+            return StepResult::Terminated;
+        }
         self.trace
             .record(Role::Commit, Some(boundary), None, TraceKind::RecoveryStart);
         self.ctrl.publish(Status::Recovering { boundary });
         let barrier = self.ctrl.barrier().clone();
         barrier.wait(); // B1: every thread is in recovery mode.
+
+        // Discard any fault request that raced in while recovery was
+        // starting: its raiser is already rendezvousing at these barriers,
+        // so this round satisfies it. Without the clear the stale flag
+        // would trigger a redundant second round — clearing here is what
+        // makes re-entry under faults idempotent.
+        self.ctrl.clear_fabric_fault();
 
         // Flush: everything buffered is speculative state at or after the
         // boundary (all earlier MTXs already committed in order).

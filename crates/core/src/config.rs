@@ -8,7 +8,86 @@
 //! a *ring*: each replica owns a queue to its successor, which is how TLS
 //! and DOACROSS forward synchronized cross-iteration dependences.
 
+use dsmtx_fabric::{FaultRates, RetryPolicy};
+
 use crate::ids::{MtxId, StageId, WorkerId};
+
+/// Which mesh links a fault plan injects into, selected by the link's
+/// *source* endpoint (the injector lives on the send side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// Every link in the mesh.
+    All,
+    /// Links originating at worker threads (stage-to-stage data, ring
+    /// forwarding, validation traffic, commit notifications, COA
+    /// requests).
+    WorkerLinks,
+    /// Links originating at the try-commit unit (verdicts, its COA
+    /// requests).
+    TryCommitLinks,
+    /// Links originating at the commit unit (COA replies).
+    CommitLinks,
+}
+
+impl std::fmt::Display for FaultTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultTarget::All => write!(f, "all"),
+            FaultTarget::WorkerLinks => write!(f, "worker"),
+            FaultTarget::TryCommitLinks => write!(f, "try-commit"),
+            FaultTarget::CommitLinks => write!(f, "commit"),
+        }
+    }
+}
+
+/// Fault-injection configuration for a run: seed, rates, targeted links,
+/// and the timing knobs that convert injected faults into recoveries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed the per-link decision streams derive from.
+    pub seed: u64,
+    /// Per-class fault probabilities.
+    pub rates: FaultRates,
+    /// Which links the plan injects into.
+    pub target: FaultTarget,
+    /// Deadline on blocking data receives, microseconds; silence past it
+    /// raises a fabric-timeout recovery request.
+    pub recv_timeout_us: u64,
+    /// Send-side retry budget before a flush gives up with a timeout.
+    pub retry: RetryPolicy,
+}
+
+impl FaultConfig {
+    /// A plan over every link with 50 ms receive deadlines and the default
+    /// retry budget.
+    pub fn new(seed: u64, rates: FaultRates) -> Self {
+        FaultConfig {
+            seed,
+            rates,
+            target: FaultTarget::All,
+            recv_timeout_us: 50_000,
+            retry: RetryPolicy::DEFAULT,
+        }
+    }
+
+    /// Restricts injection to `target` links.
+    pub fn target(mut self, target: FaultTarget) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// Sets the blocking-receive deadline in microseconds.
+    pub fn recv_timeout_us(mut self, us: u64) -> Self {
+        self.recv_timeout_us = us;
+        self
+    }
+
+    /// Sets the send-side retry budget.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+}
 
 /// How one pipeline stage executes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,6 +147,7 @@ pub struct SystemConfig {
     ring_stage: Option<StageId>,
     batch: usize,
     capacity: usize,
+    fault: Option<FaultConfig>,
 }
 
 impl SystemConfig {
@@ -79,7 +159,15 @@ impl SystemConfig {
             ring_stage: None,
             batch: 64,
             capacity: 256,
+            fault: None,
         }
+    }
+
+    /// Installs a fault-injection plan for the run. Fault-free when never
+    /// called.
+    pub fn faults(&mut self, fault: FaultConfig) -> &mut Self {
+        self.fault = Some(fault);
+        self
     }
 
     /// Appends a stage to the pipeline.
@@ -149,6 +237,7 @@ impl SystemConfig {
             ring_stage: self.ring_stage,
             batch: self.batch,
             capacity: self.capacity,
+            fault: self.fault,
         })
     }
 }
@@ -169,6 +258,7 @@ pub struct PipelineShape {
     ring_stage: Option<StageId>,
     batch: usize,
     capacity: usize,
+    fault: Option<FaultConfig>,
 }
 
 impl PipelineShape {
@@ -275,6 +365,18 @@ impl PipelineShape {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+
+    /// The fault-injection plan, if one was configured.
+    pub fn fault(&self) -> Option<&FaultConfig> {
+        self.fault.as_ref()
+    }
+
+    /// The blocking-receive deadline implied by the fault plan, if any.
+    pub fn recv_deadline(&self) -> Option<std::time::Duration> {
+        self.fault
+            .as_ref()
+            .map(|f| std::time::Duration::from_micros(f.recv_timeout_us))
+    }
 }
 
 #[cfg(test)]
@@ -373,6 +475,30 @@ mod tests {
         let mut cfg = SystemConfig::new();
         cfg.stage(StageKind::Sequential).batch(0);
         assert_eq!(cfg.build().unwrap_err(), ConfigError::ZeroSize("batch"));
+    }
+
+    #[test]
+    fn fault_config_flows_into_the_shape() {
+        let mut cfg = SystemConfig::new();
+        cfg.stage(StageKind::Sequential).faults(
+            FaultConfig::new(0xABCD, FaultRates::only_drop(0.1))
+                .target(FaultTarget::WorkerLinks)
+                .recv_timeout_us(10_000),
+        );
+        let p = cfg.build().unwrap();
+        let f = p.fault().expect("plan installed");
+        assert_eq!(f.seed, 0xABCD);
+        assert_eq!(f.target, FaultTarget::WorkerLinks);
+        assert_eq!(
+            p.recv_deadline(),
+            Some(std::time::Duration::from_millis(10))
+        );
+        // Fault-free shape exposes nothing.
+        let mut plain = SystemConfig::new();
+        plain.stage(StageKind::Sequential);
+        let p = plain.build().unwrap();
+        assert!(p.fault().is_none());
+        assert_eq!(p.recv_deadline(), None);
     }
 
     #[test]

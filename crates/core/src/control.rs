@@ -9,7 +9,7 @@
 //! recovery mode together).
 
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dsmtx_fabric::Barrier;
@@ -50,6 +50,10 @@ pub enum Interrupt {
     /// A communication peer vanished — only possible on internal error or
     /// panic of another thread.
     ChannelDown,
+    /// A fabric transfer exhausted its retry budget (or a receive missed
+    /// its deadline). The thread must request a timeout-driven recovery
+    /// round and rendezvous at the barriers.
+    FabricTimeout,
 }
 
 impl std::fmt::Display for Interrupt {
@@ -58,6 +62,7 @@ impl std::fmt::Display for Interrupt {
             Interrupt::Recovery { boundary } => write!(f, "recovery from {boundary}"),
             Interrupt::Terminate => write!(f, "terminated"),
             Interrupt::ChannelDown => write!(f, "channel down"),
+            Interrupt::FabricTimeout => write!(f, "fabric timeout"),
         }
     }
 }
@@ -75,6 +80,14 @@ struct Shared {
     barrier: Barrier,
     /// Count of completed recoveries (observable for reports/tests).
     recoveries: AtomicU64,
+    /// Set by any thread whose fabric transfer timed out; consumed by the
+    /// commit unit, which answers with a recovery round at its next
+    /// commit boundary.
+    fabric_fault: AtomicBool,
+    /// Total fabric-timeout requests ever raised.
+    fabric_faults: AtomicU64,
+    /// Channels found disconnected while the system was running.
+    channel_downs: AtomicU64,
 }
 
 /// Shared control state; cloning yields another handle to the same plane.
@@ -93,6 +106,9 @@ impl ControlPlane {
                 status: Mutex::new(Status::Running),
                 barrier: Barrier::new(parties),
                 recoveries: AtomicU64::new(0),
+                fabric_fault: AtomicBool::new(false),
+                fabric_faults: AtomicU64::new(0),
+                channel_downs: AtomicU64::new(0),
             }),
         }
     }
@@ -126,6 +142,54 @@ impl ControlPlane {
     /// The recovery-protocol barrier.
     pub fn barrier(&self) -> &Barrier {
         &self.shared.barrier
+    }
+
+    /// Any thread: requests a timeout-driven recovery round. The commit
+    /// unit consumes the request with [`ControlPlane::take_fabric_fault`]
+    /// and recovers at its next commit boundary — never later, because a
+    /// later boundary would silently lose uncommitted intermediate MTXs.
+    pub fn raise_fabric_fault(&self) {
+        self.shared.fabric_faults.fetch_add(1, Ordering::Relaxed);
+        self.shared.fabric_fault.store(true, Ordering::Release);
+    }
+
+    /// Commit-unit only: consumes a pending fault request, if any.
+    pub fn take_fabric_fault(&self) -> bool {
+        self.shared.fabric_fault.swap(false, Ordering::AcqRel)
+    }
+
+    /// Commit-unit only: discards a stale fault request. Called inside the
+    /// recovery protocol (after barrier B1, when every raiser is already
+    /// rendezvousing and no new request can race in) so that a fault that
+    /// landed *during* recovery entry does not trigger a redundant
+    /// second round — this is what makes re-entry idempotent.
+    pub fn clear_fabric_fault(&self) {
+        self.shared.fabric_fault.store(false, Ordering::Release);
+    }
+
+    /// Total fabric-timeout requests ever raised.
+    pub fn fabric_faults(&self) -> u64 {
+        self.shared.fabric_faults.load(Ordering::Relaxed)
+    }
+
+    /// Any thread: reports a peer found disconnected while running. This
+    /// is unrecoverable (the peer thread is gone), so it converts into a
+    /// typed shutdown: `Terminating` is published exactly once, and only
+    /// if the system was still `Running` (an in-progress recovery or
+    /// termination takes precedence).
+    pub fn report_channel_down(&self) {
+        self.shared.channel_downs.fetch_add(1, Ordering::Relaxed);
+        let mut status = self.shared.status.lock();
+        if *status == Status::Running {
+            *status = Status::Terminating { last: None };
+            drop(status);
+            self.shared.epoch.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Channels found disconnected while the system was running.
+    pub fn channel_downs(&self) -> u64 {
+        self.shared.channel_downs.load(Ordering::Relaxed)
     }
 
     /// Converts a non-`Running` status into the interrupt a blocked thread
@@ -195,6 +259,49 @@ mod tests {
         cp.publish(Status::Recovering { boundary: MtxId(0) });
         cp.publish(Status::Running);
         assert_eq!(cp.interrupt(), None);
+    }
+
+    #[test]
+    fn fabric_fault_raise_take_clear() {
+        let cp = ControlPlane::new(1);
+        assert!(!cp.take_fabric_fault());
+        cp.raise_fabric_fault();
+        cp.raise_fabric_fault();
+        assert_eq!(cp.fabric_faults(), 2, "every raise is counted");
+        assert!(cp.take_fabric_fault(), "flag is set");
+        assert!(!cp.take_fabric_fault(), "take consumes the flag");
+        cp.raise_fabric_fault();
+        cp.clear_fabric_fault();
+        assert!(!cp.take_fabric_fault(), "clear discards a stale request");
+        assert_eq!(cp.fabric_faults(), 3);
+    }
+
+    #[test]
+    fn channel_down_terminates_once_while_running() {
+        let cp = ControlPlane::new(1);
+        let e0 = cp.epoch();
+        cp.report_channel_down();
+        assert_eq!(cp.status(), Status::Terminating { last: None });
+        assert_eq!(cp.channel_downs(), 1);
+        let e1 = cp.epoch();
+        assert!(e1 > e0, "publish bumps the epoch");
+        // A second report counts but does not republish.
+        cp.report_channel_down();
+        assert_eq!(cp.channel_downs(), 2);
+        assert_eq!(cp.epoch(), e1);
+    }
+
+    #[test]
+    fn channel_down_defers_to_in_progress_recovery() {
+        let cp = ControlPlane::new(1);
+        cp.publish(Status::Recovering { boundary: MtxId(4) });
+        cp.report_channel_down();
+        assert_eq!(
+            cp.status(),
+            Status::Recovering { boundary: MtxId(4) },
+            "recovery in progress is not clobbered"
+        );
+        assert_eq!(cp.channel_downs(), 1);
     }
 
     #[test]

@@ -85,7 +85,7 @@ pub mod wire;
 pub mod worker;
 
 pub use analysis::{CriticalPath, TraceAnalysis};
-pub use config::{ConfigError, PipelineShape, StageKind, SystemConfig};
+pub use config::{ConfigError, FaultConfig, FaultTarget, PipelineShape, StageKind, SystemConfig};
 pub use control::{ControlPlane, Interrupt, Status};
 pub use ids::{MtxId, StageId, WorkerId};
 pub use program::{CommitHook, IterOutcome, Program, RecoveryFn, StageFn};

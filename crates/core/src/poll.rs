@@ -50,15 +50,46 @@ impl Backoff {
 pub fn wait_for<T>(
     ctrl: &ControlPlane,
     seen_epoch: &mut u64,
+    step: impl FnMut() -> Result<Option<T>, Interrupt>,
+) -> Result<T, Interrupt> {
+    wait_for_deadline(ctrl, seen_epoch, None, step)
+}
+
+/// Like [`wait_for`], but gives up with [`Interrupt::FabricTimeout`] once
+/// `timeout` elapses with no progress (when `Some`). This is the
+/// receive-side half of the fault model: a peer silenced by injected
+/// faults (or a real hang) must not pin this thread forever — the timeout
+/// converts the silence into a recovery request.
+///
+/// The deadline clock starts at the first unproductive attempt, so a
+/// ready value never pays for an `Instant::now`.
+///
+/// # Errors
+///
+/// Returns the interrupt published on the control plane, or
+/// [`Interrupt::FabricTimeout`] on deadline expiry.
+pub fn wait_for_deadline<T>(
+    ctrl: &ControlPlane,
+    seen_epoch: &mut u64,
+    timeout: Option<std::time::Duration>,
     mut step: impl FnMut() -> Result<Option<T>, Interrupt>,
 ) -> Result<T, Interrupt> {
     let mut backoff = Backoff::new();
+    let mut deadline: Option<std::time::Instant> = None;
     loop {
         if let Some(v) = step()? {
             return Ok(v);
         }
         if let Some(intr) = ctrl.poll(seen_epoch) {
             return Err(intr);
+        }
+        if let Some(limit) = timeout {
+            let now = std::time::Instant::now();
+            match deadline {
+                None => deadline = Some(now + limit),
+                Some(d) if now >= d => return Err(Interrupt::FabricTimeout),
+                Some(_) => {}
+            }
         }
         backoff.wait();
     }
@@ -99,6 +130,43 @@ mod tests {
         let mut seen = ctrl.epoch();
         let r: Result<(), _> = wait_for(&ctrl, &mut seen, || Err(Interrupt::ChannelDown));
         assert_eq!(r.unwrap_err(), Interrupt::ChannelDown);
+    }
+
+    #[test]
+    fn wait_for_deadline_times_out_on_silence() {
+        let ctrl = ControlPlane::new(1);
+        let mut seen = ctrl.epoch();
+        let started = std::time::Instant::now();
+        let r: Result<(), _> = wait_for_deadline(
+            &ctrl,
+            &mut seen,
+            Some(std::time::Duration::from_millis(10)),
+            || Ok(None),
+        );
+        assert_eq!(r.unwrap_err(), Interrupt::FabricTimeout);
+        assert!(started.elapsed() >= std::time::Duration::from_millis(10));
+    }
+
+    #[test]
+    fn wait_for_deadline_prefers_data_and_interrupts() {
+        let ctrl = ControlPlane::new(1);
+        let mut seen = ctrl.epoch();
+        let v = wait_for_deadline(
+            &ctrl,
+            &mut seen,
+            Some(std::time::Duration::from_secs(10)),
+            || Ok(Some(7)),
+        )
+        .unwrap();
+        assert_eq!(v, 7);
+        ctrl.publish(Status::Terminating { last: None });
+        let r: Result<(), _> = wait_for_deadline(
+            &ctrl,
+            &mut seen,
+            Some(std::time::Duration::from_secs(10)),
+            || Ok(None),
+        );
+        assert_eq!(r.unwrap_err(), Interrupt::Terminate);
     }
 
     #[test]

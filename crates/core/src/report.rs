@@ -30,6 +30,14 @@ pub struct RunReport {
     /// Misspeculations workers declared explicitly (`mtx_misspec`,
     /// failed control-flow speculation).
     pub worker_misspecs: u64,
+    /// Fabric-timeout recovery requests raised (exhausted send retries or
+    /// expired receive deadlines under fault injection).
+    pub fabric_timeouts: u64,
+    /// Recovery rounds run in answer to fabric-timeout requests.
+    pub fault_recoveries: u64,
+    /// Channels found disconnected while running (each converts into a
+    /// typed shutdown; nonzero only when a thread died).
+    pub channel_downs: u64,
     /// Aggregate fabric traffic (all queues).
     pub stats: FabricStats,
     /// Wall-clock duration of the parallel section.
@@ -88,6 +96,12 @@ impl RunReport {
         reg.counter(schema::RUN_BYTES, &[]).add(self.stats.bytes());
         reg.counter(schema::RUN_TRACE_DROPPED, &[])
             .add(self.trace_dropped);
+        reg.counter(schema::RUN_FABRIC_TIMEOUTS, &[])
+            .add(self.fabric_timeouts);
+        reg.counter(schema::RUN_FAULT_RECOVERIES, &[])
+            .add(self.fault_recoveries);
+        reg.counter(schema::RUN_CHANNEL_DOWNS, &[])
+            .add(self.channel_downs);
         reg.gauge(schema::RUN_ELAPSED_US, &[])
             .set(self.elapsed.as_micros() as i64);
         reg.gauge(schema::RUN_BANDWIDTH_BPS, &[])
@@ -120,6 +134,9 @@ mod tests {
             coa_pages_served: 0,
             validation_conflicts: 0,
             worker_misspecs: 0,
+            fabric_timeouts: 0,
+            fault_recoveries: 0,
+            channel_downs: 0,
             stats: FabricStats::new(),
             elapsed: Duration::ZERO,
             trace: Vec::new(),
@@ -191,6 +208,9 @@ mod tests {
             dsmtx_obs::json::validate(line).unwrap();
         }
         assert!(dump.contains(schema::RUN_COMMITTED));
+        assert!(dump.contains(schema::RUN_FABRIC_TIMEOUTS));
+        assert!(dump.contains(schema::RUN_FAULT_RECOVERIES));
+        assert!(dump.contains(schema::RUN_CHANNEL_DOWNS));
         assert!(dump.contains(schema::FABRIC_SENT_BYTES));
     }
 }

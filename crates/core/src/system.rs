@@ -15,11 +15,11 @@
 
 use std::time::Instant;
 
-use dsmtx_fabric::{EndpointId, MeshBuilder};
+use dsmtx_fabric::{EndpointId, FaultPlan, MeshBuilder};
 use dsmtx_uva::{OwnerId, RegionAllocator};
 
 use crate::commit::{CommitUnit, CommitWiring};
-use crate::config::{ConfigError, PipelineShape, SystemConfig};
+use crate::config::{ConfigError, FaultTarget, PipelineShape, SystemConfig};
 use crate::control::ControlPlane;
 use crate::ids::WorkerId;
 use crate::program::Program;
@@ -139,35 +139,70 @@ impl MtxSystem {
         let tc_ep = builder.endpoint("try-commit");
         let cu_ep = builder.endpoint("commit");
 
+        // Fault injection: derive every faulted link's decision stream
+        // from one plan, selected by the link's *source* endpoint. The
+        // schedule is then a pure function of (seed, wiring order) — the
+        // same seed replays the same faults.
+        let fault_target = shape.fault().map(|fc| {
+            builder.fault_plan(FaultPlan::new(fc.seed, fc.rates));
+            builder.retry_policy(fc.retry);
+            fc.target
+        });
+        let hits =
+            |t: FaultTarget| fault_target == Some(FaultTarget::All) || fault_target == Some(t);
+        let worker_links = hits(FaultTarget::WorkerLinks);
+        let tc_links = hits(FaultTarget::TryCommitLinks);
+        let cu_links = hits(FaultTarget::CommitLinks);
+
         let batch = shape.batch();
         let cap = shape.capacity();
+        let link = |b: &mut MeshBuilder,
+                    from: EndpointId,
+                    to: EndpointId,
+                    batch: usize,
+                    cap: usize,
+                    faulted: bool| {
+            if faulted {
+                b.connect_faulted(from, to, batch, cap).map(|_| ())
+            } else {
+                b.connect(from, to, batch, cap).map(|_| ())
+            }
+        };
         for a in 0..n_workers {
             let sa = shape.stage_of(WorkerId(a as u16));
             for b in 0..n_workers {
                 let sb = shape.stage_of(WorkerId(b as u16));
                 if sa < sb {
-                    builder
-                        .connect(worker_eps[a], worker_eps[b], batch, cap)
-                        .expect("data link");
+                    link(
+                        &mut builder,
+                        worker_eps[a],
+                        worker_eps[b],
+                        batch,
+                        cap,
+                        worker_links,
+                    )
+                    .expect("data link");
                 }
             }
             if let Some(next) = shape.ring_next(WorkerId(a as u16)) {
-                builder
-                    .connect(worker_eps[a], worker_eps[usize::from(next.0)], batch, cap)
-                    .expect("ring link");
+                link(
+                    &mut builder,
+                    worker_eps[a],
+                    worker_eps[usize::from(next.0)],
+                    batch,
+                    cap,
+                    worker_links,
+                )
+                .expect("ring link");
             }
         }
         for &ep in &worker_eps {
-            builder
-                .connect(ep, tc_ep, batch, cap)
-                .expect("validation link");
-            builder.connect(ep, cu_ep, batch, cap).expect("commit link");
-            builder.connect(cu_ep, ep, 1, 8).expect("coa reply link");
+            link(&mut builder, ep, tc_ep, batch, cap, worker_links).expect("validation link");
+            link(&mut builder, ep, cu_ep, batch, cap, worker_links).expect("commit link");
+            link(&mut builder, cu_ep, ep, 1, 8, cu_links).expect("coa reply link");
         }
-        builder
-            .connect(tc_ep, cu_ep, batch, cap)
-            .expect("verdict link");
-        builder.connect(cu_ep, tc_ep, 1, 8).expect("coa reply link");
+        link(&mut builder, tc_ep, cu_ep, batch, cap, tc_links).expect("verdict link");
+        link(&mut builder, cu_ep, tc_ep, 1, 8, cu_links).expect("coa reply link");
 
         let mut mesh = builder.build::<Msg>();
 
@@ -316,6 +351,9 @@ impl MtxSystem {
             coa_pages_served: counters.coa_pages_served,
             validation_conflicts: counters.validation_conflicts,
             worker_misspecs: counters.worker_misspecs,
+            fabric_timeouts: ctrl.fabric_faults(),
+            fault_recoveries: counters.fault_recoveries,
+            channel_downs: ctrl.channel_downs(),
             stats: mesh.stats(),
             elapsed,
             trace: trace.events(),

@@ -23,9 +23,10 @@ use dsmtx_uva::{PageId, VAddr};
 use crate::config::PipelineShape;
 use crate::control::{ControlPlane, Interrupt};
 use crate::ids::{MtxId, StageId, WorkerId};
-use crate::poll::{wait_for, Backoff};
+use crate::poll::{wait_for, wait_for_deadline, Backoff};
 use crate::trace::{Role, TraceKind, TraceSink};
 use crate::wire::Msg;
+use crate::worker::{classify, flush_port};
 
 /// In-progress frame assembly for one worker's validation stream.
 #[derive(Debug, Default)]
@@ -39,6 +40,8 @@ pub(crate) struct TryCommitUnit {
     ctrl: ControlPlane,
     trace: TraceSink,
     epoch: u64,
+    /// Receive deadline under fault injection (`None` = wait forever).
+    data_timeout: Option<std::time::Duration>,
     /// The replay image: committed pages + speculative stores in order.
     image: SpecMem,
     /// Validation streams, one per worker.
@@ -68,11 +71,13 @@ pub(crate) struct TryCommitWiring {
 impl TryCommitUnit {
     pub(crate) fn new(w: TryCommitWiring) -> Self {
         let epoch = w.ctrl.epoch();
+        let data_timeout = w.shape.recv_deadline();
         TryCommitUnit {
             shape: w.shape,
             ctrl: w.ctrl,
             trace: w.trace,
             epoch,
+            data_timeout,
             image: SpecMem::new(),
             val_in: w.val_in,
             to_commit: w.to_commit,
@@ -96,6 +101,8 @@ impl TryCommitUnit {
                         continue;
                     }
                     Interrupt::Terminate | Interrupt::ChannelDown => return,
+                    // The status word never reads as a timeout.
+                    Interrupt::FabricTimeout => unreachable!(),
                 }
             }
             let mut progress = self.ingest();
@@ -106,7 +113,26 @@ impl TryCommitUnit {
                         self.do_recovery(boundary);
                         continue;
                     }
-                    Err(Interrupt::Terminate) | Err(Interrupt::ChannelDown) => return,
+                    Err(Interrupt::Terminate) => return,
+                    Err(Interrupt::ChannelDown) => {
+                        // A peer thread is gone: typed shutdown instead of
+                        // a silent exit that leaves everyone else hanging.
+                        self.ctrl.report_channel_down();
+                        return;
+                    }
+                    Err(Interrupt::FabricTimeout) => {
+                        // A transfer to/from the commit unit exhausted its
+                        // retry budget: request a recovery round and wait
+                        // for the commit unit to orchestrate it.
+                        self.ctrl.raise_fabric_fault();
+                        match self.await_status_change() {
+                            Interrupt::Recovery { boundary } => {
+                                self.do_recovery(boundary);
+                                continue;
+                            }
+                            _ => return,
+                        }
+                    }
                 }
             }
             if progress {
@@ -114,6 +140,15 @@ impl TryCommitUnit {
             } else {
                 backoff.wait();
             }
+        }
+    }
+
+    /// Blocks until the control plane publishes a non-`Running` status.
+    fn await_status_change(&mut self) -> Interrupt {
+        let Self { ctrl, epoch, .. } = self;
+        match wait_for(ctrl, epoch, || Ok(None::<()>)) {
+            Ok(()) => unreachable!("step never yields"),
+            Err(intr) => intr,
         }
     }
 
@@ -126,8 +161,13 @@ impl TryCommitUnit {
                 let msg = match port.try_consume() {
                     Ok(Some(m)) => m,
                     Ok(None) => break,
-                    // A dying peer is handled via the control plane.
-                    Err(_) => break,
+                    Err(_) => {
+                        // A dying peer is unrecoverable: publish the typed
+                        // shutdown (once) so no thread blocks forever on
+                        // the dead worker's silence.
+                        self.ctrl.report_channel_down();
+                        break;
+                    }
                 };
                 progress = true;
                 let asm = self.partial.entry(*worker).or_default();
@@ -212,10 +252,11 @@ impl TryCommitUnit {
                         coa_in,
                         ctrl,
                         epoch,
+                        data_timeout,
                         ..
                     } = self;
                     let actual = image.read_unlogged(r.addr, |page| {
-                        coa_fetch(to_commit, coa_in, ctrl, epoch, page)
+                        coa_fetch(to_commit, coa_in, ctrl, epoch, *data_timeout, page)
                     })?;
                     if actual != r.value {
                         return Ok(false);
@@ -227,20 +268,14 @@ impl TryCommitUnit {
     }
 
     fn send_to_commit(&mut self, msg: Msg) -> Result<(), Interrupt> {
-        self.to_commit
-            .produce(msg)
-            .map_err(|_| Interrupt::ChannelDown)?;
+        self.to_commit.produce(msg).map_err(classify)?;
         let Self {
             to_commit,
             ctrl,
             epoch,
             ..
         } = self;
-        wait_for(ctrl, epoch, || match to_commit.try_flush() {
-            Ok(true) => Ok(Some(())),
-            Ok(false) => Ok(None),
-            Err(_) => Err(Interrupt::ChannelDown),
-        })
+        flush_port(ctrl, epoch, to_commit)
     }
 
     /// §4.3 recovery: rendezvous, flush, re-protect, resume validating at
@@ -282,18 +317,15 @@ fn coa_fetch(
     coa_in: &mut RecvPort<Msg>,
     ctrl: &ControlPlane,
     epoch: &mut u64,
+    timeout: Option<std::time::Duration>,
     page: PageId,
 ) -> Result<Page, Interrupt> {
     to_commit
         .produce(Msg::CoaRequest { page: page.0 })
-        .map_err(|_| Interrupt::ChannelDown)?;
-    wait_for(ctrl, epoch, || match to_commit.try_flush() {
-        Ok(true) => Ok(Some(())),
-        Ok(false) => Ok(None),
-        Err(_) => Err(Interrupt::ChannelDown),
-    })?;
-    let reply = wait_for(ctrl, epoch, || {
-        coa_in.try_consume().map_err(|_| Interrupt::ChannelDown)
+        .map_err(classify)?;
+    flush_port(ctrl, epoch, to_commit)?;
+    let reply = wait_for_deadline(ctrl, epoch, timeout, || {
+        coa_in.try_consume().map_err(classify)
     })?;
     match reply {
         Msg::CoaReply { page: p, data } => {

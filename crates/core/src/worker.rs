@@ -20,14 +20,16 @@
 
 use std::collections::VecDeque;
 
-use dsmtx_fabric::{RecvPort, SendPort};
+use std::time::Duration;
+
+use dsmtx_fabric::{FabricError, RecvPort, SendPort};
 use dsmtx_mem::{Page, SpecMem};
 use dsmtx_uva::{PageId, RegionAllocator, VAddr};
 
 use crate::config::PipelineShape;
 use crate::control::{ControlPlane, Interrupt};
 use crate::ids::{MtxId, StageId, WorkerId};
-use crate::poll::wait_for;
+use crate::poll::{wait_for, wait_for_deadline};
 use crate::program::{IterOutcome, StageFn};
 use crate::trace::{Role, TraceKind, TraceSink};
 use crate::wire::Msg;
@@ -45,6 +47,9 @@ pub struct WorkerCtx {
     pub(crate) trace: TraceSink,
     role: Role,
     epoch: u64,
+    /// Receive deadline under fault injection (`None` = wait forever).
+    /// Converts a peer silenced by faults into [`Interrupt::FabricTimeout`].
+    data_timeout: Option<Duration>,
 
     spec: SpecMem,
     heap: RegionAllocator,
@@ -106,6 +111,7 @@ impl WorkerCtx {
         let stage = w.shape.stage_of(w.worker);
         let n_stages = w.shape.n_stages() as usize;
         let epoch = w.ctrl.epoch();
+        let data_timeout = w.shape.recv_deadline();
         WorkerCtx {
             role: Role::Worker(w.worker.0 as u32),
             worker: w.worker,
@@ -114,6 +120,7 @@ impl WorkerCtx {
             ctrl: w.ctrl,
             trace: w.trace,
             epoch,
+            data_timeout,
             spec: SpecMem::new(),
             heap: w.heap,
             out: w.out,
@@ -175,9 +182,12 @@ impl WorkerCtx {
             coa_in,
             ctrl,
             epoch,
+            data_timeout,
             ..
         } = self;
-        spec.read(addr, |page| coa_fetch(cu_out, coa_in, ctrl, epoch, page))
+        spec.read(addr, |page| {
+            coa_fetch(cu_out, coa_in, ctrl, epoch, *data_timeout, page)
+        })
     }
 
     /// Unvalidated load, for data the plan knows cannot conflict (e.g.
@@ -195,9 +205,12 @@ impl WorkerCtx {
             coa_in,
             ctrl,
             epoch,
+            data_timeout,
             ..
         } = self;
-        spec.read_unlogged(addr, |page| coa_fetch(cu_out, coa_in, ctrl, epoch, page))
+        spec.read_unlogged(addr, |page| {
+            coa_fetch(cu_out, coa_in, ctrl, epoch, *data_timeout, page)
+        })
     }
 
     /// Speculative store with `mtx_writeAll` semantics: validated,
@@ -254,10 +267,11 @@ impl WorkerCtx {
             coa_in,
             ctrl,
             epoch,
+            data_timeout,
             ..
         } = self;
         spec.write(addr, value, |page| {
-            coa_fetch(cu_out, coa_in, ctrl, epoch, page)
+            coa_fetch(cu_out, coa_in, ctrl, epoch, *data_timeout, page)
         })
     }
 
@@ -275,10 +289,11 @@ impl WorkerCtx {
             coa_in,
             ctrl,
             epoch,
+            data_timeout,
             ..
         } = self;
         spec.write_unlogged(addr, value, |page| {
-            coa_fetch(cu_out, coa_in, ctrl, epoch, page)
+            coa_fetch(cu_out, coa_in, ctrl, epoch, *data_timeout, page)
         })
     }
 
@@ -381,7 +396,7 @@ impl WorkerCtx {
         self.ring_produces.clear();
         self.cu_out
             .produce(Msg::WorkerMisspec { mtx })
-            .map_err(|_| Interrupt::ChannelDown)?;
+            .map_err(classify)?;
         flush_port(&self.ctrl, &mut self.epoch, &mut self.cu_out)?;
         // Block until the commit unit orchestrates recovery.
         wait_for(&self.ctrl, &mut self.epoch, || Ok(None::<T>))
@@ -560,16 +575,18 @@ impl WorkerCtx {
             ring_in_vals,
             ctrl,
             epoch,
+            data_timeout,
             ..
         } = self;
+        let timeout = *data_timeout;
         let port = inn
             .iter_mut()
             .find(|(id, _)| *id == src)
             .map(|(_, p)| p)
             .unwrap_or_else(|| panic!("no data queue from {src}"));
 
-        let first = wait_for(ctrl, epoch, || {
-            port.try_consume().map_err(|_| Interrupt::ChannelDown)
+        let first = wait_for_deadline(ctrl, epoch, timeout, || {
+            port.try_consume().map_err(classify)
         })?;
         match first {
             Msg::FrameBegin { mtx: m } => {
@@ -578,8 +595,8 @@ impl WorkerCtx {
             other => panic!("expected FrameBegin from {src}, got {other:?}"),
         }
         loop {
-            let msg = wait_for(ctrl, epoch, || {
-                port.try_consume().map_err(|_| Interrupt::ChannelDown)
+            let msg = wait_for_deadline(ctrl, epoch, timeout, || {
+                port.try_consume().map_err(classify)
             })?;
             match msg {
                 Msg::Forward { addr, value } => spec.apply_forwarded(VAddr::from_raw(addr), value),
@@ -603,6 +620,19 @@ impl WorkerCtx {
     /// iterations left under an iteration limit).
     pub(crate) fn idle_until_interrupt(&mut self) -> Result<(), Interrupt> {
         wait_for(&self.ctrl, &mut self.epoch, || Ok(None::<()>)).map(|_: ()| ())
+    }
+
+    /// Raises a timeout-driven recovery request on the control plane and
+    /// blocks until the commit unit answers with a status change. The
+    /// request, not the raiser, picks the boundary: the commit unit always
+    /// recovers at its next commit so no committed-but-unapplied MTX is
+    /// lost.
+    pub(crate) fn request_fault_recovery(&mut self) -> Interrupt {
+        self.ctrl.raise_fabric_fault();
+        match wait_for(&self.ctrl, &mut self.epoch, || Ok(None::<()>)) {
+            Ok(()) => unreachable!("step never yields"),
+            Err(intr) => intr,
+        }
     }
 
     /// Participates in the §4.3 recovery protocol:
@@ -659,14 +689,26 @@ impl std::fmt::Debug for WorkerCtx {
     }
 }
 
-/// Buffered, non-blocking enqueue; hard errors only on peer death.
-fn send(port: &mut SendPort<Msg>, msg: Msg) -> Result<(), Interrupt> {
-    port.produce(msg).map_err(|_| Interrupt::ChannelDown)
+/// Maps a fabric failure to the interrupt the runtime handles it with: an
+/// exhausted retry budget asks for recovery, anything else means the peer
+/// is gone.
+pub(crate) fn classify(e: FabricError) -> Interrupt {
+    match e {
+        FabricError::Timeout => Interrupt::FabricTimeout,
+        _ => Interrupt::ChannelDown,
+    }
 }
 
-/// Interruptible flush: retries while the transport is full, unwinding on
-/// control-plane interrupts.
-fn flush_port(
+/// Buffered, non-blocking enqueue; hard errors on peer death or an
+/// exhausted fault-retry budget (an overfull batch flushes eagerly).
+fn send(port: &mut SendPort<Msg>, msg: Msg) -> Result<(), Interrupt> {
+    port.produce(msg).map_err(classify)
+}
+
+/// Interruptible flush: retries while the transport is full or an injected
+/// fault consumed the attempt, unwinding on control-plane interrupts, a
+/// dead peer, or retry-budget exhaustion.
+pub(crate) fn flush_port(
     ctrl: &ControlPlane,
     epoch: &mut u64,
     port: &mut SendPort<Msg>,
@@ -674,7 +716,8 @@ fn flush_port(
     wait_for(ctrl, epoch, || match port.try_flush() {
         Ok(true) => Ok(Some(())),
         Ok(false) => Ok(None),
-        Err(_) => Err(Interrupt::ChannelDown),
+        Err(FabricError::Retriable) => Ok(None),
+        Err(e) => Err(classify(e)),
     })
 }
 
@@ -694,14 +737,15 @@ fn coa_fetch(
     coa_in: &mut RecvPort<Msg>,
     ctrl: &ControlPlane,
     epoch: &mut u64,
+    timeout: Option<Duration>,
     page: PageId,
 ) -> Result<Page, Interrupt> {
     cu_out
         .produce(Msg::CoaRequest { page: page.0 })
-        .map_err(|_| Interrupt::ChannelDown)?;
+        .map_err(classify)?;
     flush_port(ctrl, epoch, cu_out)?;
-    let reply = wait_for(ctrl, epoch, || {
-        coa_in.try_consume().map_err(|_| Interrupt::ChannelDown)
+    let reply = wait_for_deadline(ctrl, epoch, timeout, || {
+        coa_in.try_consume().map_err(classify)
     })?;
     match reply {
         Msg::CoaReply { page: p, data } => {
@@ -730,7 +774,31 @@ pub(crate) fn worker_main(mut ctx: WorkerCtx, stage_fn: StageFn, limit: Option<u
                 next = ctx.shape.next_assigned(ctx.worker, boundary.next());
             }
             Err(Interrupt::Terminate) => break,
-            Err(Interrupt::ChannelDown) => break,
+            Err(Interrupt::ChannelDown) => {
+                // A peer thread is gone; convert into a typed shutdown so
+                // every other thread unwinds instead of hanging.
+                ctx.ctrl.report_channel_down();
+                break;
+            }
+            Err(Interrupt::FabricTimeout) => {
+                // A transfer exhausted its retry budget (or a receive
+                // starved past its deadline). Ask the commit unit for a
+                // recovery round and rendezvous.
+                match ctx.request_fault_recovery() {
+                    Interrupt::Recovery { boundary } => {
+                        ctx.do_recovery(boundary);
+                        next = ctx.shape.next_assigned(ctx.worker, boundary.next());
+                    }
+                    Interrupt::Terminate => break,
+                    Interrupt::ChannelDown => {
+                        ctx.ctrl.report_channel_down();
+                        break;
+                    }
+                    Interrupt::FabricTimeout => {
+                        unreachable!("deadline-free wait cannot time out")
+                    }
+                }
+            }
         }
     }
     ctx
@@ -740,4 +808,54 @@ fn run_iteration(ctx: &mut WorkerCtx, mtx: MtxId, stage_fn: &StageFn) -> Result<
     ctx.begin(mtx)?;
     let outcome = stage_fn(ctx, mtx)?;
     ctx.end(mtx, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsmtx_fabric::{
+        channel, channel_faulted, CostModel, FabricStats, FaultPlan, FaultRates, RetryPolicy,
+    };
+
+    #[test]
+    fn flush_port_reports_dead_peer_as_channel_down() {
+        let ctrl = ControlPlane::new(1);
+        let mut epoch = ctrl.epoch();
+        // Batch larger than what we enqueue: produce only buffers, the
+        // flush discovers the dropped consumer.
+        let (mut tx, rx) = channel::<Msg>(8, 4);
+        drop(rx);
+        tx.produce(Msg::CoaRequest { page: 0 }).unwrap();
+        let r = flush_port(&ctrl, &mut epoch, &mut tx);
+        assert_eq!(r.unwrap_err(), Interrupt::ChannelDown);
+    }
+
+    #[test]
+    fn flush_port_converts_exhausted_retries_into_fabric_timeout() {
+        let ctrl = ControlPlane::new(1);
+        let mut epoch = ctrl.epoch();
+        let plan = FaultPlan::new(7, FaultRates::only_drop(1.0));
+        let (mut tx, _rx) = channel_faulted::<Msg>(
+            8,
+            4,
+            CostModel::FREE,
+            FabricStats::new(),
+            Some(plan.injector(0)),
+            RetryPolicy {
+                max_attempts: 4,
+                base_backoff_us: 1,
+                max_backoff_us: 1,
+            },
+        );
+        tx.produce(Msg::CoaRequest { page: 0 }).unwrap();
+        let r = flush_port(&ctrl, &mut epoch, &mut tx);
+        assert_eq!(r.unwrap_err(), Interrupt::FabricTimeout);
+    }
+
+    #[test]
+    fn classify_maps_fabric_errors() {
+        assert_eq!(classify(FabricError::Timeout), Interrupt::FabricTimeout);
+        assert_eq!(classify(FabricError::Disconnected), Interrupt::ChannelDown);
+        assert_eq!(classify(FabricError::Retriable), Interrupt::ChannelDown);
+    }
 }

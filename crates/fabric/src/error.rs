@@ -18,6 +18,12 @@ pub enum FabricError {
     /// A queue between the named endpoints was requested twice or never
     /// declared.
     BadTopology(String),
+    /// A transfer attempt was consumed by an injected fault or a full
+    /// transport while a fault plan is active; retry budget remains.
+    Retriable,
+    /// The bounded retry budget (or a receive deadline) was exhausted.
+    /// The runtime treats this as a fabric fault and enters recovery.
+    Timeout,
 }
 
 impl fmt::Display for FabricError {
@@ -27,6 +33,8 @@ impl fmt::Display for FabricError {
             FabricError::EndOfStream => write!(f, "end of stream"),
             FabricError::UnknownEndpoint(name) => write!(f, "unknown endpoint `{name}`"),
             FabricError::BadTopology(msg) => write!(f, "bad topology: {msg}"),
+            FabricError::Retriable => write!(f, "transfer attempt faulted; retry"),
+            FabricError::Timeout => write!(f, "transfer timed out after retries"),
         }
     }
 }
@@ -44,6 +52,8 @@ mod tests {
             FabricError::EndOfStream,
             FabricError::UnknownEndpoint("w0".into()),
             FabricError::BadTopology("dup".into()),
+            FabricError::Retriable,
+            FabricError::Timeout,
         ] {
             let s = e.to_string();
             assert!(!s.is_empty());

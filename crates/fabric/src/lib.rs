@@ -33,6 +33,7 @@
 pub mod barrier;
 pub mod cost;
 pub mod error;
+pub mod fault;
 pub mod mesh;
 pub mod queue;
 pub mod stats;
@@ -40,6 +41,7 @@ pub mod stats;
 pub use barrier::Barrier;
 pub use cost::CostModel;
 pub use error::{FabricError, Result};
+pub use fault::{FaultDecision, FaultInjector, FaultPlan, FaultRates, RetryPolicy};
 pub use mesh::{EndpointId, Mesh, MeshBuilder};
-pub use queue::{channel, RecvPort, SendPort};
+pub use queue::{channel, channel_faulted, RecvPort, SendPort};
 pub use stats::FabricStats;

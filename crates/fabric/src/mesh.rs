@@ -12,7 +12,8 @@ use std::collections::HashMap;
 use crate::barrier::Barrier;
 use crate::cost::CostModel;
 use crate::error::{FabricError, Result};
-use crate::queue::{channel_with, RecvPort, SendPort};
+use crate::fault::{FaultPlan, RetryPolicy};
+use crate::queue::{channel_faulted, RecvPort, SendPort};
 use crate::stats::FabricStats;
 
 /// Identifier of a mesh endpoint (a thread-to-be).
@@ -25,13 +26,26 @@ impl std::fmt::Display for EndpointId {
     }
 }
 
+/// One declared directed queue.
+#[derive(Debug, Clone, Copy)]
+struct Link {
+    from: EndpointId,
+    to: EndpointId,
+    batch: usize,
+    capacity: usize,
+    /// Whether the builder's fault plan (if any) applies to this link.
+    faulted: bool,
+}
+
 /// Declares endpoints and queues, then builds a [`Mesh`].
 #[derive(Debug)]
 pub struct MeshBuilder {
     names: Vec<String>,
-    links: Vec<(EndpointId, EndpointId, usize, usize)>,
+    links: Vec<Link>,
     cost: CostModel,
     stats: FabricStats,
+    fault: Option<FaultPlan>,
+    retry: RetryPolicy,
 }
 
 impl MeshBuilder {
@@ -42,12 +56,29 @@ impl MeshBuilder {
             links: Vec::new(),
             cost: CostModel::FREE,
             stats: FabricStats::new(),
+            fault: None,
+            retry: RetryPolicy::DEFAULT,
         }
     }
 
     /// Sets the per-packet cost model applied to every queue.
     pub fn cost_model(&mut self, cost: CostModel) -> &mut Self {
         self.cost = cost;
+        self
+    }
+
+    /// Installs a fault plan. Links declared with
+    /// [`MeshBuilder::connect_faulted`] derive their injector from it,
+    /// keyed by declaration order, so the schedule is a pure function of
+    /// `(plan seed, wiring order)`.
+    pub fn fault_plan(&mut self, plan: FaultPlan) -> &mut Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Sets the retry budget used by every faulted link.
+    pub fn retry_policy(&mut self, retry: RetryPolicy) -> &mut Self {
+        self.retry = retry;
         self
     }
 
@@ -71,6 +102,34 @@ impl MeshBuilder {
         batch: usize,
         capacity: usize,
     ) -> Result<&mut Self> {
+        self.connect_impl(from, to, batch, capacity, false)
+    }
+
+    /// Declares a directed queue `from → to` that the builder's fault plan
+    /// (if any) injects into. Without a plan it behaves exactly like
+    /// [`MeshBuilder::connect`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`MeshBuilder::connect`].
+    pub fn connect_faulted(
+        &mut self,
+        from: EndpointId,
+        to: EndpointId,
+        batch: usize,
+        capacity: usize,
+    ) -> Result<&mut Self> {
+        self.connect_impl(from, to, batch, capacity, true)
+    }
+
+    fn connect_impl(
+        &mut self,
+        from: EndpointId,
+        to: EndpointId,
+        batch: usize,
+        capacity: usize,
+        faulted: bool,
+    ) -> Result<&mut Self> {
         if from.0 >= self.names.len() || to.0 >= self.names.len() {
             return Err(FabricError::BadTopology(format!(
                 "link {from} -> {to} references undeclared endpoint"
@@ -79,12 +138,18 @@ impl MeshBuilder {
         if from == to {
             return Err(FabricError::BadTopology(format!("self-loop at {from}")));
         }
-        if self.links.iter().any(|&(f, t, _, _)| f == from && t == to) {
+        if self.links.iter().any(|l| l.from == from && l.to == to) {
             return Err(FabricError::BadTopology(format!(
                 "duplicate link {from} -> {to}"
             )));
         }
-        self.links.push((from, to, batch, capacity));
+        self.links.push(Link {
+            from,
+            to,
+            batch,
+            capacity,
+            faulted,
+        });
         Ok(self)
     }
 
@@ -94,10 +159,29 @@ impl MeshBuilder {
         for id in 0..self.names.len() {
             ports.insert(EndpointId(id), Ports::default());
         }
-        for &(from, to, batch, capacity) in &self.links {
-            let (tx, rx) = channel_with(batch, capacity, self.cost, self.stats.clone());
-            ports.get_mut(&from).expect("declared").sends.push((to, tx));
-            ports.get_mut(&to).expect("declared").recvs.push((from, rx));
+        for (index, link) in self.links.iter().enumerate() {
+            let injector = match &self.fault {
+                Some(plan) if link.faulted => Some(plan.injector(index as u64)),
+                _ => None,
+            };
+            let (tx, rx) = channel_faulted(
+                link.batch,
+                link.capacity,
+                self.cost,
+                self.stats.clone(),
+                injector,
+                self.retry,
+            );
+            ports
+                .get_mut(&link.from)
+                .expect("declared")
+                .sends
+                .push((link.to, tx));
+            ports
+                .get_mut(&link.to)
+                .expect("declared")
+                .recvs
+                .push((link.from, rx));
         }
         Mesh {
             names: self.names.clone(),
@@ -321,6 +405,43 @@ mod tests {
         assert_eq!(stats.recv_bytes(), 32);
         assert_eq!(stats.in_flight_items(), 0);
         assert_eq!(stats.batch_items().count(), 2);
+    }
+
+    #[test]
+    fn faulted_links_inject_and_plain_links_do_not() {
+        use crate::fault::{FaultPlan, FaultRates};
+        let mut b = MeshBuilder::new();
+        let a = b.endpoint("a");
+        let c = b.endpoint("c");
+        let d = b.endpoint("d");
+        b.fault_plan(FaultPlan::new(9, FaultRates::only_drop(1.0)));
+        b.connect_faulted(a, c, 1, 8).unwrap();
+        b.connect(a, d, 1, 8).unwrap();
+        let mut mesh = b.build::<u64>();
+        let stats = mesh.stats();
+        let mut pa = mesh.take_ports(a).unwrap();
+        let mut pd = mesh.take_ports(d).unwrap();
+        // The faulted link drops every ship attempt…
+        pa.send_to(c).unwrap().produce(1).unwrap();
+        assert!(stats.fault_drops() > 0, "plan applies to faulted link");
+        // …while the plain link delivers untouched.
+        pa.send_to(d).unwrap().produce(2).unwrap();
+        assert_eq!(pd.recv_from(a).unwrap().consume().unwrap(), 2);
+    }
+
+    #[test]
+    fn connect_faulted_without_plan_is_plain() {
+        let mut b = MeshBuilder::new();
+        let a = b.endpoint("a");
+        let c = b.endpoint("c");
+        b.connect_faulted(a, c, 1, 8).unwrap();
+        let mut mesh = b.build::<u64>();
+        let stats = mesh.stats();
+        let mut pa = mesh.take_ports(a).unwrap();
+        let mut pc = mesh.take_ports(c).unwrap();
+        pa.send_to(c).unwrap().produce(5).unwrap();
+        assert_eq!(pc.recv_from(a).unwrap().consume().unwrap(), 5);
+        assert_eq!(stats.faults_total(), 0);
     }
 
     #[test]

@@ -9,19 +9,36 @@
 //!
 //! Queues are single-producer single-consumer, matching the paper's
 //! point-to-point channels between pipeline stages.
+//!
+//! # Fault injection
+//!
+//! A queue built through [`channel_faulted`] carries an optional
+//! [`FaultInjector`] that perturbs the ship path: packets are sequence
+//! numbered, and injected drops/delays/stalls consume attempts from a
+//! bounded [`RetryPolicy`] budget ([`FabricError::Retriable`] while budget
+//! remains, [`FabricError::Timeout`] once it exhausts). Duplicates ship a
+//! ghost copy with a stale sequence number; reorders hold a packet and swap
+//! it with its successor on the wire. The receiver discards duplicates and
+//! re-sequences out-of-order arrivals, so a correct run delivers the exact
+//! produced sequence regardless of the schedule. Recovery pairs
+//! [`SendPort::clear`] with [`RecvPort::drain`]; the drain arms a resync so
+//! the next packet re-baselines the expected sequence number.
 
-use std::time::Instant;
+use std::collections::{BTreeMap, VecDeque};
+use std::time::{Duration, Instant};
 
 use crossbeam::channel;
 
 use crate::cost::CostModel;
 use crate::error::{FabricError, Result};
+use crate::fault::{FaultDecision, FaultInjector, RetryPolicy};
 use crate::stats::FabricStats;
 
-/// A packet on the wire: either a batch of values or an end-of-stream mark.
+/// A packet on the wire: either a sequence-numbered batch of values or an
+/// end-of-stream mark.
 #[derive(Debug)]
 enum Packet<T> {
-    Data(Vec<T>),
+    Data { seq: u64, batch: Vec<T> },
     Eos,
 }
 
@@ -39,17 +56,33 @@ pub struct SendPort<T> {
     cost: CostModel,
     stats: FabricStats,
     closed: bool,
+    fault: Option<FaultInjector>,
+    retry: RetryPolicy,
+    /// Sequence number of the next logical packet.
+    next_seq: u64,
+    /// Consecutive consumed attempts for the packet at the head.
+    attempts: u32,
+    /// A reorder-held packet (seq already assigned) awaiting its successor.
+    held: Option<(u64, Vec<T>)>,
 }
 
 /// Consumer end of a batched queue.
 #[derive(Debug)]
 pub struct RecvPort<T> {
     rx: channel::Receiver<Packet<T>>,
-    cur: std::vec::IntoIter<T>,
+    cur: VecDeque<T>,
     item_bytes: u64,
     cost: CostModel,
     stats: FabricStats,
     eos: bool,
+    /// Next sequence number expected in order.
+    expected_seq: u64,
+    /// Packets that arrived ahead of sequence, keyed by seq.
+    ooo: BTreeMap<u64, Vec<T>>,
+    /// Accept the next data packet's seq as the new baseline (armed by
+    /// [`RecvPort::drain`], because the peer's `clear` may have retired
+    /// sequence numbers that will never arrive).
+    resync: bool,
 }
 
 /// Creates a batched SPSC queue.
@@ -78,6 +111,23 @@ pub fn channel_with<T>(
     cost: CostModel,
     stats: FabricStats,
 ) -> (SendPort<T>, RecvPort<T>) {
+    channel_faulted(batch, capacity, cost, stats, None, RetryPolicy::DEFAULT)
+}
+
+/// Creates a batched SPSC queue whose send path runs under an optional
+/// fault injector with the given retry budget.
+///
+/// # Panics
+///
+/// Panics if `batch` or `capacity` is zero.
+pub fn channel_faulted<T>(
+    batch: usize,
+    capacity: usize,
+    cost: CostModel,
+    stats: FabricStats,
+    fault: Option<FaultInjector>,
+    retry: RetryPolicy,
+) -> (SendPort<T>, RecvPort<T>) {
     assert!(batch >= 1, "batch must be at least 1");
     assert!(capacity >= 1, "capacity must be at least 1");
     let (tx, rx) = channel::bounded(capacity);
@@ -90,14 +140,22 @@ pub fn channel_with<T>(
             cost,
             stats: stats.clone(),
             closed: false,
+            fault,
+            retry,
+            next_seq: 0,
+            attempts: 0,
+            held: None,
         },
         RecvPort {
             rx,
-            cur: Vec::new().into_iter(),
+            cur: VecDeque::new(),
             item_bytes: std::mem::size_of::<T>() as u64,
             cost,
             stats,
             eos: false,
+            expected_seq: 0,
+            ooo: BTreeMap::new(),
+            resync: false,
         },
     )
 }
@@ -105,52 +163,85 @@ pub fn channel_with<T>(
 impl<T> SendPort<T> {
     /// Enqueues one value, shipping a packet when the batch fills.
     ///
-    /// If the transport is momentarily full the value simply stays
-    /// buffered — like the paper's queue, buffer space is managed
-    /// automatically and a producer is never forced to block mid-compute.
-    /// Use [`SendPort::flush`] or [`SendPort::try_flush`] at communication
-    /// points to guarantee delivery.
+    /// If the transport is momentarily full — or an injected fault eats the
+    /// ship attempt — the value simply stays buffered; like the paper's
+    /// queue, buffer space is managed automatically and a producer is never
+    /// forced to block mid-compute. Use [`SendPort::flush`] or
+    /// [`SendPort::try_flush`] at communication points to guarantee
+    /// delivery.
     ///
     /// # Errors
     ///
-    /// Returns [`FabricError::Disconnected`] if the consumer was dropped.
+    /// * [`FabricError::Disconnected`] if the consumer was dropped.
+    /// * [`FabricError::Timeout`] if the fault-retry budget exhausted.
     pub fn produce(&mut self, value: T) -> Result<()> {
         debug_assert!(!self.closed, "produce after close");
         self.buf.push(value);
         if self.buf.len() >= self.batch {
-            self.try_flush()?;
+            match self.try_flush() {
+                Ok(_) => {}
+                // The attempt was faulted; the batch stays buffered and a
+                // later flush retries.
+                Err(FabricError::Retriable) => {}
+                Err(e) => return Err(e),
+            }
         }
         Ok(())
     }
 
     /// Ships any buffered values as a packet, blocking while the transport
-    /// is full. No-op when the buffer is empty.
+    /// is full. Under an active fault plan the blocking wait becomes a
+    /// bounded exponential-backoff retry loop. No-op when nothing is
+    /// pending.
     ///
     /// # Errors
     ///
-    /// Returns [`FabricError::Disconnected`] if the consumer was dropped.
+    /// * [`FabricError::Disconnected`] if the consumer was dropped.
+    /// * [`FabricError::Timeout`] if the fault-retry budget exhausted.
     pub fn flush(&mut self) -> Result<()> {
-        if self.buf.is_empty() {
+        if self.buf.is_empty() && self.held.is_none() {
             return Ok(());
         }
+        if self.fault.is_none() {
+            return self.flush_plain();
+        }
+        // Faulted path: poll `try_flush`, sleeping the policy's backoff
+        // between attempts, until the packet ships or the budget runs out.
+        loop {
+            match self.try_flush() {
+                Ok(true) => return Ok(()),
+                Ok(false) | Err(FabricError::Retriable) => {
+                    let us = self.retry.backoff_us(self.attempts.max(1));
+                    std::thread::sleep(Duration::from_micros(us));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Fault-free flush: try once, then block on the transport.
+    fn flush_plain(&mut self) -> Result<()> {
         let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(self.batch));
         let items = batch.len() as u64;
+        let seq = self.next_seq;
         self.cost.charge_send();
         // Fast path: transport has room. Otherwise time the stall so the
         // telemetry shows where the pipeline blocks on the fabric.
-        let batch = match self.tx.try_send(Packet::Data(batch)) {
+        let batch = match self.tx.try_send(Packet::Data { seq, batch }) {
             Ok(()) => {
+                self.next_seq += 1;
                 self.stats.record_packet(items, items * self.item_bytes);
                 return Ok(());
             }
-            Err(channel::TrySendError::Full(Packet::Data(batch))) => batch,
+            Err(channel::TrySendError::Full(Packet::Data { batch, .. })) => batch,
             Err(channel::TrySendError::Full(_)) => unreachable!("data packet returned"),
             Err(channel::TrySendError::Disconnected(_)) => return Err(FabricError::Disconnected),
         };
         let stalled = Instant::now();
         self.tx
-            .send(Packet::Data(batch))
+            .send(Packet::Data { seq, batch })
             .map_err(|_| FabricError::Disconnected)?;
+        self.next_seq += 1;
         self.stats
             .record_send_stall_us(stalled.elapsed().as_micros() as u64);
         self.stats.record_packet(items, items * self.item_bytes);
@@ -159,31 +250,160 @@ impl<T> SendPort<T> {
 
     /// Ships buffered values without blocking.
     ///
-    /// Returns `Ok(true)` when the buffer is now empty (sent, or nothing
+    /// Returns `Ok(true)` when nothing remains pending (sent, or nothing
     /// to send) and `Ok(false)` when the transport is full — retry later.
     /// Interruptible senders (the DSMTX recovery protocol) poll this
     /// instead of [`SendPort::flush`].
     ///
     /// # Errors
     ///
-    /// Returns [`FabricError::Disconnected`] if the consumer was dropped.
+    /// * [`FabricError::Retriable`] — an injected fault consumed this
+    ///   attempt; the packet stays queued and budget remains.
+    /// * [`FabricError::Timeout`] — the retry budget exhausted.
+    /// * [`FabricError::Disconnected`] if the consumer was dropped.
     pub fn try_flush(&mut self) -> Result<bool> {
+        if self.buf.is_empty() && self.held.is_none() {
+            return Ok(true);
+        }
+        if self.fault.is_none() {
+            return self.try_flush_plain();
+        }
+        self.try_flush_faulted()
+    }
+
+    /// Fault-free non-blocking ship of the buffered batch.
+    fn try_flush_plain(&mut self) -> Result<bool> {
         if self.buf.is_empty() {
             return Ok(true);
         }
         let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(self.batch));
-        let items = batch.len() as u64;
-        match self.tx.try_send(Packet::Data(batch)) {
-            Ok(()) => {
-                self.cost.charge_send();
-                self.stats.record_packet(items, items * self.item_bytes);
+        let seq = self.next_seq;
+        match self.raw_try_send(seq, batch)? {
+            None => {
+                self.next_seq += 1;
                 Ok(true)
             }
-            Err(channel::TrySendError::Full(Packet::Data(batch))) => {
+            Some(batch) => {
                 // Put the batch back; the next flush retries.
                 self.buf = batch;
                 Ok(false)
             }
+        }
+    }
+
+    /// Ship path under an active fault injector.
+    fn try_flush_faulted(&mut self) -> Result<bool> {
+        if !self.buf.is_empty() {
+            // One held packet at a time: while a reordered packet waits,
+            // its successor ships untouched (that IS the swap).
+            let decision = if self.held.is_some() {
+                FaultDecision::None
+            } else {
+                self.fault.as_mut().expect("faulted path").decide()
+            };
+            match decision {
+                FaultDecision::Drop => {
+                    self.stats.record_fault_drop();
+                    return self.consume_attempt(true);
+                }
+                FaultDecision::Delay => {
+                    self.stats.record_fault_delay();
+                    return self.consume_attempt(true);
+                }
+                FaultDecision::Stall => {
+                    self.stats.record_fault_stall();
+                    return self.consume_attempt(true);
+                }
+                FaultDecision::Reorder => {
+                    // Hold the packet with its seq; it ships right after
+                    // its successor (or at the next flush, if no successor
+                    // materializes), arriving out of order at the peer.
+                    // Reporting `false` keeps pollers coming back until
+                    // the held packet actually leaves.
+                    let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(self.batch));
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    self.held = Some((seq, batch));
+                    self.attempts = 0;
+                    self.stats.record_fault_reorder();
+                    return Ok(false);
+                }
+                FaultDecision::None | FaultDecision::Duplicate => {
+                    let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(self.batch));
+                    let seq = self.next_seq;
+                    match self.raw_try_send(seq, batch)? {
+                        None => {
+                            self.next_seq += 1;
+                            self.attempts = 0;
+                            if decision == FaultDecision::Duplicate {
+                                // Best-effort ghost copy with the stale
+                                // seq; the receiver must discard it. (No
+                                // payload: `T` need not be `Clone`.)
+                                self.stats.record_fault_duplicate();
+                                let _ = self.tx.try_send(Packet::Data {
+                                    seq,
+                                    batch: Vec::new(),
+                                });
+                            }
+                        }
+                        Some(batch) => {
+                            self.buf = batch;
+                            return self.consume_attempt(false);
+                        }
+                    }
+                }
+            }
+        }
+        self.ship_held()
+    }
+
+    /// Attempts to ship a reorder-held packet. Returns `Ok(true)` when
+    /// nothing remains pending.
+    fn ship_held(&mut self) -> Result<bool> {
+        if let Some((seq, batch)) = self.held.take() {
+            match self.raw_try_send(seq, batch)? {
+                None => {}
+                Some(batch) => {
+                    self.held = Some((seq, batch));
+                    return self.consume_attempt(false);
+                }
+            }
+        }
+        Ok(self.buf.is_empty() && self.held.is_none())
+    }
+
+    /// Books one consumed attempt against the retry budget.
+    ///
+    /// `faulted` distinguishes an injected fault ([`FabricError::Retriable`])
+    /// from a merely full transport (`Ok(false)`); both draw budget while a
+    /// fault plan is active, so a stalled peer converges to
+    /// [`FabricError::Timeout`] instead of blocking forever.
+    fn consume_attempt(&mut self, faulted: bool) -> Result<bool> {
+        self.stats.record_retry();
+        self.attempts += 1;
+        if self.attempts >= self.retry.max_attempts {
+            self.attempts = 0;
+            self.stats.record_send_timeout();
+            return Err(FabricError::Timeout);
+        }
+        if faulted {
+            Err(FabricError::Retriable)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// One physical ship attempt: `Ok(None)` shipped (stats charged),
+    /// `Ok(Some(batch))` transport full (batch returned).
+    fn raw_try_send(&mut self, seq: u64, batch: Vec<T>) -> Result<Option<Vec<T>>> {
+        let items = batch.len() as u64;
+        match self.tx.try_send(Packet::Data { seq, batch }) {
+            Ok(()) => {
+                self.cost.charge_send();
+                self.stats.record_packet(items, items * self.item_bytes);
+                Ok(None)
+            }
+            Err(channel::TrySendError::Full(Packet::Data { batch, .. })) => Ok(Some(batch)),
             Err(channel::TrySendError::Full(_)) => unreachable!("data packet returned"),
             Err(channel::TrySendError::Disconnected(_)) => Err(FabricError::Disconnected),
         }
@@ -194,7 +414,8 @@ impl<T> SendPort<T> {
     ///
     /// # Errors
     ///
-    /// Returns [`FabricError::Disconnected`] if the consumer was dropped.
+    /// Returns [`FabricError::Disconnected`] if the consumer was dropped,
+    /// or [`FabricError::Timeout`] if a faulted flush exhausted its budget.
     pub fn close(&mut self) -> Result<()> {
         if self.closed {
             return Ok(());
@@ -206,17 +427,24 @@ impl<T> SendPort<T> {
             .map_err(|_| FabricError::Disconnected)
     }
 
-    /// Discards all locally buffered (not yet shipped) values.
+    /// Discards all locally buffered (not yet shipped) values, any
+    /// reorder-held packet, and the pending retry count.
     ///
     /// Used during misspeculation recovery: buffered speculative values
-    /// must not survive the rollback (§4.3 step "flush queues").
+    /// must not survive the rollback (§4.3 step "flush queues"). Under an
+    /// active fault plan the peer must [`RecvPort::drain`] in the same
+    /// recovery round, because dropping a held packet retires its sequence
+    /// number — the drain's resync forgives the gap.
     pub fn clear(&mut self) {
         self.buf.clear();
+        self.held = None;
+        self.attempts = 0;
     }
 
-    /// Number of values currently buffered (not yet shipped).
+    /// Number of values currently buffered (not yet shipped), including a
+    /// reorder-held packet.
     pub fn buffered(&self) -> usize {
-        self.buf.len()
+        self.buf.len() + self.held.as_ref().map_or(0, |(_, b)| b.len())
     }
 
     /// The configured batch threshold.
@@ -235,7 +463,7 @@ impl<T> RecvPort<T> {
     ///   closing.
     pub fn consume(&mut self) -> Result<T> {
         loop {
-            if let Some(v) = self.cur.next() {
+            if let Some(v) = self.cur.pop_front() {
                 return Ok(v);
             }
             if self.eos {
@@ -257,16 +485,84 @@ impl<T> RecvPort<T> {
         }
     }
 
-    /// Charges the cost model and records receive stats for one packet.
+    /// Blocks for at most `timeout`, polling for a value.
+    ///
+    /// # Errors
+    ///
+    /// * [`FabricError::Timeout`] when the deadline passes with no data.
+    /// * Same conditions as [`RecvPort::consume`] otherwise.
+    pub fn consume_deadline(&mut self, timeout: Duration) -> Result<T> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.try_consume()? {
+                Some(v) => return Ok(v),
+                None => {
+                    if Instant::now() >= deadline {
+                        self.stats.record_recv_timeout();
+                        return Err(FabricError::Timeout);
+                    }
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+        }
+    }
+
+    /// Accepts one in-order batch into the delivery buffer.
+    fn accept(&mut self, batch: Vec<T>) {
+        self.cost.charge_recv();
+        let items = batch.len() as u64;
+        self.stats.record_recv(items, items * self.item_bytes);
+        self.cur.extend(batch);
+    }
+
+    /// Sequences one packet: dedup stale copies, stash early arrivals,
+    /// deliver in-order runs.
     fn unpack(&mut self, pkt: Packet<T>) {
         match pkt {
-            Packet::Data(batch) => {
-                self.cost.charge_recv();
-                let items = batch.len() as u64;
-                self.stats.record_recv(items, items * self.item_bytes);
-                self.cur = batch.into_iter();
+            Packet::Data { seq, batch } => {
+                if self.resync {
+                    // First packet after a recovery drain re-baselines the
+                    // sequence (the wire was empty inside the barriers, so
+                    // whatever arrives next is the peer's new head).
+                    self.resync = false;
+                    self.expected_seq = seq;
+                }
+                if seq < self.expected_seq {
+                    // Stale duplicate: already delivered under this seq.
+                    self.stats.record_dup_discarded(batch.len() as u64);
+                    return;
+                }
+                if seq > self.expected_seq {
+                    // Ahead of sequence (reordered): stash until the gap
+                    // fills. A duplicate of a stashed packet is discarded.
+                    match self.ooo.entry(seq) {
+                        std::collections::btree_map::Entry::Vacant(e) => {
+                            e.insert(batch);
+                            self.stats.record_ooo_stashed();
+                        }
+                        std::collections::btree_map::Entry::Occupied(_) => {
+                            self.stats.record_dup_discarded(batch.len() as u64);
+                        }
+                    }
+                    return;
+                }
+                self.accept(batch);
+                self.expected_seq += 1;
+                while let Some(batch) = self.ooo.remove(&self.expected_seq) {
+                    self.accept(batch);
+                    self.expected_seq += 1;
+                }
             }
-            Packet::Eos => self.eos = true,
+            Packet::Eos => {
+                // Close ships every held packet first, so the stash is
+                // normally empty here; deliver leftovers in seq order
+                // defensively rather than lose data.
+                let leftovers = std::mem::take(&mut self.ooo);
+                for (_, batch) in leftovers {
+                    self.accept(batch);
+                }
+                self.eos = true;
+            }
         }
     }
 
@@ -279,7 +575,7 @@ impl<T> RecvPort<T> {
     /// Same conditions as [`RecvPort::consume`].
     pub fn try_consume(&mut self) -> Result<Option<T>> {
         loop {
-            if let Some(v) = self.cur.next() {
+            if let Some(v) = self.cur.pop_front() {
                 return Ok(Some(v));
             }
             if self.eos {
@@ -293,22 +589,32 @@ impl<T> RecvPort<T> {
         }
     }
 
-    /// Discards every value currently in flight or partially unpacked.
+    /// Discards every value currently in flight, stashed out-of-order, or
+    /// partially unpacked, and arms a sequence resync.
     ///
     /// Used during misspeculation recovery while all threads are inside the
     /// recovery barriers, so no new speculative packets can race in. An
     /// end-of-stream mark encountered while draining is preserved.
     pub fn drain(&mut self) -> usize {
         let mut dropped = self.cur.len();
-        self.cur = Vec::new().into_iter();
+        self.cur.clear();
+        let mut still_packed = 0u64;
+        for (_, batch) in std::mem::take(&mut self.ooo) {
+            dropped += batch.len();
+            still_packed += batch.len() as u64;
+        }
         // Items still packed on the wire were never counted as received;
         // account for them as drained so in-flight bookkeeping settles.
-        let mut still_packed = 0u64;
         while let Ok(pkt) = self.rx.try_recv() {
             match pkt {
-                Packet::Data(batch) => {
-                    still_packed += batch.len() as u64;
-                    dropped += batch.len();
+                Packet::Data { seq, batch } => {
+                    if seq < self.expected_seq {
+                        // Ghost duplicate: its send was never counted.
+                        self.stats.record_dup_discarded(batch.len() as u64);
+                    } else {
+                        still_packed += batch.len() as u64;
+                        dropped += batch.len();
+                    }
                 }
                 Packet::Eos => self.eos = true,
             }
@@ -316,13 +622,14 @@ impl<T> RecvPort<T> {
         if still_packed > 0 {
             self.stats.record_drained(still_packed);
         }
+        self.resync = true;
         dropped
     }
 
     /// True once the end-of-stream mark has been observed and all prior
     /// values consumed.
     pub fn is_eos(&self) -> bool {
-        self.eos && self.cur.len() == 0
+        self.eos && self.cur.is_empty()
     }
 }
 
@@ -582,8 +889,295 @@ mod try_flush_tests {
 }
 
 #[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::fault::{FaultPlan, FaultRates};
+
+    fn faulted_pair<T>(
+        rates: FaultRates,
+        seed: u64,
+        retry: RetryPolicy,
+    ) -> (SendPort<T>, RecvPort<T>, FabricStats) {
+        let stats = FabricStats::new();
+        let plan = FaultPlan::new(seed, rates);
+        let (tx, rx) = channel_faulted(
+            4,
+            64,
+            CostModel::FREE,
+            stats.clone(),
+            Some(plan.injector(0)),
+            retry,
+        );
+        (tx, rx, stats)
+    }
+
+    /// Pump every produced value through a faulted link, retrying faulted
+    /// attempts, and return what the receiver saw.
+    fn pump(values: &[u32], rates: FaultRates, seed: u64) -> Vec<u32> {
+        let (mut tx, mut rx, _stats) = faulted_pair::<u32>(rates, seed, RetryPolicy::DEFAULT);
+        let mut seen = Vec::new();
+        for &v in values {
+            tx.produce(v).unwrap();
+            while let Some(got) = rx.try_consume().unwrap() {
+                seen.push(got);
+            }
+        }
+        loop {
+            let done = match tx.try_flush() {
+                Ok(done) => done,
+                Err(FabricError::Retriable) => false,
+                Err(e) => panic!("unexpected {e}"),
+            };
+            while let Some(got) = rx.try_consume().unwrap() {
+                seen.push(got);
+            }
+            if done {
+                break;
+            }
+        }
+        seen
+    }
+
+    #[test]
+    fn drops_are_retried_to_exact_delivery() {
+        let vals: Vec<u32> = (0..200).collect();
+        assert_eq!(pump(&vals, FaultRates::only_drop(0.3), 11), vals);
+    }
+
+    #[test]
+    fn delays_are_retried_to_exact_delivery() {
+        let vals: Vec<u32> = (0..200).collect();
+        assert_eq!(pump(&vals, FaultRates::only_delay(0.3), 12), vals);
+    }
+
+    #[test]
+    fn duplicates_are_discarded_by_seq() {
+        let vals: Vec<u32> = (0..200).collect();
+        let seen = pump(&vals, FaultRates::only_duplicate(0.5), 13);
+        assert_eq!(seen, vals, "ghost copies must not surface");
+    }
+
+    #[test]
+    fn reorders_are_resequenced() {
+        let vals: Vec<u32> = (0..200).collect();
+        let (mut tx, mut rx, stats) =
+            faulted_pair::<u32>(FaultRates::only_reorder(0.4), 14, RetryPolicy::DEFAULT);
+        for &v in &vals {
+            tx.produce(v).unwrap();
+        }
+        tx.close().unwrap(); // ships any held packet before Eos
+        let mut seen = Vec::new();
+        while let Ok(v) = rx.consume() {
+            seen.push(v);
+        }
+        assert_eq!(seen, vals);
+        assert!(stats.fault_reorders() > 0, "schedule must actually reorder");
+        assert!(stats.ooo_packets() > 0, "receiver must see packets early");
+    }
+
+    #[test]
+    fn payload_duplicate_is_discarded_by_seq() {
+        // Hand-inject a full-payload retransmit of an already-delivered
+        // seq; a receiver that ignores seq would deliver items twice.
+        let stats = FabricStats::new();
+        let (mut tx, mut rx) = channel_with::<u32>(1, 16, CostModel::FREE, stats.clone());
+        tx.produce(5).unwrap(); // seq 0 ships
+        assert_eq!(rx.consume().unwrap(), 5);
+        tx.tx
+            .send(Packet::Data {
+                seq: 0,
+                batch: vec![5],
+            })
+            .unwrap();
+        tx.produce(6).unwrap(); // seq 1
+        assert_eq!(rx.consume().unwrap(), 6, "stale retransmit skipped");
+        assert_eq!(stats.dup_items_discarded(), 1);
+    }
+
+    #[test]
+    fn permanent_fault_times_out_after_budget() {
+        let retry = RetryPolicy {
+            max_attempts: 8,
+            base_backoff_us: 1,
+            max_backoff_us: 10,
+        };
+        let (mut tx, _rx, stats) = faulted_pair::<u32>(FaultRates::only_drop(1.0), 15, retry);
+        tx.produce(1).unwrap();
+        let mut outcome = None;
+        for _ in 0..100 {
+            match tx.try_flush() {
+                Err(FabricError::Retriable) => continue,
+                other => {
+                    outcome = Some(other);
+                    break;
+                }
+            }
+        }
+        assert_eq!(outcome, Some(Err(FabricError::Timeout)));
+        assert_eq!(stats.send_timeouts(), 1);
+        assert_eq!(stats.retries(), 8);
+        assert!(stats.fault_drops() >= 8);
+    }
+
+    #[test]
+    fn blocking_flush_times_out_under_permanent_fault() {
+        let retry = RetryPolicy {
+            max_attempts: 4,
+            base_backoff_us: 1,
+            max_backoff_us: 5,
+        };
+        let (mut tx, _rx, _stats) = faulted_pair::<u32>(FaultRates::only_drop(1.0), 16, retry);
+        tx.buf.push(1);
+        assert_eq!(tx.flush(), Err(FabricError::Timeout));
+    }
+
+    #[test]
+    fn stall_window_consumes_budget_then_recovers() {
+        let retry = RetryPolicy {
+            max_attempts: 32,
+            base_backoff_us: 1,
+            max_backoff_us: 5,
+        };
+        // Stall every draw with short windows: attempts burn during the
+        // window, then ships succeed again.
+        let (mut tx, mut rx, stats) =
+            faulted_pair::<u32>(FaultRates::only_stall(0.3, 4), 17, retry);
+        let vals: Vec<u32> = (0..100).collect();
+        for &v in &vals {
+            tx.produce(v).unwrap();
+        }
+        tx.close().unwrap();
+        let mut seen = Vec::new();
+        while let Ok(v) = rx.consume() {
+            seen.push(v);
+        }
+        assert_eq!(seen, vals);
+        assert!(stats.fault_stalls() > 0);
+    }
+
+    #[test]
+    fn full_transport_counts_attempts_only_when_faulted() {
+        // Fault-free: a full transport never times out, it just reports
+        // Ok(false) forever (existing backpressure semantics).
+        let (mut tx, _rx) = channel::<u32>(1, 1);
+        tx.produce(1).unwrap();
+        tx.produce(2).unwrap();
+        for _ in 0..200 {
+            assert!(!tx.try_flush().unwrap());
+        }
+        // Faulted: the same situation draws down the budget.
+        let retry = RetryPolicy {
+            max_attempts: 8,
+            base_backoff_us: 1,
+            max_backoff_us: 5,
+        };
+        let stats = FabricStats::new();
+        let plan = FaultPlan::new(3, FaultRates::only_drop(0.0));
+        let (mut ftx, _frx) = channel_faulted::<u32>(
+            1,
+            1,
+            CostModel::FREE,
+            stats.clone(),
+            Some(plan.injector(0)),
+            retry,
+        );
+        ftx.produce(1).unwrap(); // ships, fills the slot
+        ftx.produce(2).unwrap(); // full: buffered
+        let mut timed_out = false;
+        for _ in 0..100 {
+            match ftx.try_flush() {
+                Ok(false) => continue,
+                Err(FabricError::Timeout) => {
+                    timed_out = true;
+                    break;
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(timed_out, "stalled peer must converge to Timeout");
+    }
+
+    #[test]
+    fn clear_drops_held_packet_and_drain_resyncs() {
+        let (mut tx, mut rx, _stats) =
+            faulted_pair::<u32>(FaultRates::only_reorder(1.0), 18, RetryPolicy::DEFAULT);
+        tx.produce(1).unwrap();
+        tx.produce(2).unwrap();
+        tx.produce(3).unwrap();
+        tx.produce(4).unwrap(); // one batch held for reorder
+        assert!(tx.buffered() > 0, "reorder must hold the batch");
+        // Recovery: both ends reset.
+        tx.clear();
+        let _ = rx.drain();
+        assert_eq!(tx.buffered(), 0);
+        // Post-recovery traffic flows despite the retired seq numbers —
+        // but rate 1.0 holds every batch, so close() ships it with Eos.
+        for v in [7, 8, 9, 10] {
+            tx.produce(v).unwrap();
+        }
+        tx.close().unwrap();
+        let mut seen = Vec::new();
+        while let Ok(v) = rx.consume() {
+            seen.push(v);
+        }
+        assert_eq!(seen, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn consume_deadline_times_out_on_silence() {
+        let stats = FabricStats::new();
+        let (_tx, mut rx) = channel_with::<u32>(1, 4, CostModel::FREE, stats.clone());
+        let err = rx.consume_deadline(Duration::from_millis(5)).unwrap_err();
+        assert_eq!(err, FabricError::Timeout);
+        assert_eq!(stats.recv_timeouts(), 1);
+    }
+
+    #[test]
+    fn consume_deadline_returns_data_when_present() {
+        let (mut tx, mut rx) = channel::<u32>(1, 4);
+        tx.produce(42).unwrap();
+        assert_eq!(rx.consume_deadline(Duration::from_millis(50)).unwrap(), 42);
+    }
+
+    #[test]
+    fn faulted_cross_thread_transfer_is_exact() {
+        let stats = FabricStats::new();
+        let plan = FaultPlan::new(0xFEED, FaultRates::uniform(0.2));
+        let (mut tx, mut rx) = channel_faulted::<u64>(
+            8,
+            32,
+            CostModel::FREE,
+            stats.clone(),
+            Some(plan.injector(7)),
+            // A huge budget: the consumer thread may be descheduled, and
+            // this test is about delivery, not timeout conversion.
+            RetryPolicy {
+                max_attempts: 1_000_000,
+                base_backoff_us: 1,
+                max_backoff_us: 50,
+            },
+        );
+        let producer = std::thread::spawn(move || {
+            for v in 0..5_000u64 {
+                tx.produce(v).unwrap();
+            }
+            tx.close().unwrap();
+        });
+        let mut expected = 0u64;
+        while let Ok(v) = rx.consume() {
+            assert_eq!(v, expected);
+            expected += 1;
+        }
+        assert_eq!(expected, 5_000);
+        producer.join().unwrap();
+        assert!(stats.faults_total() > 0, "schedule must actually fire");
+    }
+}
+
+#[cfg(test)]
 mod proptests {
     use super::*;
+    use crate::fault::{FaultPlan, FaultRates};
     use proptest::prelude::*;
 
     proptest! {
@@ -656,6 +1250,43 @@ mod proptests {
             }
             rx.drain();
             prop_assert_eq!(rx.try_consume().unwrap(), None);
+        }
+
+        /// Any seeded fault schedule still delivers the exact sequence
+        /// once faulted attempts are retried.
+        #[test]
+        fn exact_delivery_under_any_fault_schedule(
+            n in 0u32..300,
+            seed in any::<u64>(),
+            p in 0.0f64..0.6,
+            batch in 1usize..12,
+        ) {
+            let plan = FaultPlan::new(seed, FaultRates::uniform(p));
+            let (mut tx, mut rx) = channel_faulted::<u32>(
+                batch, 64, CostModel::FREE, FabricStats::new(),
+                Some(plan.injector(0)), RetryPolicy::DEFAULT,
+            );
+            let mut seen = Vec::new();
+            for v in 0..n {
+                tx.produce(v).unwrap();
+                while let Some(got) = rx.try_consume().unwrap() {
+                    seen.push(got);
+                }
+            }
+            loop {
+                let done = match tx.try_flush() {
+                    Ok(done) => done,
+                    Err(FabricError::Retriable) => false,
+                    Err(e) => panic!("unexpected fabric error: {e}"),
+                };
+                while let Some(got) = rx.try_consume().unwrap() {
+                    seen.push(got);
+                }
+                if done {
+                    break;
+                }
+            }
+            prop_assert_eq!(seen, (0..n).collect::<Vec<_>>());
         }
     }
 }

@@ -53,6 +53,27 @@ struct Counters {
     recv_bytes: AtomicU64,
     /// Items discarded still-packed by recovery drains.
     drained_items: AtomicU64,
+    /// Ship attempts discarded by an injected drop.
+    fault_drops: AtomicU64,
+    /// Ship attempts deferred by an injected delay.
+    fault_delays: AtomicU64,
+    /// Packets shipped twice by an injected duplicate.
+    fault_dups: AtomicU64,
+    /// Packets held and swapped on the wire by an injected reorder.
+    fault_reorders: AtomicU64,
+    /// Ship attempts swallowed by an endpoint stall window.
+    fault_stalls: AtomicU64,
+    /// Send attempts consumed while a fault plan was active (faulted or
+    /// transport-full); each one draws from the retry budget.
+    retries: AtomicU64,
+    /// Sends that exhausted the retry budget.
+    send_timeouts: AtomicU64,
+    /// Receives that missed their deadline.
+    recv_timeouts: AtomicU64,
+    /// Items arriving in duplicate packets and discarded by seq dedup.
+    dup_items_discarded: AtomicU64,
+    /// Packets that arrived ahead of sequence and were stashed.
+    ooo_packets: AtomicU64,
 }
 
 impl FabricStats {
@@ -83,6 +104,58 @@ impl FabricStats {
     pub fn record_drained(&self, items: u64) {
         self.inner.drained_items.fetch_add(items, Ordering::Relaxed);
         self.depth.sub(items as i64);
+    }
+
+    /// Records one injected fault of the given class on the ship path.
+    pub fn record_fault_drop(&self) {
+        self.inner.fault_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an injected delay decision.
+    pub fn record_fault_delay(&self) {
+        self.inner.fault_delays.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an injected duplicate (packet shipped twice).
+    pub fn record_fault_duplicate(&self) {
+        self.inner.fault_dups.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an injected reorder (packet held past its successor).
+    pub fn record_fault_reorder(&self) {
+        self.inner.fault_reorders.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a ship attempt swallowed by a stall window.
+    pub fn record_fault_stall(&self) {
+        self.inner.fault_stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one consumed send attempt under an active fault plan.
+    pub fn record_retry(&self) {
+        self.inner.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a send that exhausted its retry budget.
+    pub fn record_send_timeout(&self) {
+        self.inner.send_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a receive that missed its deadline.
+    pub fn record_recv_timeout(&self) {
+        self.inner.recv_timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `items` discarded by receiver-side duplicate rejection.
+    pub fn record_dup_discarded(&self, items: u64) {
+        self.inner
+            .dup_items_discarded
+            .fetch_add(items, Ordering::Relaxed);
+    }
+
+    /// Records a packet stashed because it arrived ahead of sequence.
+    pub fn record_ooo_stashed(&self) {
+        self.inner.ooo_packets.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a send-side stall (flush blocked on a full transport).
@@ -128,6 +201,65 @@ impl FabricStats {
     /// Items discarded still-packed by recovery drains.
     pub fn drained_items(&self) -> u64 {
         self.inner.drained_items.load(Ordering::Relaxed)
+    }
+
+    /// Injected drops so far.
+    pub fn fault_drops(&self) -> u64 {
+        self.inner.fault_drops.load(Ordering::Relaxed)
+    }
+
+    /// Injected delays so far.
+    pub fn fault_delays(&self) -> u64 {
+        self.inner.fault_delays.load(Ordering::Relaxed)
+    }
+
+    /// Injected duplicates so far.
+    pub fn fault_dups(&self) -> u64 {
+        self.inner.fault_dups.load(Ordering::Relaxed)
+    }
+
+    /// Injected reorders so far.
+    pub fn fault_reorders(&self) -> u64 {
+        self.inner.fault_reorders.load(Ordering::Relaxed)
+    }
+
+    /// Stall-window attempts so far.
+    pub fn fault_stalls(&self) -> u64 {
+        self.inner.fault_stalls.load(Ordering::Relaxed)
+    }
+
+    /// Total injected faults across every class.
+    pub fn faults_total(&self) -> u64 {
+        self.fault_drops()
+            + self.fault_delays()
+            + self.fault_dups()
+            + self.fault_reorders()
+            + self.fault_stalls()
+    }
+
+    /// Send attempts consumed under an active fault plan.
+    pub fn retries(&self) -> u64 {
+        self.inner.retries.load(Ordering::Relaxed)
+    }
+
+    /// Sends that exhausted their retry budget.
+    pub fn send_timeouts(&self) -> u64 {
+        self.inner.send_timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Receives that missed their deadline.
+    pub fn recv_timeouts(&self) -> u64 {
+        self.inner.recv_timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Items discarded by receiver-side duplicate rejection.
+    pub fn dup_items_discarded(&self) -> u64 {
+        self.inner.dup_items_discarded.load(Ordering::Relaxed)
+    }
+
+    /// Packets stashed because they arrived ahead of sequence.
+    pub fn ooo_packets(&self) -> u64 {
+        self.inner.ooo_packets.load(Ordering::Relaxed)
     }
 
     /// Items currently sent but neither unpacked nor drained.
@@ -179,6 +311,19 @@ impl FabricStats {
             (&self.inner.recv_items, &other.inner.recv_items),
             (&self.inner.recv_bytes, &other.inner.recv_bytes),
             (&self.inner.drained_items, &other.inner.drained_items),
+            (&self.inner.fault_drops, &other.inner.fault_drops),
+            (&self.inner.fault_delays, &other.inner.fault_delays),
+            (&self.inner.fault_dups, &other.inner.fault_dups),
+            (&self.inner.fault_reorders, &other.inner.fault_reorders),
+            (&self.inner.fault_stalls, &other.inner.fault_stalls),
+            (&self.inner.retries, &other.inner.retries),
+            (&self.inner.send_timeouts, &other.inner.send_timeouts),
+            (&self.inner.recv_timeouts, &other.inner.recv_timeouts),
+            (
+                &self.inner.dup_items_discarded,
+                &other.inner.dup_items_discarded,
+            ),
+            (&self.inner.ooo_packets, &other.inner.ooo_packets),
         ] {
             mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
         }
@@ -220,6 +365,25 @@ impl FabricStats {
             &[],
             self.recv_stall_us.clone(),
         );
+        reg.counter(schema::FABRIC_FAULT_DROPS, &[])
+            .add(self.fault_drops());
+        reg.counter(schema::FABRIC_FAULT_DELAYS, &[])
+            .add(self.fault_delays());
+        reg.counter(schema::FABRIC_FAULT_DUPS, &[])
+            .add(self.fault_dups());
+        reg.counter(schema::FABRIC_FAULT_REORDERS, &[])
+            .add(self.fault_reorders());
+        reg.counter(schema::FABRIC_FAULT_STALLS, &[])
+            .add(self.fault_stalls());
+        reg.counter(schema::FABRIC_RETRIES, &[]).add(self.retries());
+        reg.counter(schema::FABRIC_SEND_TIMEOUTS, &[])
+            .add(self.send_timeouts());
+        reg.counter(schema::FABRIC_RECV_TIMEOUTS, &[])
+            .add(self.recv_timeouts());
+        reg.counter(schema::FABRIC_DUP_ITEMS_DISCARDED, &[])
+            .add(self.dup_items_discarded());
+        reg.counter(schema::FABRIC_OOO_PACKETS, &[])
+            .add(self.ooo_packets());
     }
 }
 
@@ -306,6 +470,61 @@ mod tests {
         assert_eq!(a.send_stall_us().count(), 1);
         // `b` is untouched.
         assert_eq!(b.packets(), 1);
+    }
+
+    #[test]
+    fn fault_counters_accumulate_and_merge() {
+        let a = FabricStats::new();
+        a.record_fault_drop();
+        a.record_fault_delay();
+        a.record_fault_duplicate();
+        a.record_fault_reorder();
+        a.record_fault_stall();
+        a.record_retry();
+        a.record_retry();
+        a.record_send_timeout();
+        a.record_recv_timeout();
+        a.record_dup_discarded(5);
+        a.record_ooo_stashed();
+        assert_eq!(a.faults_total(), 5);
+        assert_eq!(a.retries(), 2);
+        assert_eq!(a.send_timeouts(), 1);
+        assert_eq!(a.recv_timeouts(), 1);
+        assert_eq!(a.dup_items_discarded(), 5);
+        assert_eq!(a.ooo_packets(), 1);
+        let b = FabricStats::new();
+        b.record_fault_drop();
+        a.merge(&b);
+        assert_eq!(a.fault_drops(), 2);
+        assert_eq!(a.faults_total(), 6);
+    }
+
+    #[test]
+    fn registry_export_covers_fault_schema() {
+        let s = FabricStats::new();
+        s.record_fault_drop();
+        s.record_retry();
+        s.record_send_timeout();
+        let reg = Registry::new();
+        s.to_registry(&reg);
+        let dump = reg.to_jsonl();
+        for name in [
+            schema::FABRIC_FAULT_DROPS,
+            schema::FABRIC_FAULT_DELAYS,
+            schema::FABRIC_FAULT_DUPS,
+            schema::FABRIC_FAULT_REORDERS,
+            schema::FABRIC_FAULT_STALLS,
+            schema::FABRIC_RETRIES,
+            schema::FABRIC_SEND_TIMEOUTS,
+            schema::FABRIC_RECV_TIMEOUTS,
+            schema::FABRIC_DUP_ITEMS_DISCARDED,
+            schema::FABRIC_OOO_PACKETS,
+        ] {
+            assert!(dump.contains(name), "missing {name} in:\n{dump}");
+        }
+        for line in dump.lines() {
+            dsmtx_obs::json::validate(line).unwrap();
+        }
     }
 
     #[test]

@@ -53,6 +53,14 @@ pub mod schema {
     pub const RUN_BANDWIDTH_BPS: &str = "run.bandwidth_bps";
     pub const RUN_SPEEDUP_MILLI: &str = "run.speedup_milli";
     pub const RUN_TRACE_DROPPED: &str = "run.trace_dropped";
+    /// Fabric timeouts raised to the control plane (each one requests a
+    /// timeout-driven recovery round).
+    pub const RUN_FABRIC_TIMEOUTS: &str = "run.fabric_timeouts";
+    /// Recovery rounds entered because of a fabric fault (subset of
+    /// `run.recoveries`).
+    pub const RUN_FAULT_RECOVERIES: &str = "run.fault_recoveries";
+    /// Disconnected channels reported while running (typed shutdowns).
+    pub const RUN_CHANNEL_DOWNS: &str = "run.channel_downs";
 
     /// Fabric counters (send and recv side) and distributions.
     pub const FABRIC_SENT_PACKETS: &str = "fabric.sent_packets";
@@ -67,4 +75,16 @@ pub mod schema {
     pub const FABRIC_BATCH_ITEMS: &str = "fabric.batch_items";
     pub const FABRIC_SEND_STALL_US: &str = "fabric.send_stall_us";
     pub const FABRIC_RECV_STALL_US: &str = "fabric.recv_stall_us";
+
+    /// Injected-fault and retry counters (zero on fault-free runs).
+    pub const FABRIC_FAULT_DROPS: &str = "fabric.fault.drops";
+    pub const FABRIC_FAULT_DELAYS: &str = "fabric.fault.delays";
+    pub const FABRIC_FAULT_DUPS: &str = "fabric.fault.dups";
+    pub const FABRIC_FAULT_REORDERS: &str = "fabric.fault.reorders";
+    pub const FABRIC_FAULT_STALLS: &str = "fabric.fault.stalls";
+    pub const FABRIC_RETRIES: &str = "fabric.retries";
+    pub const FABRIC_SEND_TIMEOUTS: &str = "fabric.send_timeouts";
+    pub const FABRIC_RECV_TIMEOUTS: &str = "fabric.recv_timeouts";
+    pub const FABRIC_DUP_ITEMS_DISCARDED: &str = "fabric.dup_items_discarded";
+    pub const FABRIC_OOO_PACKETS: &str = "fabric.ooo_packets";
 }

@@ -64,6 +64,6 @@ pub mod schedule;
 pub use ablation::{batch_sweep, coa_granularity, latency_sweep, runahead_sweep, unit_shard_sweep};
 pub use cluster::ClusterConfig;
 pub use engine::{RecoveryBreakdown, SimEngine, SimOutcome};
-pub use profile::{InvocationProfile, StageProfile, TlsPlan, WorkloadProfile};
+pub use profile::{FaultProfile, InvocationProfile, StageProfile, TlsPlan, WorkloadProfile};
 pub use report::{bandwidth_series, speedup_curve, SpeedupPoint};
 pub use schedule::{doacross_schedule, dswp_schedule, Schedule};

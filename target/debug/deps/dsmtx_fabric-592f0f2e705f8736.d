@@ -1,13 +1,14 @@
-/root/repo/target/debug/deps/dsmtx_fabric-592f0f2e705f8736.d: crates/fabric/src/lib.rs crates/fabric/src/barrier.rs crates/fabric/src/cost.rs crates/fabric/src/error.rs crates/fabric/src/mesh.rs crates/fabric/src/queue.rs crates/fabric/src/stats.rs
+/root/repo/target/debug/deps/dsmtx_fabric-592f0f2e705f8736.d: crates/fabric/src/lib.rs crates/fabric/src/barrier.rs crates/fabric/src/cost.rs crates/fabric/src/error.rs crates/fabric/src/fault.rs crates/fabric/src/mesh.rs crates/fabric/src/queue.rs crates/fabric/src/stats.rs
 
-/root/repo/target/debug/deps/libdsmtx_fabric-592f0f2e705f8736.rlib: crates/fabric/src/lib.rs crates/fabric/src/barrier.rs crates/fabric/src/cost.rs crates/fabric/src/error.rs crates/fabric/src/mesh.rs crates/fabric/src/queue.rs crates/fabric/src/stats.rs
+/root/repo/target/debug/deps/libdsmtx_fabric-592f0f2e705f8736.rlib: crates/fabric/src/lib.rs crates/fabric/src/barrier.rs crates/fabric/src/cost.rs crates/fabric/src/error.rs crates/fabric/src/fault.rs crates/fabric/src/mesh.rs crates/fabric/src/queue.rs crates/fabric/src/stats.rs
 
-/root/repo/target/debug/deps/libdsmtx_fabric-592f0f2e705f8736.rmeta: crates/fabric/src/lib.rs crates/fabric/src/barrier.rs crates/fabric/src/cost.rs crates/fabric/src/error.rs crates/fabric/src/mesh.rs crates/fabric/src/queue.rs crates/fabric/src/stats.rs
+/root/repo/target/debug/deps/libdsmtx_fabric-592f0f2e705f8736.rmeta: crates/fabric/src/lib.rs crates/fabric/src/barrier.rs crates/fabric/src/cost.rs crates/fabric/src/error.rs crates/fabric/src/fault.rs crates/fabric/src/mesh.rs crates/fabric/src/queue.rs crates/fabric/src/stats.rs
 
 crates/fabric/src/lib.rs:
 crates/fabric/src/barrier.rs:
 crates/fabric/src/cost.rs:
 crates/fabric/src/error.rs:
+crates/fabric/src/fault.rs:
 crates/fabric/src/mesh.rs:
 crates/fabric/src/queue.rs:
 crates/fabric/src/stats.rs:

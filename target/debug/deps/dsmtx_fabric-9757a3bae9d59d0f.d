@@ -1,15 +1,16 @@
-/root/repo/target/debug/deps/dsmtx_fabric-9757a3bae9d59d0f.d: crates/fabric/src/lib.rs crates/fabric/src/barrier.rs crates/fabric/src/cost.rs crates/fabric/src/error.rs crates/fabric/src/mesh.rs crates/fabric/src/queue.rs crates/fabric/src/stats.rs Cargo.toml
+/root/repo/target/debug/deps/dsmtx_fabric-9757a3bae9d59d0f.d: crates/fabric/src/lib.rs crates/fabric/src/barrier.rs crates/fabric/src/cost.rs crates/fabric/src/error.rs crates/fabric/src/fault.rs crates/fabric/src/mesh.rs crates/fabric/src/queue.rs crates/fabric/src/stats.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdsmtx_fabric-9757a3bae9d59d0f.rmeta: crates/fabric/src/lib.rs crates/fabric/src/barrier.rs crates/fabric/src/cost.rs crates/fabric/src/error.rs crates/fabric/src/mesh.rs crates/fabric/src/queue.rs crates/fabric/src/stats.rs Cargo.toml
+/root/repo/target/debug/deps/libdsmtx_fabric-9757a3bae9d59d0f.rmeta: crates/fabric/src/lib.rs crates/fabric/src/barrier.rs crates/fabric/src/cost.rs crates/fabric/src/error.rs crates/fabric/src/fault.rs crates/fabric/src/mesh.rs crates/fabric/src/queue.rs crates/fabric/src/stats.rs Cargo.toml
 
 crates/fabric/src/lib.rs:
 crates/fabric/src/barrier.rs:
 crates/fabric/src/cost.rs:
 crates/fabric/src/error.rs:
+crates/fabric/src/fault.rs:
 crates/fabric/src/mesh.rs:
 crates/fabric/src/queue.rs:
 crates/fabric/src/stats.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/dsmtx_fabric-aedfb8771c321e9b.d: crates/fabric/src/lib.rs crates/fabric/src/barrier.rs crates/fabric/src/cost.rs crates/fabric/src/error.rs crates/fabric/src/mesh.rs crates/fabric/src/queue.rs crates/fabric/src/stats.rs
+/root/repo/target/debug/deps/dsmtx_fabric-aedfb8771c321e9b.d: crates/fabric/src/lib.rs crates/fabric/src/barrier.rs crates/fabric/src/cost.rs crates/fabric/src/error.rs crates/fabric/src/fault.rs crates/fabric/src/mesh.rs crates/fabric/src/queue.rs crates/fabric/src/stats.rs
 
-/root/repo/target/debug/deps/dsmtx_fabric-aedfb8771c321e9b: crates/fabric/src/lib.rs crates/fabric/src/barrier.rs crates/fabric/src/cost.rs crates/fabric/src/error.rs crates/fabric/src/mesh.rs crates/fabric/src/queue.rs crates/fabric/src/stats.rs
+/root/repo/target/debug/deps/dsmtx_fabric-aedfb8771c321e9b: crates/fabric/src/lib.rs crates/fabric/src/barrier.rs crates/fabric/src/cost.rs crates/fabric/src/error.rs crates/fabric/src/fault.rs crates/fabric/src/mesh.rs crates/fabric/src/queue.rs crates/fabric/src/stats.rs
 
 crates/fabric/src/lib.rs:
 crates/fabric/src/barrier.rs:
 crates/fabric/src/cost.rs:
 crates/fabric/src/error.rs:
+crates/fabric/src/fault.rs:
 crates/fabric/src/mesh.rs:
 crates/fabric/src/queue.rs:
 crates/fabric/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dsmtx_integration_tests-a472bf8178f85e6a.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libdsmtx_integration_tests-a472bf8178f85e6a.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libdsmtx_integration_tests-a472bf8178f85e6a.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

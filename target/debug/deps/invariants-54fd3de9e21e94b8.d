@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-54fd3de9e21e94b8.d: tests/tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-54fd3de9e21e94b8.rmeta: tests/tests/invariants.rs Cargo.toml
+
+tests/tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

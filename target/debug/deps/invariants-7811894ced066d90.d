@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-7811894ced066d90.d: tests/tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-7811894ced066d90: tests/tests/invariants.rs
+
+tests/tests/invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-48fb1bb2e1339dd8.d: tests/tests/kernels.rs
+
+/root/repo/target/debug/deps/kernels-48fb1bb2e1339dd8: tests/tests/kernels.rs
+
+tests/tests/kernels.rs:

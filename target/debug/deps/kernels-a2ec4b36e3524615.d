@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernels-a2ec4b36e3524615.d: tests/tests/kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels-a2ec4b36e3524615.rmeta: tests/tests/kernels.rs Cargo.toml
+
+tests/tests/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

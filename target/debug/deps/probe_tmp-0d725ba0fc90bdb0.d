@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/probe_tmp-0d725ba0fc90bdb0.d: tests/tests/probe_tmp.rs
+
+/root/repo/target/debug/deps/probe_tmp-0d725ba0fc90bdb0: tests/tests/probe_tmp.rs
+
+tests/tests/probe_tmp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery_stress-c438517cf3108b4a.d: tests/tests/recovery_stress.rs
+
+/root/repo/target/debug/deps/recovery_stress-c438517cf3108b4a: tests/tests/recovery_stress.rs
+
+tests/tests/recovery_stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_props-28585471ed9e5109.d: tests/tests/runtime_props.rs
+
+/root/repo/target/debug/deps/runtime_props-28585471ed9e5109: tests/tests/runtime_props.rs
+
+tests/tests/runtime_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_props-46df067ee2964b6a.d: tests/tests/runtime_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_props-46df067ee2964b6a.rmeta: tests/tests/runtime_props.rs Cargo.toml
+
+tests/tests/runtime_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_props-87a4b5f8abfa2605.d: tests/tests/sim_props.rs
+
+/root/repo/target/debug/deps/sim_props-87a4b5f8abfa2605: tests/tests/sim_props.rs
+
+tests/tests/sim_props.rs:

@@ -1,13 +1,14 @@
-/root/repo/target/release/deps/dsmtx_fabric-6b19c797bd79dc00.d: crates/fabric/src/lib.rs crates/fabric/src/barrier.rs crates/fabric/src/cost.rs crates/fabric/src/error.rs crates/fabric/src/mesh.rs crates/fabric/src/queue.rs crates/fabric/src/stats.rs
+/root/repo/target/release/deps/dsmtx_fabric-6b19c797bd79dc00.d: crates/fabric/src/lib.rs crates/fabric/src/barrier.rs crates/fabric/src/cost.rs crates/fabric/src/error.rs crates/fabric/src/fault.rs crates/fabric/src/mesh.rs crates/fabric/src/queue.rs crates/fabric/src/stats.rs
 
-/root/repo/target/release/deps/libdsmtx_fabric-6b19c797bd79dc00.rlib: crates/fabric/src/lib.rs crates/fabric/src/barrier.rs crates/fabric/src/cost.rs crates/fabric/src/error.rs crates/fabric/src/mesh.rs crates/fabric/src/queue.rs crates/fabric/src/stats.rs
+/root/repo/target/release/deps/libdsmtx_fabric-6b19c797bd79dc00.rlib: crates/fabric/src/lib.rs crates/fabric/src/barrier.rs crates/fabric/src/cost.rs crates/fabric/src/error.rs crates/fabric/src/fault.rs crates/fabric/src/mesh.rs crates/fabric/src/queue.rs crates/fabric/src/stats.rs
 
-/root/repo/target/release/deps/libdsmtx_fabric-6b19c797bd79dc00.rmeta: crates/fabric/src/lib.rs crates/fabric/src/barrier.rs crates/fabric/src/cost.rs crates/fabric/src/error.rs crates/fabric/src/mesh.rs crates/fabric/src/queue.rs crates/fabric/src/stats.rs
+/root/repo/target/release/deps/libdsmtx_fabric-6b19c797bd79dc00.rmeta: crates/fabric/src/lib.rs crates/fabric/src/barrier.rs crates/fabric/src/cost.rs crates/fabric/src/error.rs crates/fabric/src/fault.rs crates/fabric/src/mesh.rs crates/fabric/src/queue.rs crates/fabric/src/stats.rs
 
 crates/fabric/src/lib.rs:
 crates/fabric/src/barrier.rs:
 crates/fabric/src/cost.rs:
 crates/fabric/src/error.rs:
+crates/fabric/src/fault.rs:
 crates/fabric/src/mesh.rs:
 crates/fabric/src/queue.rs:
 crates/fabric/src/stats.rs:

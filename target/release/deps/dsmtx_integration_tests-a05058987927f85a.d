@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dsmtx_integration_tests-a05058987927f85a.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libdsmtx_integration_tests-a05058987927f85a.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libdsmtx_integration_tests-a05058987927f85a.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -398,3 +398,180 @@ fn backpressure_with_recovery() {
     assert_eq!(result.master.read(sum), expect);
     assert_eq!(result.report.recoveries, 1);
 }
+
+/// The fault matrix: every injectable fault class crossed with every
+/// link group — {drop, delay, duplicate, reorder, crash(stall)} ×
+/// {worker, try-commit, commit} — each cell asserting the faulted run
+/// commits byte-identical memory to the fault-free run.
+///
+/// Seeds come from [`seed_from_env`], so a failing cell replays with
+/// `DSMTX_FAULT_SEED=<seed> cargo test -q -p dsmtx-integration-tests`.
+mod fault_matrix {
+    use dsmtx::FaultTarget;
+    use dsmtx_fabric::FaultRates;
+    use dsmtx_integration_tests::{check_case, seed_from_env, FaultCase, Workload, ALL_WORKLOADS};
+
+    /// Matrix default seed: today's date when the matrix was authored;
+    /// any fixed value works, CI varies it via `DSMTX_FAULT_SEED`.
+    const DEFAULT_SEED: u64 = 20_260_806;
+
+    fn cell(rates: FaultRates, target: FaultTarget) {
+        let case = FaultCase::quick(
+            seed_from_env(DEFAULT_SEED),
+            rates,
+            target,
+            Workload::PipelineFold,
+        );
+        check_case(&case);
+    }
+
+    macro_rules! matrix_cell {
+        ($name:ident, $rates:expr, $target:expr) => {
+            #[test]
+            fn $name() {
+                cell($rates, $target);
+            }
+        };
+    }
+
+    matrix_cell!(
+        drop_worker_links,
+        FaultRates::only_drop(0.08),
+        FaultTarget::WorkerLinks
+    );
+    matrix_cell!(
+        drop_trycommit_links,
+        FaultRates::only_drop(0.08),
+        FaultTarget::TryCommitLinks
+    );
+    matrix_cell!(
+        drop_commit_links,
+        FaultRates::only_drop(0.08),
+        FaultTarget::CommitLinks
+    );
+
+    matrix_cell!(
+        delay_worker_links,
+        FaultRates::only_delay(0.08),
+        FaultTarget::WorkerLinks
+    );
+    matrix_cell!(
+        delay_trycommit_links,
+        FaultRates::only_delay(0.08),
+        FaultTarget::TryCommitLinks
+    );
+    matrix_cell!(
+        delay_commit_links,
+        FaultRates::only_delay(0.08),
+        FaultTarget::CommitLinks
+    );
+
+    matrix_cell!(
+        duplicate_worker_links,
+        FaultRates::only_duplicate(0.08),
+        FaultTarget::WorkerLinks
+    );
+    matrix_cell!(
+        duplicate_trycommit_links,
+        FaultRates::only_duplicate(0.08),
+        FaultTarget::TryCommitLinks
+    );
+    matrix_cell!(
+        duplicate_commit_links,
+        FaultRates::only_duplicate(0.08),
+        FaultTarget::CommitLinks
+    );
+
+    matrix_cell!(
+        reorder_worker_links,
+        FaultRates::only_reorder(0.08),
+        FaultTarget::WorkerLinks
+    );
+    matrix_cell!(
+        reorder_trycommit_links,
+        FaultRates::only_reorder(0.08),
+        FaultTarget::TryCommitLinks
+    );
+    matrix_cell!(
+        reorder_commit_links,
+        FaultRates::only_reorder(0.08),
+        FaultTarget::CommitLinks
+    );
+
+    matrix_cell!(
+        crash_worker_links,
+        FaultRates::only_stall(0.04, 6),
+        FaultTarget::WorkerLinks
+    );
+    matrix_cell!(
+        crash_trycommit_links,
+        FaultRates::only_stall(0.04, 6),
+        FaultTarget::TryCommitLinks
+    );
+    matrix_cell!(
+        crash_commit_links,
+        FaultRates::only_stall(0.04, 6),
+        FaultTarget::CommitLinks
+    );
+
+    /// A harsh cell that exhausts the retry budget: at a 40% drop rate
+    /// with only 2 ship attempts, ~16% of messages convert into fabric
+    /// timeouts, so the runtime must degrade into timeout-driven
+    /// recovery — not just absorb faults in retries — and still commit
+    /// byte-identical results.
+    #[test]
+    fn exhausted_retries_force_fault_recovery() {
+        let mut case = FaultCase::quick(
+            seed_from_env(9),
+            FaultRates::only_drop(0.4),
+            FaultTarget::WorkerLinks,
+            Workload::PipelineFold,
+        );
+        case.max_attempts = 2;
+        let summary = check_case(&case);
+        assert!(
+            summary.fault_recoveries > 0,
+            "retry budget never exhausted: the cell tested nothing\n{}",
+            case.reproducer()
+        );
+    }
+
+    /// The crash model end-to-end: a stalled endpoint outlives the whole
+    /// retry budget, forcing the peer into timeout-driven recovery.
+    #[test]
+    fn crashed_endpoint_forces_fault_recovery() {
+        let mut case = FaultCase::quick(
+            seed_from_env(9),
+            FaultRates::only_stall(0.3, 9),
+            FaultTarget::All,
+            Workload::PipelineFold,
+        );
+        case.max_attempts = 3;
+        let summary = check_case(&case);
+        assert!(
+            summary.fault_recoveries > 0,
+            "stall windows never exhausted the budget\n{}",
+            case.reproducer()
+        );
+    }
+
+    /// The headline acceptance check: three fixed seeds × three
+    /// workloads under a uniform mix of every fault class, injected on
+    /// every link — each run must commit byte-identical results to its
+    /// fault-free twin.
+    #[test]
+    fn fixed_seeds_all_workloads_uniform_faults() {
+        let mut faults_injected = 0;
+        for seed in [1u64, DEFAULT_SEED, 0xDEAD_BEEF] {
+            for workload in ALL_WORKLOADS {
+                let mut case =
+                    FaultCase::quick(seed, FaultRates::uniform(0.10), FaultTarget::All, workload);
+                case.n = 32;
+                faults_injected += check_case(&case).faults_injected;
+            }
+        }
+        // The check must not pass vacuously: across 9 runs at 10% total
+        // fault probability on every link, the plan must actually fire.
+        assert!(faults_injected > 0, "no faults injected across the grid");
+    }
+}

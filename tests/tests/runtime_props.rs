@@ -232,3 +232,43 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, // each case is two full runs (control + faulted)
+        .. ProptestConfig::default()
+    })]
+
+    /// Arbitrary fault plans never corrupt committed memory, never
+    /// violate the commit-order invariant, and never deadlock: the
+    /// harness compares the faulted run against a fault-free twin,
+    /// checks commit order from the trace, and hangs are caught by its
+    /// wall-clock watchdog (which panics with the replayable
+    /// `(seed, rates)` tuple).
+    #[test]
+    fn arbitrary_fault_plans_preserve_commits(
+        seed in any::<u64>(),
+        p in 0.0f64..0.35,
+        target_idx in 0usize..4,
+        workload_idx in 0usize..3,
+    ) {
+        use dsmtx::FaultTarget;
+        use dsmtx_fabric::FaultRates;
+        use dsmtx_integration_tests::{check_case, FaultCase, ALL_WORKLOADS};
+
+        let target = [
+            FaultTarget::All,
+            FaultTarget::WorkerLinks,
+            FaultTarget::TryCommitLinks,
+            FaultTarget::CommitLinks,
+        ][target_idx];
+        let mut case = FaultCase::quick(
+            seed,
+            FaultRates::uniform(p),
+            target,
+            ALL_WORKLOADS[workload_idx],
+        );
+        case.n = 24;
+        check_case(&case);
+    }
+}
