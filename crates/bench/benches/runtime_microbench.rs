@@ -5,7 +5,9 @@
 //! * `coa_page_fetch` — first-touch Copy-On-Access page transfers;
 //! * `spec_mem_ops` — speculative load/store against a resident page;
 //! * `uva_alloc` — region allocator throughput;
-//! * `recovery` — a full run whose every 8th iteration misspeculates.
+//! * `recovery` — a full run whose every 8th iteration misspeculates;
+//! * `hot_path_hasher` — std SipHash vs the vendored Fx hasher on the
+//!   page-table access pattern the validation/commit paths run.
 
 use std::sync::Arc;
 
@@ -180,12 +182,53 @@ fn bench_recovery(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_hot_path_hasher(c: &mut Criterion) {
+    // The speculation hot paths (SpecMem page tables, the try-commit
+    // unit's per-MTX state) key hash maps by PageId / small tuples. This
+    // group pins the delta from swapping std's SipHash-1-3 for the
+    // vendored Fx hasher on exactly that shape: insert a working set of
+    // page-sized keys, then do a read-mostly probe mix.
+    use std::collections::HashMap;
+    use std::hash::BuildHasher;
+
+    let mut group = c.benchmark_group("hot_path_hasher");
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    const PAGES: u64 = 512;
+    const PROBES: u64 = 8192;
+    group.throughput(Throughput::Elements(PAGES + PROBES));
+
+    fn page_table_churn<S: BuildHasher + Default>(pages: u64, probes: u64) -> u64 {
+        let mut table: HashMap<PageId, u64, S> = HashMap::default();
+        for p in 0..pages {
+            // Same page-number spreading the runtime sees: region-sized
+            // strides, not dense small integers.
+            table.insert(PageId(p.wrapping_mul(0x9E37_79B9) | 1), p);
+        }
+        let mut sum = 0u64;
+        for i in 0..probes {
+            let p = i % pages;
+            sum = sum.wrapping_add(table[&PageId(p.wrapping_mul(0x9E37_79B9) | 1)]);
+        }
+        sum
+    }
+
+    group.bench_function("siphash_std", |b| {
+        b.iter(|| page_table_churn::<std::collections::hash_map::RandomState>(PAGES, PROBES));
+    });
+    group.bench_function("fxhash_vendored", |b| {
+        b.iter(|| page_table_churn::<fxhash::FxBuildHasher>(PAGES, PROBES));
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_mtx_iteration,
     bench_coa_page_fetch,
     bench_spec_mem_ops,
     bench_uva_alloc,
-    bench_recovery
+    bench_recovery,
+    bench_hot_path_hasher
 );
 criterion_main!(benches);

@@ -2,10 +2,17 @@
 //!
 //! ```text
 //! cargo run --release -p dsmtx-bench --bin repro -- \
-//!     [fig1|fig2|fig3|fig4|fig5a|fig5b|fig6|table1|table2|ablations|trace|all] \
+//!     [fig1|fig2|fig3|fig4|fig5a|fig5b|fig6|table1|table2|ablations|trace|shards|all] \
 //!     [--iters N] [--trace-out FILE] [--metrics-out FILE] \
-//!     [--fault-seed S] [--fault-rate R]
+//!     [--fault-seed S] [--fault-rate R] \
+//!     [--shards N] [--sweep-out FILE]
 //! ```
+//!
+//! The `shards` section runs the real-runtime speculation-unit shard
+//! sweep (`unit_shards` up to `--shards`, default 4) on a
+//! validation-bound workload and prints measured scaling next to the
+//! simulator's prediction; `--sweep-out` additionally writes the
+//! `BENCH_shard_sweep.json` artifact.
 //!
 //! The `trace` section runs a real traced pipeline and prints a
 //! stage-occupancy report; `--trace-out` additionally writes a Chrome
@@ -26,6 +33,8 @@ fn main() {
     let mut iters: u64 = 200;
     let mut fault_seed: Option<u64> = None;
     let mut fault_rate: f64 = 0.1;
+    let mut shards: usize = 4;
+    let mut sweep_out: Option<String> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -57,6 +66,18 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--shards" => {
+                let v = take_value(&mut i);
+                shards = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --shards value `{v}`");
+                    std::process::exit(2);
+                });
+                if shards == 0 {
+                    eprintln!("--shards must be at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--sweep-out" => sweep_out = Some(take_value(&mut i)),
             "--fault-rate" => {
                 let v = take_value(&mut i);
                 fault_rate = v.parse().unwrap_or_else(|_| {
@@ -105,6 +126,24 @@ fn main() {
     section("table2", &dsmtx_bench::table2_text);
     section("ablations", &dsmtx_bench::ablations_text);
 
+    if what == "shards" || what == "all" {
+        // The validation-bound sweep wants enough iterations that each
+        // MTX's writes scatter across a full page per column.
+        let sweep_iters = iters.max(512);
+        let sweep = dsmtx_bench::run_shard_sweep(sweep_iters, 32, shards);
+        println!("{}", dsmtx_bench::shard_sweep_text(&sweep));
+        if let Some(path) = &sweep_out {
+            let json = dsmtx_bench::shard_sweep_json(&sweep);
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("wrote shard sweep ({} bytes) to {path}", json.len());
+        }
+        println!("{}", "=".repeat(72));
+        printed = true;
+    }
+
     if what == "trace" || what == "all" {
         let fault = fault_seed.map(|seed| {
             println!(
@@ -137,7 +176,7 @@ fn main() {
 
     if !printed {
         eprintln!(
-            "unknown target `{what}`; use fig1|fig2|fig3|fig4|fig5a|fig5b|fig6|table1|table2|ablations|trace|all"
+            "unknown target `{what}`; use fig1|fig2|fig3|fig4|fig5a|fig5b|fig6|table1|table2|ablations|trace|shards|all"
         );
         std::process::exit(2);
     }

@@ -12,6 +12,7 @@ pub mod ablations;
 pub mod figures;
 pub mod format;
 pub mod queuebench;
+pub mod shardsweep;
 pub mod tracedemo;
 
 pub use ablations::ablations_text;
@@ -20,6 +21,9 @@ pub use figures::{
     table1_text, table2_text, taxonomy_text, Fig4Row,
 };
 pub use queuebench::{measure_queue_throughput, QueueThroughput};
+pub use shardsweep::{
+    run_shard_sweep, run_validation_bound, shard_sweep_json, shard_sweep_text, ShardSweep,
+};
 pub use tracedemo::{
     chrome_trace_json, metrics_jsonl, occupancy_text, run_traced_pipeline,
     run_traced_pipeline_faulted,

@@ -5,17 +5,20 @@
 //! sequential pre-loop code (in this reproduction: the caller built
 //! [`dsmtx_mem::MasterMem`] before the run), serves COA page requests from
 //! workers and the try-commit unit, buffers the store streams of every
-//! subTX, and — once the try-commit unit validates an MTX — applies its
-//! subTX write-sets in program order (group transaction commit, §3.1:
-//! last update to an address wins). On a conflict verdict or an explicit
-//! worker misspeculation, it orchestrates the §4.3 recovery protocol and
-//! re-executes the squashed iteration single-threaded.
+//! subTX, and — once *every* try-commit shard validates an MTX's slice of
+//! the address space — applies its subTX write-sets in program order
+//! (group transaction commit, §3.1: last update to an address wins). A
+//! conflict verdict from any shard, or an explicit worker
+//! misspeculation, makes it orchestrate the §4.3 recovery protocol and
+//! re-execute the squashed iteration single-threaded; all shards
+//! participate in the recovery barriers.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use dsmtx_fabric::{RecvPort, SendPort};
 use dsmtx_mem::MasterMem;
 use dsmtx_uva::{PageId, VAddr};
+use fxhash::FxHashMap;
 
 use crate::config::PipelineShape;
 use crate::control::{ControlPlane, Interrupt, Status};
@@ -55,20 +58,34 @@ struct Assembly {
     stores: Vec<(u64, u64)>,
 }
 
+/// Aggregated per-shard verdicts for one MTX: the group-commit decision
+/// needs `VerdictOk` from *every* try-commit shard (each owns a disjoint
+/// page partition), while a single `VerdictBad` from any shard squashes
+/// the MTX.
+#[derive(Debug, Default, Clone, Copy)]
+struct VerdictState {
+    /// Shards that reported `VerdictOk` so far.
+    oks: u16,
+    /// True once any shard reported a conflict.
+    bad: bool,
+}
+
 pub(crate) struct CommitUnit {
     shape: PipelineShape,
     ctrl: ControlPlane,
     trace: TraceSink,
     master: MasterMem,
     from_workers: Vec<(WorkerId, RecvPort<Msg>)>,
-    from_trycommit: RecvPort<Msg>,
+    /// Verdict/COA streams, one per try-commit shard.
+    from_trycommit: Vec<RecvPort<Msg>>,
     coa_out: Vec<(WorkerId, SendPort<Msg>)>,
-    coa_tc_out: SendPort<Msg>,
-    partial: HashMap<WorkerId, Assembly>,
+    /// COA reply queues, one per try-commit shard.
+    coa_tc_out: Vec<SendPort<Msg>>,
+    partial: FxHashMap<WorkerId, Assembly>,
     /// Completed store sets per (mtx, stage).
-    store_sets: HashMap<(u64, u16), Vec<(u64, u64)>>,
+    store_sets: FxHashMap<(u64, u16), Vec<(u64, u64)>>,
     events: BTreeMap<u64, Events>,
-    verdicts: BTreeMap<u64, bool>,
+    verdicts: BTreeMap<u64, VerdictState>,
     next_commit: MtxId,
     recovery: RecoveryFn,
     on_commit: Option<CommitHook>,
@@ -82,9 +99,9 @@ pub(crate) struct CommitWiring {
     pub trace: TraceSink,
     pub master: MasterMem,
     pub from_workers: Vec<(WorkerId, RecvPort<Msg>)>,
-    pub from_trycommit: RecvPort<Msg>,
+    pub from_trycommit: Vec<RecvPort<Msg>>,
     pub coa_out: Vec<(WorkerId, SendPort<Msg>)>,
-    pub coa_tc_out: SendPort<Msg>,
+    pub coa_tc_out: Vec<SendPort<Msg>>,
     pub recovery: RecoveryFn,
     pub on_commit: Option<CommitHook>,
     pub limit: Option<u64>,
@@ -101,8 +118,8 @@ impl CommitUnit {
             from_trycommit: w.from_trycommit,
             coa_out: w.coa_out,
             coa_tc_out: w.coa_tc_out,
-            partial: HashMap::new(),
-            store_sets: HashMap::new(),
+            partial: FxHashMap::default(),
+            store_sets: FxHashMap::default(),
             events: BTreeMap::new(),
             verdicts: BTreeMap::new(),
             next_commit: MtxId(0),
@@ -209,27 +226,37 @@ impl CommitUnit {
                 }
             }
         }
-        // Try-commit stream: verdicts and COA requests.
-        loop {
-            let msg = match self.from_trycommit.try_consume() {
-                Ok(Some(m)) => m,
-                Ok(None) => break,
-                Err(_) => {
-                    self.ctrl.report_channel_down();
-                    break;
+        // Try-commit streams: per-shard verdicts and COA requests.
+        for shard in 0..self.from_trycommit.len() {
+            loop {
+                let msg = match self.from_trycommit[shard].try_consume() {
+                    Ok(Some(m)) => m,
+                    Ok(None) => break,
+                    Err(_) => {
+                        self.ctrl.report_channel_down();
+                        break;
+                    }
+                };
+                progress = true;
+                match msg {
+                    Msg::CoaRequest { page } => self.serve_coa_trycommit(shard, page),
+                    Msg::VerdictOk { mtx } => {
+                        self.verdicts.entry(mtx.0).or_default().oks += 1;
+                    }
+                    Msg::VerdictBad { mtx } => {
+                        let v = self.verdicts.entry(mtx.0).or_default();
+                        // Count conflicts per MTX, not per shard: several
+                        // shards can each detect a mismatch in the same
+                        // MTX, but it is one squash (and at one shard, one
+                        // `VerdictBad` per recovery round — so this count
+                        // is identical across shard configurations).
+                        if !v.bad {
+                            self.counters.validation_conflicts += 1;
+                        }
+                        v.bad = true;
+                    }
+                    other => panic!("unexpected message from try-commit: {other:?}"),
                 }
-            };
-            progress = true;
-            match msg {
-                Msg::CoaRequest { page } => self.serve_coa_trycommit(page),
-                Msg::VerdictOk { mtx } => {
-                    self.verdicts.insert(mtx.0, true);
-                }
-                Msg::VerdictBad { mtx } => {
-                    self.counters.validation_conflicts += 1;
-                    self.verdicts.insert(mtx.0, false);
-                }
-                other => panic!("unexpected message from try-commit: {other:?}"),
             }
         }
         progress
@@ -254,13 +281,13 @@ impl CommitUnit {
         self.note_send_failure(sent);
     }
 
-    fn serve_coa_trycommit(&mut self, page: u64) {
+    fn serve_coa_trycommit(&mut self, shard: usize, page: u64) {
         self.counters.coa_pages_served += 1;
         let data = Box::new(self.master.page(PageId(page)));
-        let sent = self
-            .coa_tc_out
+        let port = &mut self.coa_tc_out[shard];
+        let sent = port
             .produce(Msg::CoaReply { page, data })
-            .and_then(|()| self.coa_tc_out.flush());
+            .and_then(|()| port.flush());
         self.note_send_failure(sent);
     }
 
@@ -281,11 +308,13 @@ impl CommitUnit {
     fn step(&mut self) -> StepResult {
         let m = self.next_commit;
         let ev = self.events.get(&m.0).copied().unwrap_or_default();
-        let verdict = self.verdicts.get(&m.0).copied();
-        if ev.misspec || verdict == Some(false) {
+        let verdict = self.verdicts.get(&m.0).copied().unwrap_or_default();
+        if ev.misspec || verdict.bad {
             return self.recover(m);
         }
-        if verdict != Some(true) {
+        // Group-commit decision: every shard must have validated its
+        // partition of the MTX.
+        if (verdict.oks as usize) < self.from_trycommit.len() {
             return StepResult::Idle;
         }
         // All stage write-sets must have arrived (they were sent at the
@@ -304,7 +333,8 @@ impl CommitUnit {
                 .map(|(a, v)| (VAddr::from_raw(a), v))
                 .collect::<Vec<_>>()
         });
-        self.master.commit_writes(writes.collect::<Vec<_>>());
+        self.master
+            .commit_writes_parallel(writes.collect::<Vec<_>>());
         self.counters.committed += 1;
         self.counters.last_iteration = Some(m);
         self.trace
@@ -348,11 +378,15 @@ impl CommitUnit {
         for (_, port) in &mut self.from_workers {
             port.drain();
         }
-        self.from_trycommit.drain();
+        for port in &mut self.from_trycommit {
+            port.drain();
+        }
         for (_, port) in &mut self.coa_out {
             port.clear();
         }
-        self.coa_tc_out.clear();
+        for port in &mut self.coa_tc_out {
+            port.clear();
+        }
         self.partial.clear();
         self.store_sets.clear();
         self.events.clear();

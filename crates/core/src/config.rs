@@ -147,18 +147,20 @@ pub struct SystemConfig {
     ring_stage: Option<StageId>,
     batch: usize,
     capacity: usize,
+    unit_shards: usize,
     fault: Option<FaultConfig>,
 }
 
 impl SystemConfig {
-    /// Starts an empty pipeline with the default batch (64 items) and
-    /// queue capacity (256 packets).
+    /// Starts an empty pipeline with the default batch (64 items), queue
+    /// capacity (256 packets), and a single speculation-unit shard.
     pub fn new() -> Self {
         SystemConfig {
             stages: Vec::new(),
             ring_stage: None,
             batch: 64,
             capacity: 256,
+            unit_shards: 1,
             fault: None,
         }
     }
@@ -197,6 +199,17 @@ impl SystemConfig {
         self
     }
 
+    /// Sets the number of try-commit shards (§3.2's "the algorithms …
+    /// are parallelizable"). Each shard validates a disjoint
+    /// hash-partition of `PageId` space against its own replay image;
+    /// the commit unit aggregates per-shard verdicts into the group
+    /// commit decision. The default of 1 reproduces the paper
+    /// prototype's single speculation unit.
+    pub fn unit_shards(&mut self, shards: usize) -> &mut Self {
+        self.unit_shards = shards;
+        self
+    }
+
     /// Validates and freezes the configuration.
     ///
     /// # Errors
@@ -211,6 +224,9 @@ impl SystemConfig {
         }
         if self.capacity == 0 {
             return Err(ConfigError::ZeroSize("capacity"));
+        }
+        if self.unit_shards == 0 {
+            return Err(ConfigError::ZeroSize("unit_shards"));
         }
         let mut first_worker = Vec::with_capacity(self.stages.len());
         let mut next = 0u16;
@@ -237,6 +253,7 @@ impl SystemConfig {
             ring_stage: self.ring_stage,
             batch: self.batch,
             capacity: self.capacity,
+            unit_shards: self.unit_shards,
             fault: self.fault,
         })
     }
@@ -258,6 +275,7 @@ pub struct PipelineShape {
     ring_stage: Option<StageId>,
     batch: usize,
     capacity: usize,
+    unit_shards: usize,
     fault: Option<FaultConfig>,
 }
 
@@ -364,6 +382,11 @@ impl PipelineShape {
     /// Queue capacity in packets.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// Number of try-commit shards the system runs (≥ 1).
+    pub fn unit_shards(&self) -> usize {
+        self.unit_shards
     }
 
     /// The fault-injection plan, if one was configured.
@@ -475,6 +498,22 @@ mod tests {
         let mut cfg = SystemConfig::new();
         cfg.stage(StageKind::Sequential).batch(0);
         assert_eq!(cfg.build().unwrap_err(), ConfigError::ZeroSize("batch"));
+
+        let mut cfg = SystemConfig::new();
+        cfg.stage(StageKind::Sequential).unit_shards(0);
+        assert_eq!(
+            cfg.build().unwrap_err(),
+            ConfigError::ZeroSize("unit_shards")
+        );
+    }
+
+    #[test]
+    fn unit_shards_default_one_and_configurable() {
+        let mut cfg = SystemConfig::new();
+        cfg.stage(StageKind::Sequential);
+        assert_eq!(cfg.build().unwrap().unit_shards(), 1);
+        cfg.unit_shards(4);
+        assert_eq!(cfg.build().unwrap().unit_shards(), 4);
     }
 
     #[test]

@@ -75,8 +75,8 @@ struct Shared {
     /// take the lock when it moved.
     epoch: AtomicU64,
     status: Mutex<Status>,
-    /// Rendezvous for the recovery protocol; spans workers + try-commit +
-    /// commit.
+    /// Rendezvous for the recovery protocol; spans workers + every
+    /// try-commit shard + commit.
     barrier: Barrier,
     /// Count of completed recoveries (observable for reports/tests).
     recoveries: AtomicU64,
@@ -98,7 +98,7 @@ pub struct ControlPlane {
 
 impl ControlPlane {
     /// Creates a control plane whose recovery barrier spans `parties`
-    /// threads (all workers + try-commit + commit).
+    /// threads (all workers + all try-commit shards + commit).
     pub fn new(parties: usize) -> Self {
         ControlPlane {
             shared: Arc::new(Shared {

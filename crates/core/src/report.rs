@@ -4,11 +4,31 @@ use std::time::Duration;
 
 use dsmtx_fabric::FabricStats;
 use dsmtx_mem::MasterMem;
-use dsmtx_obs::{schema, Registry};
+use dsmtx_obs::{schema, Histogram, Registry};
 
 use crate::analysis::TraceAnalysis;
 use crate::ids::{MtxId, StageId};
 use crate::trace::TraceEvent;
+
+/// Per-try-commit-shard statistics (§3.2 parallel speculation units).
+///
+/// Each shard validates a disjoint hash-partition of the page space; at
+/// `unit_shards = 1` the single entry covers the whole validation plane.
+#[derive(Debug, Default)]
+pub struct ShardStats {
+    /// MTXs this shard sent `VerdictOk` for.
+    pub validated: u64,
+    /// Value-validation conflicts detected in this shard's partition.
+    pub conflicts: u64,
+    /// COA pages fetched into this shard's replay image.
+    pub coa_fetches: u64,
+    /// SubTX stream arrival to replay start, microseconds.
+    pub replay_lag: Histogram,
+    /// MTX final-stage arrival to verdict send, microseconds.
+    pub verdict_latency: Histogram,
+    /// Busy fraction of the shard thread, parts per million.
+    pub busy_ppm: u64,
+}
 
 /// Statistics and outcome of one parallel run.
 #[derive(Debug)]
@@ -38,6 +58,9 @@ pub struct RunReport {
     /// Channels found disconnected while running (each converts into a
     /// typed shutdown; nonzero only when a thread died).
     pub channel_downs: u64,
+    /// Per-try-commit-shard statistics, indexed by shard; length is the
+    /// configured `unit_shards`.
+    pub shard_stats: Vec<ShardStats>,
     /// Aggregate fabric traffic (all queues).
     pub stats: FabricStats,
     /// Wall-clock duration of the parallel section.
@@ -106,6 +129,28 @@ impl RunReport {
             .set(self.elapsed.as_micros() as i64);
         reg.gauge(schema::RUN_BANDWIDTH_BPS, &[])
             .set(self.bandwidth_bps() as i64);
+        for (s, stats) in self.shard_stats.iter().enumerate() {
+            let shard = s.to_string();
+            let labels: &[(&str, &str)] = &[("shard", &shard)];
+            reg.counter(schema::SHARD_VALIDATED, labels)
+                .add(stats.validated);
+            reg.counter(schema::SHARD_CONFLICTS, labels)
+                .add(stats.conflicts);
+            reg.counter(schema::SHARD_COA_FETCHES, labels)
+                .add(stats.coa_fetches);
+            reg.gauge(schema::SHARD_OCCUPANCY_PPM, labels)
+                .set(stats.busy_ppm as i64);
+            reg.install_histogram(
+                schema::SHARD_REPLAY_LAG_US,
+                labels,
+                stats.replay_lag.clone(),
+            );
+            reg.install_histogram(
+                schema::SHARD_VERDICT_LATENCY_US,
+                labels,
+                stats.verdict_latency.clone(),
+            );
+        }
         self.stats.to_registry(reg);
         self.analysis().to_registry(reg);
     }
@@ -137,6 +182,7 @@ mod tests {
             fabric_timeouts: 0,
             fault_recoveries: 0,
             channel_downs: 0,
+            shard_stats: Vec::new(),
             stats: FabricStats::new(),
             elapsed: Duration::ZERO,
             trace: Vec::new(),
@@ -212,5 +258,33 @@ mod tests {
         assert!(dump.contains(schema::RUN_FAULT_RECOVERIES));
         assert!(dump.contains(schema::RUN_CHANNEL_DOWNS));
         assert!(dump.contains(schema::FABRIC_SENT_BYTES));
+    }
+
+    #[test]
+    fn registry_export_labels_each_shard() {
+        let mut r = empty_report();
+        r.shard_stats = vec![
+            ShardStats {
+                validated: 5,
+                conflicts: 1,
+                busy_ppm: 250_000,
+                ..ShardStats::default()
+            },
+            ShardStats {
+                validated: 7,
+                ..ShardStats::default()
+            },
+        ];
+        let reg = Registry::new();
+        r.to_registry(&reg);
+        let dump = reg.to_jsonl();
+        for line in dump.lines() {
+            dsmtx_obs::json::validate(line).unwrap();
+        }
+        assert!(dump.contains(schema::SHARD_VALIDATED));
+        assert!(dump.contains(schema::SHARD_OCCUPANCY_PPM));
+        assert!(dump.contains(schema::SHARD_REPLAY_LAG_US));
+        assert!(dump.contains(r#""shard":"0""#) || dump.contains(r#""shard": "0""#));
+        assert!(dump.contains(r#""shard":"1""#) || dump.contains(r#""shard": "1""#));
     }
 }

@@ -2,11 +2,15 @@
 //!
 //! [`MtxSystem`] is `mtx_newDSMTXsystem` of Table 1: it takes a pipeline
 //! configuration, wires the communication topology (workers of earlier
-//! stages to the executors of later stages, every worker to the try-commit
-//! and commit units, COA reply channels back), and spawns one thread per
-//! worker plus the two units — the paper's `mtx_spawn`,
-//! `mtx_tryCommitUnit`, and `mtx_commitUnit`, with `DSMTX_Init`/
-//! `DSMTX_Finalize` folded into [`MtxSystem::run`]'s setup and teardown.
+//! stages to the executors of later stages, every worker to every
+//! try-commit shard and to the commit unit, COA reply channels back), and
+//! spawns one thread per worker plus `unit_shards` try-commit threads and
+//! the commit unit — the paper's `mtx_spawn`, `mtx_tryCommitUnit`, and
+//! `mtx_commitUnit`, with `DSMTX_Init`/`DSMTX_Finalize` folded into
+//! [`MtxSystem::run`]'s setup and teardown. With `unit_shards > 1` the
+//! speculation units are address-partitioned (§3.2): each shard owns a
+//! disjoint hash-partition of the page space and validates only its
+//! slice of every MTX's access stream.
 //!
 //! Only the topology the MTX protocol needs is wired — a worker connects
 //! to the workers of later stages, the units, and (for ring stages) its
@@ -124,19 +128,32 @@ impl MtxSystem {
             });
         }
         let n_workers = shape.n_workers() as usize;
+        let n_shards = shape.unit_shards();
         let trace = if self.tracing {
             TraceSink::with_capacity(self.trace_capacity)
         } else {
             TraceSink::disabled()
         };
-        let ctrl = ControlPlane::new(n_workers + 2);
+        let ctrl = ControlPlane::new(n_workers + n_shards + 1);
 
         // ---- topology -------------------------------------------------
         let mut builder = MeshBuilder::new();
         let worker_eps: Vec<EndpointId> = (0..n_workers)
             .map(|w| builder.endpoint(format!("worker{w}")))
             .collect();
-        let tc_ep = builder.endpoint("try-commit");
+        // One endpoint per try-commit shard. The single-shard name stays
+        // "try-commit" so endpoint/link declaration order — and with it
+        // every seeded fault schedule — is identical to the unsharded
+        // runtime.
+        let tc_eps: Vec<EndpointId> = (0..n_shards)
+            .map(|s| {
+                if n_shards == 1 {
+                    builder.endpoint("try-commit")
+                } else {
+                    builder.endpoint(format!("try-commit{s}"))
+                }
+            })
+            .collect();
         let cu_ep = builder.endpoint("commit");
 
         // Fault injection: derive every faulted link's decision stream
@@ -197,30 +214,37 @@ impl MtxSystem {
             }
         }
         for &ep in &worker_eps {
-            link(&mut builder, ep, tc_ep, batch, cap, worker_links).expect("validation link");
+            for &tc in &tc_eps {
+                link(&mut builder, ep, tc, batch, cap, worker_links).expect("validation link");
+            }
             link(&mut builder, ep, cu_ep, batch, cap, worker_links).expect("commit link");
             link(&mut builder, cu_ep, ep, 1, 8, cu_links).expect("coa reply link");
         }
-        link(&mut builder, tc_ep, cu_ep, batch, cap, tc_links).expect("verdict link");
-        link(&mut builder, cu_ep, tc_ep, 1, 8, cu_links).expect("coa reply link");
+        for &tc in &tc_eps {
+            link(&mut builder, tc, cu_ep, batch, cap, tc_links).expect("verdict link");
+            link(&mut builder, cu_ep, tc, 1, 8, cu_links).expect("coa reply link");
+        }
 
         let mut mesh = builder.build::<Msg>();
 
         // ---- port bundles ---------------------------------------------
-        let is_worker = |ep: EndpointId| ep != tc_ep && ep != cu_ep;
+        // Workers were declared first, so their endpoint ids are dense in
+        // 0..n_workers; shard index = position in `tc_eps`.
+        let is_worker = |ep: EndpointId| ep.0 < n_workers;
         let as_worker = |ep: EndpointId| WorkerId(ep.0 as u16);
+        let shard_of_ep = |ep: EndpointId| tc_eps.iter().position(|&t| t == ep);
 
         let mut worker_wirings = Vec::with_capacity(n_workers);
         for (w, &ep) in worker_eps.iter().enumerate() {
             let ports = mesh.take_ports(ep).expect("worker ports");
             let mut out = Vec::new();
             let mut inn = Vec::new();
-            let mut val_out = None;
+            let mut val_out: Vec<Option<_>> = (0..n_shards).map(|_| None).collect();
             let mut cu_out = None;
             let mut coa_in = None;
             for (dst, port) in ports.sends {
-                if dst == tc_ep {
-                    val_out = Some(port);
+                if let Some(s) = shard_of_ep(dst) {
+                    val_out[s] = Some(port);
                 } else if dst == cu_ep {
                     cu_out = Some(port);
                 } else {
@@ -243,54 +267,60 @@ impl MtxSystem {
                 heap: RegionAllocator::new(worker_owner(worker)),
                 out,
                 inn,
-                val_out: val_out.expect("validation port"),
+                val_out: val_out
+                    .into_iter()
+                    .map(|p| p.expect("validation port"))
+                    .collect(),
                 cu_out: cu_out.expect("commit port"),
                 coa_in: coa_in.expect("coa reply port"),
             });
         }
 
-        let tc_wiring = {
-            let ports = mesh.take_ports(tc_ep).expect("try-commit ports");
-            let mut val_in = Vec::new();
-            let mut coa_in = None;
-            for (src, port) in ports.recvs {
-                if src == cu_ep {
-                    coa_in = Some(port);
-                } else {
-                    val_in.push((as_worker(src), port));
+        let tc_wirings: Vec<TryCommitWiring> = tc_eps
+            .iter()
+            .map(|&tc| {
+                let ports = mesh.take_ports(tc).expect("try-commit ports");
+                let mut val_in = Vec::new();
+                let mut coa_in = None;
+                for (src, port) in ports.recvs {
+                    if src == cu_ep {
+                        coa_in = Some(port);
+                    } else {
+                        val_in.push((as_worker(src), port));
+                    }
                 }
-            }
-            let mut to_commit = None;
-            for (dst, port) in ports.sends {
-                debug_assert_eq!(dst, cu_ep);
-                to_commit = Some(port);
-            }
-            TryCommitWiring {
-                shape: shape.clone(),
-                ctrl: ctrl.clone(),
-                trace: trace.clone(),
-                val_in,
-                to_commit: to_commit.expect("verdict port"),
-                coa_in: coa_in.expect("coa reply port"),
-            }
-        };
+                let mut to_commit = None;
+                for (dst, port) in ports.sends {
+                    debug_assert_eq!(dst, cu_ep);
+                    to_commit = Some(port);
+                }
+                TryCommitWiring {
+                    shape: shape.clone(),
+                    ctrl: ctrl.clone(),
+                    trace: trace.clone(),
+                    val_in,
+                    to_commit: to_commit.expect("verdict port"),
+                    coa_in: coa_in.expect("coa reply port"),
+                }
+            })
+            .collect();
 
         let cu_wiring = {
             let ports = mesh.take_ports(cu_ep).expect("commit ports");
             let mut from_workers = Vec::new();
-            let mut from_trycommit = None;
+            let mut from_trycommit: Vec<Option<_>> = (0..n_shards).map(|_| None).collect();
             for (src, port) in ports.recvs {
-                if src == tc_ep {
-                    from_trycommit = Some(port);
+                if let Some(s) = shard_of_ep(src) {
+                    from_trycommit[s] = Some(port);
                 } else {
                     from_workers.push((as_worker(src), port));
                 }
             }
             let mut coa_out = Vec::new();
-            let mut coa_tc_out = None;
+            let mut coa_tc_out: Vec<Option<_>> = (0..n_shards).map(|_| None).collect();
             for (dst, port) in ports.sends {
-                if dst == tc_ep {
-                    coa_tc_out = Some(port);
+                if let Some(s) = shard_of_ep(dst) {
+                    coa_tc_out[s] = Some(port);
                 } else if is_worker(dst) {
                     coa_out.push((as_worker(dst), port));
                 }
@@ -301,9 +331,15 @@ impl MtxSystem {
                 trace: trace.clone(),
                 master: program.master,
                 from_workers,
-                from_trycommit: from_trycommit.expect("verdict port"),
+                from_trycommit: from_trycommit
+                    .into_iter()
+                    .map(|p| p.expect("verdict port"))
+                    .collect(),
                 coa_out,
-                coa_tc_out: coa_tc_out.expect("coa reply port"),
+                coa_tc_out: coa_tc_out
+                    .into_iter()
+                    .map(|p| p.expect("coa reply port"))
+                    .collect(),
                 recovery: program.recovery,
                 on_commit: program.on_commit,
                 limit: program.iteration_limit,
@@ -324,19 +360,33 @@ impl MtxSystem {
                     worker_main(ctx, stage_fn, limit)
                 }));
             }
-            let tc_handle = scope.spawn(move || TryCommitUnit::new(tc_wiring).run());
+            let tc_handles: Vec<_> = tc_wirings
+                .into_iter()
+                .map(|w| scope.spawn(move || TryCommitUnit::new(w).run()))
+                .collect();
             let cu_handle = scope.spawn(move || CommitUnit::new(cu_wiring).run());
 
             let commit_result = cu_handle.join();
-            let tc_result = tc_handle.join();
+            let tc_results: Vec<_> = tc_handles.into_iter().map(|h| h.join()).collect();
             let worker_results: Vec<_> = worker_handles.into_iter().map(|h| h.join()).collect();
-            (commit_result, tc_result, worker_results)
+            (commit_result, tc_results, worker_results)
         });
         let elapsed = start.elapsed();
 
-        let (commit_result, tc_result, worker_results) = outcome;
+        let (commit_result, tc_results, worker_results) = outcome;
         let (master, counters) = commit_result.map_err(|_| RunError::ThreadPanic("commit"))?;
-        tc_result.map_err(|_| RunError::ThreadPanic("try-commit"))?;
+        let mut shard_stats = Vec::with_capacity(n_shards);
+        for r in tc_results {
+            let c = r.map_err(|_| RunError::ThreadPanic("try-commit"))?;
+            shard_stats.push(crate::report::ShardStats {
+                validated: c.validated,
+                conflicts: c.conflicts,
+                coa_fetches: c.coa_fetches,
+                replay_lag: c.replay_lag,
+                verdict_latency: c.verdict_latency,
+                busy_ppm: c.busy_ppm,
+            });
+        }
         for r in &worker_results {
             if r.is_err() {
                 return Err(RunError::ThreadPanic("worker"));
@@ -354,6 +404,7 @@ impl MtxSystem {
             fabric_timeouts: ctrl.fabric_faults(),
             fault_recoveries: counters.fault_recoveries,
             channel_downs: ctrl.channel_downs(),
+            shard_stats,
             stats: mesh.stats(),
             elapsed,
             trace: trace.events(),

@@ -13,12 +13,28 @@
 //!
 //! False (anti/output) dependences never reach this unit: memory
 //! versioning in the workers' private memories already broke them.
+//!
+//! # Sharding (§3.2)
+//!
+//! The paper notes the validation algorithm "is parallelizable": value
+//! prediction of a load depends only on prior stores to the same address.
+//! When `unit_shards > 1`, N instances of this unit run, each owning the
+//! disjoint hash-partition of `PageId` space given by
+//! [`dsmtx_mem::shard_of`]. Workers route each access record to the
+//! responsible shard and send the `SubTxBegin`/`SubTxEnd` framing to
+//! *every* shard, so each shard's program-order cursor advances through
+//! every (MTX, stage) — a shard whose partition a subTX never touched
+//! replays an empty stream. Each shard reports an independent per-MTX
+//! verdict; the commit unit aggregates them (all-OK commits, any-bad
+//! recovers).
 
-use std::collections::HashMap;
+use std::time::Instant;
 
 use dsmtx_fabric::{RecvPort, SendPort};
 use dsmtx_mem::{AccessKind, AccessRecord, Page, SpecMem};
+use dsmtx_obs::Histogram;
 use dsmtx_uva::{PageId, VAddr};
+use fxhash::FxHashMap;
 
 use crate::config::PipelineShape;
 use crate::control::{ControlPlane, Interrupt};
@@ -35,6 +51,23 @@ struct Assembly {
     records: Vec<AccessRecord>,
 }
 
+/// Per-shard statistics returned by [`TryCommitUnit::run`].
+#[derive(Debug, Default)]
+pub(crate) struct TryCommitCounters {
+    /// MTXs this shard sent `VerdictOk` for.
+    pub validated: u64,
+    /// Conflicts this shard detected in its page partition.
+    pub conflicts: u64,
+    /// COA pages fetched into the replay image.
+    pub coa_fetches: u64,
+    /// Stream arrival → program-order replay start, per subTX stream.
+    pub replay_lag: Histogram,
+    /// Final-stage stream arrival → verdict send, per MTX.
+    pub verdict_latency: Histogram,
+    /// Busy fraction of the shard thread, parts per million.
+    pub busy_ppm: u64,
+}
+
 pub(crate) struct TryCommitUnit {
     shape: PipelineShape,
     ctrl: ControlPlane,
@@ -43,20 +76,23 @@ pub(crate) struct TryCommitUnit {
     /// Receive deadline under fault injection (`None` = wait forever).
     data_timeout: Option<std::time::Duration>,
     /// The replay image: committed pages + speculative stores in order.
+    /// Covers only this shard's page partition.
     image: SpecMem,
-    /// Validation streams, one per worker.
+    /// Validation streams, one per worker (this shard's partition only).
     val_in: Vec<(WorkerId, RecvPort<Msg>)>,
     /// Verdicts and COA requests to the commit unit.
     to_commit: SendPort<Msg>,
     /// COA replies from the commit unit.
     coa_in: RecvPort<Msg>,
-    partial: HashMap<WorkerId, Assembly>,
-    /// Completed subTX streams awaiting their replay turn.
-    done: HashMap<(u64, u16), Vec<AccessRecord>>,
+    partial: FxHashMap<WorkerId, Assembly>,
+    /// Completed subTX streams awaiting their replay turn, with their
+    /// arrival time (for replay-lag / verdict-latency histograms).
+    done: FxHashMap<(u64, u16), (Vec<AccessRecord>, Instant)>,
     cursor_mtx: MtxId,
     cursor_stage: StageId,
     /// Set after reporting a conflict: stop replaying, wait for recovery.
     poisoned: bool,
+    counters: TryCommitCounters,
 }
 
 pub(crate) struct TryCommitWiring {
@@ -82,16 +118,19 @@ impl TryCommitUnit {
             val_in: w.val_in,
             to_commit: w.to_commit,
             coa_in: w.coa_in,
-            partial: HashMap::new(),
-            done: HashMap::new(),
+            partial: FxHashMap::default(),
+            done: FxHashMap::default(),
             cursor_mtx: MtxId(0),
             cursor_stage: StageId(0),
             poisoned: false,
+            counters: TryCommitCounters::default(),
         }
     }
 
-    /// The unit's thread body.
-    pub(crate) fn run(mut self) {
+    /// The unit's thread body; returns this shard's statistics.
+    pub(crate) fn run(mut self) -> TryCommitCounters {
+        let started = Instant::now();
+        let mut busy = std::time::Duration::ZERO;
         let mut backoff = Backoff::new();
         loop {
             if let Some(intr) = self.ctrl.poll(&mut self.epoch) {
@@ -100,11 +139,12 @@ impl TryCommitUnit {
                         self.do_recovery(boundary);
                         continue;
                     }
-                    Interrupt::Terminate | Interrupt::ChannelDown => return,
+                    Interrupt::Terminate | Interrupt::ChannelDown => break,
                     // The status word never reads as a timeout.
                     Interrupt::FabricTimeout => unreachable!(),
                 }
             }
+            let turn = Instant::now();
             let mut progress = self.ingest();
             if !self.poisoned {
                 match self.replay_ready() {
@@ -113,12 +153,12 @@ impl TryCommitUnit {
                         self.do_recovery(boundary);
                         continue;
                     }
-                    Err(Interrupt::Terminate) => return,
+                    Err(Interrupt::Terminate) => break,
                     Err(Interrupt::ChannelDown) => {
                         // A peer thread is gone: typed shutdown instead of
                         // a silent exit that leaves everyone else hanging.
                         self.ctrl.report_channel_down();
-                        return;
+                        break;
                     }
                     Err(Interrupt::FabricTimeout) => {
                         // A transfer to/from the commit unit exhausted its
@@ -130,17 +170,22 @@ impl TryCommitUnit {
                                 self.do_recovery(boundary);
                                 continue;
                             }
-                            _ => return,
+                            _ => break,
                         }
                     }
                 }
             }
             if progress {
+                busy += turn.elapsed();
                 backoff.reset();
             } else {
                 backoff.wait();
             }
         }
+        let total = started.elapsed().as_nanos().max(1);
+        self.counters.busy_ppm = (busy.as_nanos().min(total) * 1_000_000 / total) as u64;
+        self.counters.coa_fetches = self.image.faults_served();
+        self.counters
     }
 
     /// Blocks until the control plane publishes a non-`Running` status.
@@ -190,8 +235,10 @@ impl TryCommitUnit {
                     Msg::SubTxEnd { mtx, stage } => {
                         let open = asm.open.take().expect("subTX end without begin");
                         assert_eq!(open, (mtx, stage), "subTX framing mismatch");
-                        self.done
-                            .insert((mtx.0, stage.0), std::mem::take(&mut asm.records));
+                        self.done.insert(
+                            (mtx.0, stage.0),
+                            (std::mem::take(&mut asm.records), Instant::now()),
+                        );
                     }
                     other => panic!("unexpected message on validation plane: {other:?}"),
                 }
@@ -203,11 +250,17 @@ impl TryCommitUnit {
     /// Replays every stream whose program-order turn has come.
     fn replay_ready(&mut self) -> Result<bool, Interrupt> {
         let mut progress = false;
-        while let Some(records) = self.done.remove(&(self.cursor_mtx.0, self.cursor_stage.0)) {
+        while let Some((records, arrived)) =
+            self.done.remove(&(self.cursor_mtx.0, self.cursor_stage.0))
+        {
             progress = true;
+            self.counters
+                .replay_lag
+                .record(arrived.elapsed().as_micros() as u64);
             if !self.replay(&records)? {
                 // Conflict: tell the commit unit and freeze until it
                 // orchestrates recovery.
+                self.counters.conflicts += 1;
                 self.trace.record(
                     Role::TryCommit,
                     Some(self.cursor_mtx),
@@ -230,6 +283,10 @@ impl TryCommitUnit {
                 self.send_to_commit(Msg::VerdictOk {
                     mtx: self.cursor_mtx,
                 })?;
+                self.counters.validated += 1;
+                self.counters
+                    .verdict_latency
+                    .record(arrived.elapsed().as_micros() as u64);
                 self.cursor_mtx = self.cursor_mtx.next();
                 self.cursor_stage = StageId(0);
             } else {

@@ -6,12 +6,17 @@
 //! * **data plane** (worker → later-stage worker, or TLS ring neighbour):
 //!   per-iteration frames carrying forwarded uncommitted stores and
 //!   `mtx_produce`d user values;
-//! * **validation plane** (worker → try-commit): the program-ordered
-//!   access stream of each subTX, framed by `SubTxBegin`/`SubTxEnd`;
-//! * **commit plane** (worker → commit: store streams; try-commit →
-//!   commit: verdicts; worker → commit: explicit misspeculation and loop
-//!   exit events);
-//! * **COA plane** (worker/try-commit ↔ commit): page requests and
+//! * **validation plane** (worker → try-commit shards): the
+//!   program-ordered access stream of each subTX, framed by
+//!   `SubTxBegin`/`SubTxEnd`. With `unit_shards > 1` each worker fans the
+//!   stream out by `PageId` partition — framing goes to every shard so
+//!   replay cursors advance in lockstep, records only to the owning
+//!   shard;
+//! * **commit plane** (worker → commit: store streams; each try-commit
+//!   shard → commit: per-shard verdicts, aggregated into the group-commit
+//!   decision; worker → commit: explicit misspeculation and loop exit
+//!   events);
+//! * **COA plane** (worker/try-commit shards ↔ commit): page requests and
 //!   replies.
 
 use dsmtx_mem::Page;

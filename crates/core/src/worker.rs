@@ -23,7 +23,7 @@ use std::collections::VecDeque;
 use std::time::Duration;
 
 use dsmtx_fabric::{FabricError, RecvPort, SendPort};
-use dsmtx_mem::{Page, SpecMem};
+use dsmtx_mem::{shard_of, Page, SpecMem};
 use dsmtx_uva::{PageId, RegionAllocator, VAddr};
 
 use crate::config::PipelineShape;
@@ -60,8 +60,11 @@ pub struct WorkerCtx {
     /// Incoming data queues from earlier-stage workers (plus the ring
     /// predecessor).
     inn: Vec<(WorkerId, RecvPort<Msg>)>,
-    /// Validation stream to the try-commit unit.
-    val_out: SendPort<Msg>,
+    /// Validation streams, one per try-commit shard: each access record
+    /// goes to the shard owning its page ([`shard_of`]); the
+    /// `SubTxBegin`/`SubTxEnd` framing goes to every shard so all replay
+    /// cursors advance in lockstep.
+    val_out: Vec<SendPort<Msg>>,
     /// Store stream, events, and COA requests to the commit unit.
     cu_out: SendPort<Msg>,
     /// COA replies from the commit unit.
@@ -101,7 +104,7 @@ pub(crate) struct WorkerWiring {
     pub heap: RegionAllocator,
     pub out: Vec<(WorkerId, SendPort<Msg>)>,
     pub inn: Vec<(WorkerId, RecvPort<Msg>)>,
-    pub val_out: SendPort<Msg>,
+    pub val_out: Vec<SendPort<Msg>>,
     pub cu_out: SendPort<Msg>,
     pub coa_in: RecvPort<Msg>,
 }
@@ -455,8 +458,15 @@ impl WorkerCtx {
         let records = self.spec.drain_log();
         let stage = self.stage;
 
-        // Validation stream (ordered loads + stores).
-        send(&mut self.val_out, Msg::SubTxBegin { mtx, stage })?;
+        // Validation streams (ordered loads + stores), split across the
+        // try-commit shards by page: every shard gets the framing so its
+        // replay cursor advances, each record goes only to the shard
+        // owning its page. At one shard this is the original single
+        // stream verbatim.
+        let n_shards = self.val_out.len();
+        for port in &mut self.val_out {
+            send(port, Msg::SubTxBegin { mtx, stage })?;
+        }
         for r in &records {
             let msg = match r.kind {
                 dsmtx_mem::spec::AccessKind::Load => Msg::Load {
@@ -468,10 +478,14 @@ impl WorkerCtx {
                     value: r.value,
                 },
             };
-            send(&mut self.val_out, msg)?;
+            send(&mut self.val_out[shard_of(r.addr.page(), n_shards)], msg)?;
         }
-        send(&mut self.val_out, Msg::SubTxEnd { mtx, stage })?;
-        flush_port(&self.ctrl, &mut self.epoch, &mut self.val_out)?;
+        for port in &mut self.val_out {
+            send(port, Msg::SubTxEnd { mtx, stage })?;
+        }
+        for port in &mut self.val_out {
+            flush_port(&self.ctrl, &mut self.epoch, port)?;
+        }
 
         // Store stream to the commit unit (group transaction commit input).
         send(&mut self.cu_out, Msg::SubTxBegin { mtx, stage })?;
@@ -646,7 +660,9 @@ impl WorkerCtx {
         for (_, port) in &mut self.out {
             port.clear();
         }
-        self.val_out.clear();
+        for port in &mut self.val_out {
+            port.clear();
+        }
         self.cu_out.clear();
         for (_, port) in &mut self.inn {
             port.drain();

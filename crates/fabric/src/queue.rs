@@ -5,7 +5,11 @@
 //! buffers values and ships a whole packet when the batch threshold fills
 //! (or on [`SendPort::flush`]). The receive side unpacks packets and hands
 //! values out one at a time. Unlike `MPI_Bsend`, buffer space is managed
-//! automatically; callers never allocate or recycle it.
+//! automatically; callers never allocate or recycle it. Internally the
+//! receiver returns drained batch buffers to the sender over a freelist
+//! channel, so steady-state traffic ships packets without allocating —
+//! a fresh buffer is only allocated when the freelist is momentarily
+//! empty (startup, or the consumer running behind).
 //!
 //! Queues are single-producer single-consumer, matching the paper's
 //! point-to-point channels between pipeline stages.
@@ -64,6 +68,8 @@ pub struct SendPort<T> {
     attempts: u32,
     /// A reorder-held packet (seq already assigned) awaiting its successor.
     held: Option<(u64, Vec<T>)>,
+    /// Batch buffers recycled by the receiver after unpacking.
+    free_rx: channel::Receiver<Vec<T>>,
 }
 
 /// Consumer end of a batched queue.
@@ -83,6 +89,8 @@ pub struct RecvPort<T> {
     /// [`RecvPort::drain`], because the peer's `clear` may have retired
     /// sequence numbers that will never arrive).
     resync: bool,
+    /// Returns drained batch buffers to the sender for reuse.
+    free_tx: channel::Sender<Vec<T>>,
 }
 
 /// Creates a batched SPSC queue.
@@ -131,6 +139,10 @@ pub fn channel_faulted<T>(
     assert!(batch >= 1, "batch must be at least 1");
     assert!(capacity >= 1, "capacity must be at least 1");
     let (tx, rx) = channel::bounded(capacity);
+    // The freelist mirrors the transport's depth: at most `capacity`
+    // packets are in flight, so at most that many husks can be waiting to
+    // come home. A full freelist just drops the husk.
+    let (free_tx, free_rx) = channel::bounded(capacity);
     (
         SendPort {
             tx,
@@ -145,6 +157,7 @@ pub fn channel_faulted<T>(
             next_seq: 0,
             attempts: 0,
             held: None,
+            free_rx,
         },
         RecvPort {
             rx,
@@ -156,6 +169,7 @@ pub fn channel_faulted<T>(
             expected_seq: 0,
             ooo: BTreeMap::new(),
             resync: false,
+            free_tx,
         },
     )
 }
@@ -219,9 +233,20 @@ impl<T> SendPort<T> {
         }
     }
 
+    /// A buffer for the next batch: a husk the receiver recycled when one
+    /// is waiting, a fresh allocation otherwise.
+    fn next_buf(&mut self) -> Vec<T> {
+        self.free_rx
+            .try_recv()
+            .unwrap_or_else(|_| Vec::with_capacity(self.batch))
+    }
+
     /// Fault-free flush: try once, then block on the transport.
     fn flush_plain(&mut self) -> Result<()> {
-        let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(self.batch));
+        // `take` leaves a capacity-zero Vec; a real buffer is pulled from
+        // the freelist only after the packet actually ships, so a full
+        // transport or a disconnect never wastes an allocation.
+        let batch = std::mem::take(&mut self.buf);
         let items = batch.len() as u64;
         let seq = self.next_seq;
         self.cost.charge_send();
@@ -231,6 +256,7 @@ impl<T> SendPort<T> {
             Ok(()) => {
                 self.next_seq += 1;
                 self.stats.record_packet(items, items * self.item_bytes);
+                self.buf = self.next_buf();
                 return Ok(());
             }
             Err(channel::TrySendError::Full(Packet::Data { batch, .. })) => batch,
@@ -245,6 +271,7 @@ impl<T> SendPort<T> {
         self.stats
             .record_send_stall_us(stalled.elapsed().as_micros() as u64);
         self.stats.record_packet(items, items * self.item_bytes);
+        self.buf = self.next_buf();
         Ok(())
     }
 
@@ -276,11 +303,12 @@ impl<T> SendPort<T> {
         if self.buf.is_empty() {
             return Ok(true);
         }
-        let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(self.batch));
+        let batch = std::mem::take(&mut self.buf);
         let seq = self.next_seq;
         match self.raw_try_send(seq, batch)? {
             None => {
                 self.next_seq += 1;
+                self.buf = self.next_buf();
                 Ok(true)
             }
             Some(batch) => {
@@ -320,7 +348,8 @@ impl<T> SendPort<T> {
                     // materializes), arriving out of order at the peer.
                     // Reporting `false` keeps pollers coming back until
                     // the held packet actually leaves.
-                    let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(self.batch));
+                    let fresh = self.next_buf();
+                    let batch = std::mem::replace(&mut self.buf, fresh);
                     let seq = self.next_seq;
                     self.next_seq += 1;
                     self.held = Some((seq, batch));
@@ -329,12 +358,13 @@ impl<T> SendPort<T> {
                     return Ok(false);
                 }
                 FaultDecision::None | FaultDecision::Duplicate => {
-                    let batch = std::mem::replace(&mut self.buf, Vec::with_capacity(self.batch));
+                    let batch = std::mem::take(&mut self.buf);
                     let seq = self.next_seq;
                     match self.raw_try_send(seq, batch)? {
                         None => {
                             self.next_seq += 1;
                             self.attempts = 0;
+                            self.buf = self.next_buf();
                             if decision == FaultDecision::Duplicate {
                                 // Best-effort ghost copy with the stale
                                 // seq; the receiver must discard it. (No
@@ -507,12 +537,21 @@ impl<T> RecvPort<T> {
         }
     }
 
-    /// Accepts one in-order batch into the delivery buffer.
-    fn accept(&mut self, batch: Vec<T>) {
+    /// Accepts one in-order batch into the delivery buffer and sends the
+    /// emptied buffer home for reuse.
+    fn accept(&mut self, mut batch: Vec<T>) {
         self.cost.charge_recv();
         let items = batch.len() as u64;
         self.stats.record_recv(items, items * self.item_bytes);
-        self.cur.extend(batch);
+        self.cur.extend(batch.drain(..));
+        self.recycle(batch);
+    }
+
+    /// Returns an emptied batch buffer to the sender's freelist; dropped
+    /// if the freelist is full or the sender is gone.
+    fn recycle(&mut self, mut batch: Vec<T>) {
+        batch.clear();
+        let _ = self.free_tx.try_send(batch);
     }
 
     /// Sequences one packet: dedup stale copies, stash early arrivals,
@@ -530,6 +569,7 @@ impl<T> RecvPort<T> {
                 if seq < self.expected_seq {
                     // Stale duplicate: already delivered under this seq.
                     self.stats.record_dup_discarded(batch.len() as u64);
+                    self.recycle(batch);
                     return;
                 }
                 if seq > self.expected_seq {
@@ -542,6 +582,7 @@ impl<T> RecvPort<T> {
                         }
                         std::collections::btree_map::Entry::Occupied(_) => {
                             self.stats.record_dup_discarded(batch.len() as u64);
+                            self.recycle(batch);
                         }
                     }
                     return;
@@ -729,6 +770,39 @@ mod tests {
             seen.push(v);
         }
         assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn batch_buffers_are_recycled_through_the_freelist() {
+        let (mut tx, mut rx) = channel::<u32>(4, 16);
+        for v in 0..4 {
+            tx.produce(v).unwrap(); // fills the batch: one packet ships
+        }
+        for _ in 0..4 {
+            rx.consume().unwrap();
+        }
+        // The receiver sends the drained husk home, emptied but with its
+        // capacity intact.
+        let husk = tx.free_rx.try_recv().expect("drained husk returned home");
+        assert!(husk.is_empty());
+        assert!(husk.capacity() >= 4);
+
+        // Round two (husk above was stolen by the test, so this ship
+        // allocates): the sender pulls the returned husk on its next ship.
+        for v in 0..4 {
+            tx.produce(v).unwrap();
+        }
+        for _ in 0..4 {
+            rx.consume().unwrap();
+        }
+        for v in 0..4 {
+            tx.produce(v).unwrap(); // ship reuses the freelisted husk
+        }
+        assert!(
+            tx.free_rx.try_recv().is_err(),
+            "husk taken for the next batch"
+        );
+        assert!(tx.buf.capacity() >= 4, "recycled buffer keeps capacity");
     }
 
     #[test]

@@ -49,11 +49,13 @@
 pub mod log;
 pub mod master;
 pub mod page;
+pub mod shard;
 pub mod spec;
 pub mod table;
 
 pub use log::{ReadLog, WriteLog};
 pub use master::MasterMem;
 pub use page::{Page, PageDiff};
+pub use shard::{partition_stream, shard_of};
 pub use spec::{AccessKind, AccessRecord, SpecMem};
 pub use table::{PageFault, PageState, PageTable};

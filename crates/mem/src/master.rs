@@ -4,18 +4,43 @@
 //! of the program, so its memory is always the single source of committed
 //! truth (§3.1). Pages are created zero-filled on first write (demand
 //! zero); [`MasterMem::page`] serves Copy-On-Access requests.
-
-use std::collections::HashMap;
+//!
+//! The page map is internally partitioned by [`shard_of`] into a fixed
+//! number of sub-maps so that group commit can apply a large write-set in
+//! parallel ([`MasterMem::commit_writes_parallel`]): each helper thread
+//! owns a disjoint partition of `PageId` space, mirroring how the paper's
+//! §3.2 parallel commit units each own part of the address space. The
+//! partition count is an interior detail — reads and sequential commits
+//! behave exactly as a single flat map would.
 
 use dsmtx_uva::{PageId, VAddr};
+use fxhash::FxHashMap;
 
 use crate::page::Page;
+use crate::shard::shard_of;
+
+/// Fixed interior partition count of the committed page map.
+const INTERNAL_SHARDS: usize = 8;
+
+/// Write-set size below which parallel apply is pure overhead: spawning a
+/// scoped thread costs far more than hashing a few thousand words.
+const PARALLEL_APPLY_MIN_WRITES: usize = 4096;
 
 /// Committed memory: the image COA fetches from and group commit updates.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MasterMem {
-    pages: HashMap<PageId, Page>,
+    /// `PageId` space hash-partitioned by `shard_of(page, INTERNAL_SHARDS)`.
+    shards: Vec<FxHashMap<PageId, Page>>,
     commits_applied: u64,
+}
+
+impl Default for MasterMem {
+    fn default() -> Self {
+        MasterMem {
+            shards: vec![FxHashMap::default(); INTERNAL_SHARDS],
+            commits_applied: 0,
+        }
+    }
 }
 
 impl MasterMem {
@@ -24,10 +49,15 @@ impl MasterMem {
         Self::default()
     }
 
+    #[inline]
+    fn map_of(&self, id: PageId) -> &FxHashMap<PageId, Page> {
+        &self.shards[shard_of(id, INTERNAL_SHARDS)]
+    }
+
     /// Reads the committed word at `addr` (zero if never written).
     #[inline]
     pub fn read(&self, addr: VAddr) -> u64 {
-        self.pages
+        self.map_of(addr.page())
             .get(&addr.page())
             .map_or(0, |p| p.word(addr.word_in_page()))
     }
@@ -35,8 +65,9 @@ impl MasterMem {
     /// Writes the committed word at `addr`, creating the page on demand.
     #[inline]
     pub fn write(&mut self, addr: VAddr, value: u64) {
-        self.pages
-            .entry(addr.page())
+        let id = addr.page();
+        self.shards[shard_of(id, INTERNAL_SHARDS)]
+            .entry(id)
             .or_default()
             .set_word(addr.word_in_page(), value);
     }
@@ -45,7 +76,7 @@ impl MasterMem {
     ///
     /// Unwritten pages read as zero pages, like fresh anonymous memory.
     pub fn page(&self, id: PageId) -> Page {
-        self.pages.get(&id).cloned().unwrap_or_default()
+        self.map_of(id).get(&id).cloned().unwrap_or_default()
     }
 
     /// Applies one MTX's write-set in program order (group transaction
@@ -61,6 +92,40 @@ impl MasterMem {
         self.commits_applied += 1;
     }
 
+    /// Like [`MasterMem::commit_writes`], but applies the interior page
+    /// partitions on scoped helper threads when the write-set is large
+    /// enough to amortize the spawns.
+    ///
+    /// Equivalent to the sequential path bit for bit: partitioning by page
+    /// keeps every address's updates on one thread in program order, so
+    /// last-writer-wins is preserved, and distinct partitions touch
+    /// disjoint pages.
+    pub fn commit_writes_parallel(&mut self, writes: Vec<(VAddr, u64)>) {
+        if writes.len() < PARALLEL_APPLY_MIN_WRITES {
+            self.commit_writes(writes);
+            return;
+        }
+        let mut buckets: Vec<Vec<(VAddr, u64)>> = vec![Vec::new(); INTERNAL_SHARDS];
+        for (addr, value) in writes {
+            buckets[shard_of(addr.page(), INTERNAL_SHARDS)].push((addr, value));
+        }
+        std::thread::scope(|scope| {
+            for (map, bucket) in self.shards.iter_mut().zip(buckets) {
+                if bucket.is_empty() {
+                    continue;
+                }
+                scope.spawn(move || {
+                    for (addr, value) in bucket {
+                        map.entry(addr.page())
+                            .or_default()
+                            .set_word(addr.word_in_page(), value);
+                    }
+                });
+            }
+        });
+        self.commits_applied += 1;
+    }
+
     /// Number of `commit_writes` calls so far (committed MTX count).
     pub fn commits_applied(&self) -> u64 {
         self.commits_applied
@@ -68,7 +133,19 @@ impl MasterMem {
 
     /// Number of materialized (non-zero-backed) pages.
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.shards.iter().map(FxHashMap::len).sum()
+    }
+
+    /// All materialized pages as `(id, words)` pairs, sorted by page id —
+    /// a canonical snapshot for differential comparison across runs.
+    pub fn snapshot(&self) -> Vec<(PageId, Page)> {
+        let mut pages: Vec<(PageId, Page)> = self
+            .shards
+            .iter()
+            .flat_map(|m| m.iter().map(|(id, p)| (*id, p.clone())))
+            .collect();
+        pages.sort_by_key(|(id, _)| *id);
+        pages
     }
 }
 
@@ -124,5 +201,40 @@ mod tests {
         assert_eq!(m.resident_pages(), 0);
         m.write(a(0), 1);
         assert_eq!(m.resident_pages(), 1);
+    }
+
+    #[test]
+    fn parallel_commit_matches_sequential() {
+        // Large enough to take the scoped-thread path, with repeated
+        // addresses so last-writer-wins is exercised.
+        let writes: Vec<(VAddr, u64)> = (0..10_000u64).map(|i| (a((i % 3000) * 8), i)).collect();
+        let mut seq = MasterMem::new();
+        seq.commit_writes(writes.clone());
+        let mut par = MasterMem::new();
+        par.commit_writes_parallel(writes);
+        assert_eq!(seq.snapshot(), par.snapshot());
+        assert_eq!(par.commits_applied(), 1);
+    }
+
+    #[test]
+    fn small_write_sets_stay_sequential_and_correct() {
+        let mut m = MasterMem::new();
+        m.commit_writes_parallel(vec![(a(8), 1), (a(8), 2)]);
+        assert_eq!(m.read(a(8)), 2);
+        assert_eq!(m.commits_applied(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let mut m = MasterMem::new();
+        for p in [9u64, 3, 7, 1] {
+            m.write(a(p * 4096), p);
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.len(), 4);
+        let ids: Vec<u64> = snap.iter().map(|(id, _)| id.0).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
     }
 }

@@ -1,0 +1,143 @@
+//! Address-partitioned sharding of speculation-unit work.
+//!
+//! §3.2 of the paper notes the validation and commit "algorithms … are
+//! parallelizable": value-based validation of a load depends only on the
+//! prior stores to the *same address*, so the access stream of a subTX can
+//! be split across N try-commit shards as long as every access to a given
+//! page always lands on the same shard. [`shard_of`] is that routing
+//! function — a pure, process-independent hash partition of [`PageId`]
+//! space — and [`partition_stream`] applies it to a drained access log,
+//! preserving program order within each shard.
+//!
+//! Stability matters twice over: workers and try-commit shards live on
+//! different threads (in the paper, different nodes) and must agree on the
+//! partition without communicating, and the differential tests assert that
+//! runs at different shard counts commit byte-identical memory — which
+//! only holds if routing is deterministic.
+
+use dsmtx_uva::PageId;
+
+use crate::spec::AccessRecord;
+
+/// Fibonacci-hashing multiplier (2^64 / φ), chosen so that the high bits
+/// mix even when page ids are small and sequential — the common case for
+/// dense arrays starting at offset 0.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The try-commit shard responsible for `page` when `n_shards` shards run.
+///
+/// Always 0 for `n_shards <= 1` (the single-unit configuration). The
+/// function is pure and stable: every thread and every run computes the
+/// same partition.
+#[inline]
+pub fn shard_of(page: PageId, n_shards: usize) -> usize {
+    if n_shards <= 1 {
+        return 0;
+    }
+    let mixed = (page.0.wrapping_mul(GOLDEN) >> 32) as usize;
+    mixed % n_shards
+}
+
+/// Splits a program-ordered access stream into `n_shards` per-shard
+/// streams routed by [`shard_of`].
+///
+/// Relative order of records within each returned stream matches the
+/// input stream, which is all value-based validation needs: a load of
+/// page P is validated against exactly the stores to page P, and those
+/// are on the same shard in the same order.
+pub fn partition_stream(records: &[AccessRecord], n_shards: usize) -> Vec<Vec<AccessRecord>> {
+    let mut out: Vec<Vec<AccessRecord>> = vec![Vec::new(); n_shards.max(1)];
+    for r in records {
+        out[shard_of(r.addr.page(), n_shards)].push(*r);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::AccessKind;
+    use dsmtx_uva::{OwnerId, VAddr, PAGE_BYTES};
+
+    fn rec(page: u64, value: u64, kind: AccessKind) -> AccessRecord {
+        AccessRecord {
+            addr: VAddr::new(OwnerId(0), page * PAGE_BYTES),
+            value,
+            kind,
+        }
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        for p in 0..64 {
+            assert_eq!(shard_of(PageId(p), 0), 0);
+            assert_eq!(shard_of(PageId(p), 1), 0);
+        }
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for n in [2usize, 3, 4, 7, 8] {
+            for p in 0..256u64 {
+                let s = shard_of(PageId(p), n);
+                assert!(s < n);
+                assert_eq!(s, shard_of(PageId(p), n), "must be deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_pages_spread_across_shards() {
+        // Dense sequential page ids (the common array layout) must not
+        // all collapse onto one shard.
+        for n in [2usize, 4, 8] {
+            let mut counts = vec![0usize; n];
+            for p in 0..1024u64 {
+                counts[shard_of(PageId(p), n)] += 1;
+            }
+            for (s, &c) in counts.iter().enumerate() {
+                assert!(c > 0, "shard {s} of {n} received no pages");
+                // Within 25% of a perfectly even split.
+                let even = 1024 / n;
+                assert!(
+                    c <= even + even / 4,
+                    "shard {s} of {n} got {c}/1024 pages (even split {even})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_preserves_order_and_covers_input() {
+        let stream: Vec<AccessRecord> = (0..100)
+            .map(|i| {
+                rec(
+                    i % 7,
+                    i,
+                    if i % 3 == 0 {
+                        AccessKind::Store
+                    } else {
+                        AccessKind::Load
+                    },
+                )
+            })
+            .collect();
+        for n in [1usize, 2, 4] {
+            let parts = partition_stream(&stream, n);
+            assert_eq!(parts.len(), n);
+            // Every record lands on exactly the shard of its page.
+            let total: usize = parts.iter().map(Vec::len).sum();
+            assert_eq!(total, stream.len());
+            for (s, part) in parts.iter().enumerate() {
+                for r in part {
+                    assert_eq!(shard_of(r.addr.page(), n), s);
+                }
+                // Order within the shard follows program order (values
+                // were assigned monotonically).
+                for w in part.windows(2) {
+                    assert!(w[0].value < w[1].value);
+                }
+            }
+        }
+    }
+}

@@ -16,9 +16,8 @@
 //! re-applied when the page is eventually fetched, so committed page
 //! content and newer forwarded words never clobber one another.
 
-use std::collections::HashMap;
-
 use dsmtx_uva::{PageId, VAddr};
+use fxhash::FxHashMap;
 
 use crate::page::Page;
 use crate::table::PageTable;
@@ -48,8 +47,9 @@ pub struct AccessRecord {
 pub struct SpecMem {
     table: PageTable,
     /// Forwarded words for pages not yet resident: page → (word, value) in
-    /// arrival order.
-    pending: HashMap<PageId, Vec<(usize, u64)>>,
+    /// arrival order. Fx-hashed: interior keys, replayed on the
+    /// validation hot path.
+    pending: FxHashMap<PageId, Vec<(usize, u64)>>,
     /// Program-ordered access log of the current subTX.
     log: Vec<AccessRecord>,
 }

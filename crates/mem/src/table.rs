@@ -8,9 +8,8 @@
 //! [`PageTable::protect_all`], dropping all resident pages so that COA
 //! refetches committed state.
 
-use std::collections::HashMap;
-
 use dsmtx_uva::{PageId, VAddr};
+use fxhash::FxHashMap;
 
 use crate::page::Page;
 
@@ -49,7 +48,9 @@ pub enum PageState {
 /// `protect_all` therefore just clears the map.
 #[derive(Debug, Default)]
 pub struct PageTable {
-    pages: HashMap<PageId, (Page, bool)>,
+    /// Fx-hashed: `PageId` keys are interior and trusted, and the table
+    /// sits on the per-access fast path of every speculative load/store.
+    pages: FxHashMap<PageId, (Page, bool)>,
     /// Pages fetched via COA since the last reset (for statistics).
     faults_served: u64,
 }

@@ -62,6 +62,24 @@ pub mod schema {
     /// Disconnected channels reported while running (typed shutdowns).
     pub const RUN_CHANNEL_DOWNS: &str = "run.channel_downs";
 
+    /// Per-try-commit-shard metrics (§3.2 parallel speculation units),
+    /// labeled `shard`. At `unit_shards = 1` the single shard carries
+    /// the whole validation plane.
+    ///
+    /// Arrival of a subTX's validation stream to the start of its
+    /// program-order replay (how far the shard's image lags the workers).
+    pub const SHARD_REPLAY_LAG_US: &str = "shard.replay_lag_us";
+    /// Arrival of an MTX's final-stage stream to its verdict send.
+    pub const SHARD_VERDICT_LATENCY_US: &str = "shard.verdict_latency_us";
+    /// Busy fraction of the shard's thread, parts per million.
+    pub const SHARD_OCCUPANCY_PPM: &str = "shard.occupancy_ppm";
+    /// MTXs this shard validated (sent `VerdictOk` for).
+    pub const SHARD_VALIDATED: &str = "shard.validated";
+    /// Conflicts this shard detected in its page partition.
+    pub const SHARD_CONFLICTS: &str = "shard.conflicts";
+    /// COA pages this shard fetched into its replay image.
+    pub const SHARD_COA_FETCHES: &str = "shard.coa_fetches";
+
     /// Fabric counters (send and recv side) and distributions.
     pub const FABRIC_SENT_PACKETS: &str = "fabric.sent_packets";
     pub const FABRIC_SENT_ITEMS: &str = "fabric.sent_items";

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-feef45867e2c3f76.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/ablations-feef45867e2c3f76: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

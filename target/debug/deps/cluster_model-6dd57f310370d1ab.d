@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster_model-6dd57f310370d1ab.d: examples/cluster_model.rs
+
+/root/repo/target/debug/deps/cluster_model-6dd57f310370d1ab: examples/cluster_model.rs
+
+examples/cluster_model.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cluster_model-c1f3edd58c262ef3.d: examples/cluster_model.rs
+
+/root/repo/target/debug/deps/cluster_model-c1f3edd58c262ef3: examples/cluster_model.rs
+
+examples/cluster_model.rs:

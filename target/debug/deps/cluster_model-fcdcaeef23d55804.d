@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cluster_model-fcdcaeef23d55804.d: examples/cluster_model.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster_model-fcdcaeef23d55804.rmeta: examples/cluster_model.rs Cargo.toml
+
+examples/cluster_model.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

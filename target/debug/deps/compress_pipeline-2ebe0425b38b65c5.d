@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compress_pipeline-2ebe0425b38b65c5.d: examples/compress_pipeline.rs
+
+/root/repo/target/debug/deps/compress_pipeline-2ebe0425b38b65c5: examples/compress_pipeline.rs
+
+examples/compress_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compress_pipeline-859cdb1c71a75c09.d: examples/compress_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompress_pipeline-859cdb1c71a75c09.rmeta: examples/compress_pipeline.rs Cargo.toml
+
+examples/compress_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

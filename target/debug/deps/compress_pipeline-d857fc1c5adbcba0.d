@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compress_pipeline-d857fc1c5adbcba0.d: examples/compress_pipeline.rs
+
+/root/repo/target/debug/deps/compress_pipeline-d857fc1c5adbcba0: examples/compress_pipeline.rs
+
+examples/compress_pipeline.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/dsmtx-1b63d3382545c18c.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/commit.rs crates/core/src/config.rs crates/core/src/control.rs crates/core/src/ids.rs crates/core/src/poll.rs crates/core/src/program.rs crates/core/src/report.rs crates/core/src/system.rs crates/core/src/trace.rs crates/core/src/trycommit.rs crates/core/src/wire.rs crates/core/src/worker.rs
+
+/root/repo/target/debug/deps/libdsmtx-1b63d3382545c18c.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/commit.rs crates/core/src/config.rs crates/core/src/control.rs crates/core/src/ids.rs crates/core/src/poll.rs crates/core/src/program.rs crates/core/src/report.rs crates/core/src/system.rs crates/core/src/trace.rs crates/core/src/trycommit.rs crates/core/src/wire.rs crates/core/src/worker.rs
+
+/root/repo/target/debug/deps/libdsmtx-1b63d3382545c18c.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/commit.rs crates/core/src/config.rs crates/core/src/control.rs crates/core/src/ids.rs crates/core/src/poll.rs crates/core/src/program.rs crates/core/src/report.rs crates/core/src/system.rs crates/core/src/trace.rs crates/core/src/trycommit.rs crates/core/src/wire.rs crates/core/src/worker.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/commit.rs:
+crates/core/src/config.rs:
+crates/core/src/control.rs:
+crates/core/src/ids.rs:
+crates/core/src/poll.rs:
+crates/core/src/program.rs:
+crates/core/src/report.rs:
+crates/core/src/system.rs:
+crates/core/src/trace.rs:
+crates/core/src/trycommit.rs:
+crates/core/src/wire.rs:
+crates/core/src/worker.rs:

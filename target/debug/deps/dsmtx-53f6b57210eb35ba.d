@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dsmtx-53f6b57210eb35ba.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/commit.rs crates/core/src/config.rs crates/core/src/control.rs crates/core/src/ids.rs crates/core/src/poll.rs crates/core/src/program.rs crates/core/src/report.rs crates/core/src/system.rs crates/core/src/trace.rs crates/core/src/trycommit.rs crates/core/src/wire.rs crates/core/src/worker.rs
+
+/root/repo/target/debug/deps/dsmtx-53f6b57210eb35ba: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/commit.rs crates/core/src/config.rs crates/core/src/control.rs crates/core/src/ids.rs crates/core/src/poll.rs crates/core/src/program.rs crates/core/src/report.rs crates/core/src/system.rs crates/core/src/trace.rs crates/core/src/trycommit.rs crates/core/src/wire.rs crates/core/src/worker.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/commit.rs:
+crates/core/src/config.rs:
+crates/core/src/control.rs:
+crates/core/src/ids.rs:
+crates/core/src/poll.rs:
+crates/core/src/program.rs:
+crates/core/src/report.rs:
+crates/core/src/system.rs:
+crates/core/src/trace.rs:
+crates/core/src/trycommit.rs:
+crates/core/src/wire.rs:
+crates/core/src/worker.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/dsmtx-8ca024f6f5efada9.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/commit.rs crates/core/src/config.rs crates/core/src/control.rs crates/core/src/ids.rs crates/core/src/poll.rs crates/core/src/program.rs crates/core/src/report.rs crates/core/src/system.rs crates/core/src/trace.rs crates/core/src/trycommit.rs crates/core/src/wire.rs crates/core/src/worker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsmtx-8ca024f6f5efada9.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/commit.rs crates/core/src/config.rs crates/core/src/control.rs crates/core/src/ids.rs crates/core/src/poll.rs crates/core/src/program.rs crates/core/src/report.rs crates/core/src/system.rs crates/core/src/trace.rs crates/core/src/trycommit.rs crates/core/src/wire.rs crates/core/src/worker.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/commit.rs:
+crates/core/src/config.rs:
+crates/core/src/control.rs:
+crates/core/src/ids.rs:
+crates/core/src/poll.rs:
+crates/core/src/program.rs:
+crates/core/src/report.rs:
+crates/core/src/system.rs:
+crates/core/src/trace.rs:
+crates/core/src/trycommit.rs:
+crates/core/src/wire.rs:
+crates/core/src/worker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dsmtx_bench-7c63d962f19af192.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/shardsweep.rs crates/bench/src/tracedemo.rs
+
+/root/repo/target/debug/deps/dsmtx_bench-7c63d962f19af192: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/shardsweep.rs crates/bench/src/tracedemo.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/format.rs:
+crates/bench/src/queuebench.rs:
+crates/bench/src/shardsweep.rs:
+crates/bench/src/tracedemo.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dsmtx_integration_tests-2c7222cc8382d7e2.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/dsmtx_integration_tests-2c7222cc8382d7e2: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dsmtx_integration_tests-b90537f2c7b7155b.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libdsmtx_integration_tests-b90537f2c7b7155b.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libdsmtx_integration_tests-b90537f2c7b7155b.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dsmtx_integration_tests-ed85be01a8c45711.d: tests/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsmtx_integration_tests-ed85be01a8c45711.rmeta: tests/src/lib.rs Cargo.toml
+
+tests/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

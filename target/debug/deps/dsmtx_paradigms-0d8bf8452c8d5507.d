@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dsmtx_paradigms-0d8bf8452c8d5507.d: crates/paradigms/src/lib.rs crates/paradigms/src/executor.rs crates/paradigms/src/paradigm.rs
+
+/root/repo/target/debug/deps/dsmtx_paradigms-0d8bf8452c8d5507: crates/paradigms/src/lib.rs crates/paradigms/src/executor.rs crates/paradigms/src/paradigm.rs
+
+crates/paradigms/src/lib.rs:
+crates/paradigms/src/executor.rs:
+crates/paradigms/src/paradigm.rs:

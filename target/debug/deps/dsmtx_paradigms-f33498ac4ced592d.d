@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dsmtx_paradigms-f33498ac4ced592d.d: crates/paradigms/src/lib.rs crates/paradigms/src/executor.rs crates/paradigms/src/paradigm.rs
+
+/root/repo/target/debug/deps/libdsmtx_paradigms-f33498ac4ced592d.rlib: crates/paradigms/src/lib.rs crates/paradigms/src/executor.rs crates/paradigms/src/paradigm.rs
+
+/root/repo/target/debug/deps/libdsmtx_paradigms-f33498ac4ced592d.rmeta: crates/paradigms/src/lib.rs crates/paradigms/src/executor.rs crates/paradigms/src/paradigm.rs
+
+crates/paradigms/src/lib.rs:
+crates/paradigms/src/executor.rs:
+crates/paradigms/src/paradigm.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/dsmtx_workloads-316afad2dc4e9d47.d: crates/workloads/src/lib.rs crates/workloads/src/common.rs crates/workloads/src/registry.rs crates/workloads/src/alvinn.rs crates/workloads/src/art.rs crates/workloads/src/blackscholes.rs crates/workloads/src/bzip2.rs crates/workloads/src/crc32.rs crates/workloads/src/gzip.rs crates/workloads/src/h264ref.rs crates/workloads/src/hmmer.rs crates/workloads/src/li.rs crates/workloads/src/parser.rs crates/workloads/src/swaptions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdsmtx_workloads-316afad2dc4e9d47.rmeta: crates/workloads/src/lib.rs crates/workloads/src/common.rs crates/workloads/src/registry.rs crates/workloads/src/alvinn.rs crates/workloads/src/art.rs crates/workloads/src/blackscholes.rs crates/workloads/src/bzip2.rs crates/workloads/src/crc32.rs crates/workloads/src/gzip.rs crates/workloads/src/h264ref.rs crates/workloads/src/hmmer.rs crates/workloads/src/li.rs crates/workloads/src/parser.rs crates/workloads/src/swaptions.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/common.rs:
+crates/workloads/src/registry.rs:
+crates/workloads/src/alvinn.rs:
+crates/workloads/src/art.rs:
+crates/workloads/src/blackscholes.rs:
+crates/workloads/src/bzip2.rs:
+crates/workloads/src/crc32.rs:
+crates/workloads/src/gzip.rs:
+crates/workloads/src/h264ref.rs:
+crates/workloads/src/hmmer.rs:
+crates/workloads/src/li.rs:
+crates/workloads/src/parser.rs:
+crates/workloads/src/swaptions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

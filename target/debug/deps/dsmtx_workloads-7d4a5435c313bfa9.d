@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dsmtx_workloads-7d4a5435c313bfa9.d: crates/workloads/src/lib.rs crates/workloads/src/common.rs crates/workloads/src/registry.rs crates/workloads/src/alvinn.rs crates/workloads/src/art.rs crates/workloads/src/blackscholes.rs crates/workloads/src/bzip2.rs crates/workloads/src/crc32.rs crates/workloads/src/gzip.rs crates/workloads/src/h264ref.rs crates/workloads/src/hmmer.rs crates/workloads/src/li.rs crates/workloads/src/parser.rs crates/workloads/src/swaptions.rs
+
+/root/repo/target/debug/deps/dsmtx_workloads-7d4a5435c313bfa9: crates/workloads/src/lib.rs crates/workloads/src/common.rs crates/workloads/src/registry.rs crates/workloads/src/alvinn.rs crates/workloads/src/art.rs crates/workloads/src/blackscholes.rs crates/workloads/src/bzip2.rs crates/workloads/src/crc32.rs crates/workloads/src/gzip.rs crates/workloads/src/h264ref.rs crates/workloads/src/hmmer.rs crates/workloads/src/li.rs crates/workloads/src/parser.rs crates/workloads/src/swaptions.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/common.rs:
+crates/workloads/src/registry.rs:
+crates/workloads/src/alvinn.rs:
+crates/workloads/src/art.rs:
+crates/workloads/src/blackscholes.rs:
+crates/workloads/src/bzip2.rs:
+crates/workloads/src/crc32.rs:
+crates/workloads/src/gzip.rs:
+crates/workloads/src/h264ref.rs:
+crates/workloads/src/hmmer.rs:
+crates/workloads/src/li.rs:
+crates/workloads/src/parser.rs:
+crates/workloads/src/swaptions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_latency_tolerance-02a093cd4187a877.d: crates/bench/benches/fig1_latency_tolerance.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_latency_tolerance-02a093cd4187a877.rmeta: crates/bench/benches/fig1_latency_tolerance.rs Cargo.toml
+
+crates/bench/benches/fig1_latency_tolerance.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_scalability-bfa8903c5e2ddfcc.d: crates/bench/benches/fig4_scalability.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_scalability-bfa8903c5e2ddfcc.rmeta: crates/bench/benches/fig4_scalability.rs Cargo.toml
+
+crates/bench/benches/fig4_scalability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_scalability-df794c47a8759d28.d: crates/bench/benches/fig4_scalability.rs
+
+/root/repo/target/debug/deps/fig4_scalability-df794c47a8759d28: crates/bench/benches/fig4_scalability.rs
+
+crates/bench/benches/fig4_scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_bandwidth_batching-4b03471aa5ffd74c.d: crates/bench/benches/fig5_bandwidth_batching.rs
+
+/root/repo/target/debug/deps/fig5_bandwidth_batching-4b03471aa5ffd74c: crates/bench/benches/fig5_bandwidth_batching.rs
+
+crates/bench/benches/fig5_bandwidth_batching.rs:

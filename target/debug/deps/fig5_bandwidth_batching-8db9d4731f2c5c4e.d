@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_bandwidth_batching-8db9d4731f2c5c4e.d: crates/bench/benches/fig5_bandwidth_batching.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_bandwidth_batching-8db9d4731f2c5c4e.rmeta: crates/bench/benches/fig5_bandwidth_batching.rs Cargo.toml
+
+crates/bench/benches/fig5_bandwidth_batching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

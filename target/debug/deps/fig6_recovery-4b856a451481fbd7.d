@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_recovery-4b856a451481fbd7.d: crates/bench/benches/fig6_recovery.rs
+
+/root/repo/target/debug/deps/fig6_recovery-4b856a451481fbd7: crates/bench/benches/fig6_recovery.rs
+
+crates/bench/benches/fig6_recovery.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_recovery-bf64f9520fde86f4.d: crates/bench/benches/fig6_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_recovery-bf64f9520fde86f4.rmeta: crates/bench/benches/fig6_recovery.rs Cargo.toml
+
+crates/bench/benches/fig6_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fxhash-7efb0aad956aad87.d: vendor/fxhash/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfxhash-7efb0aad956aad87.rmeta: vendor/fxhash/src/lib.rs Cargo.toml
+
+vendor/fxhash/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

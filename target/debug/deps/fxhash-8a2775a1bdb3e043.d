@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fxhash-8a2775a1bdb3e043.d: vendor/fxhash/src/lib.rs
+
+/root/repo/target/debug/deps/fxhash-8a2775a1bdb3e043: vendor/fxhash/src/lib.rs
+
+vendor/fxhash/src/lib.rs:

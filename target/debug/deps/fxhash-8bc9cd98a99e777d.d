@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fxhash-8bc9cd98a99e777d.d: vendor/fxhash/src/lib.rs
+
+/root/repo/target/debug/deps/libfxhash-8bc9cd98a99e777d.rlib: vendor/fxhash/src/lib.rs
+
+/root/repo/target/debug/deps/libfxhash-8bc9cd98a99e777d.rmeta: vendor/fxhash/src/lib.rs
+
+vendor/fxhash/src/lib.rs:

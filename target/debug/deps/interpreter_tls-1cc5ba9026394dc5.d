@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interpreter_tls-1cc5ba9026394dc5.d: examples/interpreter_tls.rs
+
+/root/repo/target/debug/deps/interpreter_tls-1cc5ba9026394dc5: examples/interpreter_tls.rs
+
+examples/interpreter_tls.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interpreter_tls-5fe50d429075d37b.d: examples/interpreter_tls.rs
+
+/root/repo/target/debug/deps/interpreter_tls-5fe50d429075d37b: examples/interpreter_tls.rs
+
+examples/interpreter_tls.rs:

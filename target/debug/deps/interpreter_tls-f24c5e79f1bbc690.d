@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interpreter_tls-f24c5e79f1bbc690.d: examples/interpreter_tls.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterpreter_tls-f24c5e79f1bbc690.rmeta: examples/interpreter_tls.rs Cargo.toml
+
+examples/interpreter_tls.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

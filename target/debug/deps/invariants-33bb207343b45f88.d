@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/invariants-33bb207343b45f88.d: tests/tests/invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinvariants-33bb207343b45f88.rmeta: tests/tests/invariants.rs Cargo.toml
+
+tests/tests/invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-87f9f0d88de70a17.d: tests/tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-87f9f0d88de70a17: tests/tests/invariants.rs
+
+tests/tests/invariants.rs:

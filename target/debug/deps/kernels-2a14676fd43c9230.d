@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernels-2a14676fd43c9230.d: tests/tests/kernels.rs
+
+/root/repo/target/debug/deps/kernels-2a14676fd43c9230: tests/tests/kernels.rs
+
+tests/tests/kernels.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernels-4fe14dd63ff5598e.d: tests/tests/kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels-4fe14dd63ff5598e.rmeta: tests/tests/kernels.rs Cargo.toml
+
+tests/tests/kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

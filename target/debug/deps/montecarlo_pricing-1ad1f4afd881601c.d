@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/montecarlo_pricing-1ad1f4afd881601c.d: examples/montecarlo_pricing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmontecarlo_pricing-1ad1f4afd881601c.rmeta: examples/montecarlo_pricing.rs Cargo.toml
+
+examples/montecarlo_pricing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

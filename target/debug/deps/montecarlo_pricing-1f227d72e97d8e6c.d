@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/montecarlo_pricing-1f227d72e97d8e6c.d: examples/montecarlo_pricing.rs
+
+/root/repo/target/debug/deps/montecarlo_pricing-1f227d72e97d8e6c: examples/montecarlo_pricing.rs
+
+examples/montecarlo_pricing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/montecarlo_pricing-3aca7a828da37627.d: examples/montecarlo_pricing.rs
+
+/root/repo/target/debug/deps/montecarlo_pricing-3aca7a828da37627: examples/montecarlo_pricing.rs
+
+examples/montecarlo_pricing.rs:

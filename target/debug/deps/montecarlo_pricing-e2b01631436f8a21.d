@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/montecarlo_pricing-e2b01631436f8a21.d: examples/montecarlo_pricing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmontecarlo_pricing-e2b01631436f8a21.rmeta: examples/montecarlo_pricing.rs Cargo.toml
+
+examples/montecarlo_pricing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/queue_throughput-c0e6b1b2e72710e0.d: crates/bench/benches/queue_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libqueue_throughput-c0e6b1b2e72710e0.rmeta: crates/bench/benches/queue_throughput.rs Cargo.toml
+
+crates/bench/benches/queue_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

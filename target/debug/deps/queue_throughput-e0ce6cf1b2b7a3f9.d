@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/queue_throughput-e0ce6cf1b2b7a3f9.d: crates/bench/benches/queue_throughput.rs
+
+/root/repo/target/debug/deps/queue_throughput-e0ce6cf1b2b7a3f9: crates/bench/benches/queue_throughput.rs
+
+crates/bench/benches/queue_throughput.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/quickstart-837cf21698f04a3f.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/deps/libquickstart-837cf21698f04a3f.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-86482cbb4e9dfe62.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-86482cbb4e9dfe62: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quickstart-acbf5ea2767de440.d: examples/quickstart.rs
+
+/root/repo/target/debug/deps/quickstart-acbf5ea2767de440: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/recovery_stress-1c7ad8f0bc176bda.d: tests/tests/recovery_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/librecovery_stress-1c7ad8f0bc176bda.rmeta: tests/tests/recovery_stress.rs Cargo.toml
+
+tests/tests/recovery_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/recovery_stress-40038c640bd4fd81.d: tests/tests/recovery_stress.rs
+
+/root/repo/target/debug/deps/recovery_stress-40038c640bd4fd81: tests/tests/recovery_stress.rs
+
+tests/tests/recovery_stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-56c94f87ed5763c6.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-56c94f87ed5763c6: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-7fbc658f5feed5cc.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-7fbc658f5feed5cc: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

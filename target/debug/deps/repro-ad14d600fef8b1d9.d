@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-ad14d600fef8b1d9.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-ad14d600fef8b1d9: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

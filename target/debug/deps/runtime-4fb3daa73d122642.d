@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime-4fb3daa73d122642.d: crates/core/tests/runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime-4fb3daa73d122642.rmeta: crates/core/tests/runtime.rs Cargo.toml
+
+crates/core/tests/runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

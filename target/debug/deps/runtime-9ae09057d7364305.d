@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime-9ae09057d7364305.d: crates/core/tests/runtime.rs
+
+/root/repo/target/debug/deps/runtime-9ae09057d7364305: crates/core/tests/runtime.rs
+
+crates/core/tests/runtime.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_microbench-3a27944c6d81d35a.d: crates/bench/benches/runtime_microbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_microbench-3a27944c6d81d35a.rmeta: crates/bench/benches/runtime_microbench.rs Cargo.toml
+
+crates/bench/benches/runtime_microbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_microbench-8995f663d17b994f.d: crates/bench/benches/runtime_microbench.rs
+
+/root/repo/target/debug/deps/runtime_microbench-8995f663d17b994f: crates/bench/benches/runtime_microbench.rs
+
+crates/bench/benches/runtime_microbench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_props-193787e240a5a3f9.d: tests/tests/runtime_props.rs
+
+/root/repo/target/debug/deps/runtime_props-193787e240a5a3f9: tests/tests/runtime_props.rs
+
+tests/tests/runtime_props.rs:

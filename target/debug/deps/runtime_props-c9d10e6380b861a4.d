@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_props-c9d10e6380b861a4.d: tests/tests/runtime_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_props-c9d10e6380b861a4.rmeta: tests/tests/runtime_props.rs Cargo.toml
+
+tests/tests/runtime_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

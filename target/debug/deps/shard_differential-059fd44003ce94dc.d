@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/shard_differential-059fd44003ce94dc.d: tests/tests/shard_differential.rs
+
+/root/repo/target/debug/deps/shard_differential-059fd44003ce94dc: tests/tests/shard_differential.rs
+
+tests/tests/shard_differential.rs:

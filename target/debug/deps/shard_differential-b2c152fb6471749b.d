@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/shard_differential-b2c152fb6471749b.d: tests/tests/shard_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libshard_differential-b2c152fb6471749b.rmeta: tests/tests/shard_differential.rs Cargo.toml
+
+tests/tests/shard_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

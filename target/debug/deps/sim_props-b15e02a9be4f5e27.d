@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim_props-b15e02a9be4f5e27.d: tests/tests/sim_props.rs
+
+/root/repo/target/debug/deps/sim_props-b15e02a9be4f5e27: tests/tests/sim_props.rs
+
+tests/tests/sim_props.rs:

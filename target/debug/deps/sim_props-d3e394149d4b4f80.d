@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_props-d3e394149d4b4f80.d: tests/tests/sim_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_props-d3e394149d4b4f80.rmeta: tests/tests/sim_props.rs Cargo.toml
+
+tests/tests/sim_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/cluster_model-c721494a57995c72.d: examples/cluster_model.rs
+
+/root/repo/target/release/deps/cluster_model-c721494a57995c72: examples/cluster_model.rs
+
+examples/cluster_model.rs:

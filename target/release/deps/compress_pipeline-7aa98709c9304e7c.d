@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/compress_pipeline-7aa98709c9304e7c.d: examples/compress_pipeline.rs
+
+/root/repo/target/release/deps/compress_pipeline-7aa98709c9304e7c: examples/compress_pipeline.rs
+
+examples/compress_pipeline.rs:

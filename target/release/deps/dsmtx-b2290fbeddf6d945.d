@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/dsmtx-b2290fbeddf6d945.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/commit.rs crates/core/src/config.rs crates/core/src/control.rs crates/core/src/ids.rs crates/core/src/poll.rs crates/core/src/program.rs crates/core/src/report.rs crates/core/src/system.rs crates/core/src/trace.rs crates/core/src/trycommit.rs crates/core/src/wire.rs crates/core/src/worker.rs
+
+/root/repo/target/release/deps/libdsmtx-b2290fbeddf6d945.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/commit.rs crates/core/src/config.rs crates/core/src/control.rs crates/core/src/ids.rs crates/core/src/poll.rs crates/core/src/program.rs crates/core/src/report.rs crates/core/src/system.rs crates/core/src/trace.rs crates/core/src/trycommit.rs crates/core/src/wire.rs crates/core/src/worker.rs
+
+/root/repo/target/release/deps/libdsmtx-b2290fbeddf6d945.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/commit.rs crates/core/src/config.rs crates/core/src/control.rs crates/core/src/ids.rs crates/core/src/poll.rs crates/core/src/program.rs crates/core/src/report.rs crates/core/src/system.rs crates/core/src/trace.rs crates/core/src/trycommit.rs crates/core/src/wire.rs crates/core/src/worker.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/commit.rs:
+crates/core/src/config.rs:
+crates/core/src/control.rs:
+crates/core/src/ids.rs:
+crates/core/src/poll.rs:
+crates/core/src/program.rs:
+crates/core/src/report.rs:
+crates/core/src/system.rs:
+crates/core/src/trace.rs:
+crates/core/src/trycommit.rs:
+crates/core/src/wire.rs:
+crates/core/src/worker.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dsmtx_fabric-a3f4e93e8d4b90c6.d: crates/fabric/src/lib.rs crates/fabric/src/barrier.rs crates/fabric/src/cost.rs crates/fabric/src/error.rs crates/fabric/src/fault.rs crates/fabric/src/mesh.rs crates/fabric/src/queue.rs crates/fabric/src/stats.rs
+
+/root/repo/target/release/deps/libdsmtx_fabric-a3f4e93e8d4b90c6.rlib: crates/fabric/src/lib.rs crates/fabric/src/barrier.rs crates/fabric/src/cost.rs crates/fabric/src/error.rs crates/fabric/src/fault.rs crates/fabric/src/mesh.rs crates/fabric/src/queue.rs crates/fabric/src/stats.rs
+
+/root/repo/target/release/deps/libdsmtx_fabric-a3f4e93e8d4b90c6.rmeta: crates/fabric/src/lib.rs crates/fabric/src/barrier.rs crates/fabric/src/cost.rs crates/fabric/src/error.rs crates/fabric/src/fault.rs crates/fabric/src/mesh.rs crates/fabric/src/queue.rs crates/fabric/src/stats.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/barrier.rs:
+crates/fabric/src/cost.rs:
+crates/fabric/src/error.rs:
+crates/fabric/src/fault.rs:
+crates/fabric/src/mesh.rs:
+crates/fabric/src/queue.rs:
+crates/fabric/src/stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dsmtx_integration_tests-b390c018efac84a6.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libdsmtx_integration_tests-b390c018efac84a6.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libdsmtx_integration_tests-b390c018efac84a6.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

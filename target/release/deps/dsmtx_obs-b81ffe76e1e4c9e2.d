@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dsmtx_obs-b81ffe76e1e4c9e2.d: crates/obs/src/lib.rs crates/obs/src/chrome.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs
+
+/root/repo/target/release/deps/libdsmtx_obs-b81ffe76e1e4c9e2.rlib: crates/obs/src/lib.rs crates/obs/src/chrome.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs
+
+/root/repo/target/release/deps/libdsmtx_obs-b81ffe76e1e4c9e2.rmeta: crates/obs/src/lib.rs crates/obs/src/chrome.rs crates/obs/src/hist.rs crates/obs/src/json.rs crates/obs/src/metrics.rs
+
+crates/obs/src/lib.rs:
+crates/obs/src/chrome.rs:
+crates/obs/src/hist.rs:
+crates/obs/src/json.rs:
+crates/obs/src/metrics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dsmtx_paradigms-0c07ab3cc481d9fe.d: crates/paradigms/src/lib.rs crates/paradigms/src/executor.rs crates/paradigms/src/paradigm.rs
+
+/root/repo/target/release/deps/libdsmtx_paradigms-0c07ab3cc481d9fe.rlib: crates/paradigms/src/lib.rs crates/paradigms/src/executor.rs crates/paradigms/src/paradigm.rs
+
+/root/repo/target/release/deps/libdsmtx_paradigms-0c07ab3cc481d9fe.rmeta: crates/paradigms/src/lib.rs crates/paradigms/src/executor.rs crates/paradigms/src/paradigm.rs
+
+crates/paradigms/src/lib.rs:
+crates/paradigms/src/executor.rs:
+crates/paradigms/src/paradigm.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dsmtx_paradigms-d748f790639a5cbe.d: crates/paradigms/src/lib.rs crates/paradigms/src/executor.rs crates/paradigms/src/paradigm.rs
+
+/root/repo/target/release/deps/libdsmtx_paradigms-d748f790639a5cbe.rlib: crates/paradigms/src/lib.rs crates/paradigms/src/executor.rs crates/paradigms/src/paradigm.rs
+
+/root/repo/target/release/deps/libdsmtx_paradigms-d748f790639a5cbe.rmeta: crates/paradigms/src/lib.rs crates/paradigms/src/executor.rs crates/paradigms/src/paradigm.rs
+
+crates/paradigms/src/lib.rs:
+crates/paradigms/src/executor.rs:
+crates/paradigms/src/paradigm.rs:

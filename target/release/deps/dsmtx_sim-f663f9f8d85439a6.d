@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dsmtx_sim-f663f9f8d85439a6.d: crates/sim/src/lib.rs crates/sim/src/ablation.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/profile.rs crates/sim/src/report.rs crates/sim/src/schedule.rs
+
+/root/repo/target/release/deps/libdsmtx_sim-f663f9f8d85439a6.rlib: crates/sim/src/lib.rs crates/sim/src/ablation.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/profile.rs crates/sim/src/report.rs crates/sim/src/schedule.rs
+
+/root/repo/target/release/deps/libdsmtx_sim-f663f9f8d85439a6.rmeta: crates/sim/src/lib.rs crates/sim/src/ablation.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/metrics.rs crates/sim/src/profile.rs crates/sim/src/report.rs crates/sim/src/schedule.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/ablation.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/metrics.rs:
+crates/sim/src/profile.rs:
+crates/sim/src/report.rs:
+crates/sim/src/schedule.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dsmtx_uva-48ebc565733e82e3.d: crates/uva/src/lib.rs crates/uva/src/addr.rs crates/uva/src/alloc.rs
+
+/root/repo/target/release/deps/libdsmtx_uva-48ebc565733e82e3.rlib: crates/uva/src/lib.rs crates/uva/src/addr.rs crates/uva/src/alloc.rs
+
+/root/repo/target/release/deps/libdsmtx_uva-48ebc565733e82e3.rmeta: crates/uva/src/lib.rs crates/uva/src/addr.rs crates/uva/src/alloc.rs
+
+crates/uva/src/lib.rs:
+crates/uva/src/addr.rs:
+crates/uva/src/alloc.rs:

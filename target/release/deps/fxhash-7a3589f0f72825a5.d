@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fxhash-7a3589f0f72825a5.d: vendor/fxhash/src/lib.rs
+
+/root/repo/target/release/deps/libfxhash-7a3589f0f72825a5.rlib: vendor/fxhash/src/lib.rs
+
+/root/repo/target/release/deps/libfxhash-7a3589f0f72825a5.rmeta: vendor/fxhash/src/lib.rs
+
+vendor/fxhash/src/lib.rs:

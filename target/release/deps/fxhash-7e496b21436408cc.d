@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/fxhash-7e496b21436408cc.d: vendor/fxhash/src/lib.rs
+
+/root/repo/target/release/deps/libfxhash-7e496b21436408cc.rlib: vendor/fxhash/src/lib.rs
+
+/root/repo/target/release/deps/libfxhash-7e496b21436408cc.rmeta: vendor/fxhash/src/lib.rs
+
+vendor/fxhash/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/interpreter_tls-dc78c63e0d385866.d: examples/interpreter_tls.rs
+
+/root/repo/target/release/deps/interpreter_tls-dc78c63e0d385866: examples/interpreter_tls.rs
+
+examples/interpreter_tls.rs:

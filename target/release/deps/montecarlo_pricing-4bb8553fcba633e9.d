@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/montecarlo_pricing-4bb8553fcba633e9.d: examples/montecarlo_pricing.rs
+
+/root/repo/target/release/deps/montecarlo_pricing-4bb8553fcba633e9: examples/montecarlo_pricing.rs
+
+examples/montecarlo_pricing.rs:

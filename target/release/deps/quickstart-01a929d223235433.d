@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/quickstart-01a929d223235433.d: examples/quickstart.rs
+
+/root/repo/target/release/deps/quickstart-01a929d223235433: examples/quickstart.rs
+
+examples/quickstart.rs:

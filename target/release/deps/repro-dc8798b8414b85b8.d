@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-dc8798b8414b85b8.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-dc8798b8414b85b8: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-e90204e14776f28d.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-e90204e14776f28d: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

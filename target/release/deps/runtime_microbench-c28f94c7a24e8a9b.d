@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runtime_microbench-c28f94c7a24e8a9b.d: crates/bench/benches/runtime_microbench.rs
+
+/root/repo/target/release/deps/runtime_microbench-c28f94c7a24e8a9b: crates/bench/benches/runtime_microbench.rs
+
+crates/bench/benches/runtime_microbench.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libfxhash.rlib: /root/repo/vendor/fxhash/src/lib.rs

@@ -25,8 +25,8 @@ use dsmtx::{
     StageKind, SystemConfig, TraceKind, WorkerCtx,
 };
 use dsmtx_fabric::{FaultRates, RetryPolicy};
-use dsmtx_mem::MasterMem;
-use dsmtx_uva::{OwnerId, RegionAllocator};
+use dsmtx_mem::{MasterMem, Page};
+use dsmtx_uva::{OwnerId, PageId, RegionAllocator};
 
 /// How long a faulted run may take before the watchdog declares a hang.
 /// Generous: a single recovery round is bounded by the receive deadline
@@ -143,7 +143,7 @@ pub fn seed_from_env(default_seed: u64) -> u64 {
 }
 
 /// What one run produced, reduced to the comparable essentials.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct RunSummary {
     /// Every output cell of the workload, read from committed memory.
     pub outputs: Vec<u64>,
@@ -159,6 +159,13 @@ pub struct RunSummary {
     pub fault_recoveries: u64,
     /// Injected faults of any class (from fabric stats).
     pub faults_injected: u64,
+    /// Conflicts detected by value validation (deduplicated per MTX, so
+    /// the count is comparable across `unit_shards` settings).
+    pub validation_conflicts: u64,
+    /// MTX ids in commit order, from the trace (speculative commits only).
+    pub commit_order: Vec<u64>,
+    /// Full committed memory at loop exit, sorted by page id.
+    pub memory: Vec<(PageId, Page)>,
 }
 
 /// Runs `case` under its fault plan — with a fault-free control run first
@@ -209,10 +216,22 @@ pub fn check_case(case: &FaultCase) -> RunSummary {
 /// commit-order invariant (committed MTX ids strictly increasing) is
 /// asserted inside.
 pub fn run_workload(workload: Workload, n: u64, fault: Option<FaultConfig>) -> RunSummary {
+    run_workload_sharded(workload, n, fault, 1)
+}
+
+/// [`run_workload`] with an explicit try-commit shard count — the
+/// differential harness runs the same workload at `unit_shards` 1, 2, and
+/// 4 and asserts bit-identical results.
+pub fn run_workload_sharded(
+    workload: Workload,
+    n: u64,
+    fault: Option<FaultConfig>,
+    shards: usize,
+) -> RunSummary {
     match workload {
-        Workload::DoallSum => doall_sum(n, fault),
-        Workload::PipelineFold => pipeline_fold(n, fault),
-        Workload::RingScan => ring_scan(n, fault),
+        Workload::DoallSum => doall_sum(n, fault, shards),
+        Workload::PipelineFold => pipeline_fold(n, fault, shards),
+        Workload::RingScan => ring_scan(n, fault, shards),
     }
 }
 
@@ -224,14 +243,20 @@ fn mix(i: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn system(cfg: &mut SystemConfig, fault: Option<FaultConfig>) -> MtxSystem {
+fn system(cfg: &mut SystemConfig, fault: Option<FaultConfig>, shards: usize) -> MtxSystem {
+    cfg.unit_shards(shards);
     if let Some(f) = fault {
         cfg.faults(f);
     }
     MtxSystem::new(cfg).unwrap().trace(true)
 }
 
-fn summarize(outputs: Vec<u64>, expected: Vec<u64>, report: &RunReport) -> RunSummary {
+fn summarize(
+    outputs: Vec<u64>,
+    expected: Vec<u64>,
+    master: &MasterMem,
+    report: &RunReport,
+) -> RunSummary {
     // Commit-order invariant: the commit unit applies MTX write-sets in
     // strictly increasing iteration order, faults or no faults.
     let commits: Vec<u64> = report
@@ -252,10 +277,13 @@ fn summarize(outputs: Vec<u64>, expected: Vec<u64>, report: &RunReport) -> RunSu
         fabric_timeouts: report.fabric_timeouts,
         fault_recoveries: report.fault_recoveries,
         faults_injected: report.stats.faults_total(),
+        validation_conflicts: report.validation_conflicts,
+        commit_order: commits,
+        memory: master.snapshot(),
     }
 }
 
-fn doall_sum(n: u64, fault: Option<FaultConfig>) -> RunSummary {
+fn doall_sum(n: u64, fault: Option<FaultConfig>, shards: usize) -> RunSummary {
     let step = |x: u64, i: u64| x.wrapping_mul(31).wrapping_add(i ^ 7);
     let mut heap = RegionAllocator::new(OwnerId(0));
     let input = heap.alloc_words(n).unwrap();
@@ -271,7 +299,7 @@ fn doall_sum(n: u64, fault: Option<FaultConfig>) -> RunSummary {
     });
     let mut cfg = SystemConfig::new();
     cfg.stage(StageKind::Parallel { replicas: 3 });
-    let result = system(&mut cfg, fault)
+    let result = system(&mut cfg, fault, shards)
         .run(Program {
             master,
             stages: vec![body],
@@ -288,10 +316,10 @@ fn doall_sum(n: u64, fault: Option<FaultConfig>) -> RunSummary {
         .map(|i| result.master.read(out.add_words(i)))
         .collect();
     let expected = (0..n).map(|i| step(mix(i), i)).collect();
-    summarize(outputs, expected, &result.report)
+    summarize(outputs, expected, &result.master, &result.report)
 }
 
-fn pipeline_fold(n: u64, fault: Option<FaultConfig>) -> RunSummary {
+fn pipeline_fold(n: u64, fault: Option<FaultConfig>, shards: usize) -> RunSummary {
     const K: u64 = 1_099_511_628_211;
     let mut heap = RegionAllocator::new(OwnerId(0));
     let input = heap.alloc_words(n).unwrap();
@@ -317,7 +345,7 @@ fn pipeline_fold(n: u64, fault: Option<FaultConfig>) -> RunSummary {
     let mut cfg = SystemConfig::new();
     cfg.stage(StageKind::Parallel { replicas: 2 })
         .stage(StageKind::Sequential);
-    let result = system(&mut cfg, fault)
+    let result = system(&mut cfg, fault, shards)
         .run(Program {
             master,
             stages: vec![first, last],
@@ -344,10 +372,10 @@ fn pipeline_fold(n: u64, fault: Option<FaultConfig>) -> RunSummary {
         expected.push(acc);
     }
     expected.push(acc);
-    summarize(outputs, expected, &result.report)
+    summarize(outputs, expected, &result.master, &result.report)
 }
 
-fn ring_scan(n: u64, fault: Option<FaultConfig>) -> RunSummary {
+fn ring_scan(n: u64, fault: Option<FaultConfig>, shards: usize) -> RunSummary {
     let mut heap = RegionAllocator::new(OwnerId(0));
     let input = heap.alloc_words(n).unwrap();
     let acc_cell = heap.alloc_words(1).unwrap();
@@ -371,7 +399,7 @@ fn ring_scan(n: u64, fault: Option<FaultConfig>) -> RunSummary {
     let mut cfg = SystemConfig::new();
     cfg.stage(StageKind::Parallel { replicas: 3 })
         .ring(StageId(0));
-    let result = system(&mut cfg, fault)
+    let result = system(&mut cfg, fault, shards)
         .run(Program {
             master,
             stages: vec![body],
@@ -397,7 +425,7 @@ fn ring_scan(n: u64, fault: Option<FaultConfig>) -> RunSummary {
         expected.push(acc);
     }
     expected.push(acc);
-    summarize(outputs, expected, &result.report)
+    summarize(outputs, expected, &result.master, &result.report)
 }
 
 #[cfg(test)]

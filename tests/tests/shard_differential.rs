@@ -1,0 +1,142 @@
+//! Differential harness for §3.2 speculation-unit sharding.
+//!
+//! `unit_shards` must be invisible to program semantics: for every
+//! workload, shard counts 1, 2, and 4 must produce byte-identical
+//! committed memory, identical conflict verdicts, and an identical commit
+//! order — fault-free and under pinned fault seeds. The `unit_shards = 1`
+//! runs double as a regression guard that the sharded wiring collapses to
+//! the pre-sharding runtime.
+//!
+//! Fault-free, *everything* must be bit-identical across shard counts:
+//! memory, verdicts, commit order, iteration accounting. Under fault
+//! injection the schedule is a pure function of `(seed, link declaration
+//! order)`, and a sharded mesh has more links than an unsharded one — so
+//! the injected schedules necessarily differ across topologies and the
+//! per-run recovery counters are not comparable. What MUST still hold is
+//! the paper's end-to-end guarantee: byte-identical committed memory
+//! (equal to the sequential model) and no lost or duplicated iterations,
+//! at every shard count, for every pinned seed.
+
+use dsmtx::FaultTarget;
+use dsmtx_fabric::FaultRates;
+use dsmtx_integration_tests::{
+    run_workload_sharded, seed_from_env, FaultCase, RunSummary, Workload, ALL_WORKLOADS,
+};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Pinned seeds, mirrored by CI's fault-matrix job (overridable through
+/// `DSMTX_FAULT_SEED`).
+const FAULT_SEEDS: [u64; 3] = [1, 20260806, 0xDEAD_BEEF];
+
+const N: u64 = 24;
+
+/// Asserts that two summaries describe bit-identical executions: same
+/// committed memory (every page, every word), same conflict verdicts,
+/// same commit order, same iteration accounting.
+fn assert_identical(base: &RunSummary, other: &RunSummary, what: &str) {
+    assert_eq!(base.outputs, other.outputs, "{what}: output cells diverged");
+    assert_eq!(
+        base.total_iterations, other.total_iterations,
+        "{what}: iteration counts diverged"
+    );
+    assert_eq!(
+        base.validation_conflicts, other.validation_conflicts,
+        "{what}: conflict verdicts diverged"
+    );
+    assert_eq!(
+        base.commit_order, other.commit_order,
+        "{what}: commit order diverged"
+    );
+    assert_identical_memory(base, other, what);
+}
+
+/// Asserts byte-identical committed memory: same page set, same words.
+fn assert_identical_memory(base: &RunSummary, other: &RunSummary, what: &str) {
+    assert_eq!(
+        base.memory.len(),
+        other.memory.len(),
+        "{what}: page sets diverged"
+    );
+    for ((id_a, page_a), (id_b, page_b)) in base.memory.iter().zip(other.memory.iter()) {
+        assert_eq!(id_a, id_b, "{what}: page ids diverged");
+        assert_eq!(page_a, page_b, "{what}: page {id_a:?} contents diverged");
+    }
+}
+
+#[test]
+fn shard_counts_are_semantically_invisible_fault_free() {
+    for w in ALL_WORKLOADS {
+        let base = run_workload_sharded(w, N, None, 1);
+        assert_eq!(base.outputs, base.expected, "{w:?} shards=1");
+        assert_eq!(base.total_iterations, N, "{w:?} shards=1");
+        for shards in &SHARD_COUNTS[1..] {
+            let s = run_workload_sharded(w, N, None, *shards);
+            assert_identical(&base, &s, &format!("{w:?} shards={shards} (fault-free)"));
+        }
+    }
+}
+
+#[test]
+fn shard_counts_preserve_memory_under_pinned_fault_seeds() {
+    // Low uniform rates on all links: enough injected faults to exercise
+    // the sharded recovery barrier without ballooning test time.
+    let rates = FaultRates::uniform(0.05);
+    for seed in FAULT_SEEDS {
+        let seed = seed_from_env(seed);
+        for w in ALL_WORKLOADS {
+            let case = FaultCase {
+                n: N,
+                ..FaultCase::quick(seed, rates, FaultTarget::All, w)
+            };
+            let base = run_workload_sharded(w, N, Some(case.fault_config()), 1);
+            assert_eq!(
+                base.outputs,
+                base.expected,
+                "shards=1 diverged from the sequential model\n{}",
+                case.reproducer()
+            );
+            assert_eq!(base.total_iterations, N, "{}", case.reproducer());
+            for shards in &SHARD_COUNTS[1..] {
+                let s = run_workload_sharded(w, N, Some(case.fault_config()), *shards);
+                let what = format!(
+                    "{w:?} shards={shards} seed={seed:#x}\n{}",
+                    case.reproducer()
+                );
+                assert_eq!(
+                    s.outputs, s.expected,
+                    "{what}: diverged from the sequential model"
+                );
+                assert_eq!(
+                    s.total_iterations, N,
+                    "{what}: iterations lost or duplicated"
+                );
+                assert_identical_memory(&base, &s, &what);
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_runs_actually_split_the_page_space() {
+    // Guard against the differential tests passing vacuously: with 4
+    // shards and a DOALL working set spanning several pages (2048
+    // iterations = 4 input + 4 output pages), more than one shard must
+    // end up owning touched pages.
+    let pages: Vec<_> = run_workload_sharded(Workload::DoallSum, 2048, None, 4)
+        .memory
+        .iter()
+        .map(|(id, _)| dsmtx_mem::shard_of(*id, 4))
+        .collect();
+    let distinct = {
+        let mut s = pages.clone();
+        s.sort_unstable();
+        s.dedup();
+        s.len()
+    };
+    assert!(
+        distinct >= 2,
+        "all {} touched pages hashed into one of 4 shards: {pages:?}",
+        pages.len()
+    );
+}

@@ -1,0 +1,133 @@
+//! Offline shim of the `fxhash`/`rustc-hash` family: a deterministic,
+//! non-cryptographic hasher for interior hash maps on hot paths.
+//!
+//! The std `HashMap` defaults to SipHash-1-3 with per-process random
+//! keys — robust against adversarial keys, but an order of magnitude
+//! slower than needed for trusted interior keys like `PageId` or
+//! `(mtx, stage)` tuples, and randomized iteration order makes runs
+//! harder to compare. This shim implements the Firefox/rustc "Fx" mix
+//! (multiply by a 64-bit constant, rotate, xor) with a fixed zero seed:
+//! deterministic across processes, one multiply per word hashed.
+//!
+//! Only the subset the workspace uses is provided: [`FxHasher`],
+//! [`FxBuildHasher`], and the [`FxHashMap`]/[`FxHashSet`] aliases.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox `mozilla::HashGeneric`
+/// implementation (also used by rustc's `FxHasher`).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// `std::hash::Hasher` implementing the Fx multiply-rotate-xor mix.
+///
+/// Not hash-flooding resistant; use only for trusted interior keys.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in chunks.by_ref() {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// Zero-seeded builder: every map built from it hashes identically,
+/// across processes and runs.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash + ?Sized>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        for key in [0u64, 1, 42, u64::MAX, 0x51_7c_c1_b7] {
+            assert_eq!(hash_of(&key), hash_of(&key));
+        }
+        assert_eq!(hash_of(&(3u64, 7u16)), hash_of(&(3u64, 7u16)));
+    }
+
+    #[test]
+    fn distinct_small_keys_spread() {
+        let hashes: FxHashSet<u64> = (0u64..1024).map(|k| hash_of(&k)).collect();
+        assert_eq!(hashes.len(), 1024, "collisions among 1024 sequential keys");
+    }
+
+    #[test]
+    fn partial_word_tail_hashes() {
+        // Byte-slice path: tails shorter than 8 bytes must still mix.
+        assert_ne!(hash_of(&[1u8, 2, 3]), hash_of(&[1u8, 2, 4]));
+        assert_ne!(hash_of("abc"), hash_of("abd"));
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<(u64, u16), Vec<u64>> = FxHashMap::default();
+        m.insert((9, 2), vec![1, 2, 3]);
+        assert_eq!(m.get(&(9, 2)), Some(&vec![1, 2, 3]));
+        assert!(!m.contains_key(&(9, 3)));
+    }
+}
