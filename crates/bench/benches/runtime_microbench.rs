@@ -7,7 +7,11 @@
 //! * `uva_alloc` — region allocator throughput;
 //! * `recovery` — a full run whose every 8th iteration misspeculates;
 //! * `hot_path_hasher` — std SipHash vs the vendored Fx hasher on the
-//!   page-table access pattern the validation/commit paths run.
+//!   page-table access pattern the validation/commit paths run;
+//! * `access_stream` — one subTX's validation traffic encoded as per-record
+//!   `Msg`s vs one packed `AccessBlock`, then replayed record by record;
+//! * `coa_page_cache` — worker-side page cache epoch hits vs full
+//!   page-install misses.
 
 use std::sync::Arc;
 
@@ -222,6 +226,120 @@ fn bench_hot_path_hasher(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_access_stream(c: &mut Criterion) {
+    // One validation-bound subTX's worth of traffic: 1 load + 256 stores
+    // scattered column-major (page-sized strides, the shard sweep's
+    // pattern). The unpacked protocol ships framing + one Msg per record;
+    // the packed protocol ships one AccessBlock. Both sides then replay
+    // the stream record by record, as the try-commit unit does.
+    use dsmtx::wire::{AccessBlock, Msg};
+    use dsmtx::{MtxId, StageId};
+    use dsmtx_mem::AccessKind;
+
+    let mut group = c.benchmark_group("access_stream");
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    const RECORDS: u64 = 257;
+    group.throughput(Throughput::Elements(RECORDS));
+
+    let stream: Vec<(AccessKind, u64, u64)> = (0..RECORDS)
+        .map(|i| {
+            let kind = if i == 0 {
+                AccessKind::Load
+            } else {
+                AccessKind::Store
+            };
+            (kind, 0x4_0000 + i * 4096 * 8, i.wrapping_mul(0x9E37_79B9))
+        })
+        .collect();
+
+    group.bench_function("per_record_msgs", |b| {
+        b.iter(|| {
+            let mut msgs: Vec<Msg> = Vec::with_capacity(stream.len() + 2);
+            msgs.push(Msg::SubTxBegin {
+                mtx: MtxId(0),
+                stage: StageId(0),
+            });
+            for &(kind, addr, value) in &stream {
+                msgs.push(match kind {
+                    AccessKind::Load => Msg::Load { addr, value },
+                    AccessKind::Store => Msg::Store { addr, value },
+                });
+            }
+            msgs.push(Msg::SubTxEnd {
+                mtx: MtxId(0),
+                stage: StageId(0),
+            });
+            // Replay: walk the stream as the try-commit unit would.
+            let mut sum = 0u64;
+            for m in &msgs {
+                if let Msg::Load { addr, value } | Msg::Store { addr, value } = m {
+                    sum = sum.wrapping_add(addr ^ value);
+                }
+            }
+            sum
+        });
+    });
+
+    group.bench_function("packed_access_block", |b| {
+        b.iter(|| {
+            let mut block = AccessBlock::new();
+            for &(kind, addr, value) in &stream {
+                block.push(kind, addr, value);
+            }
+            // Replay by cursor, no per-record allocation.
+            let mut sum = 0u64;
+            for r in block.iter() {
+                sum = sum.wrapping_add(r.addr.raw() ^ r.value);
+            }
+            assert_eq!(block.len() as u64, RECORDS);
+            sum
+        });
+    });
+    group.finish();
+}
+
+fn bench_coa_page_cache(c: &mut Criterion) {
+    // The worker-side COA cache's two regimes: an epoch hit serves the
+    // pristine page from the cache (one clone, no wire); a miss installs
+    // a freshly transferred page. The gap is what every avoided re-fetch
+    // buys after a commit epoch advances.
+    use dsmtx_mem::PageCache;
+
+    let mut group = c.benchmark_group("coa_page_cache");
+    group.warm_up_time(std::time::Duration::from_millis(800));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    const PAGES: u64 = 64;
+    group.throughput(Throughput::Bytes(PAGES * 4096));
+
+    group.bench_function("epoch_hits", |b| {
+        let mut cache = PageCache::new();
+        for p in 0..PAGES {
+            cache.install(PageId(p), 1, Page::zeroed());
+        }
+        b.iter(|| {
+            let mut sum = 0u64;
+            for p in 0..PAGES {
+                let page = cache.serve(PageId(p));
+                sum = sum.wrapping_add(page.word(0));
+            }
+            sum
+        });
+    });
+
+    group.bench_function("install_misses", |b| {
+        b.iter(|| {
+            let mut cache = PageCache::new();
+            for p in 0..PAGES {
+                // A miss is a full page transfer landing in the cache.
+                cache.install(PageId(p), 1, Page::zeroed());
+            }
+            cache.misses()
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_mtx_iteration,
@@ -229,6 +347,8 @@ criterion_group!(
     bench_spec_mem_ops,
     bench_uva_alloc,
     bench_recovery,
-    bench_hot_path_hasher
+    bench_hot_path_hasher,
+    bench_access_stream,
+    bench_coa_page_cache
 );
 criterion_main!(benches);

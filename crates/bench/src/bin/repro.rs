@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! cargo run --release -p dsmtx-bench --bin repro -- \
-//!     [fig1|fig2|fig3|fig4|fig5a|fig5b|fig6|table1|table2|ablations|trace|shards|all] \
+//!     [fig1|fig2|fig3|fig4|fig5a|fig5b|fig6|table1|table2|ablations|trace|shards|valplane|all] \
 //!     [--iters N] [--trace-out FILE] [--metrics-out FILE] \
 //!     [--fault-seed S] [--fault-rate R] \
 //!     [--shards N] [--sweep-out FILE]
@@ -13,6 +13,11 @@
 //! validation-bound workload and prints measured scaling next to the
 //! simulator's prediction; `--sweep-out` additionally writes the
 //! `BENCH_shard_sweep.json` artifact.
+//!
+//! The `valplane` section runs the validation-plane compaction
+//! before/after comparison (unpacked per-record protocol vs filtering +
+//! packed frames + COA cache) on the same validation-bound workload;
+//! `--sweep-out` there writes the `BENCH_valplane.json` artifact.
 //!
 //! The `trace` section runs a real traced pipeline and prints a
 //! stage-occupancy report; `--trace-out` additionally writes a Chrome
@@ -144,6 +149,29 @@ fn main() {
         printed = true;
     }
 
+    if what == "valplane" || what == "all" {
+        // Same sizing rule as the shard sweep, so the two artifacts
+        // describe the same workload.
+        let sweep_iters = iters.max(512);
+        let sweep = dsmtx_bench::run_valplane_sweep(sweep_iters, 32);
+        println!("{}", dsmtx_bench::valplane_text(&sweep));
+        // `--sweep-out` names the valplane artifact only when this is the
+        // section being run; `all` keeps the flag bound to the shard
+        // sweep for compatibility.
+        if what == "valplane" {
+            if let Some(path) = &sweep_out {
+                let json = dsmtx_bench::valplane_json(&sweep);
+                if let Err(e) = std::fs::write(path, &json) {
+                    eprintln!("cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+                println!("wrote valplane sweep ({} bytes) to {path}", json.len());
+            }
+        }
+        println!("{}", "=".repeat(72));
+        printed = true;
+    }
+
     if what == "trace" || what == "all" {
         let fault = fault_seed.map(|seed| {
             println!(
@@ -176,7 +204,7 @@ fn main() {
 
     if !printed {
         eprintln!(
-            "unknown target `{what}`; use fig1|fig2|fig3|fig4|fig5a|fig5b|fig6|table1|table2|ablations|trace|shards|all"
+            "unknown target `{what}`; use fig1|fig2|fig3|fig4|fig5a|fig5b|fig6|table1|table2|ablations|trace|shards|valplane|all"
         );
         std::process::exit(2);
     }

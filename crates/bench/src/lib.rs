@@ -14,6 +14,7 @@ pub mod format;
 pub mod queuebench;
 pub mod shardsweep;
 pub mod tracedemo;
+pub mod valplane;
 
 pub use ablations::ablations_text;
 pub use figures::{
@@ -27,4 +28,8 @@ pub use shardsweep::{
 pub use tracedemo::{
     chrome_trace_json, metrics_jsonl, occupancy_text, run_traced_pipeline,
     run_traced_pipeline_faulted,
+};
+pub use valplane::{
+    measured_compaction_factor, run_valplane_sweep, valplane_json, valplane_text, ValPlanePoint,
+    ValPlaneSweep,
 };

@@ -1,0 +1,395 @@
+//! Validation-plane compaction benchmark.
+//!
+//! Runs the same validation-bound Spec-DOALL loop twice — once with the
+//! legacy unpacked per-record protocol and once with the compacted
+//! protocol (per-subTX access filtering + packed `AccessBlock` frames +
+//! the worker-side COA page cache) — and reports what actually crossed
+//! the validation and commit planes in each mode: records, bytes, packed
+//! frames, filter suppressions, COA cache traffic, and the try-commit
+//! unit's verdict latency.
+//!
+//! Both runs must be semantically identical; the sweep asserts
+//! byte-identical committed memory, identical outputs, and an identical
+//! commit order before reporting any numbers. The measured
+//! `bytes_post / bytes_pre` ratio also feeds the simulator's
+//! `val_compaction` knob so the model's shard-sweep predictions reflect
+//! the protocol actually running.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use dsmtx::{
+    IterOutcome, MtxId, MtxSystem, Program, StageKind, SystemConfig, TraceKind, ValPlaneStats,
+    WorkerCtx,
+};
+use dsmtx_mem::{MasterMem, Page};
+use dsmtx_sim::unit_shard_sweep_with;
+use dsmtx_uva::{OwnerId, PageId, RegionAllocator};
+use dsmtx_workloads::kernel_by_name;
+
+use crate::format::Table;
+
+/// Everything one mode's run produced that the comparison needs.
+struct ValRun {
+    outputs: Vec<u64>,
+    commit_order: Vec<u64>,
+    memory: Vec<(PageId, Page)>,
+    valplane: ValPlaneStats,
+    verdict_p50_us: u64,
+    verdict_p99_us: u64,
+    elapsed: Duration,
+}
+
+/// One mode's numbers, reduced to the artifact's fields.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValPlanePoint {
+    /// Whether the compacted protocol was on.
+    pub compaction: bool,
+    /// Wall-clock time of the parallel section, microseconds.
+    pub elapsed_us: u64,
+    /// Messages that actually crossed the validation + commit planes.
+    pub records: u64,
+    /// Bytes that actually crossed (framing + payload).
+    pub bytes: u64,
+    /// Accesses suppressed by the write-combining filter.
+    pub records_filtered: u64,
+    /// Packed frames shipped (0 in unpacked mode).
+    pub blocks: u64,
+    /// Mean records per packed frame.
+    pub block_fill: f64,
+    /// Worker COA cache hits (local serves + payload-free revalidations).
+    pub cache_hits: u64,
+    /// Worker COA cache misses (full page fetches).
+    pub cache_misses: u64,
+    /// Try-commit verdict latency, p50 microseconds.
+    pub verdict_p50_us: u64,
+    /// Try-commit verdict latency, p99 microseconds.
+    pub verdict_p99_us: u64,
+}
+
+/// The before/after comparison plus the simulator's prediction.
+#[derive(Debug, Clone)]
+pub struct ValPlaneSweep {
+    /// Iterations per run.
+    pub iters: u64,
+    /// Scattered writes per iteration (the validation load).
+    pub writes_per_iter: u64,
+    /// Cores available to this process when the sweep ran.
+    pub cores: usize,
+    /// The unpacked (legacy per-record) run.
+    pub unpacked: ValPlanePoint,
+    /// The compacted (filter + packed frames + COA cache) run.
+    pub packed: ValPlanePoint,
+    /// Unpacked records divided by packed records.
+    pub records_ratio: f64,
+    /// Unpacked bytes divided by packed bytes.
+    pub bytes_ratio: f64,
+    /// The simulator's predicted loop speedup from feeding the measured
+    /// byte ratio into its `val_compaction` knob (128 simulated cores,
+    /// one speculation-unit shard).
+    pub sim_predicted_speedup: f64,
+}
+
+/// Runs the validation-bound DOALL once in the given mode, with tracing
+/// on, and returns everything the identity check and the artifact need.
+fn run_valplane_once(iters: u64, writes_per_iter: u64, compaction: bool) -> ValRun {
+    let mut heap = RegionAllocator::new(OwnerId(0));
+    let input = heap.alloc_words(iters).expect("alloc");
+    let data = heap.alloc_words(iters * writes_per_iter).expect("alloc");
+    let mut master = MasterMem::new();
+    for i in 0..iters {
+        master.write(input.add_words(i), i.wrapping_mul(0x9E37_79B9) | 1);
+    }
+
+    let body = Arc::new(move |ctx: &mut WorkerCtx, mtx: MtxId| {
+        let x = ctx.read(input.add_words(mtx.0))?;
+        for k in 0..writes_per_iter {
+            // Column-major scatter, same shape as the shard sweep: each
+            // MTX's stores spread across the page space.
+            ctx.write_no_forward(data.add_words(k * iters + mtx.0), x.wrapping_add(k))?;
+        }
+        Ok(IterOutcome::Continue)
+    });
+    let mut cfg = SystemConfig::new();
+    cfg.stage(StageKind::Parallel { replicas: 3 })
+        .compaction(compaction);
+    let result = MtxSystem::new(&cfg)
+        .expect("config")
+        .trace(true)
+        .run(Program {
+            master,
+            stages: vec![body],
+            recovery: Box::new(move |mtx, m| {
+                let x = m.read(input.add_words(mtx.0));
+                for k in 0..writes_per_iter {
+                    m.write(data.add_words(k * iters + mtx.0), x.wrapping_add(k));
+                }
+                IterOutcome::Continue
+            }),
+            on_commit: None,
+            iteration_limit: Some(iters),
+        })
+        .expect("run");
+    assert_eq!(result.report.total_iterations(), iters, "lost iterations");
+
+    let outputs = (0..iters * writes_per_iter)
+        .map(|w| result.master.read(data.add_words(w)))
+        .collect();
+    let commit_order = result
+        .report
+        .trace
+        .iter()
+        .filter(|e| e.kind == TraceKind::Committed)
+        .map(|e| e.mtx.unwrap().0)
+        .collect();
+    let verdicts = dsmtx_obs::Histogram::new();
+    for s in &result.report.shard_stats {
+        verdicts.merge(&s.verdict_latency);
+    }
+    ValRun {
+        outputs,
+        commit_order,
+        memory: result.master.snapshot(),
+        valplane: result.report.valplane.clone(),
+        verdict_p50_us: verdicts.p50(),
+        verdict_p99_us: verdicts.p99(),
+        elapsed: result.report.elapsed,
+    }
+}
+
+fn point(compaction: bool, r: &ValRun) -> ValPlanePoint {
+    let v = &r.valplane;
+    ValPlanePoint {
+        compaction,
+        elapsed_us: (r.elapsed.as_micros() as u64).max(1),
+        records: v.records_post,
+        bytes: v.bytes_post,
+        records_filtered: v.records_filtered,
+        blocks: v.blocks,
+        block_fill: v.block_fill(),
+        cache_hits: v.cache_hits,
+        cache_misses: v.cache_misses,
+        verdict_p50_us: r.verdict_p50_us,
+        verdict_p99_us: r.verdict_p99_us,
+    }
+}
+
+/// Runs both modes, asserts they are semantically identical, and returns
+/// the before/after comparison.
+///
+/// # Panics
+///
+/// Panics if the two modes commit different memory, different outputs, or
+/// a different commit order — the compaction layers must be invisible to
+/// program semantics before their numbers mean anything.
+pub fn run_valplane_sweep(iters: u64, writes_per_iter: u64) -> ValPlaneSweep {
+    let unpacked = run_valplane_once(iters, writes_per_iter, false);
+    let packed = run_valplane_once(iters, writes_per_iter, true);
+
+    assert_eq!(
+        unpacked.outputs, packed.outputs,
+        "packed and unpacked runs committed different outputs"
+    );
+    assert_eq!(
+        unpacked.commit_order, packed.commit_order,
+        "packed and unpacked runs committed in different orders"
+    );
+    assert_eq!(
+        unpacked.memory.len(),
+        packed.memory.len(),
+        "packed and unpacked runs touched different page sets"
+    );
+    for ((id_a, page_a), (id_b, page_b)) in unpacked.memory.iter().zip(packed.memory.iter()) {
+        assert_eq!(id_a, id_b, "page ids diverged");
+        assert_eq!(page_a, page_b, "page {id_a:?} contents diverged");
+    }
+
+    let up = point(false, &unpacked);
+    let pp = point(true, &packed);
+    let records_ratio = up.records as f64 / pp.records.max(1) as f64;
+    let bytes_ratio = up.bytes as f64 / pp.bytes.max(1) as f64;
+
+    // Feed the measured byte ratio into the simulator: predicted loop
+    // speedup of the compacted protocol on the paper's 128-core platform,
+    // one speculation-unit shard, validation-heavy profile.
+    let vc = (pp.bytes as f64 / up.bytes.max(1) as f64).clamp(0.0, 1.0);
+    let profile = validation_heavy_profile();
+    let before = unit_shard_sweep_with(&profile, 128, &[1], 1.0);
+    let after = unit_shard_sweep_with(&profile, 128, &[1], vc);
+    let sim_predicted_speedup = match (before.first(), after.first()) {
+        (Some(b), Some(a)) if b.speedup > 0.0 => a.speedup / b.speedup,
+        _ => 1.0,
+    };
+
+    ValPlaneSweep {
+        iters,
+        writes_per_iter,
+        cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        unpacked: up,
+        packed: pp,
+        records_ratio,
+        bytes_ratio,
+        sim_predicted_speedup,
+    }
+}
+
+/// The validation-heavy parser variant used by the shard sweep, shared so
+/// both artifacts model the same workload.
+pub(crate) fn validation_heavy_profile() -> dsmtx_sim::WorkloadProfile {
+    let mut profile = kernel_by_name("197.parser").expect("known").profile();
+    profile.validation_words = 4096.0;
+    profile.stages[0].bytes_out = 512.0;
+    profile.stages[0].work_fraction = 0.005;
+    profile.stages[1].work_fraction = 0.99;
+    profile.stages[2].work_fraction = 0.005;
+    profile
+}
+
+/// Measures the compacted protocol's byte ratio (`bytes_post /
+/// bytes_pre`) on a small validation-bound run — the plug-in value for
+/// the simulator's `val_compaction` knob.
+pub fn measured_compaction_factor() -> f64 {
+    let r = run_valplane_once(128, 16, true);
+    let v = &r.valplane;
+    (v.bytes_post as f64 / v.bytes_pre.max(1) as f64).clamp(0.0, 1.0)
+}
+
+/// Renders the sweep as a text table for the `repro` binary.
+pub fn valplane_text(s: &ValPlaneSweep) -> String {
+    let mut t = Table::new(vec![
+        "protocol",
+        "records",
+        "bytes",
+        "filtered",
+        "blocks",
+        "fill",
+        "verdict p50/p99 (us)",
+        "elapsed (us)",
+    ]);
+    for p in [&s.unpacked, &s.packed] {
+        t.row(vec![
+            if p.compaction { "packed" } else { "unpacked" }.to_string(),
+            p.records.to_string(),
+            p.bytes.to_string(),
+            p.records_filtered.to_string(),
+            p.blocks.to_string(),
+            format!("{:.1}", p.block_fill),
+            format!("{}/{}", p.verdict_p50_us, p.verdict_p99_us),
+            p.elapsed_us.to_string(),
+        ]);
+    }
+    format!(
+        "Validation-plane compaction (filter + packed frames + COA cache)\n\
+         validation-bound DOALL: {} iters x {} scattered writes, {} core(s)\n\
+         both modes byte-identical: memory, outputs, commit order\n\n{}\n\
+         records {:.1}x fewer, bytes {:.1}x fewer; simulator predicts \
+         {:.2}x loop speedup at 128 cores from the measured byte ratio\n\
+         packed COA cache: {} hits / {} misses",
+        s.iters,
+        s.writes_per_iter,
+        s.cores,
+        t.render(),
+        s.records_ratio,
+        s.bytes_ratio,
+        s.sim_predicted_speedup,
+        s.packed.cache_hits,
+        s.packed.cache_misses,
+    )
+}
+
+fn point_json(p: &ValPlanePoint) -> String {
+    format!(
+        concat!(
+            r#"{{"compaction":{},"records":{},"bytes":{},"records_filtered":{},"#,
+            r#""blocks":{},"block_fill":{:.2},"cache_hits":{},"cache_misses":{},"#,
+            r#""verdict_p50_us":{},"verdict_p99_us":{},"elapsed_us":{}}}"#
+        ),
+        p.compaction,
+        p.records,
+        p.bytes,
+        p.records_filtered,
+        p.blocks,
+        p.block_fill,
+        p.cache_hits,
+        p.cache_misses,
+        p.verdict_p50_us,
+        p.verdict_p99_us,
+        p.elapsed_us
+    )
+}
+
+/// Serializes the sweep as the `BENCH_valplane.json` artifact.
+pub fn valplane_json(s: &ValPlaneSweep) -> String {
+    format!(
+        concat!(
+            r#"{{"bench":"valplane","workload":"validation_bound_doall","#,
+            r#""iters":{},"writes_per_iter":{},"cores":{},"#,
+            r#""unpacked":{},"packed":{},"#,
+            r#""records_ratio":{:.4},"bytes_ratio":{:.4},"#,
+            r#""sim_predicted_speedup":{:.4},"identical":true}}"#
+        ),
+        s.iters,
+        s.writes_per_iter,
+        s.cores,
+        point_json(&s.unpacked),
+        point_json(&s.packed),
+        s.records_ratio,
+        s.bytes_ratio,
+        s.sim_predicted_speedup,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compaction_hits_the_reduction_bars() {
+        // The acceptance shape at a test-sized run: the per-iteration
+        // arithmetic (per-record messages vs two frames) is independent
+        // of the iteration count, so the ratios transfer to the full
+        // 512x32 artifact run.
+        let s = run_valplane_sweep(96, 16);
+        assert!(
+            s.records_ratio >= 5.0,
+            "records only {:.2}x fewer",
+            s.records_ratio
+        );
+        assert!(
+            s.bytes_ratio >= 2.0,
+            "bytes only {:.2}x fewer",
+            s.bytes_ratio
+        );
+        assert!(
+            s.sim_predicted_speedup >= 1.0,
+            "sim predicts a slowdown: {}",
+            s.sim_predicted_speedup
+        );
+        // Packed mode must actually pack; unpacked must be identity.
+        assert!(s.packed.blocks > 0);
+        assert!(s.packed.block_fill > 1.0);
+        assert_eq!(s.unpacked.blocks, 0);
+        assert_eq!(s.unpacked.records_filtered, 0);
+    }
+
+    #[test]
+    fn artifact_json_is_valid_and_complete() {
+        let s = run_valplane_sweep(64, 8);
+        let json = valplane_json(&s);
+        dsmtx_obs::json::validate(&json).expect("valid JSON artifact");
+        assert!(json.contains(r#""bench":"valplane""#));
+        assert!(json.contains(r#""unpacked":"#));
+        assert!(json.contains(r#""packed":"#));
+        assert!(json.contains(r#""identical":true"#));
+
+        let text = valplane_text(&s);
+        assert!(text.contains("compaction"));
+        assert!(text.contains("packed"));
+    }
+
+    #[test]
+    fn measured_factor_is_a_real_reduction() {
+        let f = measured_compaction_factor();
+        assert!(f > 0.0 && f <= 0.5, "factor {f} not a >=2x reduction");
+    }
+}

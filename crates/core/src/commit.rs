@@ -26,7 +26,7 @@ use crate::ids::{MtxId, StageId, WorkerId};
 use crate::poll::Backoff;
 use crate::program::{CommitHook, IterOutcome, RecoveryFn};
 use crate::trace::{Role, TraceKind, TraceSink};
-use crate::wire::Msg;
+use crate::wire::{Msg, EPOCH_NONE};
 
 /// Per-MTX events gathered from workers.
 #[derive(Debug, Default, Clone, Copy)]
@@ -91,6 +91,14 @@ pub(crate) struct CommitUnit {
     on_commit: Option<CommitHook>,
     limit: Option<u64>,
     counters: CommitCounters,
+    /// Commit epoch: bumped after every mutation of committed memory
+    /// (group commit, recovery re-execution). COA replies piggyback it so
+    /// requesters can tag their cached copies.
+    commit_epoch: u64,
+    /// Per-page last-modification epochs; a page absent here has not been
+    /// committed to since the pre-loop baseline (epoch 0). Never cleared:
+    /// committed memory survives recovery, so do its modification times.
+    page_epochs: FxHashMap<PageId, u64>,
 }
 
 pub(crate) struct CommitWiring {
@@ -109,11 +117,16 @@ pub(crate) struct CommitWiring {
 
 impl CommitUnit {
     pub(crate) fn new(w: CommitWiring) -> Self {
+        let mut master = w.master;
+        // Pre-loop sequential writes are the epoch-0 baseline: a page
+        // absent from `page_epochs` reads as modified-at-0, so the dirty
+        // set they left behind carries no information — discard it.
+        let _ = master.take_dirty();
         CommitUnit {
             shape: w.shape,
             ctrl: w.ctrl,
             trace: w.trace,
-            master: w.master,
+            master,
             from_workers: w.from_workers,
             from_trycommit: w.from_trycommit,
             coa_out: w.coa_out,
@@ -127,6 +140,17 @@ impl CommitUnit {
             on_commit: w.on_commit,
             limit: w.limit,
             counters: CommitCounters::default(),
+            commit_epoch: 0,
+            page_epochs: FxHashMap::default(),
+        }
+    }
+
+    /// Bumps the commit epoch after a mutation of committed memory and
+    /// stamps every page the batch touched.
+    fn advance_epoch(&mut self) {
+        self.commit_epoch += 1;
+        for page in self.master.take_dirty() {
+            self.page_epochs.insert(page, self.commit_epoch);
         }
     }
 
@@ -196,7 +220,7 @@ impl CommitUnit {
                 progress = true;
                 let worker = self.from_workers[idx].0;
                 match msg {
-                    Msg::CoaRequest { page } => self.serve_coa_worker(idx, page),
+                    Msg::CoaRequest { page, have } => self.serve_coa_worker(idx, page, have),
                     Msg::SubTxBegin { mtx, stage } => {
                         let asm = self.partial.entry(worker).or_default();
                         assert!(asm.open.is_none(), "nested commit frame from {worker}");
@@ -214,6 +238,26 @@ impl CommitUnit {
                         assert_eq!(open, (mtx, stage), "commit framing mismatch");
                         self.store_sets
                             .insert((mtx.0, stage.0), std::mem::take(&mut asm.stores));
+                        if exit {
+                            self.events.entry(mtx.0).or_default().exit = true;
+                        }
+                    }
+                    Msg::CommitBlock {
+                        mtx,
+                        stage,
+                        exit,
+                        block,
+                    } => {
+                        // A packed store stream: framing, write-set, and
+                        // the exit decision in one message.
+                        let asm = self.partial.entry(worker).or_default();
+                        assert!(
+                            asm.open.is_none(),
+                            "packed frame inside an open commit frame from {worker}"
+                        );
+                        let stores: Vec<(u64, u64)> =
+                            block.iter().map(|r| (r.addr.raw(), r.value)).collect();
+                        self.store_sets.insert((mtx.0, stage.0), stores);
                         if exit {
                             self.events.entry(mtx.0).or_default().exit = true;
                         }
@@ -239,7 +283,7 @@ impl CommitUnit {
                 };
                 progress = true;
                 match msg {
-                    Msg::CoaRequest { page } => self.serve_coa_trycommit(shard, page),
+                    Msg::CoaRequest { page, .. } => self.serve_coa_trycommit(shard, page),
                     Msg::VerdictOk { mtx } => {
                         self.verdicts.entry(mtx.0).or_default().oks += 1;
                     }
@@ -262,9 +306,28 @@ impl CommitUnit {
         progress
     }
 
-    fn serve_coa_worker(&mut self, idx: usize, page: u64) {
-        self.counters.coa_pages_served += 1;
-        let data = Box::new(self.master.page(PageId(page)));
+    /// Builds the reply to a COA request: the full committed page, or a
+    /// payload-free [`Msg::CoaFresh`] when the requester's cached copy
+    /// (current as of epoch `have`) has not been committed to since.
+    fn coa_reply(&mut self, page: u64, have: u64) -> Msg {
+        let modified = self.page_epochs.get(&PageId(page)).copied().unwrap_or(0);
+        if have != EPOCH_NONE && modified <= have {
+            Msg::CoaFresh {
+                page,
+                epoch: self.commit_epoch,
+            }
+        } else {
+            self.counters.coa_pages_served += 1;
+            Msg::CoaReply {
+                page,
+                epoch: self.commit_epoch,
+                data: Box::new(self.master.page(PageId(page))),
+            }
+        }
+    }
+
+    fn serve_coa_worker(&mut self, idx: usize, page: u64, have: u64) {
+        let reply = self.coa_reply(page, have);
         let worker = self.from_workers[idx].0;
         let port = self
             .coa_out
@@ -274,7 +337,7 @@ impl CommitUnit {
             .expect("COA reply queue");
         // Replies are batch=1 queues with ample capacity: at most one
         // outstanding request per worker, so fault-free this cannot block.
-        let sent = port.produce(Msg::CoaReply { page, data }).and_then(|()| {
+        let sent = port.produce(reply).and_then(|()| {
             // Under fault injection the flush is a bounded retry loop.
             port.flush()
         });
@@ -282,12 +345,10 @@ impl CommitUnit {
     }
 
     fn serve_coa_trycommit(&mut self, shard: usize, page: u64) {
-        self.counters.coa_pages_served += 1;
-        let data = Box::new(self.master.page(PageId(page)));
+        // The shards advertise no cache; always ship the full page.
+        let reply = self.coa_reply(page, EPOCH_NONE);
         let port = &mut self.coa_tc_out[shard];
-        let sent = port
-            .produce(Msg::CoaReply { page, data })
-            .and_then(|()| port.flush());
+        let sent = port.produce(reply).and_then(|()| port.flush());
         self.note_send_failure(sent);
     }
 
@@ -335,6 +396,7 @@ impl CommitUnit {
         });
         self.master
             .commit_writes_parallel(writes.collect::<Vec<_>>());
+        self.advance_epoch();
         self.counters.committed += 1;
         self.counters.last_iteration = Some(m);
         self.trace
@@ -396,6 +458,7 @@ impl CommitUnit {
         // Re-execute the squashed iteration single-threaded on committed
         // memory while the workers re-protect their heaps.
         let outcome = (self.recovery)(boundary, &mut self.master);
+        self.advance_epoch();
         self.counters.recovered_iterations += 1;
         self.counters.last_iteration = Some(boundary);
         self.ctrl.record_recovery();

@@ -148,12 +148,14 @@ pub struct SystemConfig {
     batch: usize,
     capacity: usize,
     unit_shards: usize,
+    compaction: bool,
     fault: Option<FaultConfig>,
 }
 
 impl SystemConfig {
     /// Starts an empty pipeline with the default batch (64 items), queue
-    /// capacity (256 packets), and a single speculation-unit shard.
+    /// capacity (256 packets), a single speculation-unit shard, and
+    /// validation-plane compaction on.
     pub fn new() -> Self {
         SystemConfig {
             stages: Vec::new(),
@@ -161,6 +163,7 @@ impl SystemConfig {
             batch: 64,
             capacity: 256,
             unit_shards: 1,
+            compaction: true,
             fault: None,
         }
     }
@@ -210,6 +213,17 @@ impl SystemConfig {
         self
     }
 
+    /// Enables or disables validation-plane compaction (on by default):
+    /// per-subTX access filtering (last store / first load per address)
+    /// and packed `AccessBlock` frames on the validation and commit
+    /// planes. Disabling it selects the legacy one-message-per-record
+    /// encoding — the differential baseline; verdicts, commit order, and
+    /// committed memory are identical either way.
+    pub fn compaction(&mut self, on: bool) -> &mut Self {
+        self.compaction = on;
+        self
+    }
+
     /// Validates and freezes the configuration.
     ///
     /// # Errors
@@ -254,6 +268,7 @@ impl SystemConfig {
             batch: self.batch,
             capacity: self.capacity,
             unit_shards: self.unit_shards,
+            compaction: self.compaction,
             fault: self.fault,
         })
     }
@@ -276,6 +291,7 @@ pub struct PipelineShape {
     batch: usize,
     capacity: usize,
     unit_shards: usize,
+    compaction: bool,
     fault: Option<FaultConfig>,
 }
 
@@ -387,6 +403,12 @@ impl PipelineShape {
     /// Number of try-commit shards the system runs (≥ 1).
     pub fn unit_shards(&self) -> usize {
         self.unit_shards
+    }
+
+    /// Whether the validation/commit planes use access filtering and
+    /// packed frames (default) or the legacy per-record encoding.
+    pub fn compaction(&self) -> bool {
+        self.compaction
     }
 
     /// The fault-injection plan, if one was configured.
@@ -514,6 +536,15 @@ mod tests {
         assert_eq!(cfg.build().unwrap().unit_shards(), 1);
         cfg.unit_shards(4);
         assert_eq!(cfg.build().unwrap().unit_shards(), 4);
+    }
+
+    #[test]
+    fn compaction_defaults_on_and_is_configurable() {
+        let mut cfg = SystemConfig::new();
+        cfg.stage(StageKind::Sequential);
+        assert!(cfg.build().unwrap().compaction());
+        cfg.compaction(false);
+        assert!(!cfg.build().unwrap().compaction());
     }
 
     #[test]

@@ -89,7 +89,7 @@ pub use config::{ConfigError, FaultConfig, FaultTarget, PipelineShape, StageKind
 pub use control::{ControlPlane, Interrupt, Status};
 pub use ids::{MtxId, StageId, WorkerId};
 pub use program::{CommitHook, IterOutcome, Program, RecoveryFn, StageFn};
-pub use report::{RunReport, RunResult, ShardStats};
+pub use report::{RunReport, RunResult, ShardStats, ValPlaneStats};
 pub use system::{worker_owner, MtxSystem, RunError};
 pub use trace::{Role, TraceEvent, TraceKind, TraceSink, DEFAULT_TRACE_CAPACITY};
 pub use worker::WorkerCtx;

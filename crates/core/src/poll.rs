@@ -8,6 +8,23 @@
 
 use crate::control::{ControlPlane, Interrupt};
 
+/// True when this process has exactly one CPU to run on.
+///
+/// Spinning only makes sense when the producer we are waiting for can run
+/// *concurrently* on another core; on a single-core host a spin round
+/// burns the very quantum the producer needs, so the backoff skips
+/// straight to yielding.
+fn single_core() -> bool {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static CORES: AtomicUsize = AtomicUsize::new(0);
+    let mut n = CORES.load(Ordering::Relaxed);
+    if n == 0 {
+        n = std::thread::available_parallelism().map_or(1, |c| c.get());
+        CORES.store(n, Ordering::Relaxed);
+    }
+    n == 1
+}
+
 /// Exponential-ish backoff: spin briefly, then yield, then sleep.
 #[derive(Debug, Default)]
 pub struct Backoff {
@@ -23,7 +40,7 @@ impl Backoff {
     /// Waits an amount appropriate to how long we have been waiting.
     pub fn wait(&mut self) {
         self.rounds = self.rounds.saturating_add(1);
-        if self.rounds < 16 {
+        if self.rounds < 16 && !single_core() {
             std::hint::spin_loop();
         } else if self.rounds < 256 {
             std::thread::yield_now();

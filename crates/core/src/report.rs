@@ -30,6 +30,63 @@ pub struct ShardStats {
     pub busy_ppm: u64,
 }
 
+/// Validation-plane compaction statistics, aggregated across workers.
+///
+/// "Pre" figures count what the unpacked per-record encoding would have
+/// shipped (one fabric item per access plus two framing items per shard
+/// and plane); "post" figures count what actually went on the wire
+/// (block frames plus their packed payload bytes). With compaction off
+/// the two coincide and nothing is filtered.
+#[derive(Debug, Default, Clone)]
+pub struct ValPlaneStats {
+    /// Fabric items the unpacked encoding would have shipped.
+    pub records_pre: u64,
+    /// Fabric items actually shipped (block frames).
+    pub records_post: u64,
+    /// Wire bytes the unpacked encoding would have cost.
+    pub bytes_pre: u64,
+    /// Wire bytes actually spent (frames + packed payloads).
+    pub bytes_post: u64,
+    /// Access records suppressed by the worker-side store buffer.
+    pub records_filtered: u64,
+    /// `AccessBlock` frames shipped.
+    pub blocks: u64,
+    /// Access records carried inside those blocks (post-filter).
+    pub block_records: u64,
+    /// COA fetches served from the worker page cache (local serves plus
+    /// wire revalidations — no page payload crossed the fabric).
+    pub cache_hits: u64,
+    /// Full-page COA fetches of uncached pages.
+    pub cache_misses: u64,
+    /// Full-page COA refetches replacing an outdated cached copy.
+    pub cache_stale: u64,
+}
+
+impl ValPlaneStats {
+    /// Folds another worker's counters into this aggregate.
+    pub fn merge(&mut self, other: &ValPlaneStats) {
+        self.records_pre += other.records_pre;
+        self.records_post += other.records_post;
+        self.bytes_pre += other.bytes_pre;
+        self.bytes_post += other.bytes_post;
+        self.records_filtered += other.records_filtered;
+        self.blocks += other.blocks;
+        self.block_records += other.block_records;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_stale += other.cache_stale;
+    }
+
+    /// Mean records per shipped block (0 when no blocks shipped).
+    pub fn block_fill(&self) -> f64 {
+        if self.blocks == 0 {
+            0.0
+        } else {
+            self.block_records as f64 / self.blocks as f64
+        }
+    }
+}
+
 /// Statistics and outcome of one parallel run.
 #[derive(Debug)]
 pub struct RunReport {
@@ -61,6 +118,9 @@ pub struct RunReport {
     /// Per-try-commit-shard statistics, indexed by shard; length is the
     /// configured `unit_shards`.
     pub shard_stats: Vec<ShardStats>,
+    /// Validation-plane compaction and COA-cache counters, aggregated
+    /// over all workers.
+    pub valplane: ValPlaneStats,
     /// Aggregate fabric traffic (all queues).
     pub stats: FabricStats,
     /// Wall-clock duration of the parallel section.
@@ -151,6 +211,24 @@ impl RunReport {
                 stats.verdict_latency.clone(),
             );
         }
+        let v = &self.valplane;
+        reg.counter(schema::VALPLANE_RECORDS_PRE, &[])
+            .add(v.records_pre);
+        reg.counter(schema::VALPLANE_RECORDS_POST, &[])
+            .add(v.records_post);
+        reg.counter(schema::VALPLANE_RECORDS_FILTERED, &[])
+            .add(v.records_filtered);
+        reg.counter(schema::VALPLANE_BYTES_PRE, &[])
+            .add(v.bytes_pre);
+        reg.counter(schema::VALPLANE_BYTES_POST, &[])
+            .add(v.bytes_post);
+        reg.counter(schema::VALPLANE_BLOCKS, &[]).add(v.blocks);
+        reg.counter(schema::VALPLANE_BLOCK_RECORDS, &[])
+            .add(v.block_records);
+        reg.counter(schema::COA_CACHE_HITS, &[]).add(v.cache_hits);
+        reg.counter(schema::COA_CACHE_MISSES, &[])
+            .add(v.cache_misses);
+        reg.counter(schema::COA_CACHE_STALE, &[]).add(v.cache_stale);
         self.stats.to_registry(reg);
         self.analysis().to_registry(reg);
     }
@@ -183,6 +261,7 @@ mod tests {
             fault_recoveries: 0,
             channel_downs: 0,
             shard_stats: Vec::new(),
+            valplane: ValPlaneStats::default(),
             stats: FabricStats::new(),
             elapsed: Duration::ZERO,
             trace: Vec::new(),
@@ -258,6 +337,35 @@ mod tests {
         assert!(dump.contains(schema::RUN_FAULT_RECOVERIES));
         assert!(dump.contains(schema::RUN_CHANNEL_DOWNS));
         assert!(dump.contains(schema::FABRIC_SENT_BYTES));
+        assert!(dump.contains(schema::VALPLANE_BYTES_POST));
+        assert!(dump.contains(schema::COA_CACHE_HITS));
+    }
+
+    #[test]
+    fn valplane_merge_sums_and_block_fill_averages() {
+        let mut a = ValPlaneStats {
+            records_pre: 100,
+            records_post: 10,
+            bytes_pre: 3200,
+            bytes_post: 900,
+            records_filtered: 20,
+            blocks: 4,
+            block_records: 80,
+            cache_hits: 3,
+            cache_misses: 2,
+            cache_stale: 1,
+        };
+        let b = ValPlaneStats {
+            records_pre: 50,
+            blocks: 1,
+            block_records: 20,
+            ..ValPlaneStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.records_pre, 150);
+        assert_eq!(a.blocks, 5);
+        assert!((a.block_fill() - 20.0).abs() < 1e-9);
+        assert_eq!(ValPlaneStats::default().block_fill(), 0.0);
     }
 
     #[test]

@@ -387,10 +387,10 @@ impl MtxSystem {
                 busy_ppm: c.busy_ppm,
             });
         }
-        for r in &worker_results {
-            if r.is_err() {
-                return Err(RunError::ThreadPanic("worker"));
-            }
+        let mut valplane = crate::report::ValPlaneStats::default();
+        for r in worker_results {
+            let ctx = r.map_err(|_| RunError::ThreadPanic("worker"))?;
+            valplane.merge(&ctx.valplane());
         }
 
         let report = RunReport {
@@ -405,6 +405,7 @@ impl MtxSystem {
             fault_recoveries: counters.fault_recoveries,
             channel_downs: ctrl.channel_downs(),
             shard_stats,
+            valplane,
             stats: mesh.stats(),
             elapsed,
             trace: trace.events(),

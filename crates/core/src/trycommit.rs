@@ -41,7 +41,7 @@ use crate::control::{ControlPlane, Interrupt};
 use crate::ids::{MtxId, StageId, WorkerId};
 use crate::poll::{wait_for, wait_for_deadline, Backoff};
 use crate::trace::{Role, TraceKind, TraceSink};
-use crate::wire::Msg;
+use crate::wire::{AccessBlock, Msg, EPOCH_NONE};
 use crate::worker::{classify, flush_port};
 
 /// In-progress frame assembly for one worker's validation stream.
@@ -49,6 +49,15 @@ use crate::worker::{classify, flush_port};
 struct Assembly {
     open: Option<(MtxId, StageId)>,
     records: Vec<AccessRecord>,
+}
+
+/// One completed subTX stream awaiting its replay turn: either the
+/// legacy per-record assembly or a packed block, replayed by cursor
+/// straight out of the received frame with no per-record allocation.
+#[derive(Debug)]
+enum AccessStream {
+    Records(Vec<AccessRecord>),
+    Block(Box<AccessBlock>),
 }
 
 /// Per-shard statistics returned by [`TryCommitUnit::run`].
@@ -87,7 +96,7 @@ pub(crate) struct TryCommitUnit {
     partial: FxHashMap<WorkerId, Assembly>,
     /// Completed subTX streams awaiting their replay turn, with their
     /// arrival time (for replay-lag / verdict-latency histograms).
-    done: FxHashMap<(u64, u16), (Vec<AccessRecord>, Instant)>,
+    done: FxHashMap<(u64, u16), (AccessStream, Instant)>,
     cursor_mtx: MtxId,
     cursor_stage: StageId,
     /// Set after reporting a conflict: stop replaying, wait for recovery.
@@ -237,7 +246,22 @@ impl TryCommitUnit {
                         assert_eq!(open, (mtx, stage), "subTX framing mismatch");
                         self.done.insert(
                             (mtx.0, stage.0),
-                            (std::mem::take(&mut asm.records), Instant::now()),
+                            (
+                                AccessStream::Records(std::mem::take(&mut asm.records)),
+                                Instant::now(),
+                            ),
+                        );
+                    }
+                    Msg::ValBlock { mtx, stage, block } => {
+                        // A packed frame is framing and records in one
+                        // message: it completes the stream on arrival.
+                        assert!(
+                            asm.open.is_none(),
+                            "packed frame inside an open unpacked subTX from {worker}"
+                        );
+                        self.done.insert(
+                            (mtx.0, stage.0),
+                            (AccessStream::Block(block), Instant::now()),
                         );
                     }
                     other => panic!("unexpected message on validation plane: {other:?}"),
@@ -250,14 +274,14 @@ impl TryCommitUnit {
     /// Replays every stream whose program-order turn has come.
     fn replay_ready(&mut self) -> Result<bool, Interrupt> {
         let mut progress = false;
-        while let Some((records, arrived)) =
+        while let Some((stream, arrived)) =
             self.done.remove(&(self.cursor_mtx.0, self.cursor_stage.0))
         {
             progress = true;
             self.counters
                 .replay_lag
                 .record(arrived.elapsed().as_micros() as u64);
-            if !self.replay(&records)? {
+            if !self.replay(&stream)? {
                 // Conflict: tell the commit unit and freeze until it
                 // orchestrates recovery.
                 self.counters.conflicts += 1;
@@ -297,27 +321,46 @@ impl TryCommitUnit {
     }
 
     /// Replays one subTX stream against the image. Returns `false` on the
-    /// first mismatching load.
-    fn replay(&mut self, records: &[AccessRecord]) -> Result<bool, Interrupt> {
-        for r in records {
-            match r.kind {
-                AccessKind::Store => self.image.apply_forwarded(r.addr, r.value),
-                AccessKind::Load => {
-                    let Self {
-                        image,
-                        to_commit,
-                        coa_in,
-                        ctrl,
-                        epoch,
-                        data_timeout,
-                        ..
-                    } = self;
-                    let actual = image.read_unlogged(r.addr, |page| {
-                        coa_fetch(to_commit, coa_in, ctrl, epoch, *data_timeout, page)
-                    })?;
-                    if actual != r.value {
+    /// first mismatching load. Packed blocks decode by cursor as they
+    /// replay — no intermediate record vector is materialized.
+    fn replay(&mut self, stream: &AccessStream) -> Result<bool, Interrupt> {
+        match stream {
+            AccessStream::Records(records) => {
+                for r in records {
+                    if !self.replay_record(*r)? {
                         return Ok(false);
                     }
+                }
+            }
+            AccessStream::Block(block) => {
+                for r in block.iter() {
+                    if !self.replay_record(r)? {
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    fn replay_record(&mut self, r: AccessRecord) -> Result<bool, Interrupt> {
+        match r.kind {
+            AccessKind::Store => self.image.apply_forwarded(r.addr, r.value),
+            AccessKind::Load => {
+                let Self {
+                    image,
+                    to_commit,
+                    coa_in,
+                    ctrl,
+                    epoch,
+                    data_timeout,
+                    ..
+                } = self;
+                let actual = image.read_unlogged(r.addr, |page| {
+                    coa_fetch(to_commit, coa_in, ctrl, epoch, *data_timeout, page)
+                })?;
+                if actual != r.value {
+                    return Ok(false);
                 }
             }
         }
@@ -368,7 +411,10 @@ impl std::fmt::Debug for TryCommitUnit {
 }
 
 /// COA round trip to the commit unit (the try-commit image is initialized
-/// lazily from committed pages, exactly like a worker's memory).
+/// lazily from committed pages, exactly like a worker's memory). The
+/// shards keep no page cache — their image already retains replayed pages
+/// until recovery — so every request advertises [`EPOCH_NONE`] and always
+/// draws the full page.
 fn coa_fetch(
     to_commit: &mut SendPort<Msg>,
     coa_in: &mut RecvPort<Msg>,
@@ -378,14 +424,17 @@ fn coa_fetch(
     page: PageId,
 ) -> Result<Page, Interrupt> {
     to_commit
-        .produce(Msg::CoaRequest { page: page.0 })
+        .produce(Msg::CoaRequest {
+            page: page.0,
+            have: EPOCH_NONE,
+        })
         .map_err(classify)?;
     flush_port(ctrl, epoch, to_commit)?;
     let reply = wait_for_deadline(ctrl, epoch, timeout, || {
         coa_in.try_consume().map_err(classify)
     })?;
     match reply {
-        Msg::CoaReply { page: p, data } => {
+        Msg::CoaReply { page: p, data, .. } => {
             assert_eq!(p, page.0, "out-of-order COA reply");
             Ok(*data)
         }

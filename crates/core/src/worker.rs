@@ -23,7 +23,7 @@ use std::collections::VecDeque;
 use std::time::Duration;
 
 use dsmtx_fabric::{FabricError, RecvPort, SendPort};
-use dsmtx_mem::{shard_of, Page, SpecMem};
+use dsmtx_mem::{shard_of, AccessKind, AccessRecord, Page, PageCache, SpecMem};
 use dsmtx_uva::{PageId, RegionAllocator, VAddr};
 
 use crate::config::PipelineShape;
@@ -31,8 +31,154 @@ use crate::control::{ControlPlane, Interrupt};
 use crate::ids::{MtxId, StageId, WorkerId};
 use crate::poll::{wait_for, wait_for_deadline};
 use crate::program::{IterOutcome, StageFn};
+use crate::report::ValPlaneStats;
 use crate::trace::{Role, TraceKind, TraceSink};
-use crate::wire::Msg;
+use crate::wire::{AccessBlock, Msg, EPOCH_NONE};
+
+/// Fabric accounting charges one enum slot per queued item; used to state
+/// what the unpacked per-record encoding would have cost on the wire.
+const ITEM_BYTES: u64 = std::mem::size_of::<Msg>() as u64;
+
+/// A write-combining store buffer over one subTX's access log.
+///
+/// Filters the program-ordered access stream down to the records the
+/// validation and commit planes actually need, without changing any
+/// verdict:
+///
+/// * a **load** survives only as the *first* access to its address — a
+///   repeat load re-observes the same private page (nothing else writes
+///   it inside the subTX), so replay would check the identical value
+///   against the identical image state; a load *after a local store*
+///   observes the forwarded store value, which replay reproduces
+///   trivially;
+/// * **stores** to the same address coalesce into the first store's
+///   stream position carrying the *final* value. Every load of that
+///   address at or after the first store was suppressed by the rule
+///   above, so no surviving record observes an intermediate value, and
+///   the end-of-stream image (what group commit applies) is unchanged.
+///
+/// Open-addressed table keyed on raw address bits, generation-stamped so
+/// reset is O(1) between subTXs.
+struct AccessFilter {
+    slots: Vec<FilterSlot>,
+    /// Current generation; a slot with a different stamp is empty.
+    gen: u64,
+    /// `slots.len() - 1`; length is a power of two.
+    mask: usize,
+}
+
+#[derive(Clone, Copy)]
+struct FilterSlot {
+    key: u64,
+    gen: u64,
+    /// A load of `key` already survived (or was made redundant by a
+    /// store).
+    loaded: bool,
+    /// Output index of the surviving store to `key`, `u32::MAX` if none.
+    store_at: u32,
+}
+
+const NO_STORE: u32 = u32::MAX;
+
+impl AccessFilter {
+    fn new() -> Self {
+        AccessFilter {
+            slots: vec![
+                FilterSlot {
+                    key: 0,
+                    gen: 0,
+                    loaded: false,
+                    store_at: NO_STORE,
+                };
+                64
+            ],
+            gen: 0,
+            mask: 63,
+        }
+    }
+
+    /// Grows the table to hold at least `2 * n` keys at < 50% load.
+    fn reserve(&mut self, n: usize) {
+        let want = (2 * n.max(32)).next_power_of_two();
+        if want > self.slots.len() {
+            self.slots = vec![
+                FilterSlot {
+                    key: 0,
+                    gen: 0,
+                    loaded: false,
+                    store_at: NO_STORE,
+                };
+                want
+            ];
+            self.mask = want - 1;
+            self.gen = 0;
+        }
+    }
+
+    #[inline]
+    fn slot_of(&mut self, key: u64) -> &mut FilterSlot {
+        // Fibonacci-style multiplicative hash, taking high bits so that
+        // word-aligned addresses (low 3 bits zero) still spread.
+        let h = key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32;
+        let mut i = h as usize & self.mask;
+        loop {
+            let s = &self.slots[i];
+            if s.gen != self.gen || s.key == key {
+                return &mut self.slots[i];
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Filters `records` into `out` (cleared first). Returns the number
+    /// of suppressed records.
+    fn filter_into(&mut self, records: &[AccessRecord], out: &mut Vec<AccessRecord>) -> u64 {
+        out.clear();
+        self.reserve(records.len());
+        self.gen = self.gen.wrapping_add(1);
+        if self.gen == 0 {
+            // Generation wrapped: old stamps would read as live.
+            for s in &mut self.slots {
+                s.gen = u64::MAX;
+            }
+            self.gen = 1;
+        }
+        let gen = self.gen;
+        let mut filtered = 0u64;
+        for r in records {
+            let key = r.addr.raw();
+            let s = self.slot_of(key);
+            if s.gen != gen {
+                *s = FilterSlot {
+                    key,
+                    gen,
+                    loaded: false,
+                    store_at: NO_STORE,
+                };
+            }
+            match r.kind {
+                AccessKind::Load => {
+                    if s.loaded || s.store_at != NO_STORE {
+                        filtered += 1;
+                    } else {
+                        s.loaded = true;
+                        out.push(*r);
+                    }
+                }
+                AccessKind::Store => {
+                    if s.store_at == NO_STORE {
+                        s.store_at = out.len() as u32;
+                        out.push(*r);
+                    } else {
+                        out[s.store_at as usize].value = r.value;
+                        filtered += 1;
+                    }
+                }
+            }
+        }
+        filtered
+    }
+}
 
 /// The execution context handed to stage bodies.
 ///
@@ -69,6 +215,26 @@ pub struct WorkerCtx {
     cu_out: SendPort<Msg>,
     /// COA replies from the commit unit.
     coa_in: RecvPort<Msg>,
+
+    /// Packed validation/commit-plane encoding on (the default) or the
+    /// legacy per-record encoding (differential baseline).
+    compaction: bool,
+    /// Write-combining store buffer filtering each subTX's access log.
+    filter: AccessFilter,
+    /// Scratch: the filtered access stream of the current subTX.
+    filtered: Vec<AccessRecord>,
+    /// Scratch: one packed block per try-commit shard.
+    val_blocks: Vec<AccessBlock>,
+    /// Scratch: the packed commit-plane store block.
+    commit_block: AccessBlock,
+    /// Validation-plane compaction counters (merged into the run report).
+    valplane: ValPlaneStats,
+    /// Epoch-tagged committed pages retained across rollbacks.
+    coa_cache: PageCache,
+    /// Newest commit epoch observed on a COA reply; [`EPOCH_NONE`] until
+    /// the first reply and right after a recovery (which forces the next
+    /// fault on every page back over the wire for revalidation).
+    coa_epoch: u64,
 
     // ---- per-iteration state ----
     cur: Option<MtxId>,
@@ -115,6 +281,8 @@ impl WorkerCtx {
         let n_stages = w.shape.n_stages() as usize;
         let epoch = w.ctrl.epoch();
         let data_timeout = w.shape.recv_deadline();
+        let compaction = w.shape.compaction();
+        let n_shards = w.val_out.len();
         WorkerCtx {
             role: Role::Worker(w.worker.0 as u32),
             worker: w.worker,
@@ -131,6 +299,14 @@ impl WorkerCtx {
             val_out: w.val_out,
             cu_out: w.cu_out,
             coa_in: w.coa_in,
+            compaction,
+            filter: AccessFilter::new(),
+            filtered: Vec::new(),
+            val_blocks: vec![AccessBlock::new(); n_shards],
+            commit_block: AccessBlock::new(),
+            valplane: ValPlaneStats::default(),
+            coa_cache: PageCache::new(),
+            coa_epoch: EPOCH_NONE,
             cur: None,
             users: vec![VecDeque::new(); n_stages],
             ring_in_vals: VecDeque::new(),
@@ -186,10 +362,23 @@ impl WorkerCtx {
             ctrl,
             epoch,
             data_timeout,
+            coa_cache,
+            coa_epoch,
+            compaction,
             ..
         } = self;
         spec.read(addr, |page| {
-            coa_fetch(cu_out, coa_in, ctrl, epoch, *data_timeout, page)
+            coa_fetch(
+                cu_out,
+                coa_in,
+                ctrl,
+                epoch,
+                *data_timeout,
+                coa_cache,
+                coa_epoch,
+                *compaction,
+                page,
+            )
         })
     }
 
@@ -209,10 +398,23 @@ impl WorkerCtx {
             ctrl,
             epoch,
             data_timeout,
+            coa_cache,
+            coa_epoch,
+            compaction,
             ..
         } = self;
         spec.read_unlogged(addr, |page| {
-            coa_fetch(cu_out, coa_in, ctrl, epoch, *data_timeout, page)
+            coa_fetch(
+                cu_out,
+                coa_in,
+                ctrl,
+                epoch,
+                *data_timeout,
+                coa_cache,
+                coa_epoch,
+                *compaction,
+                page,
+            )
         })
     }
 
@@ -271,10 +473,23 @@ impl WorkerCtx {
             ctrl,
             epoch,
             data_timeout,
+            coa_cache,
+            coa_epoch,
+            compaction,
             ..
         } = self;
         spec.write(addr, value, |page| {
-            coa_fetch(cu_out, coa_in, ctrl, epoch, *data_timeout, page)
+            coa_fetch(
+                cu_out,
+                coa_in,
+                ctrl,
+                epoch,
+                *data_timeout,
+                coa_cache,
+                coa_epoch,
+                *compaction,
+                page,
+            )
         })
     }
 
@@ -293,10 +508,23 @@ impl WorkerCtx {
             ctrl,
             epoch,
             data_timeout,
+            coa_cache,
+            coa_epoch,
+            compaction,
             ..
         } = self;
         spec.write_unlogged(addr, value, |page| {
-            coa_fetch(cu_out, coa_in, ctrl, epoch, *data_timeout, page)
+            coa_fetch(
+                cu_out,
+                coa_in,
+                ctrl,
+                epoch,
+                *data_timeout,
+                coa_cache,
+                coa_epoch,
+                *compaction,
+                page,
+            )
         })
     }
 
@@ -457,56 +685,125 @@ impl WorkerCtx {
         debug_assert_eq!(self.cur, Some(mtx), "end without matching begin");
         let records = self.spec.drain_log();
         let stage = self.stage;
-
-        // Validation streams (ordered loads + stores), split across the
-        // try-commit shards by page: every shard gets the framing so its
-        // replay cursor advances, each record goes only to the shard
-        // owning its page. At one shard this is the original single
-        // stream verbatim.
+        let exit = outcome == IterOutcome::Exit;
         let n_shards = self.val_out.len();
-        for port in &mut self.val_out {
-            send(port, Msg::SubTxBegin { mtx, stage })?;
-        }
-        for r in &records {
-            let msg = match r.kind {
-                dsmtx_mem::spec::AccessKind::Load => Msg::Load {
-                    addr: r.addr.raw(),
-                    value: r.value,
-                },
-                dsmtx_mem::spec::AccessKind::Store => Msg::Store {
-                    addr: r.addr.raw(),
-                    value: r.value,
-                },
-            };
-            send(&mut self.val_out[shard_of(r.addr.page(), n_shards)], msg)?;
-        }
-        for port in &mut self.val_out {
-            send(port, Msg::SubTxEnd { mtx, stage })?;
-        }
-        for port in &mut self.val_out {
-            flush_port(&self.ctrl, &mut self.epoch, port)?;
-        }
 
-        // Store stream to the commit unit (group transaction commit input).
-        send(&mut self.cu_out, Msg::SubTxBegin { mtx, stage })?;
-        for (addr, value) in SpecMem::stores_of(&records) {
+        // What the unpacked per-record encoding would have shipped: one
+        // item per access plus the per-shard framing pair on the
+        // validation plane, one item per store plus the framing pair on
+        // the commit plane.
+        let raw_stores = records
+            .iter()
+            .filter(|r| r.kind == AccessKind::Store)
+            .count();
+        let pre_items = records.len() as u64 + 2 * n_shards as u64 + raw_stores as u64 + 2;
+        self.valplane.records_pre += pre_items;
+        self.valplane.bytes_pre += pre_items * ITEM_BYTES;
+
+        if self.compaction {
+            // Filter the access log through the write-combining store
+            // buffer, then pack each shard's share (and the coalesced
+            // store set) into block frames.
+            let Self {
+                filter,
+                filtered,
+                val_blocks,
+                commit_block,
+                valplane,
+                ..
+            } = self;
+            valplane.records_filtered += filter.filter_into(&records, filtered);
+            for block in val_blocks.iter_mut() {
+                block.clear();
+            }
+            for r in filtered.iter() {
+                val_blocks[shard_of(r.addr.page(), n_shards)].push(r.kind, r.addr.raw(), r.value);
+            }
+            commit_block.clear();
+            for (addr, value) in SpecMem::stores_of(filtered) {
+                commit_block.push(AccessKind::Store, addr.raw(), value);
+            }
+
+            // Validation plane: one block per shard, empty blocks
+            // included so every replay cursor advances.
+            for s in 0..n_shards {
+                let block = Box::new(std::mem::take(&mut self.val_blocks[s]));
+                self.valplane.records_post += 1;
+                self.valplane.bytes_post += ITEM_BYTES + block.wire_bytes();
+                self.valplane.blocks += 1;
+                self.valplane.block_records += u64::from(block.len());
+                send(&mut self.val_out[s], Msg::ValBlock { mtx, stage, block })?;
+            }
+            for port in &mut self.val_out {
+                flush_port(&self.ctrl, &mut self.epoch, port)?;
+            }
+
+            // Commit plane: the coalesced store set and the loop-exit
+            // decision in one frame.
+            let block = Box::new(std::mem::take(&mut self.commit_block));
+            self.valplane.records_post += 1;
+            self.valplane.bytes_post += ITEM_BYTES + block.wire_bytes();
+            self.valplane.blocks += 1;
+            self.valplane.block_records += u64::from(block.len());
             send(
                 &mut self.cu_out,
-                Msg::Store {
-                    addr: addr.raw(),
-                    value,
+                Msg::CommitBlock {
+                    mtx,
+                    stage,
+                    exit,
+                    block,
                 },
             )?;
+            flush_port(&self.ctrl, &mut self.epoch, &mut self.cu_out)?;
+        } else {
+            // Legacy unpacked encoding: one message per record. Ships
+            // exactly what the pre-side accounting counted.
+            self.valplane.records_post += pre_items;
+            self.valplane.bytes_post += pre_items * ITEM_BYTES;
+
+            // Validation streams (ordered loads + stores), split across
+            // the try-commit shards by page: every shard gets the framing
+            // so its replay cursor advances, each record goes only to the
+            // shard owning its page. At one shard this is the original
+            // single stream verbatim.
+            for port in &mut self.val_out {
+                send(port, Msg::SubTxBegin { mtx, stage })?;
+            }
+            for r in &records {
+                let msg = match r.kind {
+                    AccessKind::Load => Msg::Load {
+                        addr: r.addr.raw(),
+                        value: r.value,
+                    },
+                    AccessKind::Store => Msg::Store {
+                        addr: r.addr.raw(),
+                        value: r.value,
+                    },
+                };
+                send(&mut self.val_out[shard_of(r.addr.page(), n_shards)], msg)?;
+            }
+            for port in &mut self.val_out {
+                send(port, Msg::SubTxEnd { mtx, stage })?;
+            }
+            for port in &mut self.val_out {
+                flush_port(&self.ctrl, &mut self.epoch, port)?;
+            }
+
+            // Store stream to the commit unit (group transaction commit
+            // input).
+            send(&mut self.cu_out, Msg::SubTxBegin { mtx, stage })?;
+            for (addr, value) in SpecMem::stores_of(&records) {
+                send(
+                    &mut self.cu_out,
+                    Msg::Store {
+                        addr: addr.raw(),
+                        value,
+                    },
+                )?;
+            }
+            send(&mut self.cu_out, Msg::SubTxDone { mtx, stage, exit })?;
+            flush_port(&self.ctrl, &mut self.epoch, &mut self.cu_out)?;
         }
-        send(
-            &mut self.cu_out,
-            Msg::SubTxDone {
-                mtx,
-                stage,
-                exit: outcome == IterOutcome::Exit,
-            },
-        )?;
-        flush_port(&self.ctrl, &mut self.epoch, &mut self.cu_out)?;
 
         // Data frames to the executor of this iteration in each later
         // stage: forwarded stores + user values.
@@ -680,6 +977,16 @@ impl WorkerCtx {
         self.produces.clear();
         self.ring_produces.clear();
         self.cur = None;
+        self.filtered.clear();
+        for block in &mut self.val_blocks {
+            block.clear();
+        }
+        self.commit_block.clear();
+        // The COA cache keeps its (pristine, committed) pages — that is
+        // its whole value across rollbacks — but the epoch view resets so
+        // the next fault on every page revalidates over the wire before
+        // any local serve.
+        self.coa_epoch = EPOCH_NONE;
         // Iteration boundary+1's ring producer was re-executed by the
         // commit unit: its executor must re-derive synchronized state
         // from committed memory instead of waiting for a frame.
@@ -692,6 +999,17 @@ impl WorkerCtx {
     /// COA installs performed by this worker so far.
     pub fn coa_faults(&self) -> u64 {
         self.spec.faults_served()
+    }
+
+    /// This worker's validation-plane compaction and COA-cache counters
+    /// (merged across workers into [`crate::RunReport::valplane`]).
+    pub fn valplane(&self) -> ValPlaneStats {
+        ValPlaneStats {
+            cache_hits: self.coa_cache.hits(),
+            cache_misses: self.coa_cache.misses(),
+            cache_stale: self.coa_cache.stale(),
+            ..self.valplane.clone()
+        }
     }
 }
 
@@ -748,25 +1066,64 @@ fn port_to(ports: &mut [(WorkerId, SendPort<Msg>)], dst: WorkerId) -> &mut SendP
 /// One Copy-On-Access round trip: request the page from the commit unit
 /// and wait for the reply (at most one outstanding request per worker, so
 /// replies arrive in request order).
+///
+/// With compaction on, the epoch-tagged page cache short-circuits the
+/// trip entirely when the cached copy carries the newest epoch this
+/// worker has seen, and otherwise advertises the cached tag so the commit
+/// unit can answer with a payload-free [`Msg::CoaFresh`] revalidation.
+/// Either way the worker's speculative memory receives a copy of the
+/// committed page — the cache retains its own pristine clone.
+#[allow(clippy::too_many_arguments)]
 fn coa_fetch(
     cu_out: &mut SendPort<Msg>,
     coa_in: &mut RecvPort<Msg>,
     ctrl: &ControlPlane,
     epoch: &mut u64,
     timeout: Option<Duration>,
+    cache: &mut PageCache,
+    coa_epoch: &mut u64,
+    use_cache: bool,
     page: PageId,
 ) -> Result<Page, Interrupt> {
+    let have = if use_cache {
+        let have = cache.epoch_of(page);
+        if have.is_some() && have == Some(*coa_epoch) && *coa_epoch != EPOCH_NONE {
+            // The copy was (re)validated at the newest epoch this worker
+            // has observed: serve it locally. It can lag the commit
+            // unit's current image, but only within the freshness window
+            // every COA fetch already has — value validation catches any
+            // resulting misspeculation.
+            return Ok(cache.serve(page));
+        }
+        have.unwrap_or(EPOCH_NONE)
+    } else {
+        EPOCH_NONE
+    };
     cu_out
-        .produce(Msg::CoaRequest { page: page.0 })
+        .produce(Msg::CoaRequest { page: page.0, have })
         .map_err(classify)?;
     flush_port(ctrl, epoch, cu_out)?;
     let reply = wait_for_deadline(ctrl, epoch, timeout, || {
         coa_in.try_consume().map_err(classify)
     })?;
     match reply {
-        Msg::CoaReply { page: p, data } => {
+        Msg::CoaReply {
+            page: p,
+            epoch: e,
+            data,
+        } => {
             assert_eq!(p, page.0, "out-of-order COA reply");
+            if use_cache {
+                *coa_epoch = e;
+                cache.install(page, e, (*data).clone());
+            }
             Ok(*data)
+        }
+        Msg::CoaFresh { page: p, epoch: e } => {
+            assert_eq!(p, page.0, "out-of-order COA reply");
+            assert!(use_cache, "CoaFresh for a request that advertised no copy");
+            *coa_epoch = e;
+            Ok(cache.revalidate(page, e))
         }
         other => panic!("expected CoaReply, got {other:?}"),
     }
@@ -841,7 +1198,11 @@ mod tests {
         // flush discovers the dropped consumer.
         let (mut tx, rx) = channel::<Msg>(8, 4);
         drop(rx);
-        tx.produce(Msg::CoaRequest { page: 0 }).unwrap();
+        tx.produce(Msg::CoaRequest {
+            page: 0,
+            have: EPOCH_NONE,
+        })
+        .unwrap();
         let r = flush_port(&ctrl, &mut epoch, &mut tx);
         assert_eq!(r.unwrap_err(), Interrupt::ChannelDown);
     }
@@ -863,7 +1224,11 @@ mod tests {
                 max_backoff_us: 1,
             },
         );
-        tx.produce(Msg::CoaRequest { page: 0 }).unwrap();
+        tx.produce(Msg::CoaRequest {
+            page: 0,
+            have: EPOCH_NONE,
+        })
+        .unwrap();
         let r = flush_port(&ctrl, &mut epoch, &mut tx);
         assert_eq!(r.unwrap_err(), Interrupt::FabricTimeout);
     }
@@ -873,5 +1238,171 @@ mod tests {
         assert_eq!(classify(FabricError::Timeout), Interrupt::FabricTimeout);
         assert_eq!(classify(FabricError::Disconnected), Interrupt::ChannelDown);
         assert_eq!(classify(FabricError::Retriable), Interrupt::ChannelDown);
+    }
+
+    fn rec(kind: AccessKind, addr: u64, value: u64) -> AccessRecord {
+        AccessRecord {
+            kind,
+            addr: VAddr::from_raw(addr),
+            value,
+        }
+    }
+
+    fn filter(records: &[AccessRecord]) -> (Vec<AccessRecord>, u64) {
+        let mut f = AccessFilter::new();
+        let mut out = Vec::new();
+        let n = f.filter_into(records, &mut out);
+        (out, n)
+    }
+
+    /// Reference implementation of the filtering contract: first load per
+    /// address (unless locally stored before), one store per address at
+    /// first-store position with the final value.
+    fn filter_reference(records: &[AccessRecord]) -> Vec<AccessRecord> {
+        use std::collections::HashMap;
+        let mut out: Vec<AccessRecord> = Vec::new();
+        let mut seen_load: HashMap<u64, ()> = HashMap::new();
+        let mut store_at: HashMap<u64, usize> = HashMap::new();
+        for r in records {
+            let key = r.addr.raw();
+            match r.kind {
+                AccessKind::Load => {
+                    if !seen_load.contains_key(&key) && !store_at.contains_key(&key) {
+                        seen_load.insert(key, ());
+                        out.push(*r);
+                    }
+                }
+                AccessKind::Store => match store_at.get(&key) {
+                    Some(&i) => out[i].value = r.value,
+                    None => {
+                        store_at.insert(key, out.len());
+                        out.push(*r);
+                    }
+                },
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn filter_suppresses_repeat_loads_and_coalesces_stores() {
+        let (out, n) = filter(&[
+            rec(AccessKind::Load, 8, 5),
+            rec(AccessKind::Load, 8, 5),     // repeat load: suppressed
+            rec(AccessKind::Store, 8, 9),    // first store: survives here
+            rec(AccessKind::Load, 8, 9),     // load after store: suppressed
+            rec(AccessKind::Store, 8, 11),   // coalesces into the first store
+            rec(AccessKind::Load, 16, 0),    // different address: survives
+            rec(AccessKind::Store, 4096, 1), // different page: survives
+        ]);
+        assert_eq!(n, 3);
+        assert_eq!(
+            out,
+            vec![
+                rec(AccessKind::Load, 8, 5),
+                rec(AccessKind::Store, 8, 11), // final value, first position
+                rec(AccessKind::Load, 16, 0),
+                rec(AccessKind::Store, 4096, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn filter_passes_disjoint_streams_through_untouched() {
+        let records: Vec<AccessRecord> = (0..100u64)
+            .map(|i| {
+                rec(
+                    if i % 2 == 0 {
+                        AccessKind::Load
+                    } else {
+                        AccessKind::Store
+                    },
+                    8 * i,
+                    i,
+                )
+            })
+            .collect();
+        let (out, n) = filter(&records);
+        assert_eq!(n, 0);
+        assert_eq!(out, records);
+    }
+
+    #[test]
+    fn filter_matches_reference_on_pseudorandom_streams() {
+        let mut x = 0xDEAD_BEEF_CAFE_F00Du64;
+        let mut f = AccessFilter::new();
+        let mut out = Vec::new();
+        for round in 0..20 {
+            let mut records = Vec::new();
+            for i in 0..(50 + round * 37) {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                // A small address universe forces heavy collisions.
+                let addr = 8 * (x % 23);
+                let kind = if x & 4 == 0 {
+                    AccessKind::Load
+                } else {
+                    AccessKind::Store
+                };
+                records.push(rec(kind, addr, x.wrapping_add(i)));
+            }
+            // Reuse one filter across rounds: generation stamping must
+            // isolate subTXs from each other.
+            let n = f.filter_into(&records, &mut out);
+            assert_eq!(out, filter_reference(&records), "round {round}");
+            assert_eq!(n as usize, records.len() - out.len());
+        }
+    }
+
+    #[test]
+    fn filtered_stream_preserves_final_image_and_first_observations() {
+        // The soundness invariant the compaction rests on: replaying the
+        // filtered stream yields the same final store image, and every
+        // surviving load observes what the full stream's first load of
+        // that address observed.
+        let mut x = 1u64;
+        let mut records = Vec::new();
+        for i in 0..500u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let addr = 8 * (x % 17);
+            let kind = if x & 8 == 0 {
+                AccessKind::Load
+            } else {
+                AccessKind::Store
+            };
+            records.push(rec(kind, addr, i));
+        }
+        let (out, _) = filter(&records);
+        use std::collections::HashMap;
+        let mut full_image: HashMap<u64, u64> = HashMap::new();
+        for r in &records {
+            if r.kind == AccessKind::Store {
+                full_image.insert(r.addr.raw(), r.value);
+            }
+        }
+        let mut filt_image: HashMap<u64, u64> = HashMap::new();
+        for r in &out {
+            if r.kind == AccessKind::Store {
+                assert!(
+                    !filt_image.contains_key(&r.addr.raw()),
+                    "one store per address after coalescing"
+                );
+                filt_image.insert(r.addr.raw(), r.value);
+            }
+        }
+        assert_eq!(full_image, filt_image);
+        for r in &out {
+            if r.kind == AccessKind::Load {
+                let first = records
+                    .iter()
+                    .find(|q| q.addr == r.addr)
+                    .expect("load came from the stream");
+                assert_eq!(first.kind, AccessKind::Load, "no store precedes it");
+                assert_eq!(first.value, r.value);
+            }
+        }
     }
 }

@@ -43,5 +43,5 @@ pub use cost::CostModel;
 pub use error::{FabricError, Result};
 pub use fault::{FaultDecision, FaultInjector, FaultPlan, FaultRates, RetryPolicy};
 pub use mesh::{EndpointId, Mesh, MeshBuilder};
-pub use queue::{channel, channel_faulted, RecvPort, SendPort};
+pub use queue::{channel, channel_faulted, RecvPort, SendPort, FREELIST_DEPTH};
 pub use stats::FabricStats;

@@ -38,6 +38,17 @@ use crate::error::{FabricError, Result};
 use crate::fault::{FaultDecision, FaultInjector, RetryPolicy};
 use crate::stats::FabricStats;
 
+/// Upper bound on recycled batch buffers parked in a queue's freelist.
+///
+/// The freelist exists to keep steady-state traffic allocation-free, and
+/// steady state needs only a handful of husks: the sender consumes at most
+/// one per ship. A deep transport (`capacity` in the hundreds) would
+/// otherwise pin `capacity` empty-but-sized buffers per link for the whole
+/// run. Beyond this depth a returned husk is simply dropped (and counted
+/// in [`FabricStats::freelist_drops`]) — the next ship allocates fresh,
+/// which is the pre-freelist behaviour, not an error.
+pub const FREELIST_DEPTH: usize = 32;
+
 /// A packet on the wire: either a sequence-numbered batch of values or an
 /// end-of-stream mark.
 #[derive(Debug)]
@@ -139,10 +150,11 @@ pub fn channel_faulted<T>(
     assert!(batch >= 1, "batch must be at least 1");
     assert!(capacity >= 1, "capacity must be at least 1");
     let (tx, rx) = channel::bounded(capacity);
-    // The freelist mirrors the transport's depth: at most `capacity`
-    // packets are in flight, so at most that many husks can be waiting to
-    // come home. A full freelist just drops the husk.
-    let (free_tx, free_rx) = channel::bounded(capacity);
+    // The freelist is bounded by the transport's depth (at most `capacity`
+    // husks can be waiting to come home) and hard-capped at
+    // [`FREELIST_DEPTH`] so a deep transport doesn't pin a matching pile
+    // of idle buffers. A full freelist just drops the husk.
+    let (free_tx, free_rx) = channel::bounded(capacity.min(FREELIST_DEPTH));
     (
         SendPort {
             tx,
@@ -548,10 +560,13 @@ impl<T> RecvPort<T> {
     }
 
     /// Returns an emptied batch buffer to the sender's freelist; dropped
-    /// if the freelist is full or the sender is gone.
+    /// if the freelist is full (counted) or the sender is gone (not a
+    /// drop — nobody is left to reuse it).
     fn recycle(&mut self, mut batch: Vec<T>) {
         batch.clear();
-        let _ = self.free_tx.try_send(batch);
+        if let Err(channel::TrySendError::Full(_)) = self.free_tx.try_send(batch) {
+            self.stats.record_freelist_drop();
+        }
     }
 
     /// Sequences one packet: dedup stale copies, stash early arrivals,
@@ -803,6 +818,36 @@ mod tests {
             "husk taken for the next batch"
         );
         assert!(tx.buf.capacity() >= 4, "recycled buffer keeps capacity");
+    }
+
+    #[test]
+    fn freelist_is_bounded_and_overflow_drops_are_counted() {
+        let stats = FabricStats::new();
+        // Transport depth 64 but the freelist is capped at FREELIST_DEPTH.
+        let (tx, mut rx) = channel_with::<u32>(4, 64, CostModel::FREE, stats.clone());
+        for _ in 0..FREELIST_DEPTH + 5 {
+            rx.recycle(Vec::with_capacity(4));
+        }
+        assert_eq!(stats.freelist_drops(), 5, "overflow husks are counted");
+        // Every parked husk is still reclaimable by the sender.
+        for _ in 0..FREELIST_DEPTH {
+            assert!(tx.free_rx.try_recv().is_ok());
+        }
+        assert!(tx.free_rx.try_recv().is_err(), "freelist holds only DEPTH");
+    }
+
+    #[test]
+    fn shallow_transport_keeps_shallow_freelist() {
+        let stats = FabricStats::new();
+        let (tx, mut rx) = channel_with::<u32>(4, 2, CostModel::FREE, stats.clone());
+        for _ in 0..3 {
+            rx.recycle(Vec::new());
+        }
+        // capacity (2) < FREELIST_DEPTH: the smaller bound wins.
+        assert_eq!(stats.freelist_drops(), 1);
+        assert!(tx.free_rx.try_recv().is_ok());
+        assert!(tx.free_rx.try_recv().is_ok());
+        assert!(tx.free_rx.try_recv().is_err());
     }
 
     #[test]

@@ -74,6 +74,9 @@ struct Counters {
     dup_items_discarded: AtomicU64,
     /// Packets that arrived ahead of sequence and were stashed.
     ooo_packets: AtomicU64,
+    /// Recycled batch buffers dropped because the bounded freelist was
+    /// full (the next ship allocates fresh instead of reusing).
+    freelist_drops: AtomicU64,
 }
 
 impl FabricStats {
@@ -156,6 +159,11 @@ impl FabricStats {
     /// Records a packet stashed because it arrived ahead of sequence.
     pub fn record_ooo_stashed(&self) {
         self.inner.ooo_packets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a recycled buffer dropped by a full freelist.
+    pub fn record_freelist_drop(&self) {
+        self.inner.freelist_drops.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records a send-side stall (flush blocked on a full transport).
@@ -262,6 +270,11 @@ impl FabricStats {
         self.inner.ooo_packets.load(Ordering::Relaxed)
     }
 
+    /// Recycled buffers dropped by a full freelist.
+    pub fn freelist_drops(&self) -> u64 {
+        self.inner.freelist_drops.load(Ordering::Relaxed)
+    }
+
     /// Items currently sent but neither unpacked nor drained.
     pub fn in_flight_items(&self) -> u64 {
         self.items()
@@ -324,6 +337,7 @@ impl FabricStats {
                 &other.inner.dup_items_discarded,
             ),
             (&self.inner.ooo_packets, &other.inner.ooo_packets),
+            (&self.inner.freelist_drops, &other.inner.freelist_drops),
         ] {
             mine.fetch_add(theirs.load(Ordering::Relaxed), Ordering::Relaxed);
         }
@@ -384,6 +398,8 @@ impl FabricStats {
             .add(self.dup_items_discarded());
         reg.counter(schema::FABRIC_OOO_PACKETS, &[])
             .add(self.ooo_packets());
+        reg.counter(schema::FABRIC_FREELIST_DROPS, &[])
+            .add(self.freelist_drops());
     }
 }
 
@@ -486,17 +502,21 @@ mod tests {
         a.record_recv_timeout();
         a.record_dup_discarded(5);
         a.record_ooo_stashed();
+        a.record_freelist_drop();
         assert_eq!(a.faults_total(), 5);
         assert_eq!(a.retries(), 2);
         assert_eq!(a.send_timeouts(), 1);
         assert_eq!(a.recv_timeouts(), 1);
         assert_eq!(a.dup_items_discarded(), 5);
         assert_eq!(a.ooo_packets(), 1);
+        assert_eq!(a.freelist_drops(), 1);
         let b = FabricStats::new();
         b.record_fault_drop();
+        b.record_freelist_drop();
         a.merge(&b);
         assert_eq!(a.fault_drops(), 2);
         assert_eq!(a.faults_total(), 6);
+        assert_eq!(a.freelist_drops(), 2);
     }
 
     #[test]
@@ -519,6 +539,7 @@ mod tests {
             schema::FABRIC_RECV_TIMEOUTS,
             schema::FABRIC_DUP_ITEMS_DISCARDED,
             schema::FABRIC_OOO_PACKETS,
+            schema::FABRIC_FREELIST_DROPS,
         ] {
             assert!(dump.contains(name), "missing {name} in:\n{dump}");
         }

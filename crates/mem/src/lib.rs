@@ -46,6 +46,7 @@
 //! # Ok::<(), std::convert::Infallible>(())
 //! ```
 
+pub mod cache;
 pub mod log;
 pub mod master;
 pub mod page;
@@ -53,6 +54,7 @@ pub mod shard;
 pub mod spec;
 pub mod table;
 
+pub use cache::PageCache;
 pub use log::{ReadLog, WriteLog};
 pub use master::MasterMem;
 pub use page::{Page, PageDiff};

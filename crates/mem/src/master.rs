@@ -14,7 +14,7 @@
 //! behave exactly as a single flat map would.
 
 use dsmtx_uva::{PageId, VAddr};
-use fxhash::FxHashMap;
+use fxhash::{FxHashMap, FxHashSet};
 
 use crate::page::Page;
 use crate::shard::shard_of;
@@ -32,6 +32,10 @@ pub struct MasterMem {
     /// `PageId` space hash-partitioned by `shard_of(page, INTERNAL_SHARDS)`.
     shards: Vec<FxHashMap<PageId, Page>>,
     commits_applied: u64,
+    /// Pages written since the last [`MasterMem::take_dirty`] drain. The
+    /// commit unit turns these into per-page COA epoch stamps so worker
+    /// page caches can be revalidated without shipping page payloads.
+    dirty: FxHashSet<PageId>,
 }
 
 impl Default for MasterMem {
@@ -39,6 +43,7 @@ impl Default for MasterMem {
         MasterMem {
             shards: vec![FxHashMap::default(); INTERNAL_SHARDS],
             commits_applied: 0,
+            dirty: FxHashSet::default(),
         }
     }
 }
@@ -66,6 +71,7 @@ impl MasterMem {
     #[inline]
     pub fn write(&mut self, addr: VAddr, value: u64) {
         let id = addr.page();
+        self.dirty.insert(id);
         self.shards[shard_of(id, INTERNAL_SHARDS)]
             .entry(id)
             .or_default()
@@ -107,6 +113,7 @@ impl MasterMem {
         }
         let mut buckets: Vec<Vec<(VAddr, u64)>> = vec![Vec::new(); INTERNAL_SHARDS];
         for (addr, value) in writes {
+            self.dirty.insert(addr.page());
             buckets[shard_of(addr.page(), INTERNAL_SHARDS)].push((addr, value));
         }
         std::thread::scope(|scope| {
@@ -129,6 +136,14 @@ impl MasterMem {
     /// Number of `commit_writes` calls so far (committed MTX count).
     pub fn commits_applied(&self) -> u64 {
         self.commits_applied
+    }
+
+    /// Drains the set of pages written since the previous drain. The
+    /// commit unit calls this after every mutation batch (group commit,
+    /// recovery re-execution) to stamp the pages with the current commit
+    /// epoch for COA cache revalidation.
+    pub fn take_dirty(&mut self) -> FxHashSet<PageId> {
+        std::mem::take(&mut self.dirty)
     }
 
     /// Number of materialized (non-zero-backed) pages.

@@ -105,4 +105,38 @@ pub mod schema {
     pub const FABRIC_RECV_TIMEOUTS: &str = "fabric.recv_timeouts";
     pub const FABRIC_DUP_ITEMS_DISCARDED: &str = "fabric.dup_items_discarded";
     pub const FABRIC_OOO_PACKETS: &str = "fabric.ooo_packets";
+    /// Batch buffers dropped at recycle because the bounded freelist was
+    /// full (the allocator takes over; a liveness-neutral shed).
+    pub const FABRIC_FREELIST_DROPS: &str = "fabric.freelist_drops";
+
+    /// Validation-plane compaction counters (worker-side access filtering
+    /// and packed `AccessBlock` frames).
+    ///
+    /// Records the unpacked encoding would have shipped across the
+    /// validation plane (accesses plus per-shard framing messages).
+    pub const VALPLANE_RECORDS_PRE: &str = "valplane.records_pre";
+    /// Fabric items actually shipped (block frames; each carries many
+    /// records).
+    pub const VALPLANE_RECORDS_POST: &str = "valplane.records_post";
+    /// Access records suppressed by the worker-side store buffer
+    /// (coalesced stores and duplicate loads).
+    pub const VALPLANE_RECORDS_FILTERED: &str = "valplane.records_filtered";
+    /// Bytes the unpacked encoding would have put on the wire.
+    pub const VALPLANE_BYTES_PRE: &str = "valplane.bytes_pre";
+    /// Bytes actually on the wire (frames plus packed payloads).
+    pub const VALPLANE_BYTES_POST: &str = "valplane.bytes_post";
+    /// `AccessBlock` frames shipped across validation and commit planes.
+    pub const VALPLANE_BLOCKS: &str = "valplane.blocks";
+    /// Access records carried inside those blocks (post-filter).
+    pub const VALPLANE_BLOCK_RECORDS: &str = "valplane.block_records";
+
+    /// Worker-side COA page cache (epoch-tagged committed copies).
+    ///
+    /// Fetches served without a page payload on the wire (local serves
+    /// plus `CoaFresh` revalidations).
+    pub const COA_CACHE_HITS: &str = "coa_cache.hits";
+    /// Full-page fetches of pages the cache did not hold.
+    pub const COA_CACHE_MISSES: &str = "coa_cache.misses";
+    /// Full-page refetches replacing an outdated cached copy.
+    pub const COA_CACHE_STALE: &str = "coa_cache.stale";
 }

@@ -170,11 +170,24 @@ pub struct ShardPoint {
 /// §3.2's closing remark, quantified: parallelizing the try-commit and
 /// commit units relieves their serialization at high worker counts.
 pub fn unit_shard_sweep(profile: &WorkloadProfile, cores: u32, shards: &[u32]) -> Vec<ShardPoint> {
+    unit_shard_sweep_with(profile, cores, shards, 1.0)
+}
+
+/// [`unit_shard_sweep`] with an explicit validation-plane compaction
+/// factor (the runtime's measured `bytes_post / bytes_pre` ratio), so the
+/// model predictions reflect the protocol actually running.
+pub fn unit_shard_sweep_with(
+    profile: &WorkloadProfile,
+    cores: u32,
+    shards: &[u32],
+    val_compaction: f64,
+) -> Vec<ShardPoint> {
     shards
         .iter()
         .map(|&s| {
             let cluster = ClusterConfig {
                 unit_shards: s,
+                val_compaction,
                 ..ClusterConfig::paper()
             };
             ShardPoint {

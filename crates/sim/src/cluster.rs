@@ -34,6 +34,13 @@ pub struct ClusterConfig {
     /// that both algorithms are parallelizable; values > 1 model that
     /// extension (address-sharded validation/commit).
     pub unit_shards: u32,
+    /// Fraction of validation-plane traffic that survives compaction
+    /// (access-stream filtering plus packed frames). 1.0 models the
+    /// unpacked per-record protocol; the runtime's measured
+    /// `bytes_post / bytes_pre` ratio plugs in directly. Scales both the
+    /// words shipped on the validation/commit planes and the per-word
+    /// check/apply work (filtered records are neither sent nor checked).
+    pub val_compaction: f64,
 }
 
 impl ClusterConfig {
@@ -50,6 +57,7 @@ impl ClusterConfig {
             batch_items: 512.0,
             max_runahead: 512,
             unit_shards: 1,
+            val_compaction: 1.0,
         }
     }
 

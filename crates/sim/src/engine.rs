@@ -185,10 +185,16 @@ impl SimEngine {
             None
         };
 
+        // Validation-plane compaction: filtering + packed frames shrink
+        // what crosses the validation and commit planes (and what the
+        // units must check/apply) by this factor.
+        let vc = c.val_compaction.clamp(0.0, 1.0);
+
         // Bytes leaving each stage per iteration: data plane plus two
-        // copies of its validation words (try-commit and commit planes).
+        // copies of its (compacted) validation words (try-commit and
+        // commit planes).
         let stage_wire_bytes: Vec<f64> = (0..n_stages)
-            .map(|s| stage_bytes_out[s] + 2.0 * val_words_per_stage[s] * 8.0)
+            .map(|s| stage_bytes_out[s] + 2.0 * val_words_per_stage[s] * 8.0 * vc)
             .collect();
         let bytes_per_iter: f64 = stage_wire_bytes.iter().sum();
 
@@ -219,13 +225,14 @@ impl SimEngine {
             }
         };
         let shards = f64::from(c.unit_shards.max(1));
-        let val_service = (c.recv_cpu_time(eff_words(val_words_total))
-            + c.instr_time(val_words_total * CHECK_INSTR_PER_WORD)
-            + c.wire_time(val_words_total * 8.0))
+        let val_words_eff = val_words_total * vc;
+        let val_service = (c.recv_cpu_time(eff_words(val_words_eff))
+            + c.instr_time(val_words_eff * CHECK_INSTR_PER_WORD)
+            + c.wire_time(val_words_eff * 8.0))
             / shards;
-        let commit_service = (c.recv_cpu_time(eff_words(val_words_total))
-            + c.instr_time(val_words_total * COMMIT_INSTR_PER_WORD)
-            + c.wire_time(val_words_total * 8.0 + last_stage_bytes))
+        let commit_service = (c.recv_cpu_time(eff_words(val_words_eff))
+            + c.instr_time(val_words_eff * COMMIT_INSTR_PER_WORD)
+            + c.wire_time(val_words_eff * 8.0 + last_stage_bytes))
             / shards;
         let sync_msg_cost = c.instr_time(c.send_instr + c.recv_instr) + lat;
 
@@ -261,8 +268,9 @@ impl SimEngine {
                     }
                 };
                 let recv = c.recv_cpu_time(eff(words_in)) + c.wire_time(words_in * 8.0);
-                let send =
-                    c.send_cpu_time(eff(stage_bytes_out[s] / 8.0 + 2.0 * val_words_per_stage[s]));
+                let send = c.send_cpu_time(eff(
+                    stage_bytes_out[s] / 8.0 + 2.0 * val_words_per_stage[s] * vc
+                ));
                 let done = start + recv + stage_work[s] + send;
                 if s == 0 && sync_fraction > 0.0 {
                     // The synchronized value is produced after the serial
@@ -598,6 +606,40 @@ mod tests {
             on.app_speedup,
             off.app_speedup
         );
+    }
+
+    #[test]
+    fn validation_compaction_speeds_validation_bound_profiles() {
+        // Heavy validation traffic, cheap compute: the try-commit and
+        // commit units serialize on the validation plane.
+        let mut p = doall_profile(5.0e-5, 4000, 64.0);
+        p.validation_words = 2048.0;
+        let plain = SimEngine::new(ClusterConfig::paper()).simulate_spec_dswp(&p, 128, 0.0);
+        let compact = SimEngine::new(ClusterConfig {
+            val_compaction: 0.2,
+            ..ClusterConfig::paper()
+        })
+        .simulate_spec_dswp(&p, 128, 0.0);
+        assert!(
+            compact.app_speedup > 1.5 * plain.app_speedup,
+            "compacted {} vs plain {}",
+            compact.app_speedup,
+            plain.app_speedup
+        );
+        assert!(compact.bytes < plain.bytes, "less crosses the wire");
+    }
+
+    #[test]
+    fn compaction_is_neutral_when_validation_is_light() {
+        let p = doall_profile(1.0e-3, 2000, 64.0); // 8 validation words
+        let plain = SimEngine::new(ClusterConfig::paper()).simulate_spec_dswp(&p, 64, 0.0);
+        let compact = SimEngine::new(ClusterConfig {
+            val_compaction: 0.2,
+            ..ClusterConfig::paper()
+        })
+        .simulate_spec_dswp(&p, 64, 0.0);
+        let ratio = compact.app_speedup / plain.app_speedup;
+        assert!((0.99..1.5).contains(&ratio), "ratio {ratio}");
     }
 
     #[test]

@@ -61,7 +61,10 @@ pub mod profile;
 pub mod report;
 pub mod schedule;
 
-pub use ablation::{batch_sweep, coa_granularity, latency_sweep, runahead_sweep, unit_shard_sweep};
+pub use ablation::{
+    batch_sweep, coa_granularity, latency_sweep, runahead_sweep, unit_shard_sweep,
+    unit_shard_sweep_with,
+};
 pub use cluster::ClusterConfig;
 pub use engine::{RecoveryBreakdown, SimEngine, SimOutcome};
 pub use profile::{FaultProfile, InvocationProfile, StageProfile, TlsPlan, WorkloadProfile};

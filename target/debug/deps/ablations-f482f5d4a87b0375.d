@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-f482f5d4a87b0375.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/debug/deps/ablations-f482f5d4a87b0375: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

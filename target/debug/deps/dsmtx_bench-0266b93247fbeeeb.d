@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/dsmtx_bench-0266b93247fbeeeb.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/shardsweep.rs crates/bench/src/tracedemo.rs Cargo.toml
+/root/repo/target/debug/deps/dsmtx_bench-0266b93247fbeeeb.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/shardsweep.rs crates/bench/src/tracedemo.rs crates/bench/src/valplane.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdsmtx_bench-0266b93247fbeeeb.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/shardsweep.rs crates/bench/src/tracedemo.rs Cargo.toml
+/root/repo/target/debug/deps/libdsmtx_bench-0266b93247fbeeeb.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/shardsweep.rs crates/bench/src/tracedemo.rs crates/bench/src/valplane.rs Cargo.toml
 
 crates/bench/src/lib.rs:
 crates/bench/src/ablations.rs:
@@ -9,6 +9,7 @@ crates/bench/src/format.rs:
 crates/bench/src/queuebench.rs:
 crates/bench/src/shardsweep.rs:
 crates/bench/src/tracedemo.rs:
+crates/bench/src/valplane.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/dsmtx_bench-a6d2d82d4d5985c5.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/shardsweep.rs crates/bench/src/tracedemo.rs
+/root/repo/target/debug/deps/dsmtx_bench-a6d2d82d4d5985c5.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/shardsweep.rs crates/bench/src/tracedemo.rs crates/bench/src/valplane.rs
 
-/root/repo/target/debug/deps/dsmtx_bench-a6d2d82d4d5985c5: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/shardsweep.rs crates/bench/src/tracedemo.rs
+/root/repo/target/debug/deps/dsmtx_bench-a6d2d82d4d5985c5: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/shardsweep.rs crates/bench/src/tracedemo.rs crates/bench/src/valplane.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/ablations.rs:
@@ -9,3 +9,4 @@ crates/bench/src/format.rs:
 crates/bench/src/queuebench.rs:
 crates/bench/src/shardsweep.rs:
 crates/bench/src/tracedemo.rs:
+crates/bench/src/valplane.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/debug/deps/dsmtx_bench-b6ecfe434ca3583c.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/shardsweep.rs crates/bench/src/tracedemo.rs
+/root/repo/target/debug/deps/dsmtx_bench-b6ecfe434ca3583c.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/shardsweep.rs crates/bench/src/tracedemo.rs crates/bench/src/valplane.rs
 
-/root/repo/target/debug/deps/libdsmtx_bench-b6ecfe434ca3583c.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/shardsweep.rs crates/bench/src/tracedemo.rs
+/root/repo/target/debug/deps/libdsmtx_bench-b6ecfe434ca3583c.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/shardsweep.rs crates/bench/src/tracedemo.rs crates/bench/src/valplane.rs
 
-/root/repo/target/debug/deps/libdsmtx_bench-b6ecfe434ca3583c.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/shardsweep.rs crates/bench/src/tracedemo.rs
+/root/repo/target/debug/deps/libdsmtx_bench-b6ecfe434ca3583c.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/shardsweep.rs crates/bench/src/tracedemo.rs crates/bench/src/valplane.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/ablations.rs:
@@ -11,3 +11,4 @@ crates/bench/src/format.rs:
 crates/bench/src/queuebench.rs:
 crates/bench/src/shardsweep.rs:
 crates/bench/src/tracedemo.rs:
+crates/bench/src/valplane.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/dsmtx_mem-074ba20c6a02e73e.d: crates/mem/src/lib.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/shard.rs crates/mem/src/spec.rs crates/mem/src/table.rs Cargo.toml
+/root/repo/target/debug/deps/dsmtx_mem-074ba20c6a02e73e.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/shard.rs crates/mem/src/spec.rs crates/mem/src/table.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdsmtx_mem-074ba20c6a02e73e.rmeta: crates/mem/src/lib.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/shard.rs crates/mem/src/spec.rs crates/mem/src/table.rs Cargo.toml
+/root/repo/target/debug/deps/libdsmtx_mem-074ba20c6a02e73e.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/shard.rs crates/mem/src/spec.rs crates/mem/src/table.rs Cargo.toml
 
 crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
 crates/mem/src/log.rs:
 crates/mem/src/master.rs:
 crates/mem/src/page.rs:

@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/dsmtx_mem-17d01edc7c14439c.d: crates/mem/src/lib.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/shard.rs crates/mem/src/spec.rs crates/mem/src/table.rs
+/root/repo/target/debug/deps/dsmtx_mem-17d01edc7c14439c.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/shard.rs crates/mem/src/spec.rs crates/mem/src/table.rs
 
-/root/repo/target/debug/deps/dsmtx_mem-17d01edc7c14439c: crates/mem/src/lib.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/shard.rs crates/mem/src/spec.rs crates/mem/src/table.rs
+/root/repo/target/debug/deps/dsmtx_mem-17d01edc7c14439c: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/shard.rs crates/mem/src/spec.rs crates/mem/src/table.rs
 
 crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
 crates/mem/src/log.rs:
 crates/mem/src/master.rs:
 crates/mem/src/page.rs:

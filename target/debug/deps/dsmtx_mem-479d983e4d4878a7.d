@@ -1,10 +1,11 @@
-/root/repo/target/debug/deps/dsmtx_mem-479d983e4d4878a7.d: crates/mem/src/lib.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/shard.rs crates/mem/src/spec.rs crates/mem/src/table.rs
+/root/repo/target/debug/deps/dsmtx_mem-479d983e4d4878a7.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/shard.rs crates/mem/src/spec.rs crates/mem/src/table.rs
 
-/root/repo/target/debug/deps/libdsmtx_mem-479d983e4d4878a7.rlib: crates/mem/src/lib.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/shard.rs crates/mem/src/spec.rs crates/mem/src/table.rs
+/root/repo/target/debug/deps/libdsmtx_mem-479d983e4d4878a7.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/shard.rs crates/mem/src/spec.rs crates/mem/src/table.rs
 
-/root/repo/target/debug/deps/libdsmtx_mem-479d983e4d4878a7.rmeta: crates/mem/src/lib.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/shard.rs crates/mem/src/spec.rs crates/mem/src/table.rs
+/root/repo/target/debug/deps/libdsmtx_mem-479d983e4d4878a7.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/shard.rs crates/mem/src/spec.rs crates/mem/src/table.rs
 
 crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
 crates/mem/src/log.rs:
 crates/mem/src/master.rs:
 crates/mem/src/page.rs:

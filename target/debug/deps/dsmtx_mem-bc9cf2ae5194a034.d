@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/dsmtx_mem-bc9cf2ae5194a034.d: crates/mem/src/lib.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/shard.rs crates/mem/src/spec.rs crates/mem/src/table.rs Cargo.toml
+/root/repo/target/debug/deps/dsmtx_mem-bc9cf2ae5194a034.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/shard.rs crates/mem/src/spec.rs crates/mem/src/table.rs Cargo.toml
 
-/root/repo/target/debug/deps/libdsmtx_mem-bc9cf2ae5194a034.rmeta: crates/mem/src/lib.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/shard.rs crates/mem/src/spec.rs crates/mem/src/table.rs Cargo.toml
+/root/repo/target/debug/deps/libdsmtx_mem-bc9cf2ae5194a034.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/shard.rs crates/mem/src/spec.rs crates/mem/src/table.rs Cargo.toml
 
 crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
 crates/mem/src/log.rs:
 crates/mem/src/master.rs:
 crates/mem/src/page.rs:

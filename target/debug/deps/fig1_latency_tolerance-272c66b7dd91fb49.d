@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_latency_tolerance-272c66b7dd91fb49.d: crates/bench/benches/fig1_latency_tolerance.rs
+
+/root/repo/target/debug/deps/fig1_latency_tolerance-272c66b7dd91fb49: crates/bench/benches/fig1_latency_tolerance.rs
+
+crates/bench/benches/fig1_latency_tolerance.rs:

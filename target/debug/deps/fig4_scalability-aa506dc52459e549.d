@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_scalability-aa506dc52459e549.d: crates/bench/benches/fig4_scalability.rs
+
+/root/repo/target/debug/deps/fig4_scalability-aa506dc52459e549: crates/bench/benches/fig4_scalability.rs
+
+crates/bench/benches/fig4_scalability.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_bandwidth_batching-d5a164c6953620a0.d: crates/bench/benches/fig5_bandwidth_batching.rs
+
+/root/repo/target/debug/deps/fig5_bandwidth_batching-d5a164c6953620a0: crates/bench/benches/fig5_bandwidth_batching.rs
+
+crates/bench/benches/fig5_bandwidth_batching.rs:

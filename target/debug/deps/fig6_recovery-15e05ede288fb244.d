@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_recovery-15e05ede288fb244.d: crates/bench/benches/fig6_recovery.rs
+
+/root/repo/target/debug/deps/fig6_recovery-15e05ede288fb244: crates/bench/benches/fig6_recovery.rs
+
+crates/bench/benches/fig6_recovery.rs:

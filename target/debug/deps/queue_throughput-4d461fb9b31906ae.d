@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/queue_throughput-4d461fb9b31906ae.d: crates/bench/benches/queue_throughput.rs
+
+/root/repo/target/debug/deps/queue_throughput-4d461fb9b31906ae: crates/bench/benches/queue_throughput.rs
+
+crates/bench/benches/queue_throughput.rs:

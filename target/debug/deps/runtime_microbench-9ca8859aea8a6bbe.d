@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_microbench-9ca8859aea8a6bbe.d: crates/bench/benches/runtime_microbench.rs
+
+/root/repo/target/debug/deps/runtime_microbench-9ca8859aea8a6bbe: crates/bench/benches/runtime_microbench.rs
+
+crates/bench/benches/runtime_microbench.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/valplane_differential-391c16057f31aa45.d: tests/tests/valplane_differential.rs
+
+/root/repo/target/debug/deps/valplane_differential-391c16057f31aa45: tests/tests/valplane_differential.rs
+
+tests/tests/valplane_differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/valplane_differential-4762ae164786246e.d: tests/tests/valplane_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalplane_differential-4762ae164786246e.rmeta: tests/tests/valplane_differential.rs Cargo.toml
+
+tests/tests/valplane_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__-W__CLIPPY_HACKERY__clippy::perf__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

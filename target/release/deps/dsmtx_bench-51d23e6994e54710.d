@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/dsmtx_bench-51d23e6994e54710.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/shardsweep.rs crates/bench/src/tracedemo.rs
+/root/repo/target/release/deps/dsmtx_bench-51d23e6994e54710.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/shardsweep.rs crates/bench/src/tracedemo.rs crates/bench/src/valplane.rs
 
-/root/repo/target/release/deps/libdsmtx_bench-51d23e6994e54710.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/shardsweep.rs crates/bench/src/tracedemo.rs
+/root/repo/target/release/deps/libdsmtx_bench-51d23e6994e54710.rlib: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/shardsweep.rs crates/bench/src/tracedemo.rs crates/bench/src/valplane.rs
 
-/root/repo/target/release/deps/libdsmtx_bench-51d23e6994e54710.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/shardsweep.rs crates/bench/src/tracedemo.rs
+/root/repo/target/release/deps/libdsmtx_bench-51d23e6994e54710.rmeta: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/shardsweep.rs crates/bench/src/tracedemo.rs crates/bench/src/valplane.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/ablations.rs:
@@ -11,3 +11,4 @@ crates/bench/src/format.rs:
 crates/bench/src/queuebench.rs:
 crates/bench/src/shardsweep.rs:
 crates/bench/src/tracedemo.rs:
+crates/bench/src/valplane.rs:

@@ -1,10 +1,11 @@
-/root/repo/target/release/deps/dsmtx_mem-2d811533ba1489b8.d: crates/mem/src/lib.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/shard.rs crates/mem/src/spec.rs crates/mem/src/table.rs
+/root/repo/target/release/deps/dsmtx_mem-2d811533ba1489b8.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/shard.rs crates/mem/src/spec.rs crates/mem/src/table.rs
 
-/root/repo/target/release/deps/libdsmtx_mem-2d811533ba1489b8.rlib: crates/mem/src/lib.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/shard.rs crates/mem/src/spec.rs crates/mem/src/table.rs
+/root/repo/target/release/deps/libdsmtx_mem-2d811533ba1489b8.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/shard.rs crates/mem/src/spec.rs crates/mem/src/table.rs
 
-/root/repo/target/release/deps/libdsmtx_mem-2d811533ba1489b8.rmeta: crates/mem/src/lib.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/shard.rs crates/mem/src/spec.rs crates/mem/src/table.rs
+/root/repo/target/release/deps/libdsmtx_mem-2d811533ba1489b8.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/log.rs crates/mem/src/master.rs crates/mem/src/page.rs crates/mem/src/shard.rs crates/mem/src/spec.rs crates/mem/src/table.rs
 
 crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
 crates/mem/src/log.rs:
 crates/mem/src/master.rs:
 crates/mem/src/page.rs:

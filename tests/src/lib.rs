@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 
 use dsmtx::{
     FaultConfig, FaultTarget, IterOutcome, MtxId, MtxSystem, Program, RunReport, StageId,
-    StageKind, SystemConfig, TraceKind, WorkerCtx,
+    StageKind, SystemConfig, TraceKind, ValPlaneStats, WorkerCtx,
 };
 use dsmtx_fabric::{FaultRates, RetryPolicy};
 use dsmtx_mem::{MasterMem, Page};
@@ -166,6 +166,9 @@ pub struct RunSummary {
     pub commit_order: Vec<u64>,
     /// Full committed memory at loop exit, sorted by page id.
     pub memory: Vec<(PageId, Page)>,
+    /// Validation-plane compaction counters (filtering, packed frames,
+    /// COA cache) — used by the differential harness's non-vacuity guards.
+    pub valplane: ValPlaneStats,
 }
 
 /// Runs `case` under its fault plan — with a fault-free control run first
@@ -228,10 +231,24 @@ pub fn run_workload_sharded(
     fault: Option<FaultConfig>,
     shards: usize,
 ) -> RunSummary {
+    run_workload_full(workload, n, fault, shards, true)
+}
+
+/// [`run_workload_sharded`] with an explicit validation-plane compaction
+/// flag — the valplane differential harness runs the same workload packed
+/// (`true`, the default protocol) and unpacked (`false`, the legacy
+/// per-record protocol) and asserts bit-identical results.
+pub fn run_workload_full(
+    workload: Workload,
+    n: u64,
+    fault: Option<FaultConfig>,
+    shards: usize,
+    compaction: bool,
+) -> RunSummary {
     match workload {
-        Workload::DoallSum => doall_sum(n, fault, shards),
-        Workload::PipelineFold => pipeline_fold(n, fault, shards),
-        Workload::RingScan => ring_scan(n, fault, shards),
+        Workload::DoallSum => doall_sum(n, fault, shards, compaction),
+        Workload::PipelineFold => pipeline_fold(n, fault, shards, compaction),
+        Workload::RingScan => ring_scan(n, fault, shards, compaction),
     }
 }
 
@@ -243,8 +260,14 @@ fn mix(i: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn system(cfg: &mut SystemConfig, fault: Option<FaultConfig>, shards: usize) -> MtxSystem {
+fn system(
+    cfg: &mut SystemConfig,
+    fault: Option<FaultConfig>,
+    shards: usize,
+    compaction: bool,
+) -> MtxSystem {
     cfg.unit_shards(shards);
+    cfg.compaction(compaction);
     if let Some(f) = fault {
         cfg.faults(f);
     }
@@ -280,10 +303,11 @@ fn summarize(
         validation_conflicts: report.validation_conflicts,
         commit_order: commits,
         memory: master.snapshot(),
+        valplane: report.valplane.clone(),
     }
 }
 
-fn doall_sum(n: u64, fault: Option<FaultConfig>, shards: usize) -> RunSummary {
+fn doall_sum(n: u64, fault: Option<FaultConfig>, shards: usize, compaction: bool) -> RunSummary {
     let step = |x: u64, i: u64| x.wrapping_mul(31).wrapping_add(i ^ 7);
     let mut heap = RegionAllocator::new(OwnerId(0));
     let input = heap.alloc_words(n).unwrap();
@@ -299,7 +323,7 @@ fn doall_sum(n: u64, fault: Option<FaultConfig>, shards: usize) -> RunSummary {
     });
     let mut cfg = SystemConfig::new();
     cfg.stage(StageKind::Parallel { replicas: 3 });
-    let result = system(&mut cfg, fault, shards)
+    let result = system(&mut cfg, fault, shards, compaction)
         .run(Program {
             master,
             stages: vec![body],
@@ -319,7 +343,12 @@ fn doall_sum(n: u64, fault: Option<FaultConfig>, shards: usize) -> RunSummary {
     summarize(outputs, expected, &result.master, &result.report)
 }
 
-fn pipeline_fold(n: u64, fault: Option<FaultConfig>, shards: usize) -> RunSummary {
+fn pipeline_fold(
+    n: u64,
+    fault: Option<FaultConfig>,
+    shards: usize,
+    compaction: bool,
+) -> RunSummary {
     const K: u64 = 1_099_511_628_211;
     let mut heap = RegionAllocator::new(OwnerId(0));
     let input = heap.alloc_words(n).unwrap();
@@ -345,7 +374,7 @@ fn pipeline_fold(n: u64, fault: Option<FaultConfig>, shards: usize) -> RunSummar
     let mut cfg = SystemConfig::new();
     cfg.stage(StageKind::Parallel { replicas: 2 })
         .stage(StageKind::Sequential);
-    let result = system(&mut cfg, fault, shards)
+    let result = system(&mut cfg, fault, shards, compaction)
         .run(Program {
             master,
             stages: vec![first, last],
@@ -375,7 +404,7 @@ fn pipeline_fold(n: u64, fault: Option<FaultConfig>, shards: usize) -> RunSummar
     summarize(outputs, expected, &result.master, &result.report)
 }
 
-fn ring_scan(n: u64, fault: Option<FaultConfig>, shards: usize) -> RunSummary {
+fn ring_scan(n: u64, fault: Option<FaultConfig>, shards: usize, compaction: bool) -> RunSummary {
     let mut heap = RegionAllocator::new(OwnerId(0));
     let input = heap.alloc_words(n).unwrap();
     let acc_cell = heap.alloc_words(1).unwrap();
@@ -399,7 +428,7 @@ fn ring_scan(n: u64, fault: Option<FaultConfig>, shards: usize) -> RunSummary {
     let mut cfg = SystemConfig::new();
     cfg.stage(StageKind::Parallel { replicas: 3 })
         .ring(StageId(0));
-    let result = system(&mut cfg, fault, shards)
+    let result = system(&mut cfg, fault, shards, compaction)
         .run(Program {
             master,
             stages: vec![body],

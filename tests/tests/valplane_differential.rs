@@ -1,0 +1,207 @@
+//! Differential harness for validation-plane compaction.
+//!
+//! The compacted protocol — per-subTX access filtering, packed
+//! `AccessBlock` frames, and the worker-side COA page cache — must be
+//! invisible to program semantics: for every workload, the packed run
+//! (`compaction = true`, the default) and the unpacked legacy per-record
+//! run (`compaction = false`) must produce byte-identical committed
+//! memory, identical conflict verdicts, and an identical commit order —
+//! fault-free at both `unit_shards` 1 and 2, and under pinned fault
+//! seeds.
+//!
+//! Fault-free, *everything* must be bit-identical across the two modes.
+//! Under fault injection the two protocols put different message counts
+//! on the same links, so they consume the per-link fault decision streams
+//! differently — the injected schedules necessarily diverge and per-run
+//! recovery counters are not comparable (the same caveat as the
+//! shard-differential harness). What MUST still hold is the end-to-end
+//! guarantee: byte-identical committed memory (equal to the sequential
+//! model) and no lost or duplicated iterations, in both modes, for every
+//! pinned seed.
+
+use dsmtx::FaultTarget;
+use dsmtx_fabric::FaultRates;
+use dsmtx_integration_tests::{
+    run_workload_full, seed_from_env, FaultCase, RunSummary, ALL_WORKLOADS,
+};
+
+/// Pinned seeds, mirrored by CI's fault-matrix job (overridable through
+/// `DSMTX_FAULT_SEED`).
+const FAULT_SEEDS: [u64; 3] = [1, 20260806, 0xDEAD_BEEF];
+
+const N: u64 = 24;
+
+/// Asserts that two summaries describe bit-identical executions: same
+/// committed memory (every page, every word), same conflict verdicts,
+/// same commit order, same iteration accounting.
+fn assert_identical(base: &RunSummary, other: &RunSummary, what: &str) {
+    assert_eq!(base.outputs, other.outputs, "{what}: output cells diverged");
+    assert_eq!(
+        base.total_iterations, other.total_iterations,
+        "{what}: iteration counts diverged"
+    );
+    assert_eq!(
+        base.validation_conflicts, other.validation_conflicts,
+        "{what}: conflict verdicts diverged"
+    );
+    assert_eq!(
+        base.commit_order, other.commit_order,
+        "{what}: commit order diverged"
+    );
+    assert_identical_memory(base, other, what);
+}
+
+/// Asserts byte-identical committed memory: same page set, same words.
+fn assert_identical_memory(base: &RunSummary, other: &RunSummary, what: &str) {
+    assert_eq!(
+        base.memory.len(),
+        other.memory.len(),
+        "{what}: page sets diverged"
+    );
+    for ((id_a, page_a), (id_b, page_b)) in base.memory.iter().zip(other.memory.iter()) {
+        assert_eq!(id_a, id_b, "{what}: page ids diverged");
+        assert_eq!(page_a, page_b, "{what}: page {id_a:?} contents diverged");
+    }
+}
+
+#[test]
+fn compaction_is_semantically_invisible_fault_free() {
+    for shards in [1usize, 2] {
+        for w in ALL_WORKLOADS {
+            let unpacked = run_workload_full(w, N, None, shards, false);
+            assert_eq!(
+                unpacked.outputs, unpacked.expected,
+                "{w:?} unpacked shards={shards}"
+            );
+            assert_eq!(unpacked.total_iterations, N, "{w:?} unpacked");
+            let packed = run_workload_full(w, N, None, shards, true);
+            assert_identical(
+                &unpacked,
+                &packed,
+                &format!("{w:?} packed-vs-unpacked shards={shards} (fault-free)"),
+            );
+        }
+    }
+}
+
+#[test]
+fn compaction_preserves_memory_under_pinned_fault_seeds() {
+    // Low uniform rates on all links: enough injected faults to exercise
+    // recovery through the packed path without ballooning test time.
+    let rates = FaultRates::uniform(0.05);
+    for seed in FAULT_SEEDS {
+        let seed = seed_from_env(seed);
+        for w in ALL_WORKLOADS {
+            let case = FaultCase {
+                n: N,
+                ..FaultCase::quick(seed, rates, FaultTarget::All, w)
+            };
+            let unpacked = run_workload_full(w, N, Some(case.fault_config()), 1, false);
+            assert_eq!(
+                unpacked.outputs,
+                unpacked.expected,
+                "unpacked diverged from the sequential model\n{}",
+                case.reproducer()
+            );
+            assert_eq!(unpacked.total_iterations, N, "{}", case.reproducer());
+            let packed = run_workload_full(w, N, Some(case.fault_config()), 1, true);
+            let what = format!("{w:?} packed seed={seed:#x}\n{}", case.reproducer());
+            assert_eq!(
+                packed.outputs, packed.expected,
+                "{what}: diverged from the sequential model"
+            );
+            assert_eq!(
+                packed.total_iterations, N,
+                "{what}: iterations lost or duplicated"
+            );
+            assert_identical_memory(&unpacked, &packed, &what);
+        }
+    }
+}
+
+#[test]
+fn packed_runs_actually_filter_and_pack() {
+    // Guard against the differential tests passing vacuously: the packed
+    // run must actually ship AccessBlock frames, and the unpacked run
+    // must not.
+    for w in ALL_WORKLOADS {
+        let packed = run_workload_full(w, N, None, 1, true);
+        let vp = &packed.valplane;
+        assert!(vp.blocks > 0, "{w:?}: no packed frames shipped");
+        assert!(vp.block_records > 0, "{w:?}: packed frames were all empty");
+        assert!(
+            vp.bytes_post < vp.bytes_pre,
+            "{w:?}: packing did not shrink the plane ({} !< {})",
+            vp.bytes_post,
+            vp.bytes_pre
+        );
+
+        let unpacked = run_workload_full(w, N, None, 1, false);
+        let uv = &unpacked.valplane;
+        assert_eq!(uv.blocks, 0, "{w:?}: unpacked run shipped packed frames");
+        assert_eq!(uv.records_filtered, 0, "{w:?}: unpacked run filtered");
+        assert_eq!(
+            uv.bytes_pre, uv.bytes_post,
+            "{w:?}: unpacked accounting must be identity"
+        );
+    }
+}
+
+#[test]
+fn filtering_actually_suppresses_repeat_accesses() {
+    // The harness workloads touch each address once per subTX, so the
+    // write-combining filter is exercised here with a loop that re-reads
+    // and re-writes its cells: only the first load and the coalesced
+    // final store of each cell may survive, and the suppressed accesses
+    // must not change the committed result.
+    use dsmtx::{IterOutcome, MtxSystem, Program, StageKind, SystemConfig};
+    use dsmtx_mem::MasterMem;
+    use dsmtx_uva::{OwnerId, RegionAllocator};
+    use std::sync::Arc;
+
+    let n = 16u64;
+    let mut heap = RegionAllocator::new(OwnerId(0));
+    let out = heap.alloc_words(n).unwrap();
+    let run = |compaction: bool| {
+        let mut cfg = SystemConfig::new();
+        cfg.stage(StageKind::Parallel { replicas: 2 });
+        cfg.compaction(compaction);
+        let body = Arc::new(move |ctx: &mut dsmtx::WorkerCtx, mtx: dsmtx::MtxId| {
+            let cell = out.add_words(mtx.0);
+            // 8 read-modify-write rounds of the same cell: 7 of the loads
+            // and 7 of the stores are redundant on the validation plane.
+            for _ in 0..8 {
+                let v = ctx.read(cell)?;
+                ctx.write(cell, v + mtx.0 + 1)?;
+            }
+            Ok(IterOutcome::Continue)
+        });
+        MtxSystem::new(&cfg)
+            .unwrap()
+            .run(Program {
+                master: MasterMem::new(),
+                stages: vec![body],
+                recovery: Box::new(|_, _| IterOutcome::Continue),
+                on_commit: None,
+                iteration_limit: Some(n),
+            })
+            .unwrap()
+    };
+
+    let packed = run(true);
+    assert!(
+        packed.report.valplane.records_filtered > 0,
+        "read-modify-write loop produced no filterable accesses"
+    );
+    let unpacked = run(false);
+    assert_eq!(unpacked.report.valplane.records_filtered, 0);
+    for i in 0..n {
+        let cell = out.add_words(i);
+        assert_eq!(
+            packed.master.read(cell),
+            unpacked.master.read(cell),
+            "cell {i} diverged between packed and unpacked"
+        );
+        assert_eq!(packed.master.read(cell), 8 * (i + 1), "cell {i} wrong");
+    }
+}
