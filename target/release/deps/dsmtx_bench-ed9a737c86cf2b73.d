@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dsmtx_bench-ed9a737c86cf2b73.d: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/shardsweep.rs crates/bench/src/tracedemo.rs crates/bench/src/valplane.rs
+
+/root/repo/target/release/deps/dsmtx_bench-ed9a737c86cf2b73: crates/bench/src/lib.rs crates/bench/src/ablations.rs crates/bench/src/figures.rs crates/bench/src/format.rs crates/bench/src/queuebench.rs crates/bench/src/shardsweep.rs crates/bench/src/tracedemo.rs crates/bench/src/valplane.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablations.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/format.rs:
+crates/bench/src/queuebench.rs:
+crates/bench/src/shardsweep.rs:
+crates/bench/src/tracedemo.rs:
+crates/bench/src/valplane.rs:

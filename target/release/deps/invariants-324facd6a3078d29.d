@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/invariants-324facd6a3078d29.d: tests/tests/invariants.rs
+
+/root/repo/target/release/deps/invariants-324facd6a3078d29: tests/tests/invariants.rs
+
+tests/tests/invariants.rs:

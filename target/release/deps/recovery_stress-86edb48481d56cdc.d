@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/recovery_stress-86edb48481d56cdc.d: tests/tests/recovery_stress.rs
+
+/root/repo/target/release/deps/recovery_stress-86edb48481d56cdc: tests/tests/recovery_stress.rs
+
+tests/tests/recovery_stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-5eba5f67ccd6f4d7.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-5eba5f67ccd6f4d7: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

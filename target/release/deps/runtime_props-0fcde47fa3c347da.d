@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/runtime_props-0fcde47fa3c347da.d: tests/tests/runtime_props.rs
+
+/root/repo/target/release/deps/runtime_props-0fcde47fa3c347da: tests/tests/runtime_props.rs
+
+tests/tests/runtime_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/shard_differential-1be74ba8e9a01dc4.d: tests/tests/shard_differential.rs
+
+/root/repo/target/release/deps/shard_differential-1be74ba8e9a01dc4: tests/tests/shard_differential.rs
+
+tests/tests/shard_differential.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_props-698d154d09913a65.d: tests/tests/sim_props.rs
+
+/root/repo/target/release/deps/sim_props-698d154d09913a65: tests/tests/sim_props.rs
+
+tests/tests/sim_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/valplane_differential-b63602b14298cf79.d: tests/tests/valplane_differential.rs
+
+/root/repo/target/release/deps/valplane_differential-b63602b14298cf79: tests/tests/valplane_differential.rs
+
+tests/tests/valplane_differential.rs:
