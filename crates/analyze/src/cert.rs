@@ -1,0 +1,107 @@
+//! Predicted-vs-observed conflict certification.
+//!
+//! The linter computes, from the sequential recording alone, a
+//! conservative superset of pages where the runtime may observe a
+//! try-commit conflict ([`crate::lint::LintReport::predicted_conflict_pages`]).
+//! Certification closes the loop against reality: run the plan under the
+//! real speculative runtime, collect the pages where try-commit actually
+//! flagged a value mismatch, and assert **observed ⊆ predicted**.
+//!
+//! A violation means the analyzer missed a dependence — its model of the
+//! plan is unsound and every clean bill of health it issued is suspect.
+//! The converse (predicted pages with no observed conflict) is expected:
+//! the prediction is deliberately conservative (it counts silent-store
+//! dependences and escapes that a particular schedule may never trip).
+
+use std::collections::BTreeSet;
+
+use crate::lint::LintReport;
+
+/// The outcome of checking one run against the analyzer's prediction.
+#[derive(Debug)]
+pub struct Certificate {
+    /// Workload name.
+    pub name: &'static str,
+    /// Try-commit shard count of the certified run.
+    pub shards: usize,
+    /// The analyzer's conservative conflict-page superset.
+    pub predicted: BTreeSet<u64>,
+    /// Pages where the run actually observed conflicts (sorted, deduped).
+    pub observed: Vec<u64>,
+    /// Observed pages the analyzer did not predict — any entry here is
+    /// an analyzer soundness bug.
+    pub unpredicted: Vec<u64>,
+}
+
+impl Certificate {
+    /// Whether observed ⊆ predicted.
+    pub fn holds(&self) -> bool {
+        self.unpredicted.is_empty()
+    }
+
+    /// Whether the run exercised the prediction at all (at least one
+    /// observed conflict). Used by non-vacuity tests: a certification
+    /// suite where nothing ever conflicts proves nothing.
+    pub fn is_vacuous(&self) -> bool {
+        self.observed.is_empty()
+    }
+}
+
+/// Checks a run's observed conflict pages against a lint report's
+/// prediction.
+pub fn certify(report: &LintReport, observed: &[u64], shards: usize) -> Certificate {
+    let mut obs: Vec<u64> = observed.to_vec();
+    obs.sort_unstable();
+    obs.dedup();
+    let unpredicted: Vec<u64> = obs
+        .iter()
+        .copied()
+        .filter(|p| !report.predicted_conflict_pages.contains(p))
+        .collect();
+    Certificate {
+        name: report.name,
+        shards,
+        predicted: report.predicted_conflict_pages.clone(),
+        observed: obs,
+        unpredicted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_predicting(pages: &[u64]) -> LintReport {
+        LintReport {
+            name: "synthetic",
+            iterations: 8,
+            findings: Vec::new(),
+            predicted_conflict_pages: pages.iter().copied().collect(),
+        }
+    }
+
+    #[test]
+    fn subset_certifies() {
+        let report = report_predicting(&[3, 7, 11]);
+        let cert = certify(&report, &[7, 3, 7], 2);
+        assert!(cert.holds());
+        assert!(!cert.is_vacuous());
+        assert_eq!(cert.observed, vec![3, 7], "sorted and deduped");
+    }
+
+    #[test]
+    fn unpredicted_conflict_fails() {
+        let report = report_predicting(&[3]);
+        let cert = certify(&report, &[3, 9], 4);
+        assert!(!cert.holds());
+        assert_eq!(cert.unpredicted, vec![9]);
+    }
+
+    #[test]
+    fn conflict_free_run_is_vacuous_but_holds() {
+        let report = report_predicting(&[]);
+        let cert = certify(&report, &[], 1);
+        assert!(cert.holds());
+        assert!(cert.is_vacuous());
+    }
+}

@@ -1,0 +1,287 @@
+//! Dependence-graph extraction from a recorded sequential access stream.
+//!
+//! Walks the raw program-order stream and classifies every memory
+//! dependence the runtime could possibly violate:
+//!
+//! * **flow** (store → later load, read-after-write),
+//! * **anti** (load → later store, write-after-read),
+//! * **output** (store → later store, write-after-write),
+//!
+//! each tagged **intra-iteration** (distance 0) or **loop-carried**
+//! (distance ≥ 1, the iteration gap between source and sink).
+//!
+//! Because the runtime validates by *value* (a replayed load conflicts
+//! only when the observed value no longer matches committed memory), a
+//! flow dependence whose source store is *silent* — it wrote the value
+//! the cell already held — can never manifest as a conflict. Each store
+//! is therefore tagged `value_changed`, and the linter downgrades
+//! findings whose every instance is silent.
+
+use std::collections::HashMap;
+
+use dsmtx_mem::AccessKind;
+use dsmtx_uva::VAddr;
+
+use crate::record::LoopTrace;
+
+/// Dependence classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DepKind {
+    /// Store → later load (read-after-write).
+    Flow,
+    /// Load → later store (write-after-read).
+    Anti,
+    /// Store → later store (write-after-write).
+    Output,
+}
+
+impl DepKind {
+    /// Lowercase name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DepKind::Flow => "flow",
+            DepKind::Anti => "anti",
+            DepKind::Output => "output",
+        }
+    }
+}
+
+/// One dependence edge between two accesses of the same address.
+#[derive(Debug, Clone, Copy)]
+pub struct DepEdge {
+    /// Classification.
+    pub kind: DepKind,
+    /// The shared address.
+    pub addr: VAddr,
+    /// Iteration of the source access.
+    pub src_iter: u64,
+    /// Iteration of the sink access.
+    pub dst_iter: u64,
+    /// For flow/output edges: whether the source store changed the
+    /// cell's value (non-silent). Anti edges are always `true` — the
+    /// sink store's effect is what matters and is accounted on its own
+    /// outgoing edges.
+    pub value_changed: bool,
+}
+
+impl DepEdge {
+    /// Iteration distance; `0` means intra-iteration.
+    pub fn distance(&self) -> u64 {
+        self.dst_iter - self.src_iter
+    }
+
+    /// Whether the edge crosses an iteration boundary.
+    pub fn carried(&self) -> bool {
+        self.dst_iter != self.src_iter
+    }
+}
+
+/// Per-address walker state.
+struct AddrState {
+    /// Last store: `(iteration, value_changed)`.
+    last_store: Option<(u64, bool)>,
+    /// Last load's iteration.
+    last_load: Option<u64>,
+    /// Last value known to be in the cell (from the most recent access).
+    known: u64,
+    /// Whether `known` has been established yet.
+    known_valid: bool,
+}
+
+/// The extracted dependence graph.
+#[derive(Debug)]
+pub struct DepGraph {
+    /// Workload name.
+    pub name: &'static str,
+    /// Iterations actually recorded.
+    pub iterations: u64,
+    /// Every dependence edge, in discovery (program) order.
+    pub edges: Vec<DepEdge>,
+    /// Total raw loads walked.
+    pub loads: u64,
+    /// Total raw stores walked.
+    pub stores: u64,
+}
+
+impl DepGraph {
+    /// Edges of one kind.
+    pub fn of_kind(&self, kind: DepKind) -> impl Iterator<Item = &DepEdge> {
+        self.edges.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// Loop-carried flow edges — the dependences speculation can break.
+    pub fn carried_flows(&self) -> impl Iterator<Item = &DepEdge> {
+        self.of_kind(DepKind::Flow).filter(|e| e.carried())
+    }
+
+    /// Counts edges by `(kind, carried)`.
+    pub fn counts(&self) -> Vec<(DepKind, bool, u64)> {
+        let mut out = Vec::new();
+        for kind in [DepKind::Flow, DepKind::Anti, DepKind::Output] {
+            for carried in [false, true] {
+                let n = self
+                    .edges
+                    .iter()
+                    .filter(|e| e.kind == kind && e.carried() == carried)
+                    .count() as u64;
+                out.push((kind, carried, n));
+            }
+        }
+        out
+    }
+}
+
+/// Builds the dependence graph from a recorded loop trace.
+pub fn build(trace: &LoopTrace) -> DepGraph {
+    let mut state: HashMap<VAddr, AddrState> = HashMap::new();
+    let mut edges = Vec::new();
+    let (mut loads, mut stores) = (0u64, 0u64);
+
+    for t in &trace.iters {
+        for r in &t.raw {
+            let s = state.entry(r.addr).or_insert(AddrState {
+                last_store: None,
+                last_load: None,
+                known: 0,
+                known_valid: false,
+            });
+            match r.kind {
+                AccessKind::Load => {
+                    loads += 1;
+                    if let Some((src, changed)) = s.last_store {
+                        edges.push(DepEdge {
+                            kind: DepKind::Flow,
+                            addr: r.addr,
+                            src_iter: src,
+                            dst_iter: t.iter,
+                            value_changed: changed,
+                        });
+                    }
+                    s.last_load = Some(t.iter);
+                    s.known = r.value;
+                    s.known_valid = true;
+                }
+                AccessKind::Store => {
+                    stores += 1;
+                    // Unknown prior value ⇒ conservatively value-changing.
+                    let changed = !s.known_valid || s.known != r.value;
+                    if let Some(src) = s.last_load {
+                        edges.push(DepEdge {
+                            kind: DepKind::Anti,
+                            addr: r.addr,
+                            src_iter: src,
+                            dst_iter: t.iter,
+                            value_changed: true,
+                        });
+                    }
+                    if let Some((src, _)) = s.last_store {
+                        edges.push(DepEdge {
+                            kind: DepKind::Output,
+                            addr: r.addr,
+                            src_iter: src,
+                            dst_iter: t.iter,
+                            value_changed: changed,
+                        });
+                    }
+                    s.last_store = Some((t.iter, changed));
+                    s.known = r.value;
+                    s.known_valid = true;
+                }
+            }
+        }
+    }
+
+    DepGraph {
+        name: trace.name,
+        iterations: trace.iters.len() as u64,
+        edges,
+        loads,
+        stores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::record;
+    use dsmtx::IterOutcome;
+    use dsmtx_mem::MasterMem;
+    use dsmtx_uva::{OwnerId, VAddr};
+    use dsmtx_workloads::AnalysisPlan;
+
+    fn at(off: u64) -> VAddr {
+        VAddr::new(OwnerId(0), off)
+    }
+
+    fn graph_of(
+        iterations: u64,
+        body: impl FnMut(dsmtx::MtxId, &mut MasterMem) -> IterOutcome + Send + 'static,
+    ) -> DepGraph {
+        let mut plan = AnalysisPlan {
+            name: "synthetic",
+            iterations,
+            master: MasterMem::new(),
+            recovery: Box::new(body),
+            stages: Vec::new(),
+        };
+        build(&record(&mut plan))
+    }
+
+    #[test]
+    fn accumulator_yields_carried_flow_at_distance_one() {
+        // acc += mtx + 1 every iteration.
+        let g = graph_of(4, |mtx, master| {
+            let acc = master.read(at(0));
+            master.write(at(0), acc + mtx.0 + 1);
+            IterOutcome::Continue
+        });
+        let carried: Vec<_> = g.carried_flows().collect();
+        assert_eq!(carried.len(), 3, "iterations 1..=3 read the prior store");
+        assert!(carried.iter().all(|e| e.distance() == 1));
+        assert!(carried.iter().all(|e| e.value_changed));
+        // Each iteration also has the load→store anti dependence.
+        assert_eq!(g.of_kind(DepKind::Anti).count(), 4);
+    }
+
+    #[test]
+    fn disjoint_writes_have_no_dependences() {
+        // Pure DOALL: out[mtx] = mtx.
+        let g = graph_of(4, |mtx, master| {
+            master.write(at(mtx.0 * 8), mtx.0);
+            IterOutcome::Continue
+        });
+        assert!(g.edges.is_empty());
+        assert_eq!(g.stores, 4);
+    }
+
+    #[test]
+    fn silent_store_flow_edges_are_not_value_changing() {
+        // Every iteration rewrites the same value it read.
+        let g = graph_of(3, |_mtx, master| {
+            let v = master.read(at(0));
+            master.write(at(0), v);
+            IterOutcome::Continue
+        });
+        let carried: Vec<_> = g.carried_flows().collect();
+        assert_eq!(carried.len(), 2);
+        assert!(carried.iter().all(|e| !e.value_changed), "silent stores");
+    }
+
+    #[test]
+    fn intra_iteration_flow_has_distance_zero() {
+        let g = graph_of(2, |mtx, master| {
+            master.write(at(0), mtx.0 + 10);
+            let v = master.read(at(0)); // same-iteration read-back
+            master.write(at(8), v);
+            IterOutcome::Continue
+        });
+        let intra: Vec<_> = g.of_kind(DepKind::Flow).filter(|e| !e.carried()).collect();
+        assert_eq!(intra.len(), 2);
+        // The store in iteration 1 also carries an output dep from 0.
+        assert_eq!(
+            g.of_kind(DepKind::Output).filter(|e| e.carried()).count(),
+            2,
+            "both cells are rewritten each iteration"
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! Instrumented sequential recorder.
+//!
+//! Runs a plan's recovery body — the §4.3 sequential re-execution path,
+//! which touches exactly the committed-state loads and stores of one
+//! iteration — for every iteration against `MasterMem` with recording
+//! turned on, and captures the per-iteration access stream in program
+//! order. Each iteration keeps two views:
+//!
+//! * **raw** — every load and store the body issued, in order; this is
+//!   what the dependence classifier walks, and what the escape linter
+//!   checks against declared footprints;
+//! * **filtered** — the stream after the runtime's own
+//!   [`AccessFilter`] (duplicate loads dropped, stores coalesced into
+//!   their first slot with the final value): the validation-visible view
+//!   a worker would actually ship, which is what the shard-balance
+//!   analysis weighs.
+
+use dsmtx::{AccessFilter, IterOutcome, MtxId};
+use dsmtx_mem::AccessRecord;
+use dsmtx_workloads::AnalysisPlan;
+
+/// One iteration's recorded access stream.
+#[derive(Debug)]
+pub struct IterTrace {
+    /// Iteration index (MTX id).
+    pub iter: u64,
+    /// Program-order loads and stores, unfiltered.
+    pub raw: Vec<AccessRecord>,
+    /// The validation-visible view (post worker-side filtering).
+    pub filtered: Vec<AccessRecord>,
+    /// Records the filter suppressed.
+    pub suppressed: u64,
+}
+
+/// The whole loop's recorded access streams.
+#[derive(Debug)]
+pub struct LoopTrace {
+    /// Workload name (from the plan).
+    pub name: &'static str,
+    /// Per-iteration traces, in iteration order. Shorter than the plan's
+    /// trip count when an iteration exits the loop.
+    pub iters: Vec<IterTrace>,
+}
+
+impl LoopTrace {
+    /// Total raw loads across all iterations.
+    pub fn loads(&self) -> u64 {
+        self.iters
+            .iter()
+            .flat_map(|t| &t.raw)
+            .filter(|r| matches!(r.kind, dsmtx_mem::AccessKind::Load))
+            .count() as u64
+    }
+
+    /// Total raw stores across all iterations.
+    pub fn stores(&self) -> u64 {
+        self.iters
+            .iter()
+            .flat_map(|t| &t.raw)
+            .filter(|r| matches!(r.kind, dsmtx_mem::AccessKind::Store))
+            .count() as u64
+    }
+
+    /// The concatenated validation-visible stream (what the runtime would
+    /// ship to the try-commit shards).
+    pub fn filtered_stream(&self) -> Vec<AccessRecord> {
+        self.iters.iter().flat_map(|t| t.filtered.clone()).collect()
+    }
+}
+
+/// Records the plan's loop: executes the recovery body once per
+/// iteration against the plan's committed memory with recording on.
+/// Stops early when an iteration returns [`IterOutcome::Exit`], exactly
+/// as the sequential program would.
+pub fn record(plan: &mut AnalysisPlan) -> LoopTrace {
+    let mut filter = AccessFilter::new();
+    let mut iters = Vec::with_capacity(plan.iterations as usize);
+    for i in 0..plan.iterations {
+        plan.master.set_recording(true);
+        let outcome = (plan.recovery)(MtxId(i), &mut plan.master);
+        plan.master.set_recording(false);
+        let raw = plan.master.drain_recorded();
+        let mut filtered = Vec::new();
+        let suppressed = filter.filter_into(&raw, &mut filtered);
+        iters.push(IterTrace {
+            iter: i,
+            raw,
+            filtered,
+            suppressed,
+        });
+        if matches!(outcome, IterOutcome::Exit) {
+            break;
+        }
+    }
+    LoopTrace {
+        name: plan.name,
+        iters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsmtx_mem::{AccessKind, MasterMem};
+    use dsmtx_uva::{OwnerId, VAddr};
+
+    fn at(off: u64) -> VAddr {
+        VAddr::new(OwnerId(0), off)
+    }
+
+    fn counter_plan(iterations: u64) -> AnalysisPlan {
+        // Each iteration increments a counter cell: read, then store.
+        AnalysisPlan {
+            name: "counter",
+            iterations,
+            master: MasterMem::new(),
+            recovery: Box::new(|_mtx, master| {
+                let v = master.read(at(0));
+                master.write(at(0), v + 1);
+                IterOutcome::Continue
+            }),
+            stages: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn records_per_iteration_in_program_order() {
+        let mut plan = counter_plan(3);
+        let trace = record(&mut plan);
+        assert_eq!(trace.iters.len(), 3);
+        for (i, t) in trace.iters.iter().enumerate() {
+            assert_eq!(t.iter, i as u64);
+            assert_eq!(t.raw.len(), 2);
+            assert!(matches!(t.raw[0].kind, AccessKind::Load));
+            assert!(matches!(t.raw[1].kind, AccessKind::Store));
+            assert_eq!(t.raw[0].value, i as u64, "observed pre-increment");
+            assert_eq!(t.raw[1].value, i as u64 + 1);
+        }
+        assert_eq!(trace.loads(), 3);
+        assert_eq!(trace.stores(), 3);
+    }
+
+    #[test]
+    fn exit_outcome_truncates_the_trace() {
+        let mut plan = counter_plan(10);
+        plan.recovery = Box::new(|mtx, master| {
+            master.write(at(8), mtx.0);
+            if mtx.0 == 4 {
+                IterOutcome::Exit
+            } else {
+                IterOutcome::Continue
+            }
+        });
+        let trace = record(&mut plan);
+        assert_eq!(trace.iters.len(), 5, "iterations 0..=4 ran");
+    }
+
+    #[test]
+    fn filtered_view_coalesces_repeat_accesses() {
+        let mut plan = counter_plan(1);
+        plan.recovery = Box::new(|_mtx, master| {
+            let _ = master.read(at(0));
+            let _ = master.read(at(0)); // duplicate load
+            master.write(at(0), 7);
+            master.write(at(0), 9); // coalesced into the first store slot
+            IterOutcome::Continue
+        });
+        let trace = record(&mut plan);
+        let t = &trace.iters[0];
+        assert_eq!(t.raw.len(), 4);
+        assert_eq!(t.filtered.len(), 2);
+        assert_eq!(t.suppressed, 2);
+        let store = t
+            .filtered
+            .iter()
+            .find(|r| matches!(r.kind, AccessKind::Store))
+            .unwrap();
+        assert_eq!(store.value, 9, "final value in the coalesced slot");
+    }
+}

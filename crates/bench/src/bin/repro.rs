@@ -2,11 +2,21 @@
 //!
 //! ```text
 //! cargo run --release -p dsmtx-bench --bin repro -- \
-//!     [fig1|fig2|fig3|fig4|fig5a|fig5b|fig6|table1|table2|ablations|trace|shards|valplane|all] \
+//!     [fig1|fig2|fig3|fig4|fig5a|fig5b|fig6|table1|table2|ablations|trace|shards|valplane|analyze|all] \
 //!     [--iters N] [--trace-out FILE] [--metrics-out FILE] \
 //!     [--fault-seed S] [--fault-rate R] \
-//!     [--shards N] [--sweep-out FILE]
+//!     [--shards N] [--sweep-out FILE] \
+//!     [--workload NAME] [--format text|jsonl]
 //! ```
+//!
+//! The `analyze` section runs the dependence analyzer and partition
+//! linter (`dsmtx-analyze`) over the shipped Table-2 plans: per-workload
+//! dependence census, typed lint findings with predicted misspeculation
+//! rates, and the predicted conflict-page superset that the
+//! certification tests check runtime conflicts against. `--workload`
+//! restricts it to one kernel (default all eleven); `--format jsonl`
+//! emits machine-readable rows instead of text. The exit code is a CI
+//! gate: any Error-severity finding on a shipped plan exits nonzero.
 //!
 //! The `shards` section runs the real-runtime speculation-unit shard
 //! sweep (`unit_shards` up to `--shards`, default 4) on a
@@ -40,6 +50,8 @@ fn main() {
     let mut fault_rate: f64 = 0.1;
     let mut shards: usize = 4;
     let mut sweep_out: Option<String> = None;
+    let mut workload: String = "all".into();
+    let mut format = dsmtx_bench::AnalyzeFormat::Text;
 
     let mut i = 0;
     while i < args.len() {
@@ -83,6 +95,14 @@ fn main() {
                 }
             }
             "--sweep-out" => sweep_out = Some(take_value(&mut i)),
+            "--workload" => workload = take_value(&mut i),
+            "--format" => {
+                let v = take_value(&mut i);
+                format = dsmtx_bench::AnalyzeFormat::parse(&v).unwrap_or_else(|| {
+                    eprintln!("bad --format value `{v}`; use text or jsonl");
+                    std::process::exit(2);
+                });
+            }
             "--fault-rate" => {
                 let v = take_value(&mut i);
                 fault_rate = v.parse().unwrap_or_else(|_| {
@@ -172,6 +192,28 @@ fn main() {
         printed = true;
     }
 
+    if what == "analyze" || what == "all" {
+        match dsmtx_bench::run_analyze(&workload, format) {
+            Ok(outcome) => {
+                print!("{}", outcome.output);
+                // Keep stdout machine-readable in jsonl mode: the section
+                // separator would corrupt a line-oriented JSON stream.
+                if matches!(format, dsmtx_bench::AnalyzeFormat::Text) {
+                    println!("{}", "=".repeat(72));
+                }
+                printed = true;
+                if outcome.gate_failed {
+                    eprintln!("analyze: error-severity findings on a shipped plan");
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("analyze: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     if what == "trace" || what == "all" {
         let fault = fault_seed.map(|seed| {
             println!(
@@ -204,7 +246,7 @@ fn main() {
 
     if !printed {
         eprintln!(
-            "unknown target `{what}`; use fig1|fig2|fig3|fig4|fig5a|fig5b|fig6|table1|table2|ablations|trace|shards|valplane|all"
+            "unknown target `{what}`; use fig1|fig2|fig3|fig4|fig5a|fig5b|fig6|table1|table2|ablations|trace|shards|valplane|analyze|all"
         );
         std::process::exit(2);
     }

@@ -9,6 +9,7 @@
 //! every row.
 
 pub mod ablations;
+pub mod analyzecli;
 pub mod figures;
 pub mod format;
 pub mod queuebench;
@@ -17,6 +18,7 @@ pub mod tracedemo;
 pub mod valplane;
 
 pub use ablations::ablations_text;
+pub use analyzecli::{run_analyze, AnalyzeFormat, AnalyzeOutcome};
 pub use figures::{
     fig1_text, fig3_text, fig4_data, fig4_text, fig5a_text, fig5b_data, fig5b_text, fig6_text,
     table1_text, table2_text, taxonomy_text, Fig4Row,

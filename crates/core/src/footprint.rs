@@ -1,0 +1,245 @@
+//! Declared memory footprints for pipeline stages — the analyzable
+//! description of a `Program` partition.
+//!
+//! A [`crate::Program`] carries opaque stage closures; nothing about what
+//! memory each stage touches survives into a form the dependence analyzer
+//! can inspect. [`StageSpec`] is the missing declaration: for each stage
+//! of a plan, its role in the pipeline, a per-iteration footprint (which
+//! UVA regions it may load or store), and which addresses the plan
+//! forwards synchronously between iterations instead of speculating on
+//! (DSWP produce/consume or the TLS ring's `sync_produce`/`sync_take`).
+//!
+//! The partition linter in `dsmtx-analyze` checks a recorded sequential
+//! access stream against these declarations: an access outside every
+//! declared footprint is a `CapturedStateEscape`; a loop-carried flow
+//! dependence that is neither forwarded nor contained in a sequential
+//! stage is an `UnforwardedLoopCarriedFlow` the runtime will speculate
+//! on.
+
+use dsmtx_uva::VAddr;
+
+/// How a stage is scheduled, which decides whether a loop-carried
+/// dependence contained in it is safe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageRole {
+    /// One replica, every iteration in program order on one worker
+    /// (DSWP sequential stage). A loop-carried dependence whose source
+    /// and sink both live here is reproduced exactly by replay: the
+    /// single worker's private memory retains its own stores across
+    /// iterations.
+    Sequential,
+    /// N replicas, iterations round-robined (DOALL / parallel stage). A
+    /// loop-carried dependence read here is speculated: the reading
+    /// replica does not see other replicas' uncommitted stores.
+    Parallel,
+    /// One replica per worker with explicit cross-iteration value
+    /// forwarding (TLS ring). Carried dependences on declared forwarded
+    /// addresses are synchronized, not speculated.
+    Ring,
+}
+
+/// Declared direction of access to a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessMode {
+    /// The stage only loads from the region.
+    Read,
+    /// The stage only stores to the region.
+    Write,
+    /// The stage both loads and stores.
+    ReadWrite,
+}
+
+impl AccessMode {
+    /// Whether the mode admits loads.
+    pub fn reads(self) -> bool {
+        matches!(self, AccessMode::Read | AccessMode::ReadWrite)
+    }
+
+    /// Whether the mode admits stores.
+    pub fn writes(self) -> bool {
+        matches!(self, AccessMode::Write | AccessMode::ReadWrite)
+    }
+}
+
+/// A named, contiguous span of UVA words a stage may touch in one
+/// iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct Region {
+    /// Human-readable region name (heap variable name in the kernel).
+    pub name: &'static str,
+    /// First word of the span.
+    pub base: VAddr,
+    /// Length in 8-byte words.
+    pub words: u64,
+    /// Declared access direction.
+    pub mode: AccessMode,
+}
+
+impl Region {
+    /// A read-only span.
+    pub fn read(name: &'static str, base: VAddr, words: u64) -> Self {
+        Region {
+            name,
+            base,
+            words,
+            mode: AccessMode::Read,
+        }
+    }
+
+    /// A write-only span.
+    pub fn write(name: &'static str, base: VAddr, words: u64) -> Self {
+        Region {
+            name,
+            base,
+            words,
+            mode: AccessMode::Write,
+        }
+    }
+
+    /// A read-write span.
+    pub fn read_write(name: &'static str, base: VAddr, words: u64) -> Self {
+        Region {
+            name,
+            base,
+            words,
+            mode: AccessMode::ReadWrite,
+        }
+    }
+
+    /// Whether `addr` falls inside this span.
+    pub fn contains(&self, addr: VAddr) -> bool {
+        if addr.owner() != self.base.owner() {
+            return false;
+        }
+        let (base, off) = (self.base.offset(), addr.offset());
+        off >= base && off < base + 8 * self.words
+    }
+}
+
+/// Per-iteration footprint function: the regions a stage may touch when
+/// executing iteration `mtx`.
+pub type FootprintFn = Box<dyn Fn(u64) -> Vec<Region> + Send + Sync>;
+
+/// The analyzable declaration of one pipeline stage.
+pub struct StageSpec {
+    /// Stage name for findings ("compute", "emit", ...).
+    pub name: &'static str,
+    /// Scheduling role, which decides carried-dependence safety.
+    pub role: StageRole,
+    /// Declared per-iteration memory footprint.
+    pub footprint: FootprintFn,
+    /// Address spans whose cross-iteration values the plan forwards
+    /// synchronously (produce/consume or ring sync) rather than
+    /// speculating on. Iteration-independent.
+    pub forwarded: Vec<Region>,
+}
+
+impl StageSpec {
+    /// A stage with the given role and footprint and nothing forwarded.
+    pub fn new(name: &'static str, role: StageRole, footprint: FootprintFn) -> Self {
+        StageSpec {
+            name,
+            role,
+            footprint,
+            forwarded: Vec::new(),
+        }
+    }
+
+    /// Declares `region`'s cross-iteration values as synchronously
+    /// forwarded.
+    pub fn forward(mut self, region: Region) -> Self {
+        self.forwarded.push(region);
+        self
+    }
+
+    /// Whether the stage's iteration-`mtx` footprint covers a load of
+    /// `addr`.
+    pub fn covers_load(&self, mtx: u64, addr: VAddr) -> bool {
+        (self.footprint)(mtx)
+            .iter()
+            .any(|r| r.mode.reads() && r.contains(addr))
+    }
+
+    /// Whether the stage's iteration-`mtx` footprint covers a store to
+    /// `addr`.
+    pub fn covers_store(&self, mtx: u64, addr: VAddr) -> bool {
+        (self.footprint)(mtx)
+            .iter()
+            .any(|r| r.mode.writes() && r.contains(addr))
+    }
+
+    /// Whether `addr` is declared forwarded by this stage.
+    pub fn forwards(&self, addr: VAddr) -> bool {
+        self.forwarded.iter().any(|r| r.contains(addr))
+    }
+}
+
+impl std::fmt::Debug for StageSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StageSpec")
+            .field("name", &self.name)
+            .field("role", &self.role)
+            .field("forwarded", &self.forwarded)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsmtx_uva::OwnerId;
+
+    fn at(off: u64) -> VAddr {
+        VAddr::new(OwnerId(0), off)
+    }
+
+    #[test]
+    fn region_containment_is_word_exact() {
+        let r = Region::read("buf", at(64), 4);
+        assert!(!r.contains(at(56)));
+        assert!(r.contains(at(64)));
+        assert!(r.contains(at(88)));
+        assert!(!r.contains(at(96)));
+        // Different owner, same offset: not contained.
+        assert!(!r.contains(VAddr::new(OwnerId(1), 64)));
+    }
+
+    #[test]
+    fn access_modes_partition_directions() {
+        assert!(AccessMode::Read.reads() && !AccessMode::Read.writes());
+        assert!(!AccessMode::Write.reads() && AccessMode::Write.writes());
+        assert!(AccessMode::ReadWrite.reads() && AccessMode::ReadWrite.writes());
+    }
+
+    #[test]
+    fn stage_cover_checks_direction_and_iteration() {
+        // Stage reads element `mtx` of a table and writes one output cell.
+        let spec = StageSpec::new(
+            "compute",
+            StageRole::Parallel,
+            Box::new(|mtx| {
+                vec![
+                    Region::read("table", at(mtx * 8), 1),
+                    Region::write("out", at(1024 + mtx * 8), 1),
+                ]
+            }),
+        );
+        assert!(spec.covers_load(3, at(24)));
+        assert!(!spec.covers_load(4, at(24)), "wrong iteration");
+        assert!(!spec.covers_store(3, at(24)), "read-only region");
+        assert!(spec.covers_store(3, at(1048)));
+        assert!(!spec.forwards(at(24)));
+    }
+
+    #[test]
+    fn forwarded_regions_are_iteration_independent() {
+        let spec = StageSpec::new(
+            "scan",
+            StageRole::Ring,
+            Box::new(|_| vec![Region::read_write("acc", at(0), 1)]),
+        )
+        .forward(Region::read_write("acc", at(0), 1));
+        assert!(spec.forwards(at(0)));
+        assert!(!spec.forwards(at(8)));
+    }
+}

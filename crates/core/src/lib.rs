@@ -74,6 +74,7 @@ pub mod analysis;
 pub mod commit;
 pub mod config;
 pub mod control;
+pub mod footprint;
 pub mod ids;
 pub mod poll;
 pub mod program;
@@ -87,9 +88,10 @@ pub mod worker;
 pub use analysis::{CriticalPath, TraceAnalysis};
 pub use config::{ConfigError, FaultConfig, FaultTarget, PipelineShape, StageKind, SystemConfig};
 pub use control::{ControlPlane, Interrupt, Status};
+pub use footprint::{AccessMode, FootprintFn, Region, StageRole, StageSpec};
 pub use ids::{MtxId, StageId, WorkerId};
 pub use program::{CommitHook, IterOutcome, Program, RecoveryFn, StageFn};
 pub use report::{RunReport, RunResult, ShardStats, ValPlaneStats};
 pub use system::{worker_owner, MtxSystem, RunError};
 pub use trace::{Role, TraceEvent, TraceKind, TraceSink, DEFAULT_TRACE_CAPACITY};
-pub use worker::WorkerCtx;
+pub use worker::{AccessFilter, WorkerCtx};

@@ -20,6 +20,11 @@ pub struct ShardStats {
     pub validated: u64,
     /// Value-validation conflicts detected in this shard's partition.
     pub conflicts: u64,
+    /// `PageId` of every conflicting load this shard detected, in
+    /// detection order (one entry per conflict). The analyzer's
+    /// certification pass asserts this set is a subset of the conflict
+    /// sites predicted from the sequential dependence graph.
+    pub conflict_pages: Vec<u64>,
     /// COA pages fetched into this shard's replay image.
     pub coa_fetches: u64,
     /// SubTX stream arrival to replay start, microseconds.
@@ -147,6 +152,21 @@ impl RunReport {
         } else {
             self.stats.bytes() as f64 / secs
         }
+    }
+
+    /// Distinct pages on which any try-commit shard observed a
+    /// value-validation conflict, sorted ascending — the "observed
+    /// conflict sites" side of the analyzer's predicted-vs-observed
+    /// certification pass.
+    pub fn conflict_pages(&self) -> Vec<u64> {
+        let mut pages: Vec<u64> = self
+            .shard_stats
+            .iter()
+            .flat_map(|s| s.conflict_pages.iter().copied())
+            .collect();
+        pages.sort_unstable();
+        pages.dedup();
+        pages
     }
 
     /// Derives per-stage latency histograms, occupancy, commit-queue
@@ -366,6 +386,25 @@ mod tests {
         assert_eq!(a.blocks, 5);
         assert!((a.block_fill() - 20.0).abs() < 1e-9);
         assert_eq!(ValPlaneStats::default().block_fill(), 0.0);
+    }
+
+    #[test]
+    fn conflict_pages_aggregate_sorted_and_deduped() {
+        let mut r = empty_report();
+        r.shard_stats = vec![
+            ShardStats {
+                conflicts: 3,
+                conflict_pages: vec![9, 2, 9],
+                ..ShardStats::default()
+            },
+            ShardStats {
+                conflicts: 1,
+                conflict_pages: vec![5],
+                ..ShardStats::default()
+            },
+        ];
+        assert_eq!(r.conflict_pages(), vec![2, 5, 9]);
+        assert!(empty_report().conflict_pages().is_empty());
     }
 
     #[test]

@@ -67,6 +67,11 @@ pub(crate) struct TryCommitCounters {
     pub validated: u64,
     /// Conflicts this shard detected in its page partition.
     pub conflicts: u64,
+    /// `PageId` of every conflicting load, in detection order (one entry
+    /// per conflict, so repeats mean the same page conflicted across
+    /// recoveries). The analyzer's certification pass checks this set
+    /// against the conflict sites the partition linter predicted.
+    pub conflict_pages: Vec<u64>,
     /// COA pages fetched into the replay image.
     pub coa_fetches: u64,
     /// Stream arrival → program-order replay start, per subTX stream.
@@ -281,10 +286,11 @@ impl TryCommitUnit {
             self.counters
                 .replay_lag
                 .record(arrived.elapsed().as_micros() as u64);
-            if !self.replay(&stream)? {
+            if let Some(conflict_addr) = self.replay(&stream)? {
                 // Conflict: tell the commit unit and freeze until it
                 // orchestrates recovery.
                 self.counters.conflicts += 1;
+                self.counters.conflict_pages.push(conflict_addr.page().0);
                 self.trace.record(
                     Role::TryCommit,
                     Some(self.cursor_mtx),
@@ -320,30 +326,31 @@ impl TryCommitUnit {
         Ok(progress)
     }
 
-    /// Replays one subTX stream against the image. Returns `false` on the
-    /// first mismatching load. Packed blocks decode by cursor as they
-    /// replay — no intermediate record vector is materialized.
-    fn replay(&mut self, stream: &AccessStream) -> Result<bool, Interrupt> {
+    /// Replays one subTX stream against the image. Returns the address of
+    /// the first mismatching load (`None` when the stream validates).
+    /// Packed blocks decode by cursor as they replay — no intermediate
+    /// record vector is materialized.
+    fn replay(&mut self, stream: &AccessStream) -> Result<Option<VAddr>, Interrupt> {
         match stream {
             AccessStream::Records(records) => {
                 for r in records {
-                    if !self.replay_record(*r)? {
-                        return Ok(false);
+                    if let Some(addr) = self.replay_record(*r)? {
+                        return Ok(Some(addr));
                     }
                 }
             }
             AccessStream::Block(block) => {
                 for r in block.iter() {
-                    if !self.replay_record(r)? {
-                        return Ok(false);
+                    if let Some(addr) = self.replay_record(r)? {
+                        return Ok(Some(addr));
                     }
                 }
             }
         }
-        Ok(true)
+        Ok(None)
     }
 
-    fn replay_record(&mut self, r: AccessRecord) -> Result<bool, Interrupt> {
+    fn replay_record(&mut self, r: AccessRecord) -> Result<Option<VAddr>, Interrupt> {
         match r.kind {
             AccessKind::Store => self.image.apply_forwarded(r.addr, r.value),
             AccessKind::Load => {
@@ -360,11 +367,11 @@ impl TryCommitUnit {
                     coa_fetch(to_commit, coa_in, ctrl, epoch, *data_timeout, page)
                 })?;
                 if actual != r.value {
-                    return Ok(false);
+                    return Ok(Some(r.addr));
                 }
             }
         }
-        Ok(true)
+        Ok(None)
     }
 
     fn send_to_commit(&mut self, msg: Msg) -> Result<(), Interrupt> {

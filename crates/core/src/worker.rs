@@ -59,7 +59,11 @@ const ITEM_BYTES: u64 = std::mem::size_of::<Msg>() as u64;
 ///
 /// Open-addressed table keyed on raw address bits, generation-stamped so
 /// reset is O(1) between subTXs.
-struct AccessFilter {
+///
+/// Public because the dependence analyzer (`dsmtx-analyze`) reuses it to
+/// compute the validation-visible view of a recorded sequential access
+/// stream — the same records the runtime would actually ship.
+pub struct AccessFilter {
     slots: Vec<FilterSlot>,
     /// Current generation; a slot with a different stamp is empty.
     gen: u64,
@@ -81,7 +85,8 @@ struct FilterSlot {
 const NO_STORE: u32 = u32::MAX;
 
 impl AccessFilter {
-    fn new() -> Self {
+    /// A fresh filter (reusable across subTXs/iterations).
+    pub fn new() -> Self {
         AccessFilter {
             slots: vec![
                 FilterSlot {
@@ -132,7 +137,7 @@ impl AccessFilter {
 
     /// Filters `records` into `out` (cleared first). Returns the number
     /// of suppressed records.
-    fn filter_into(&mut self, records: &[AccessRecord], out: &mut Vec<AccessRecord>) -> u64 {
+    pub fn filter_into(&mut self, records: &[AccessRecord], out: &mut Vec<AccessRecord>) -> u64 {
         out.clear();
         self.reserve(records.len());
         self.gen = self.gen.wrapping_add(1);
@@ -177,6 +182,12 @@ impl AccessFilter {
             }
         }
         filtered
+    }
+}
+
+impl Default for AccessFilter {
+    fn default() -> Self {
+        Self::new()
     }
 }
 

@@ -13,11 +13,15 @@
 //! partition count is an interior detail — reads and sequential commits
 //! behave exactly as a single flat map would.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
 use dsmtx_uva::{PageId, VAddr};
 use fxhash::{FxHashMap, FxHashSet};
 
 use crate::page::Page;
 use crate::shard::shard_of;
+use crate::spec::{AccessKind, AccessRecord};
 
 /// Fixed interior partition count of the committed page map.
 const INTERNAL_SHARDS: usize = 8;
@@ -36,6 +40,17 @@ pub struct MasterMem {
     /// commit unit turns these into per-page COA epoch stamps so worker
     /// page caches can be revalidated without shipping page payloads.
     dirty: FxHashSet<PageId>,
+    /// When set, every `read`/`write` appends an [`AccessRecord`] to
+    /// `recorded`. Off by default and off on every hot path: the flag is a
+    /// single relaxed atomic load per access. The dependence analyzer's
+    /// sequential recorder flips it on while replaying a workload's
+    /// recovery body against this image.
+    recording: AtomicBool,
+    /// Program-order access log accumulated while `recording` is set. A
+    /// `std::sync::Mutex` (not a spinlock shim) so `MasterMem` stays
+    /// `Sync` and `Debug` without extra bounds; the recorder is the only
+    /// contender, so the lock is always uncontended.
+    recorded: Mutex<Vec<AccessRecord>>,
 }
 
 impl Default for MasterMem {
@@ -44,6 +59,8 @@ impl Default for MasterMem {
             shards: vec![FxHashMap::default(); INTERNAL_SHARDS],
             commits_applied: 0,
             dirty: FxHashSet::default(),
+            recording: AtomicBool::new(false),
+            recorded: Mutex::new(Vec::new()),
         }
     }
 }
@@ -62,20 +79,56 @@ impl MasterMem {
     /// Reads the committed word at `addr` (zero if never written).
     #[inline]
     pub fn read(&self, addr: VAddr) -> u64 {
-        self.map_of(addr.page())
+        let value = self
+            .map_of(addr.page())
             .get(&addr.page())
-            .map_or(0, |p| p.word(addr.word_in_page()))
+            .map_or(0, |p| p.word(addr.word_in_page()));
+        if self.recording.load(Ordering::Relaxed) {
+            self.log(AccessKind::Load, addr, value);
+        }
+        value
     }
 
     /// Writes the committed word at `addr`, creating the page on demand.
     #[inline]
     pub fn write(&mut self, addr: VAddr, value: u64) {
+        if self.recording.load(Ordering::Relaxed) {
+            self.log(AccessKind::Store, addr, value);
+        }
         let id = addr.page();
         self.dirty.insert(id);
         self.shards[shard_of(id, INTERNAL_SHARDS)]
             .entry(id)
             .or_default()
             .set_word(addr.word_in_page(), value);
+    }
+
+    #[cold]
+    fn log(&self, kind: AccessKind, addr: VAddr, value: u64) {
+        self.recorded
+            .lock()
+            .expect("access log poisoned")
+            .push(AccessRecord { kind, addr, value });
+    }
+
+    /// Turns the program-order access log on or off. While on, every
+    /// [`MasterMem::read`] and [`MasterMem::write`] appends to the log the
+    /// dependence analyzer later drains with
+    /// [`MasterMem::drain_recorded`].
+    pub fn set_recording(&self, on: bool) {
+        self.recording.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the access log is currently capturing.
+    pub fn is_recording(&self) -> bool {
+        self.recording.load(Ordering::Relaxed)
+    }
+
+    /// Drains and returns the access log accumulated since the last drain
+    /// (program order). The analyzer's recorder calls this once per
+    /// iteration to slice the stream at iteration boundaries.
+    pub fn drain_recorded(&self) -> Vec<AccessRecord> {
+        std::mem::take(&mut *self.recorded.lock().expect("access log poisoned"))
     }
 
     /// Returns a copy of the committed page for COA transfer.
@@ -237,6 +290,34 @@ mod tests {
         m.commit_writes_parallel(vec![(a(8), 1), (a(8), 2)]);
         assert_eq!(m.read(a(8)), 2);
         assert_eq!(m.commits_applied(), 1);
+    }
+
+    #[test]
+    fn recording_captures_program_order_and_drains() {
+        let mut m = MasterMem::new();
+        m.write(a(8), 7); // not recorded: recording is off
+        m.set_recording(true);
+        assert!(m.is_recording());
+        assert_eq!(m.read(a(8)), 7);
+        m.write(a(16), 9);
+        assert_eq!(m.read(a(16)), 9);
+        m.set_recording(false);
+        m.write(a(24), 1); // not recorded again
+        let log = m.drain_recorded();
+        assert_eq!(log.len(), 3);
+        assert_eq!(
+            (log[0].kind, log[0].addr, log[0].value),
+            (AccessKind::Load, a(8), 7)
+        );
+        assert_eq!(
+            (log[1].kind, log[1].addr, log[1].value),
+            (AccessKind::Store, a(16), 9)
+        );
+        assert_eq!(
+            (log[2].kind, log[2].addr, log[2].value),
+            (AccessKind::Load, a(16), 9)
+        );
+        assert!(m.drain_recorded().is_empty(), "drain must reset the log");
     }
 
     #[test]

@@ -53,6 +53,21 @@ pub fn partition_stream(records: &[AccessRecord], n_shards: usize) -> Vec<Vec<Ac
     out
 }
 
+/// Per-shard speculative-store counts for a program-ordered access
+/// stream at a hypothetical shard count — the introspection the
+/// partition linter's `ShardHotspot` check runs without spinning up any
+/// try-commit units. Index `s` holds the number of stores [`shard_of`]
+/// would route to shard `s`.
+pub fn store_shard_load(records: &[AccessRecord], n_shards: usize) -> Vec<u64> {
+    let mut counts = vec![0u64; n_shards.max(1)];
+    for r in records {
+        if r.kind == crate::spec::AccessKind::Store {
+            counts[shard_of(r.addr.page(), n_shards)] += 1;
+        }
+    }
+    counts
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +118,34 @@ mod tests {
                     c <= even + even / 4,
                     "shard {s} of {n} got {c}/1024 pages (even split {even})"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn store_shard_load_counts_only_stores() {
+        let stream: Vec<AccessRecord> = (0..40)
+            .map(|i| {
+                rec(
+                    i % 5,
+                    i,
+                    if i % 2 == 0 {
+                        AccessKind::Store
+                    } else {
+                        AccessKind::Load
+                    },
+                )
+            })
+            .collect();
+        for n in [1usize, 2, 4] {
+            let counts = store_shard_load(&stream, n);
+            assert_eq!(counts.len(), n);
+            assert_eq!(counts.iter().sum::<u64>(), 20, "20 stores in the stream");
+            // Every store must be counted on exactly the shard of its page.
+            let parts = partition_stream(&stream, n);
+            for (s, part) in parts.iter().enumerate() {
+                let stores = part.iter().filter(|r| r.kind == AccessKind::Store).count() as u64;
+                assert_eq!(counts[s], stores);
             }
         }
     }

@@ -139,4 +139,31 @@ pub mod schema {
     pub const COA_CACHE_MISSES: &str = "coa_cache.misses";
     /// Full-page refetches replacing an outdated cached copy.
     pub const COA_CACHE_STALE: &str = "coa_cache.stale";
+
+    /// Dependence-analyzer counters (the `dsmtx-analyze` static side),
+    /// labeled `workload`.
+    ///
+    /// Dependence edges classified from the recorded sequential stream.
+    pub const ANALYZE_EDGES: &str = "analyze.edges";
+    /// Loop-carried flow edges — the dependences speculation can break.
+    pub const ANALYZE_CARRIED_FLOWS: &str = "analyze.carried_flows";
+    /// Error-severity lint findings (CI gate fails on any for a shipped
+    /// plan).
+    pub const ANALYZE_FINDINGS_ERROR: &str = "analyze.findings_error";
+    /// Warning-severity lint findings.
+    pub const ANALYZE_FINDINGS_WARNING: &str = "analyze.findings_warning";
+    /// Pages in the analyzer's conservative conflict superset.
+    pub const ANALYZE_PREDICTED_PAGES: &str = "analyze.predicted_pages";
+
+    /// Predicted-vs-observed certification counters, labeled `workload`
+    /// and `shards`.
+    ///
+    /// Certification runs checked (one per workload × shard count).
+    pub const CERT_RUNS: &str = "cert.runs";
+    /// Distinct pages where the certified run observed try-commit
+    /// conflicts.
+    pub const CERT_OBSERVED_PAGES: &str = "cert.observed_pages";
+    /// Observed conflict pages the analyzer failed to predict — any
+    /// nonzero value is an analyzer soundness bug.
+    pub const CERT_UNPREDICTED_PAGES: &str = "cert.unpredicted_pages";
 }

@@ -17,6 +17,9 @@ pub struct Tuning {
     pub batch: usize,
     /// Queue capacity in packets (bounds worker run-ahead).
     pub capacity: usize,
+    /// Try-commit shard count (§3.2 parallel speculation units); 1 is
+    /// the single-unit topology.
+    pub unit_shards: usize,
 }
 
 impl Default for Tuning {
@@ -24,12 +27,27 @@ impl Default for Tuning {
         Tuning {
             batch: 64,
             capacity: 256,
+            unit_shards: 1,
+        }
+    }
+}
+
+impl Tuning {
+    /// Default tuning at an explicit try-commit shard count — what the
+    /// certification harness uses to run every kernel's shipped plan at
+    /// shards ∈ {1, 2, 4}.
+    pub fn with_unit_shards(unit_shards: usize) -> Self {
+        Tuning {
+            unit_shards,
+            ..Tuning::default()
         }
     }
 }
 
 fn build(cfg: &mut SystemConfig, tuning: Tuning) -> &mut SystemConfig {
-    cfg.batch(tuning.batch).capacity(tuning.capacity)
+    cfg.batch(tuning.batch)
+        .capacity(tuning.capacity)
+        .unit_shards(tuning.unit_shards)
 }
 
 /// Spec-DOALL: one parallel stage; all cross-iteration dependences are

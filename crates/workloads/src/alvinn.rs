@@ -15,14 +15,19 @@
 
 use std::sync::Arc;
 
-use dsmtx::{IterOutcome, MtxId, WorkerCtx};
+use dsmtx::{
+    IterOutcome, MtxId, RecoveryFn, Region, RunResult, StageFn, StageRole, StageSpec, WorkerCtx,
+};
 use dsmtx_mem::MasterMem;
-use dsmtx_paradigms::{Paradigm, SpecDoall, SpecKind};
+use dsmtx_paradigms::{Paradigm, SpecDoall, SpecKind, Tuning};
 use dsmtx_sim::{
     profile::{StageProfile, StageShape},
     InvocationProfile, TlsPlan, WorkloadProfile,
 };
 
+use dsmtx_uva::VAddr;
+
+use crate::analysis::AnalysisPlan;
 use crate::common::{
     f2w, load_words, master_heap, store_words, w2f, Kernel, KernelError, Mode, Scale, Stream,
     Table2Entry,
@@ -131,6 +136,95 @@ fn apply_epoch(w1: &mut [f64], w2: &mut [f64], grads: &[Vec<f64>]) {
     }
 }
 
+/// Heap layout of the parallel plan (deterministic allocation order, so
+/// `plan()` and the runners agree on addresses).
+struct Layout {
+    w_base: VAddr,
+    s_base: VAddr,
+    g_base: VAddr,
+}
+
+fn layout(scale: Scale) -> Result<Layout, KernelError> {
+    let n = scale.iterations;
+    let mut heap = master_heap();
+    let w_base = heap
+        .alloc_words(W1_WORDS + W2_WORDS)
+        .map_err(|e| KernelError(e.to_string()))?;
+    let s_base = heap
+        .alloc_words(n * SAMPLE_WORDS)
+        .map_err(|e| KernelError(e.to_string()))?;
+    let g_base = heap
+        .alloc_words(n * GRAD_WORDS)
+        .map_err(|e| KernelError(e.to_string()))?;
+    Ok(Layout {
+        w_base,
+        s_base,
+        g_base,
+    })
+}
+
+/// Committed memory at first-invocation entry: initial weights + samples.
+fn initial_master(lay: &Layout, scale: Scale) -> MasterMem {
+    let (w1_init, w2_init, samples) = generate(scale);
+    let mut master = MasterMem::new();
+    let weight_words: Vec<u64> = w1_init
+        .iter()
+        .chain(w2_init.iter())
+        .map(|&f| f2w(f))
+        .collect();
+    store_words(&mut master, lay.w_base, &weight_words);
+    let sample_words: Vec<u64> = samples.iter().map(|&f| f2w(f)).collect();
+    store_words(&mut master, lay.s_base, &sample_words);
+    master
+}
+
+fn body_fn(lay: &Layout, n: u64) -> StageFn {
+    let (w_base, s_base, g_base) = (lay.w_base, lay.s_base, lay.g_base);
+    Arc::new(move |ctx: &mut WorkerCtx, mtx: MtxId| {
+        if mtx.0 >= n {
+            return Ok(IterOutcome::Continue);
+        }
+        // Live-in weights arrive by Copy-On-Access each invocation.
+        let mut w1 = [0.0f64; W1_WORDS as usize];
+        for (k, w) in w1.iter_mut().enumerate() {
+            *w = w2f(ctx.read(w_base.add_words(k as u64))?);
+        }
+        let mut w2 = [0.0f64; W2_WORDS as usize];
+        for (k, w) in w2.iter_mut().enumerate() {
+            *w = w2f(ctx.read(w_base.add_words(W1_WORDS + k as u64))?);
+        }
+        let mut sample = [0.0f64; SAMPLE_WORDS as usize];
+        for (k, v) in sample.iter_mut().enumerate() {
+            *v = w2f(ctx.read_private(s_base.add_words(mtx.0 * SAMPLE_WORDS + k as u64))?);
+        }
+        let grad = gradient(&w1, &w2, &sample);
+        // Private gradient slot: memory versioning, no conflicts.
+        for (k, g) in grad.iter().enumerate() {
+            ctx.write_no_forward(g_base.add_words(mtx.0 * GRAD_WORDS + k as u64), f2w(*g))?;
+        }
+        Ok(IterOutcome::Continue)
+    })
+}
+
+fn recovery_fn(lay: &Layout) -> RecoveryFn {
+    let (w_base, s_base, g_base) = (lay.w_base, lay.s_base, lay.g_base);
+    Box::new(move |mtx: MtxId, master: &mut MasterMem| {
+        let w: Vec<f64> = load_words(master, w_base, W1_WORDS + W2_WORDS)
+            .into_iter()
+            .map(w2f)
+            .collect();
+        let s: Vec<f64> = load_words(master, s_base.add_words(mtx.0 * SAMPLE_WORDS), SAMPLE_WORDS)
+            .into_iter()
+            .map(w2f)
+            .collect();
+        let grad = gradient(&w[..W1_WORDS as usize], &w[W1_WORDS as usize..], &s);
+        for (k, g) in grad.iter().enumerate() {
+            master.write(g_base.add_words(mtx.0 * GRAD_WORDS + k as u64), f2w(*g));
+        }
+        IterOutcome::Continue
+    })
+}
+
 impl Alvinn {
     fn sequential(scale: Scale) -> Vec<u64> {
         let (mut w1, mut w2, samples) = generate(scale);
@@ -149,71 +243,13 @@ impl Alvinn {
 
     fn parallel(scale: Scale, workers: u16) -> Result<Vec<u64>, KernelError> {
         let n = scale.iterations;
-        let (w1_init, w2_init, samples) = generate(scale);
-
-        let mut heap = master_heap();
-        let w_base = heap
-            .alloc_words(W1_WORDS + W2_WORDS)
-            .map_err(|e| KernelError(e.to_string()))?;
-        let s_base = heap
-            .alloc_words(n * SAMPLE_WORDS)
-            .map_err(|e| KernelError(e.to_string()))?;
-        let g_base = heap
-            .alloc_words(n * GRAD_WORDS)
-            .map_err(|e| KernelError(e.to_string()))?;
-
-        let mut master = MasterMem::new();
-        let weight_words: Vec<u64> = w1_init
-            .iter()
-            .chain(w2_init.iter())
-            .map(|&f| f2w(f))
-            .collect();
-        store_words(&mut master, w_base, &weight_words);
-        let sample_words: Vec<u64> = samples.iter().map(|&f| f2w(f)).collect();
-        store_words(&mut master, s_base, &sample_words);
-
-        let body = Arc::new(move |ctx: &mut WorkerCtx, mtx: MtxId| {
-            if mtx.0 >= n {
-                return Ok(IterOutcome::Continue);
-            }
-            // Live-in weights arrive by Copy-On-Access each invocation.
-            let mut w1 = [0.0f64; W1_WORDS as usize];
-            for (k, w) in w1.iter_mut().enumerate() {
-                *w = w2f(ctx.read(w_base.add_words(k as u64))?);
-            }
-            let mut w2 = [0.0f64; W2_WORDS as usize];
-            for (k, w) in w2.iter_mut().enumerate() {
-                *w = w2f(ctx.read(w_base.add_words(W1_WORDS + k as u64))?);
-            }
-            let mut sample = [0.0f64; SAMPLE_WORDS as usize];
-            for (k, v) in sample.iter_mut().enumerate() {
-                *v = w2f(ctx.read_private(s_base.add_words(mtx.0 * SAMPLE_WORDS + k as u64))?);
-            }
-            let grad = gradient(&w1, &w2, &sample);
-            // Private gradient slot: memory versioning, no conflicts.
-            for (k, g) in grad.iter().enumerate() {
-                ctx.write_no_forward(g_base.add_words(mtx.0 * GRAD_WORDS + k as u64), f2w(*g))?;
-            }
-            Ok(IterOutcome::Continue)
-        });
+        let lay = layout(scale)?;
+        let (w_base, g_base) = (lay.w_base, lay.g_base);
+        let mut master = initial_master(&lay, scale);
+        let body = body_fn(&lay, n);
 
         for _epoch in 0..EPOCHS {
-            let recovery = Box::new(move |mtx: MtxId, master: &mut MasterMem| {
-                let w: Vec<f64> = load_words(master, w_base, W1_WORDS + W2_WORDS)
-                    .into_iter()
-                    .map(w2f)
-                    .collect();
-                let s: Vec<f64> =
-                    load_words(master, s_base.add_words(mtx.0 * SAMPLE_WORDS), SAMPLE_WORDS)
-                        .into_iter()
-                        .map(w2f)
-                        .collect();
-                let grad = gradient(&w[..W1_WORDS as usize], &w[W1_WORDS as usize..], &s);
-                for (k, g) in grad.iter().enumerate() {
-                    master.write(g_base.add_words(mtx.0 * GRAD_WORDS + k as u64), f2w(*g));
-                }
-                IterOutcome::Continue
-            });
+            let recovery = recovery_fn(&lay);
             let result =
                 SpecDoall::new(workers.max(1)).run(master, body.clone(), recovery, Some(n))?;
             master = result.master;
@@ -288,6 +324,57 @@ impl Kernel for Alvinn {
             // Both parallelizations are the same Spec-DOALL (§5.1).
             Mode::Dsmtx { workers } | Mode::Tls { workers } => Self::parallel(scale, workers),
         }
+    }
+
+    /// One invocation (the first epoch's Spec-DOALL section) at an
+    /// explicit shard count — the certified parallel section; the
+    /// inter-invocation weight update is sequential commit-unit code.
+    fn run_reported(
+        &self,
+        workers: u16,
+        unit_shards: usize,
+        scale: Scale,
+    ) -> Result<RunResult, KernelError> {
+        let n = scale.iterations;
+        let lay = layout(scale)?;
+        let master = initial_master(&lay, scale);
+        let body = body_fn(&lay, n);
+        let recovery = recovery_fn(&lay);
+        Ok(SpecDoall {
+            replicas: workers.max(1),
+            tuning: Tuning::with_unit_shards(unit_shards),
+        }
+        .run(master, body, recovery, Some(n))?)
+    }
+
+    /// The first invocation's loop: weights are live-in (validated
+    /// reads), samples private, gradient slots disjoint per iteration.
+    fn plan(&self, scale: Scale) -> Result<AnalysisPlan, KernelError> {
+        let lay = layout(scale)?;
+        let master = initial_master(&lay, scale);
+        let recovery = recovery_fn(&lay);
+        let (w_base, s_base, g_base) = (lay.w_base, lay.s_base, lay.g_base);
+        Ok(AnalysisPlan {
+            name: "052.alvinn",
+            iterations: scale.iterations,
+            master,
+            recovery,
+            stages: vec![StageSpec::new(
+                "train",
+                StageRole::Parallel,
+                Box::new(move |mtx| {
+                    vec![
+                        Region::read("weights", w_base, W1_WORDS + W2_WORDS),
+                        Region::read(
+                            "samples",
+                            s_base.add_words(mtx * SAMPLE_WORDS),
+                            SAMPLE_WORDS,
+                        ),
+                        Region::write("grads", g_base.add_words(mtx * GRAD_WORDS), GRAD_WORDS),
+                    ]
+                }),
+            )],
+        })
     }
 }
 

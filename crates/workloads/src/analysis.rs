@@ -1,0 +1,43 @@
+//! The analyzable description of a kernel's loop and stage partition.
+//!
+//! Every registry kernel ships a hand-written DSMTX plan (its Table 2
+//! paradigm). [`AnalysisPlan`] is the declaration the dependence analyzer
+//! (`dsmtx-analyze`) consumes instead of the opaque stage closures: the
+//! pre-loop committed memory, the *sequential* recovery body (the §4.3
+//! re-execution path, which touches exactly the committed-state loads and
+//! stores of one iteration), and a [`StageSpec`] per pipeline stage
+//! declaring role, per-iteration footprint, and forwarded addresses.
+//!
+//! The recovery body doubles as the instrumented sequential version of
+//! the loop: running it for every iteration against `MasterMem` with
+//! recording on yields the program-order access stream the PDG builder
+//! classifies.
+
+use dsmtx::{RecoveryFn, StageSpec};
+use dsmtx_mem::MasterMem;
+
+/// Everything the analyzer needs to record, classify, and lint one
+/// kernel's shipped plan.
+pub struct AnalysisPlan {
+    /// Kernel name (Table 2 name for registry kernels).
+    pub name: &'static str,
+    /// Loop trip count at the plan's scale.
+    pub iterations: u64,
+    /// Committed memory at loop entry (inputs stored, outputs zero).
+    pub master: MasterMem,
+    /// The sequential per-iteration body (the plan's §4.3 recovery
+    /// function), driven once per iteration by the recorder.
+    pub recovery: RecoveryFn,
+    /// Declared stage partition, in pipeline order.
+    pub stages: Vec<StageSpec>,
+}
+
+impl std::fmt::Debug for AnalysisPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisPlan")
+            .field("name", &self.name)
+            .field("iterations", &self.iterations)
+            .field("stages", &self.stages)
+            .finish_non_exhaustive()
+    }
+}

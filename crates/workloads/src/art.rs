@@ -14,15 +14,19 @@
 
 use std::sync::Arc;
 
-use dsmtx::{IterOutcome, MtxId, StageId, WorkerCtx};
+use dsmtx::{
+    IterOutcome, MtxId, RecoveryFn, Region, RunResult, StageId, StageRole, StageSpec, WorkerCtx,
+};
 use dsmtx_mem::MasterMem;
 use dsmtx_paradigms::paradigm::StageLabel;
-use dsmtx_paradigms::{Paradigm, Pipeline, SpecKind, Tls};
+use dsmtx_paradigms::{Paradigm, Pipeline, SpecKind, Tls, Tuning};
 use dsmtx_sim::{
     profile::{StageProfile, StageShape},
     TlsPlan, WorkloadProfile,
 };
+use dsmtx_uva::VAddr;
 
+use crate::analysis::AnalysisPlan;
 use crate::common::{
     load_words, master_heap, store_words, Kernel, KernelError, Mode, Scale, Stream, Table2Entry,
 };
@@ -69,6 +73,55 @@ fn fold_best(state: &mut [u64], score: u64, index: u64) {
     }
 }
 
+/// Shared layout of the parallel runs. Allocation order is fixed, so
+/// rebuilding it always yields the same bases — `plan()` and the runners
+/// agree on addresses.
+struct Layout {
+    w_base: VAddr,
+    out_base: VAddr,
+    best_base: VAddr,
+}
+
+fn layout(scale: Scale) -> Result<Layout, KernelError> {
+    let n = scale.iterations;
+    let mut heap = master_heap();
+    let w_base = heap
+        .alloc_words(n * scale.unit)
+        .map_err(|e| KernelError(e.to_string()))?;
+    let out_base = heap
+        .alloc_words(n)
+        .map_err(|e| KernelError(e.to_string()))?;
+    let best_base = heap
+        .alloc_words(2)
+        .map_err(|e| KernelError(e.to_string()))?;
+    Ok(Layout {
+        w_base,
+        out_base,
+        best_base,
+    })
+}
+
+fn initial_master(windows: &[u64], lay: &Layout) -> MasterMem {
+    let mut master = MasterMem::new();
+    store_words(&mut master, lay.w_base, windows);
+    master
+}
+
+fn recovery_fn(lay: &Layout, scale: Scale) -> RecoveryFn {
+    let (w_base, out_base, best_base) = (lay.w_base, lay.out_base, lay.best_base);
+    let unit = scale.unit;
+    Box::new(move |mtx: MtxId, master: &mut MasterMem| {
+        let window = load_words(master, w_base.add_words(mtx.0 * unit), unit);
+        let score = match_window(&window);
+        master.write(out_base.add_words(mtx.0), score);
+        let mut best = [master.read(best_base), master.read(best_base.add_words(1))];
+        fold_best(&mut best, score, mtx.0);
+        master.write(best_base, best[0]);
+        master.write(best_base.add_words(1), best[1]);
+        IterOutcome::Continue
+    })
+}
+
 impl Art {
     fn sequential(windows: &[u64], scale: Scale) -> Vec<u64> {
         let mut best = [0u64, 0u64];
@@ -84,24 +137,32 @@ impl Art {
     }
 
     fn run_generated(&self, mode: Mode, scale: Scale) -> Result<Vec<u64>, KernelError> {
+        if let Mode::Sequential = mode {
+            return Ok(Self::sequential(&generate(scale), scale));
+        }
+        let lay = layout(scale)?;
+        let result = self.result_generated(mode, 1, scale)?;
+        let mut out = load_words(&result.master, lay.out_base, scale.iterations);
+        out.push(result.master.read(lay.best_base));
+        out.push(result.master.read(lay.best_base.add_words(1)));
+        Ok(out)
+    }
+
+    /// The parallel paths, at an explicit try-commit shard count,
+    /// returning the full run result.
+    fn result_generated(
+        &self,
+        mode: Mode,
+        shards: usize,
+        scale: Scale,
+    ) -> Result<RunResult, KernelError> {
         let windows = generate(scale);
         let n = scale.iterations;
         let unit = scale.unit;
-        if let Mode::Sequential = mode {
-            return Ok(Self::sequential(&windows, scale));
-        }
-        let mut heap = master_heap();
-        let w_base = heap
-            .alloc_words(n * unit)
-            .map_err(|e| KernelError(e.to_string()))?;
-        let out_base = heap
-            .alloc_words(n)
-            .map_err(|e| KernelError(e.to_string()))?;
-        let best_base = heap
-            .alloc_words(2)
-            .map_err(|e| KernelError(e.to_string()))?;
-        let mut master = MasterMem::new();
-        store_words(&mut master, w_base, &windows);
+        let lay = layout(scale)?;
+        let master = initial_master(&windows, &lay);
+        let (w_base, out_base, best_base) = (lay.w_base, lay.out_base, lay.best_base);
+        let recovery = recovery_fn(&lay, scale);
 
         let compute_score = move |ctx: &mut WorkerCtx, i: u64| -> Result<u64, dsmtx::Interrupt> {
             let window: Vec<u64> = (0..unit)
@@ -109,17 +170,6 @@ impl Art {
                 .collect::<Result<_, _>>()?;
             Ok(match_window(&window))
         };
-
-        let recovery = Box::new(move |mtx: MtxId, master: &mut MasterMem| {
-            let window = load_words(master, w_base.add_words(mtx.0 * unit), unit);
-            let score = match_window(&window);
-            master.write(out_base.add_words(mtx.0), score);
-            let mut best = [master.read(best_base), master.read(best_base.add_words(1))];
-            fold_best(&mut best, score, mtx.0);
-            master.write(best_base, best[0]);
-            master.write(best_base.add_words(1), best[1]);
-            IterOutcome::Continue
-        });
 
         let result = match mode {
             Mode::Dsmtx { workers } => {
@@ -156,6 +206,7 @@ impl Art {
                     .seq(dispatch)
                     .par(workers.max(1), matcher)
                     .seq(reduce)
+                    .tuning(Tuning::with_unit_shards(shards))
                     .run(master, recovery, Some(n))?
             }
             Mode::Tls { workers } => {
@@ -178,15 +229,15 @@ impl Art {
                     ctx.sync_produce(best[1]);
                     Ok(IterOutcome::Continue)
                 });
-                Tls::new(workers.max(1)).run(master, body, recovery, Some(n))?
+                Tls {
+                    replicas: workers.max(1),
+                    tuning: Tuning::with_unit_shards(shards),
+                }
+                .run(master, body, recovery, Some(n))?
             }
-            Mode::Sequential => unreachable!("handled above"),
+            Mode::Sequential => unreachable!("parallel paths only"),
         };
-
-        let mut out = load_words(&result.master, out_base, n);
-        out.push(result.master.read(best_base));
-        out.push(result.master.read(best_base.add_words(1)));
-        Ok(out)
+        Ok(result)
     }
 }
 
@@ -241,6 +292,53 @@ impl Kernel for Art {
 
     fn run(&self, mode: Mode, scale: Scale) -> Result<Vec<u64>, KernelError> {
         self.run_generated(mode, scale)
+    }
+
+    fn run_reported(
+        &self,
+        workers: u16,
+        unit_shards: usize,
+        scale: Scale,
+    ) -> Result<RunResult, KernelError> {
+        self.result_generated(Mode::Dsmtx { workers }, unit_shards, scale)
+    }
+
+    fn plan(&self, scale: Scale) -> Result<AnalysisPlan, KernelError> {
+        let lay = layout(scale)?;
+        let master = initial_master(&generate(scale), &lay);
+        let recovery = recovery_fn(&lay, scale);
+        let (w_base, out_base, best_base) = (lay.w_base, lay.out_base, lay.best_base);
+        let unit = scale.unit;
+        Ok(AnalysisPlan {
+            name: "179.art",
+            iterations: scale.iterations,
+            master,
+            recovery,
+            stages: vec![
+                // The dispatcher only ships the window index; no
+                // committed-state footprint.
+                StageSpec::new("dispatch", StageRole::Sequential, Box::new(|_| Vec::new())),
+                StageSpec::new(
+                    "matcher",
+                    StageRole::Parallel,
+                    Box::new(move |mtx| {
+                        vec![Region::read("windows", w_base.add_words(mtx * unit), unit)]
+                    }),
+                ),
+                // The best-match fold is a carried dependence kept inside
+                // the sequential reduce stage.
+                StageSpec::new(
+                    "reduce",
+                    StageRole::Sequential,
+                    Box::new(move |mtx| {
+                        vec![
+                            Region::write("out", out_base.add_words(mtx), 1),
+                            Region::read_write("best", best_base, 2),
+                        ]
+                    }),
+                ),
+            ],
+        })
     }
 }
 

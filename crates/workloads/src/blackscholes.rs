@@ -11,15 +11,19 @@
 
 use std::sync::Arc;
 
-use dsmtx::{IterOutcome, MtxId, StageId, WorkerCtx};
+use dsmtx::{
+    IterOutcome, MtxId, RecoveryFn, Region, RunResult, StageId, StageRole, StageSpec, WorkerCtx,
+};
 use dsmtx_mem::MasterMem;
 use dsmtx_paradigms::paradigm::StageLabel;
-use dsmtx_paradigms::{Paradigm, Pipeline, SpecDoall, SpecKind};
+use dsmtx_paradigms::{Paradigm, Pipeline, SpecDoall, SpecKind, Tuning};
 use dsmtx_sim::{
     profile::{StageProfile, StageShape},
     TlsPlan, WorkloadProfile,
 };
+use dsmtx_uva::VAddr;
 
+use crate::analysis::AnalysisPlan;
 use crate::common::{
     f2w, load_words, master_heap, store_words, w2f, Kernel, KernelError, Mode, Scale, Stream,
     Table2Entry,
@@ -76,6 +80,39 @@ fn error_output(i: u64) -> u64 {
     0xEBAD_0000_0000_0000 | i
 }
 
+/// Heap layout of the parallel plan (deterministic allocation order, so
+/// `plan()` and the runners agree on addresses).
+struct Layout {
+    in_base: VAddr,
+    out_base: VAddr,
+}
+
+fn layout(scale: Scale) -> Result<Layout, KernelError> {
+    let n = scale.iterations;
+    let mut heap = master_heap();
+    let in_base = heap
+        .alloc_words(n * OPTION_WORDS)
+        .map_err(|e| KernelError(e.to_string()))?;
+    let out_base = heap
+        .alloc_words(n)
+        .map_err(|e| KernelError(e.to_string()))?;
+    Ok(Layout { in_base, out_base })
+}
+
+fn recovery_fn(lay: &Layout) -> RecoveryFn {
+    let (in_base, out_base) = (lay.in_base, lay.out_base);
+    Box::new(move |mtx: MtxId, master: &mut MasterMem| {
+        let opt = load_words(
+            master,
+            in_base.add_words(mtx.0 * OPTION_WORDS),
+            OPTION_WORDS,
+        );
+        let out = price(&opt).unwrap_or_else(|()| error_output(mtx.0));
+        master.write(out_base.add_words(mtx.0), out);
+        IterOutcome::Continue
+    })
+}
+
 fn generate(scale: Scale, plant_error: bool) -> Vec<u64> {
     let mut s = Stream::new(scale.seed);
     let mut input = Vec::with_capacity((scale.iterations * OPTION_WORDS) as usize);
@@ -119,17 +156,26 @@ impl BlackScholes {
         scale: Scale,
         input: Vec<u64>,
     ) -> Result<Vec<u64>, KernelError> {
-        let n = scale.iterations;
         if let Mode::Sequential = mode {
             return Ok(Self::sequential(&input, scale));
         }
-        let mut heap = master_heap();
-        let in_base = heap
-            .alloc_words(n * OPTION_WORDS)
-            .map_err(|e| KernelError(e.to_string()))?;
-        let out_base = heap
-            .alloc_words(n)
-            .map_err(|e| KernelError(e.to_string()))?;
+        let lay = layout(scale)?;
+        let result = self.result_with_input(mode, 1, scale, input)?;
+        Ok(load_words(&result.master, lay.out_base, scale.iterations))
+    }
+
+    /// The parallel paths, at an explicit try-commit shard count,
+    /// returning the full run result.
+    fn result_with_input(
+        &self,
+        mode: Mode,
+        shards: usize,
+        scale: Scale,
+        input: Vec<u64>,
+    ) -> Result<RunResult, KernelError> {
+        let n = scale.iterations;
+        let lay = layout(scale)?;
+        let (in_base, out_base) = (lay.in_base, lay.out_base);
         let mut master = MasterMem::new();
         store_words(&mut master, in_base, &input);
 
@@ -160,23 +206,14 @@ impl BlackScholes {
             ctx.write_no_forward(out_base.add_words(mtx.0), p)?;
             Ok(IterOutcome::Continue)
         });
-        let recovery = Box::new(move |mtx: MtxId, master: &mut MasterMem| {
-            let opt = load_words(
-                master,
-                in_base.add_words(mtx.0 * OPTION_WORDS),
-                OPTION_WORDS,
-            );
-            let out = price(&opt).unwrap_or_else(|()| error_output(mtx.0));
-            master.write(out_base.add_words(mtx.0), out);
-            IterOutcome::Continue
-        });
+        let recovery = recovery_fn(&lay);
 
         let result = match mode {
-            Mode::Dsmtx { workers } => Pipeline::new().par(workers.max(1), compute).seq(emit).run(
-                master,
-                recovery,
-                Some(n),
-            )?,
+            Mode::Dsmtx { workers } => Pipeline::new()
+                .par(workers.max(1), compute)
+                .seq(emit)
+                .tuning(Tuning::with_unit_shards(shards))
+                .run(master, recovery, Some(n))?,
             Mode::Tls { workers } => {
                 let body = Arc::new(move |ctx: &mut WorkerCtx, mtx: MtxId| {
                     if mtx.0 >= n {
@@ -191,11 +228,15 @@ impl BlackScholes {
                         Err(()) => ctx.misspec(),
                     }
                 });
-                SpecDoall::new(workers.max(1)).run(master, body, recovery, Some(n))?
+                SpecDoall {
+                    replicas: workers.max(1),
+                    tuning: Tuning::with_unit_shards(shards),
+                }
+                .run(master, body, recovery, Some(n))?
             }
-            Mode::Sequential => unreachable!("handled above"),
+            Mode::Sequential => unreachable!("parallel paths only"),
         };
-        Ok(load_words(&result.master, out_base, n))
+        Ok(result)
     }
 
     /// Runs with one invalid option to exercise the speculated error path.
@@ -253,6 +294,53 @@ impl Kernel for BlackScholes {
 
     fn run(&self, mode: Mode, scale: Scale) -> Result<Vec<u64>, KernelError> {
         self.run_with_input(mode, scale, generate(scale, false))
+    }
+
+    fn run_reported(
+        &self,
+        workers: u16,
+        unit_shards: usize,
+        scale: Scale,
+    ) -> Result<RunResult, KernelError> {
+        self.result_with_input(
+            Mode::Dsmtx { workers },
+            unit_shards,
+            scale,
+            generate(scale, false),
+        )
+    }
+
+    fn plan(&self, scale: Scale) -> Result<AnalysisPlan, KernelError> {
+        let lay = layout(scale)?;
+        let mut master = MasterMem::new();
+        store_words(&mut master, lay.in_base, &generate(scale, false));
+        let recovery = recovery_fn(&lay);
+        let (in_base, out_base) = (lay.in_base, lay.out_base);
+        Ok(AnalysisPlan {
+            name: "blackscholes",
+            iterations: scale.iterations,
+            master,
+            recovery,
+            stages: vec![
+                // Option records are read-only after loop entry.
+                StageSpec::new(
+                    "compute",
+                    StageRole::Parallel,
+                    Box::new(move |mtx| {
+                        vec![Region::read(
+                            "options",
+                            in_base.add_words(mtx * OPTION_WORDS),
+                            OPTION_WORDS,
+                        )]
+                    }),
+                ),
+                StageSpec::new(
+                    "emit",
+                    StageRole::Sequential,
+                    Box::new(move |mtx| vec![Region::write("out", out_base.add_words(mtx), 1)]),
+                ),
+            ],
+        })
     }
 }
 

@@ -14,15 +14,19 @@
 
 use std::sync::Arc;
 
-use dsmtx::{IterOutcome, MtxId, StageId, WorkerCtx};
+use dsmtx::{
+    IterOutcome, MtxId, RecoveryFn, Region, RunResult, StageId, StageRole, StageSpec, WorkerCtx,
+};
 use dsmtx_mem::MasterMem;
 use dsmtx_paradigms::paradigm::StageLabel;
-use dsmtx_paradigms::{Paradigm, Pipeline, SpecKind, Tls};
+use dsmtx_paradigms::{Paradigm, Pipeline, SpecKind, Tls, Tuning};
 use dsmtx_sim::{
     profile::{StageProfile, StageShape},
     TlsPlan, WorkloadProfile,
 };
+use dsmtx_uva::VAddr;
 
+use crate::analysis::AnalysisPlan;
 use crate::common::{
     load_words, master_heap, store_words, Kernel, KernelError, Mode, Scale, Stream, Table2Entry,
 };
@@ -107,6 +111,59 @@ fn compress_or_error(block: &[u64], index: u64) -> Vec<u64> {
     mtf_rle_compress(block).unwrap_or_else(|()| error_record(index))
 }
 
+/// Shared layout of the parallel runs. Allocation order is fixed, so
+/// rebuilding it always yields the same bases — `plan()` and the runners
+/// agree on addresses.
+struct Layout {
+    in_base: VAddr,
+    stream_base: VAddr,
+    cursor: VAddr,
+    stream_cap: u64,
+}
+
+fn layout(scale: Scale) -> Result<Layout, KernelError> {
+    let n = scale.iterations;
+    let stream_cap = n * (2 * scale.unit + 3);
+    let mut heap = master_heap();
+    let in_base = heap
+        .alloc_words(n * scale.unit)
+        .map_err(|e| KernelError(e.to_string()))?;
+    let stream_base = heap
+        .alloc_words(stream_cap)
+        .map_err(|e| KernelError(e.to_string()))?;
+    let cursor = heap
+        .alloc_words(1)
+        .map_err(|e| KernelError(e.to_string()))?;
+    Ok(Layout {
+        in_base,
+        stream_base,
+        cursor,
+        stream_cap,
+    })
+}
+
+fn initial_master(input: &[u64], lay: &Layout) -> MasterMem {
+    let mut master = MasterMem::new();
+    store_words(&mut master, lay.in_base, input);
+    master
+}
+
+fn recovery_fn(lay: &Layout, scale: Scale) -> RecoveryFn {
+    let (in_base, stream_base, cursor) = (lay.in_base, lay.stream_base, lay.cursor);
+    let unit = scale.unit;
+    Box::new(move |mtx: MtxId, master: &mut MasterMem| {
+        let block = load_words(master, in_base.add_words(mtx.0 * unit), unit);
+        let record = compress_or_error(&block, mtx.0);
+        let cur = master.read(cursor);
+        master.write(stream_base.add_words(cur), record.len() as u64);
+        for (k, &w) in record.iter().enumerate() {
+            master.write(stream_base.add_words(cur + 1 + k as u64), w);
+        }
+        master.write(cursor, cur + 1 + record.len() as u64);
+        IterOutcome::Continue
+    })
+}
+
 impl Bzip2 {
     fn sequential(input: &[u64], scale: Scale) -> Vec<u64> {
         let mut stream = Vec::new();
@@ -127,36 +184,33 @@ impl Bzip2 {
         scale: Scale,
         input: Vec<u64>,
     ) -> Result<Vec<u64>, KernelError> {
-        let n = scale.iterations;
-        let unit = scale.unit;
         if let Mode::Sequential = mode {
             return Ok(Self::sequential(&input, scale));
         }
-        let stream_cap = n * (2 * unit + 3);
-        let mut heap = master_heap();
-        let in_base = heap
-            .alloc_words(n * unit)
-            .map_err(|e| KernelError(e.to_string()))?;
-        let stream_base = heap
-            .alloc_words(stream_cap)
-            .map_err(|e| KernelError(e.to_string()))?;
-        let cursor = heap
-            .alloc_words(1)
-            .map_err(|e| KernelError(e.to_string()))?;
-        let mut master = MasterMem::new();
-        store_words(&mut master, in_base, &input);
+        let lay = layout(scale)?;
+        let result = self.result_with_input(mode, 1, scale, input)?;
+        let len = result.master.read(lay.cursor);
+        assert!(len <= lay.stream_cap, "stream overflow");
+        let mut out = vec![len];
+        out.extend(load_words(&result.master, lay.stream_base, len));
+        Ok(out)
+    }
 
-        let recovery = Box::new(move |mtx: MtxId, master: &mut MasterMem| {
-            let block = load_words(master, in_base.add_words(mtx.0 * unit), unit);
-            let record = compress_or_error(&block, mtx.0);
-            let cur = master.read(cursor);
-            master.write(stream_base.add_words(cur), record.len() as u64);
-            for (k, &w) in record.iter().enumerate() {
-                master.write(stream_base.add_words(cur + 1 + k as u64), w);
-            }
-            master.write(cursor, cur + 1 + record.len() as u64);
-            IterOutcome::Continue
-        });
+    /// The parallel paths, at an explicit try-commit shard count,
+    /// returning the full run result.
+    fn result_with_input(
+        &self,
+        mode: Mode,
+        shards: usize,
+        scale: Scale,
+        input: Vec<u64>,
+    ) -> Result<RunResult, KernelError> {
+        let n = scale.iterations;
+        let unit = scale.unit;
+        let lay = layout(scale)?;
+        let master = initial_master(&input, &lay);
+        let (in_base, stream_base, cursor) = (lay.in_base, lay.stream_base, lay.cursor);
+        let recovery = recovery_fn(&lay, scale);
 
         let result = match mode {
             Mode::Dsmtx { workers } => {
@@ -204,6 +258,7 @@ impl Bzip2 {
                     .seq(read)
                     .par(workers.max(1), compress)
                     .seq(emit)
+                    .tuning(Tuning::with_unit_shards(shards))
                     .run(master, recovery, Some(n))?
             }
             Mode::Tls { workers } => {
@@ -233,16 +288,15 @@ impl Bzip2 {
                     ctx.sync_produce(next);
                     Ok(IterOutcome::Continue)
                 });
-                Tls::new(workers.max(1)).run(master, body, recovery, Some(n))?
+                Tls {
+                    replicas: workers.max(1),
+                    tuning: Tuning::with_unit_shards(shards),
+                }
+                .run(master, body, recovery, Some(n))?
             }
-            Mode::Sequential => unreachable!("handled above"),
+            Mode::Sequential => unreachable!("parallel paths only"),
         };
-
-        let len = result.master.read(cursor);
-        assert!(len <= stream_cap, "stream overflow");
-        let mut out = vec![len];
-        out.extend(load_words(&result.master, stream_base, len));
-        Ok(out)
+        Ok(result)
     }
 
     /// Runs with a planted error marker.
@@ -308,6 +362,56 @@ impl Kernel for Bzip2 {
 
     fn run(&self, mode: Mode, scale: Scale) -> Result<Vec<u64>, KernelError> {
         self.run_with_input(mode, scale, generate(scale, false))
+    }
+
+    fn run_reported(
+        &self,
+        workers: u16,
+        unit_shards: usize,
+        scale: Scale,
+    ) -> Result<RunResult, KernelError> {
+        self.result_with_input(
+            Mode::Dsmtx { workers },
+            unit_shards,
+            scale,
+            generate(scale, false),
+        )
+    }
+
+    fn plan(&self, scale: Scale) -> Result<AnalysisPlan, KernelError> {
+        let lay = layout(scale)?;
+        let master = initial_master(&generate(scale, false), &lay);
+        let recovery = recovery_fn(&lay, scale);
+        let (in_base, stream_base, cursor) = (lay.in_base, lay.stream_base, lay.cursor);
+        let (unit, stream_cap) = (scale.unit, lay.stream_cap);
+        Ok(AnalysisPlan {
+            name: "256.bzip2",
+            iterations: scale.iterations,
+            master,
+            recovery,
+            stages: vec![
+                StageSpec::new(
+                    "read",
+                    StageRole::Sequential,
+                    Box::new(move |mtx| {
+                        vec![Region::read("input", in_base.add_words(mtx * unit), unit)]
+                    }),
+                ),
+                // MTF+RLE runs on a private block version; no committed
+                // footprint.
+                StageSpec::new("compress", StageRole::Parallel, Box::new(|_| Vec::new())),
+                StageSpec::new(
+                    "emit",
+                    StageRole::Sequential,
+                    Box::new(move |_| {
+                        vec![
+                            Region::read_write("cursor", cursor, 1),
+                            Region::write("stream", stream_base, stream_cap),
+                        ]
+                    }),
+                ),
+            ],
+        })
     }
 }
 

@@ -1,10 +1,13 @@
 //! Shared kernel infrastructure.
 
+use dsmtx::RunResult;
 use dsmtx_mem::MasterMem;
 use dsmtx_paradigms::executor::ExecError;
 use dsmtx_paradigms::{Paradigm, SpecKind};
 use dsmtx_sim::WorkloadProfile;
 use dsmtx_uva::{OwnerId, RegionAllocator, VAddr};
+
+use crate::analysis::AnalysisPlan;
 
 /// How to execute a kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,6 +103,31 @@ pub trait Kernel: Send + Sync {
     ///
     /// Runtime failures (thread panics, configuration errors).
     fn run(&self, mode: Mode, scale: Scale) -> Result<Vec<u64>, KernelError>;
+
+    /// Runs the shipped Table-2 DSMTX plan at an explicit try-commit
+    /// shard count and returns the full [`RunResult`] (committed memory
+    /// plus report). The analyzer's certification pass reads observed
+    /// conflict pages out of the report and checks them against the
+    /// sites predicted from the sequential dependence graph.
+    ///
+    /// # Errors
+    ///
+    /// Runtime failures (thread panics, configuration errors).
+    fn run_reported(
+        &self,
+        workers: u16,
+        unit_shards: usize,
+        scale: Scale,
+    ) -> Result<RunResult, KernelError>;
+
+    /// The analyzable description of the kernel's loop: pre-loop
+    /// committed memory, the sequential recovery body, and the declared
+    /// stage partition with per-iteration footprints.
+    ///
+    /// # Errors
+    ///
+    /// Address-space exhaustion while rebuilding the heap layout.
+    fn plan(&self, scale: Scale) -> Result<AnalysisPlan, KernelError>;
 }
 
 // ---------------------------------------------------------------------

@@ -11,15 +11,17 @@
 
 use std::sync::Arc;
 
-use dsmtx::{IterOutcome, MtxId, WorkerCtx};
+use dsmtx::{IterOutcome, MtxId, RecoveryFn, Region, RunResult, StageRole, StageSpec, WorkerCtx};
 use dsmtx_mem::MasterMem;
 use dsmtx_paradigms::paradigm::StageLabel;
-use dsmtx_paradigms::{Paradigm, Pipeline, SpecDoall, SpecKind};
+use dsmtx_paradigms::{Paradigm, Pipeline, SpecDoall, SpecKind, Tuning};
 use dsmtx_sim::{
     profile::{StageProfile, StageShape},
     TlsPlan, WorkloadProfile,
 };
+use dsmtx_uva::VAddr;
 
+use crate::analysis::AnalysisPlan;
 use crate::common::{
     load_words, master_heap, store_words, Kernel, KernelError, Mode, Scale, Stream, Table2Entry,
 };
@@ -79,6 +81,39 @@ fn error_output(file: u64) -> u64 {
     0xEEEE_0000_0000_0000 | file
 }
 
+/// Heap layout of the parallel plan. The region allocator is
+/// deterministic, so rebuilding the same allocation sequence always
+/// yields the same bases — `plan()` and the runners agree on addresses.
+struct Layout {
+    in_base: VAddr,
+    out_base: VAddr,
+}
+
+fn layout(scale: Scale) -> Result<Layout, KernelError> {
+    let n = scale.iterations;
+    let mut heap = master_heap();
+    let in_base = heap
+        .alloc_words(n * scale.unit)
+        .map_err(|e| KernelError(e.to_string()))?;
+    let out_base = heap
+        .alloc_words(n)
+        .map_err(|e| KernelError(e.to_string()))?;
+    Ok(Layout { in_base, out_base })
+}
+
+fn recovery_fn(lay: &Layout, scale: Scale) -> RecoveryFn {
+    let (in_base, out_base, unit) = (lay.in_base, lay.out_base, scale.unit);
+    Box::new(move |mtx: MtxId, master: &mut MasterMem| {
+        let span = load_words(master, in_base.add_words(mtx.0 * unit), unit);
+        let out = match crc_file(&span) {
+            Ok(crc) => crc,
+            Err(()) => error_output(mtx.0),
+        };
+        master.write(out_base.add_words(mtx.0), out);
+        IterOutcome::Continue
+    })
+}
+
 impl Crc32 {
     /// Sequential reference.
     fn sequential(input: &[u64], scale: Scale) -> Vec<u64> {
@@ -99,18 +134,26 @@ impl Crc32 {
         scale: Scale,
         input: Vec<u64>,
     ) -> Result<Vec<u64>, KernelError> {
-        let n = scale.iterations;
         if let Mode::Sequential = mode {
             return Ok(Self::sequential(&input, scale));
         }
+        let lay = layout(scale)?;
+        let result = self.result_with_input(mode, 1, scale, input)?;
+        Ok(load_words(&result.master, lay.out_base, scale.iterations))
+    }
 
-        let mut heap = master_heap();
-        let in_base = heap
-            .alloc_words(n * scale.unit)
-            .map_err(|e| KernelError(e.to_string()))?;
-        let out_base = heap
-            .alloc_words(n)
-            .map_err(|e| KernelError(e.to_string()))?;
+    /// The parallel paths, at an explicit try-commit shard count,
+    /// returning the full run result.
+    fn result_with_input(
+        &self,
+        mode: Mode,
+        shards: usize,
+        scale: Scale,
+        input: Vec<u64>,
+    ) -> Result<RunResult, KernelError> {
+        let n = scale.iterations;
+        let lay = layout(scale)?;
+        let (in_base, out_base) = (lay.in_base, lay.out_base);
         let mut master = MasterMem::new();
         store_words(&mut master, in_base, &input);
 
@@ -142,22 +185,14 @@ impl Crc32 {
             ctx.write_no_forward(out_base.add_words(mtx.0), crc)?;
             Ok(IterOutcome::Continue)
         });
-        let recovery = Box::new(move |mtx: MtxId, master: &mut MasterMem| {
-            let span = load_words(master, in_base.add_words(mtx.0 * unit), unit);
-            let out = match crc_file(&span) {
-                Ok(crc) => crc,
-                Err(()) => error_output(mtx.0),
-            };
-            master.write(out_base.add_words(mtx.0), out);
-            IterOutcome::Continue
-        });
+        let recovery = recovery_fn(&lay, scale);
 
         let result = match mode {
-            Mode::Dsmtx { workers } => Pipeline::new().par(workers.max(1), compute).seq(emit).run(
-                master,
-                recovery,
-                Some(n),
-            )?,
+            Mode::Dsmtx { workers } => Pipeline::new()
+                .par(workers.max(1), compute)
+                .seq(emit)
+                .tuning(Tuning::with_unit_shards(shards))
+                .run(master, recovery, Some(n))?,
             Mode::Tls { workers } => {
                 // The TLS plan degenerates to Spec-DOALL here (no
                 // synchronized dependences): the compute stage writes the
@@ -177,11 +212,15 @@ impl Crc32 {
                     ctx.write_no_forward(out_base.add_words(mtx.0), crc)?;
                     Ok(IterOutcome::Continue)
                 });
-                SpecDoall::new(workers.max(1)).run(master, body, recovery, Some(n))?
+                SpecDoall {
+                    replicas: workers.max(1),
+                    tuning: Tuning::with_unit_shards(shards),
+                }
+                .run(master, body, recovery, Some(n))?
             }
-            Mode::Sequential => unreachable!("handled above"),
+            Mode::Sequential => unreachable!("parallel paths only"),
         };
-        Ok(load_words(&result.master, out_base, n))
+        Ok(result)
     }
 
     /// Runs with a planted error to exercise the misspeculation path.
@@ -241,6 +280,49 @@ impl Kernel for Crc32 {
 
     fn run(&self, mode: Mode, scale: Scale) -> Result<Vec<u64>, KernelError> {
         self.run_with_input(mode, scale, generate(scale, false))
+    }
+
+    fn run_reported(
+        &self,
+        workers: u16,
+        unit_shards: usize,
+        scale: Scale,
+    ) -> Result<RunResult, KernelError> {
+        self.result_with_input(
+            Mode::Dsmtx { workers },
+            unit_shards,
+            scale,
+            generate(scale, false),
+        )
+    }
+
+    fn plan(&self, scale: Scale) -> Result<AnalysisPlan, KernelError> {
+        let lay = layout(scale)?;
+        let mut master = MasterMem::new();
+        store_words(&mut master, lay.in_base, &generate(scale, false));
+        let recovery = recovery_fn(&lay, scale);
+        let (in_base, out_base, unit) = (lay.in_base, lay.out_base, scale.unit);
+        Ok(AnalysisPlan {
+            name: "crc32",
+            iterations: scale.iterations,
+            master,
+            recovery,
+            stages: vec![
+                // The input is read-only after loop entry (read_private).
+                StageSpec::new(
+                    "compute",
+                    StageRole::Parallel,
+                    Box::new(move |mtx| {
+                        vec![Region::read("input", in_base.add_words(mtx * unit), unit)]
+                    }),
+                ),
+                StageSpec::new(
+                    "emit",
+                    StageRole::Sequential,
+                    Box::new(move |mtx| vec![Region::write("out", out_base.add_words(mtx), 1)]),
+                ),
+            ],
+        })
     }
 }
 

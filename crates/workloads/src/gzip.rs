@@ -16,16 +16,19 @@
 
 use std::sync::Arc;
 
-use dsmtx::{IterOutcome, MtxId, StageId, WorkerCtx};
+use dsmtx::{
+    IterOutcome, MtxId, RecoveryFn, Region, RunResult, StageId, StageRole, StageSpec, WorkerCtx,
+};
 use dsmtx_mem::MasterMem;
 use dsmtx_paradigms::paradigm::StageLabel;
-use dsmtx_paradigms::{Paradigm, Pipeline, SpecKind, Tls};
+use dsmtx_paradigms::{Paradigm, Pipeline, SpecKind, Tls, Tuning};
 use dsmtx_sim::{
     profile::{StageProfile, StageShape},
     TlsPlan, WorkloadProfile,
 };
 use dsmtx_uva::VAddr;
 
+use crate::analysis::AnalysisPlan;
 use crate::common::{
     load_words, master_heap, store_words, Kernel, KernelError, Mode, Scale, Stream, Table2Entry,
 };
@@ -96,7 +99,9 @@ fn append_record(stream: &mut Vec<u64>, record: &[u64]) {
     stream.extend_from_slice(record);
 }
 
-/// Shared layout of the parallel runs.
+/// Shared layout of the parallel runs. Allocation order is fixed, so
+/// rebuilding it always yields the same bases — `plan()` and the runners
+/// agree on addresses.
 struct Layout {
     in_base: VAddr,
     stream_base: VAddr,
@@ -104,7 +109,7 @@ struct Layout {
     stream_cap: u64,
 }
 
-fn build_master(input: &[u64], scale: Scale) -> Result<(MasterMem, Layout), KernelError> {
+fn layout(scale: Scale) -> Result<Layout, KernelError> {
     let n = scale.iterations;
     let stream_cap = n * (2 * scale.unit + 3);
     let mut heap = master_heap();
@@ -117,17 +122,34 @@ fn build_master(input: &[u64], scale: Scale) -> Result<(MasterMem, Layout), Kern
     let cursor = heap
         .alloc_words(1)
         .map_err(|e| KernelError(e.to_string()))?;
+    Ok(Layout {
+        in_base,
+        stream_base,
+        cursor,
+        stream_cap,
+    })
+}
+
+fn initial_master(input: &[u64], lay: &Layout) -> MasterMem {
     let mut master = MasterMem::new();
-    store_words(&mut master, in_base, input);
-    Ok((
-        master,
-        Layout {
-            in_base,
-            stream_base,
-            cursor,
-            stream_cap,
-        },
-    ))
+    store_words(&mut master, lay.in_base, input);
+    master
+}
+
+fn recovery_fn(lay: &Layout, scale: Scale) -> RecoveryFn {
+    let (in_base, stream_base, cursor) = (lay.in_base, lay.stream_base, lay.cursor);
+    let unit = scale.unit;
+    Box::new(move |mtx: MtxId, master: &mut MasterMem| {
+        let block = load_words(master, in_base.add_words(mtx.0 * unit), unit);
+        let record = compress_block_or_escape(&block);
+        let cur = master.read(cursor);
+        master.write(stream_base.add_words(cur), record.len() as u64);
+        for (k, &w) in record.iter().enumerate() {
+            master.write(stream_base.add_words(cur + 1 + k as u64), w);
+        }
+        master.write(cursor, cur + 1 + record.len() as u64);
+        IterOutcome::Continue
+    })
 }
 
 fn compress_block_or_escape(block: &[u64]) -> Vec<u64> {
@@ -152,25 +174,33 @@ impl Gzip {
         scale: Scale,
         input: Vec<u64>,
     ) -> Result<Vec<u64>, KernelError> {
-        let n = scale.iterations;
-        let unit = scale.unit;
         if let Mode::Sequential = mode {
             return Ok(Self::sequential(&input, scale));
         }
-        let (master, lay) = build_master(&input, scale)?;
-        let (in_base, stream_base, cursor) = (lay.in_base, lay.stream_base, lay.cursor);
+        let lay = layout(scale)?;
+        let result = self.result_with_input(mode, 1, scale, input)?;
+        let len = result.master.read(lay.cursor);
+        assert!(len <= lay.stream_cap, "stream overflow");
+        let mut out = vec![len];
+        out.extend(load_words(&result.master, lay.stream_base, len));
+        Ok(out)
+    }
 
-        let recovery = Box::new(move |mtx: MtxId, master: &mut MasterMem| {
-            let block = load_words(master, in_base.add_words(mtx.0 * unit), unit);
-            let record = compress_block_or_escape(&block);
-            let cur = master.read(cursor);
-            master.write(stream_base.add_words(cur), record.len() as u64);
-            for (k, &w) in record.iter().enumerate() {
-                master.write(stream_base.add_words(cur + 1 + k as u64), w);
-            }
-            master.write(cursor, cur + 1 + record.len() as u64);
-            IterOutcome::Continue
-        });
+    /// The parallel paths, at an explicit try-commit shard count,
+    /// returning the full run result.
+    fn result_with_input(
+        &self,
+        mode: Mode,
+        shards: usize,
+        scale: Scale,
+        input: Vec<u64>,
+    ) -> Result<RunResult, KernelError> {
+        let n = scale.iterations;
+        let unit = scale.unit;
+        let lay = layout(scale)?;
+        let master = initial_master(&input, &lay);
+        let (in_base, stream_base, cursor) = (lay.in_base, lay.stream_base, lay.cursor);
+        let recovery = recovery_fn(&lay, scale);
 
         let result = match mode {
             Mode::Dsmtx { workers } => {
@@ -222,6 +252,7 @@ impl Gzip {
                     .seq(read)
                     .par(workers.max(1), compress)
                     .seq(emit)
+                    .tuning(Tuning::with_unit_shards(shards))
                     .run(master, recovery, Some(n))?
             }
             Mode::Tls { workers } => {
@@ -252,16 +283,15 @@ impl Gzip {
                     ctx.sync_produce(next);
                     Ok(IterOutcome::Continue)
                 });
-                Tls::new(workers.max(1)).run(master, body, recovery, Some(n))?
+                Tls {
+                    replicas: workers.max(1),
+                    tuning: Tuning::with_unit_shards(shards),
+                }
+                .run(master, body, recovery, Some(n))?
             }
-            Mode::Sequential => unreachable!("handled above"),
+            Mode::Sequential => unreachable!("parallel paths only"),
         };
-
-        let len = result.master.read(cursor);
-        assert!(len <= lay.stream_cap, "stream overflow");
-        let mut out = vec![len];
-        out.extend(load_words(&result.master, stream_base, len));
-        Ok(out)
+        Ok(result)
     }
 
     /// Runs with one escape-marked block to exercise the rare path.
@@ -325,6 +355,59 @@ impl Kernel for Gzip {
 
     fn run(&self, mode: Mode, scale: Scale) -> Result<Vec<u64>, KernelError> {
         self.run_with_input(mode, scale, generate(scale, false))
+    }
+
+    fn run_reported(
+        &self,
+        workers: u16,
+        unit_shards: usize,
+        scale: Scale,
+    ) -> Result<RunResult, KernelError> {
+        self.result_with_input(
+            Mode::Dsmtx { workers },
+            unit_shards,
+            scale,
+            generate(scale, false),
+        )
+    }
+
+    fn plan(&self, scale: Scale) -> Result<AnalysisPlan, KernelError> {
+        let lay = layout(scale)?;
+        let master = initial_master(&generate(scale, false), &lay);
+        let recovery = recovery_fn(&lay, scale);
+        let (in_base, stream_base, cursor) = (lay.in_base, lay.stream_base, lay.cursor);
+        let (unit, stream_cap) = (scale.unit, lay.stream_cap);
+        Ok(AnalysisPlan {
+            name: "164.gzip",
+            iterations: scale.iterations,
+            master,
+            recovery,
+            stages: vec![
+                // Stage 0 (S): the reader ships the block down the pipeline.
+                StageSpec::new(
+                    "read",
+                    StageRole::Sequential,
+                    Box::new(move |mtx| {
+                        vec![Region::read("input", in_base.add_words(mtx * unit), unit)]
+                    }),
+                ),
+                // Stage 1 (DOALL): compresses a private block version; no
+                // committed-state footprint.
+                StageSpec::new("compress", StageRole::Parallel, Box::new(|_| Vec::new())),
+                // Stage 2 (S): appends at the cursor. The record lands at a
+                // cursor-dependent offset, so the whole stream is declared.
+                StageSpec::new(
+                    "emit",
+                    StageRole::Sequential,
+                    Box::new(move |_| {
+                        vec![
+                            Region::read_write("cursor", cursor, 1),
+                            Region::write("stream", stream_base, stream_cap),
+                        ]
+                    }),
+                ),
+            ],
+        })
     }
 }
 

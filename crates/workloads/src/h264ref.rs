@@ -16,15 +16,19 @@
 
 use std::sync::Arc;
 
-use dsmtx::{IterOutcome, MtxId, StageId, WorkerCtx};
+use dsmtx::{
+    IterOutcome, MtxId, RecoveryFn, Region, RunResult, StageId, StageRole, StageSpec, WorkerCtx,
+};
 use dsmtx_mem::MasterMem;
 use dsmtx_paradigms::paradigm::StageLabel;
-use dsmtx_paradigms::{Paradigm, Pipeline, SpecKind, Tls};
+use dsmtx_paradigms::{Paradigm, Pipeline, SpecKind, Tls, Tuning};
 use dsmtx_sim::{
     profile::{StageProfile, StageShape},
     TlsPlan, WorkloadProfile,
 };
+use dsmtx_uva::VAddr;
 
+use crate::analysis::AnalysisPlan;
 use crate::common::{
     load_words, master_heap, store_words, Kernel, KernelError, Mode, Scale, Stream, Table2Entry,
 };
@@ -74,6 +78,56 @@ fn generate(scale: Scale) -> Vec<u64> {
         .collect()
 }
 
+/// Shared layout of the parallel runs. Allocation order is fixed, so
+/// rebuilding it always yields the same bases — `plan()` and the runners
+/// agree on addresses.
+struct Layout {
+    g_base: VAddr,
+    out_base: VAddr,
+    state_cell: VAddr,
+}
+
+fn layout(scale: Scale) -> Result<Layout, KernelError> {
+    let n = scale.iterations;
+    let gop_words = FRAMES * scale.unit;
+    let mut heap = master_heap();
+    let g_base = heap
+        .alloc_words(n * gop_words)
+        .map_err(|e| KernelError(e.to_string()))?;
+    let out_base = heap
+        .alloc_words(n)
+        .map_err(|e| KernelError(e.to_string()))?;
+    let state_cell = heap
+        .alloc_words(1)
+        .map_err(|e| KernelError(e.to_string()))?;
+    Ok(Layout {
+        g_base,
+        out_base,
+        state_cell,
+    })
+}
+
+fn initial_master(gops: &[u64], lay: &Layout) -> MasterMem {
+    let mut master = MasterMem::new();
+    store_words(&mut master, lay.g_base, gops);
+    master
+}
+
+fn recovery_fn(lay: &Layout, scale: Scale) -> RecoveryFn {
+    let (g_base, out_base, state_cell) = (lay.g_base, lay.out_base, lay.state_cell);
+    let px = scale.unit;
+    let gop_words = FRAMES * px;
+    Box::new(move |mtx: MtxId, master: &mut MasterMem| {
+        let gop = load_words(master, g_base.add_words(mtx.0 * gop_words), gop_words);
+        let cost = encode_gop(&gop, px);
+        let state = master.read(state_cell);
+        let (size, new_state) = rate_control(cost, state);
+        master.write(out_base.add_words(mtx.0), size);
+        master.write(state_cell, new_state);
+        IterOutcome::Continue
+    })
+}
+
 impl H264Ref {
     fn sequential(gops: &[u64], scale: Scale) -> Vec<u64> {
         let px = scale.unit;
@@ -92,25 +146,32 @@ impl H264Ref {
     }
 
     fn run_generated(&self, mode: Mode, scale: Scale) -> Result<Vec<u64>, KernelError> {
+        if let Mode::Sequential = mode {
+            return Ok(Self::sequential(&generate(scale), scale));
+        }
+        let lay = layout(scale)?;
+        let result = self.result_generated(mode, 1, scale)?;
+        let mut out = load_words(&result.master, lay.out_base, scale.iterations);
+        out.push(result.master.read(lay.state_cell));
+        Ok(out)
+    }
+
+    /// The parallel paths, at an explicit try-commit shard count,
+    /// returning the full run result.
+    fn result_generated(
+        &self,
+        mode: Mode,
+        shards: usize,
+        scale: Scale,
+    ) -> Result<RunResult, KernelError> {
         let gops = generate(scale);
         let n = scale.iterations;
         let px = scale.unit;
         let gop_words = FRAMES * px;
-        if let Mode::Sequential = mode {
-            return Ok(Self::sequential(&gops, scale));
-        }
-        let mut heap = master_heap();
-        let g_base = heap
-            .alloc_words(n * gop_words)
-            .map_err(|e| KernelError(e.to_string()))?;
-        let out_base = heap
-            .alloc_words(n)
-            .map_err(|e| KernelError(e.to_string()))?;
-        let state_cell = heap
-            .alloc_words(1)
-            .map_err(|e| KernelError(e.to_string()))?;
-        let mut master = MasterMem::new();
-        store_words(&mut master, g_base, &gops);
+        let lay = layout(scale)?;
+        let master = initial_master(&gops, &lay);
+        let (g_base, out_base, state_cell) = (lay.g_base, lay.out_base, lay.state_cell);
+        let recovery = recovery_fn(&lay, scale);
 
         let encode_iter = move |ctx: &mut WorkerCtx, i: u64| -> Result<u64, dsmtx::Interrupt> {
             // The versioned reconstruction buffer lives in the worker's
@@ -142,16 +203,6 @@ impl H264Ref {
             Ok(cost)
         };
 
-        let recovery = Box::new(move |mtx: MtxId, master: &mut MasterMem| {
-            let gop = load_words(master, g_base.add_words(mtx.0 * gop_words), gop_words);
-            let cost = encode_gop(&gop, px);
-            let state = master.read(state_cell);
-            let (size, new_state) = rate_control(cost, state);
-            master.write(out_base.add_words(mtx.0), size);
-            master.write(state_cell, new_state);
-            IterOutcome::Continue
-        });
-
         let result = match mode {
             Mode::Dsmtx { workers } => {
                 let encode = Arc::new(move |ctx: &mut WorkerCtx, mtx: MtxId| {
@@ -175,11 +226,11 @@ impl H264Ref {
                     ctx.write(state_cell, new_state)?;
                     Ok(IterOutcome::Continue)
                 });
-                Pipeline::new().par(workers.max(1), encode).seq(rate).run(
-                    master,
-                    recovery,
-                    Some(n),
-                )?
+                Pipeline::new()
+                    .par(workers.max(1), encode)
+                    .seq(rate)
+                    .tuning(Tuning::with_unit_shards(shards))
+                    .run(master, recovery, Some(n))?
             }
             Mode::Tls { workers } => {
                 // TLS: rate control is synchronized inside the iteration —
@@ -199,14 +250,15 @@ impl H264Ref {
                     ctx.sync_produce(new_state);
                     Ok(IterOutcome::Continue)
                 });
-                Tls::new(workers.max(1)).run(master, body, recovery, Some(n))?
+                Tls {
+                    replicas: workers.max(1),
+                    tuning: Tuning::with_unit_shards(shards),
+                }
+                .run(master, body, recovery, Some(n))?
             }
-            Mode::Sequential => unreachable!("handled above"),
+            Mode::Sequential => unreachable!("parallel paths only"),
         };
-
-        let mut out = load_words(&result.master, out_base, n);
-        out.push(result.master.read(state_cell));
-        Ok(out)
+        Ok(result)
     }
 }
 
@@ -256,6 +308,55 @@ impl Kernel for H264Ref {
 
     fn run(&self, mode: Mode, scale: Scale) -> Result<Vec<u64>, KernelError> {
         self.run_generated(mode, scale)
+    }
+
+    fn run_reported(
+        &self,
+        workers: u16,
+        unit_shards: usize,
+        scale: Scale,
+    ) -> Result<RunResult, KernelError> {
+        self.result_generated(Mode::Dsmtx { workers }, unit_shards, scale)
+    }
+
+    fn plan(&self, scale: Scale) -> Result<AnalysisPlan, KernelError> {
+        let lay = layout(scale)?;
+        let master = initial_master(&generate(scale), &lay);
+        let recovery = recovery_fn(&lay, scale);
+        let (g_base, out_base, state_cell) = (lay.g_base, lay.out_base, lay.state_cell);
+        let gop_words = FRAMES * scale.unit;
+        Ok(AnalysisPlan {
+            name: "464.h264ref",
+            iterations: scale.iterations,
+            master,
+            recovery,
+            stages: vec![
+                // The reconstruction buffer is worker-private (memory
+                // versioning), so only the GoP pixels are committed state.
+                StageSpec::new(
+                    "encode",
+                    StageRole::Parallel,
+                    Box::new(move |mtx| {
+                        vec![Region::read(
+                            "gops",
+                            g_base.add_words(mtx * gop_words),
+                            gop_words,
+                        )]
+                    }),
+                ),
+                // Rate control carries its state in the sequential stage.
+                StageSpec::new(
+                    "rate",
+                    StageRole::Sequential,
+                    Box::new(move |mtx| {
+                        vec![
+                            Region::write("out", out_base.add_words(mtx), 1),
+                            Region::read_write("rate_state", state_cell, 1),
+                        ]
+                    }),
+                ),
+            ],
+        })
     }
 }
 

@@ -14,15 +14,19 @@
 
 use std::sync::Arc;
 
-use dsmtx::{IterOutcome, MtxId, StageId, WorkerCtx};
+use dsmtx::{
+    IterOutcome, MtxId, RecoveryFn, Region, RunResult, StageId, StageRole, StageSpec, WorkerCtx,
+};
 use dsmtx_mem::MasterMem;
 use dsmtx_paradigms::paradigm::StageLabel;
-use dsmtx_paradigms::{Paradigm, Pipeline, SpecKind, Tls};
+use dsmtx_paradigms::{Paradigm, Pipeline, SpecKind, Tls, Tuning};
 use dsmtx_sim::{
     profile::{StageProfile, StageShape},
     TlsPlan, WorkloadProfile,
 };
+use dsmtx_uva::VAddr;
 
+use crate::analysis::AnalysisPlan;
 use crate::common::{
     load_words, master_heap, store_words, Kernel, KernelError, Mode, Scale, Stream, Table2Entry,
 };
@@ -31,6 +35,8 @@ use crate::common::{
 pub const STATES: usize = 12;
 /// Histogram buckets.
 pub const BUCKETS: u64 = 8;
+/// Words in the generated profile matrix.
+const P_LEN: u64 = 64;
 
 /// The hmmer kernel.
 #[derive(Debug, Default)]
@@ -55,7 +61,7 @@ pub(crate) fn score(profile: &[u64], seq: &[u64]) -> u64 {
 
 fn generate(scale: Scale) -> (Vec<u64>, Vec<u64>) {
     let mut s = Stream::new(scale.seed ^ 0x44);
-    let profile: Vec<u64> = (0..64).map(|_| s.next() % 97).collect();
+    let profile: Vec<u64> = (0..P_LEN).map(|_| s.next() % 97).collect();
     let seqs: Vec<u64> = (0..scale.iterations * scale.unit)
         .map(|_| s.below(23))
         .collect();
@@ -70,6 +76,55 @@ fn fold(hist_max: &mut [u64], sc: u64) {
     }
 }
 
+/// Shared layout of the parallel runs. Allocation order is fixed, so
+/// rebuilding it always yields the same bases — `plan()` and the runners
+/// agree on addresses.
+struct Layout {
+    p_base: VAddr,
+    s_base: VAddr,
+    h_base: VAddr,
+}
+
+fn layout(scale: Scale) -> Result<Layout, KernelError> {
+    let n = scale.iterations;
+    let mut heap = master_heap();
+    let p_base = heap
+        .alloc_words(P_LEN)
+        .map_err(|e| KernelError(e.to_string()))?;
+    let s_base = heap
+        .alloc_words(n * scale.unit)
+        .map_err(|e| KernelError(e.to_string()))?;
+    let h_base = heap
+        .alloc_words(BUCKETS + 1)
+        .map_err(|e| KernelError(e.to_string()))?;
+    Ok(Layout {
+        p_base,
+        s_base,
+        h_base,
+    })
+}
+
+fn initial_master(profile: &[u64], seqs: &[u64], lay: &Layout) -> MasterMem {
+    let mut master = MasterMem::new();
+    store_words(&mut master, lay.p_base, profile);
+    store_words(&mut master, lay.s_base, seqs);
+    master
+}
+
+fn recovery_fn(lay: &Layout, scale: Scale) -> RecoveryFn {
+    let (p_base, s_base, h_base) = (lay.p_base, lay.s_base, lay.h_base);
+    let unit = scale.unit;
+    Box::new(move |mtx: MtxId, master: &mut MasterMem| {
+        let prof = load_words(master, p_base, P_LEN);
+        let seq = load_words(master, s_base.add_words(mtx.0 * unit), unit);
+        let sc = score(&prof, &seq);
+        let mut state = load_words(master, h_base, BUCKETS + 1);
+        fold(&mut state, sc);
+        store_words(master, h_base, &state);
+        IterOutcome::Continue
+    })
+}
+
 impl Hmmer {
     fn sequential(profile: &[u64], seqs: &[u64], scale: Scale) -> Vec<u64> {
         let mut out = vec![0u64; BUCKETS as usize + 1];
@@ -81,32 +136,35 @@ impl Hmmer {
     }
 
     fn run_generated(&self, mode: Mode, scale: Scale) -> Result<Vec<u64>, KernelError> {
+        if let Mode::Sequential = mode {
+            let (profile, seqs) = generate(scale);
+            return Ok(Self::sequential(&profile, &seqs, scale));
+        }
+        let lay = layout(scale)?;
+        let result = self.result_generated(mode, 1, scale)?;
+        Ok(load_words(&result.master, lay.h_base, BUCKETS + 1))
+    }
+
+    /// The parallel paths, at an explicit try-commit shard count,
+    /// returning the full run result.
+    fn result_generated(
+        &self,
+        mode: Mode,
+        shards: usize,
+        scale: Scale,
+    ) -> Result<RunResult, KernelError> {
         let (profile, seqs) = generate(scale);
         let n = scale.iterations;
         let unit = scale.unit;
-        if let Mode::Sequential = mode {
-            return Ok(Self::sequential(&profile, &seqs, scale));
-        }
+        let lay = layout(scale)?;
+        let master = initial_master(&profile, &seqs, &lay);
+        let (p_base, s_base, h_base) = (lay.p_base, lay.s_base, lay.h_base);
+        let recovery = recovery_fn(&lay, scale);
 
-        let mut heap = master_heap();
-        let p_base = heap
-            .alloc_words(profile.len() as u64)
-            .map_err(|e| KernelError(e.to_string()))?;
-        let s_base = heap
-            .alloc_words(n * unit)
-            .map_err(|e| KernelError(e.to_string()))?;
-        let h_base = heap
-            .alloc_words(BUCKETS + 1)
-            .map_err(|e| KernelError(e.to_string()))?;
-        let mut master = MasterMem::new();
-        store_words(&mut master, p_base, &profile);
-        store_words(&mut master, s_base, &seqs);
-
-        let p_len = profile.len() as u64;
         let load_score = move |ctx: &mut WorkerCtx, i: u64| -> Result<u64, dsmtx::Interrupt> {
             // The profile matrix and the sequence database are read-only
             // after loop entry (COA distributes them page by page).
-            let prof: Vec<u64> = (0..p_len)
+            let prof: Vec<u64> = (0..P_LEN)
                 .map(|k| ctx.read_private(p_base.add_words(k)))
                 .collect::<Result<_, _>>()?;
             let seq: Vec<u64> = (0..unit)
@@ -114,16 +172,6 @@ impl Hmmer {
                 .collect::<Result<_, _>>()?;
             Ok(score(&prof, &seq))
         };
-
-        let recovery = Box::new(move |mtx: MtxId, master: &mut MasterMem| {
-            let prof = load_words(master, p_base, p_len);
-            let seq = load_words(master, s_base.add_words(mtx.0 * unit), unit);
-            let sc = score(&prof, &seq);
-            let mut state = load_words(master, h_base, BUCKETS + 1);
-            fold(&mut state, sc);
-            store_words(master, h_base, &state);
-            IterOutcome::Continue
-        });
 
         let result = match mode {
             Mode::Dsmtx { workers } => {
@@ -153,6 +201,7 @@ impl Hmmer {
                 Pipeline::new()
                     .par(workers.max(1), compute)
                     .seq(reduce)
+                    .tuning(Tuning::with_unit_shards(shards))
                     .run(master, recovery, Some(n))?
             }
             Mode::Tls { workers } => {
@@ -178,11 +227,15 @@ impl Hmmer {
                     }
                     Ok(IterOutcome::Continue)
                 });
-                Tls::new(workers.max(1)).run(master, body, recovery, Some(n))?
+                Tls {
+                    replicas: workers.max(1),
+                    tuning: Tuning::with_unit_shards(shards),
+                }
+                .run(master, body, recovery, Some(n))?
             }
-            Mode::Sequential => unreachable!("handled above"),
+            Mode::Sequential => unreachable!("parallel paths only"),
         };
-        Ok(load_words(&result.master, h_base, BUCKETS + 1))
+        Ok(result)
     }
 }
 
@@ -231,6 +284,49 @@ impl Kernel for Hmmer {
 
     fn run(&self, mode: Mode, scale: Scale) -> Result<Vec<u64>, KernelError> {
         self.run_generated(mode, scale)
+    }
+
+    fn run_reported(
+        &self,
+        workers: u16,
+        unit_shards: usize,
+        scale: Scale,
+    ) -> Result<RunResult, KernelError> {
+        self.result_generated(Mode::Dsmtx { workers }, unit_shards, scale)
+    }
+
+    fn plan(&self, scale: Scale) -> Result<AnalysisPlan, KernelError> {
+        let lay = layout(scale)?;
+        let (profile, seqs) = generate(scale);
+        let master = initial_master(&profile, &seqs, &lay);
+        let recovery = recovery_fn(&lay, scale);
+        let (p_base, s_base, h_base) = (lay.p_base, lay.s_base, lay.h_base);
+        let unit = scale.unit;
+        Ok(AnalysisPlan {
+            name: "456.hmmer",
+            iterations: scale.iterations,
+            master,
+            recovery,
+            stages: vec![
+                StageSpec::new(
+                    "compute",
+                    StageRole::Parallel,
+                    Box::new(move |mtx| {
+                        vec![
+                            Region::read("profile", p_base, P_LEN),
+                            Region::read("seqs", s_base.add_words(mtx * unit), unit),
+                        ]
+                    }),
+                ),
+                // The histogram/max fold is the cyclic dependence kept in
+                // the sequential reduce stage.
+                StageSpec::new(
+                    "reduce",
+                    StageRole::Sequential,
+                    Box::new(move |_| vec![Region::read_write("hist", h_base, BUCKETS + 1)]),
+                ),
+            ],
+        })
     }
 }
 

@@ -15,15 +15,19 @@
 
 use std::sync::Arc;
 
-use dsmtx::{IterOutcome, MtxId, StageId, WorkerCtx};
+use dsmtx::{
+    IterOutcome, MtxId, RecoveryFn, Region, RunResult, StageId, StageRole, StageSpec, WorkerCtx,
+};
 use dsmtx_mem::MasterMem;
 use dsmtx_paradigms::paradigm::StageLabel;
-use dsmtx_paradigms::{Paradigm, Pipeline, SpecKind, Tls};
+use dsmtx_paradigms::{Paradigm, Pipeline, SpecKind, Tls, Tuning};
 use dsmtx_sim::{
     profile::{StageProfile, StageShape},
     TlsPlan, WorkloadProfile,
 };
+use dsmtx_uva::VAddr;
 
+use crate::analysis::AnalysisPlan;
 use crate::common::{
     load_words, master_heap, store_words, Kernel, KernelError, Mode, Scale, Stream, Table2Entry,
 };
@@ -138,6 +142,77 @@ fn generate(scale: Scale, corpus: Corpus) -> (Vec<u64>, Vec<u64>) {
     (env, scripts)
 }
 
+impl Corpus {
+    /// The default corpus: pure scripts only.
+    pub fn pure() -> Self {
+        Corpus {
+            with_setenv: false,
+            with_exit: false,
+        }
+    }
+}
+
+/// Shared layout of the parallel runs. Allocation order is fixed, so
+/// rebuilding it always yields the same bases — `plan()` and the runners
+/// agree on addresses.
+struct Layout {
+    env_base: VAddr,
+    s_base: VAddr,
+    out_base: VAddr,
+    count_cell: VAddr,
+}
+
+fn layout(scale: Scale) -> Result<Layout, KernelError> {
+    let n = scale.iterations;
+    let mut heap = master_heap();
+    let env_base = heap
+        .alloc_words(ENV_WORDS)
+        .map_err(|e| KernelError(e.to_string()))?;
+    let s_base = heap
+        .alloc_words(n * scale.unit)
+        .map_err(|e| KernelError(e.to_string()))?;
+    let out_base = heap
+        .alloc_words(n)
+        .map_err(|e| KernelError(e.to_string()))?;
+    let count_cell = heap
+        .alloc_words(1)
+        .map_err(|e| KernelError(e.to_string()))?;
+    Ok(Layout {
+        env_base,
+        s_base,
+        out_base,
+        count_cell,
+    })
+}
+
+fn initial_master(env0: &[u64], scripts: &[u64], lay: &Layout) -> MasterMem {
+    let mut master = MasterMem::new();
+    store_words(&mut master, lay.env_base, env0);
+    store_words(&mut master, lay.s_base, scripts);
+    master
+}
+
+fn recovery_fn(lay: &Layout, scale: Scale) -> RecoveryFn {
+    let (env_base, s_base, out_base, count_cell) =
+        (lay.env_base, lay.s_base, lay.out_base, lay.count_cell);
+    let unit = scale.unit;
+    Box::new(move |mtx: MtxId, master: &mut MasterMem| {
+        let script = load_words(master, s_base.add_words(mtx.0 * unit), unit);
+        let env = load_words(master, env_base, ENV_WORDS);
+        let ev = eval(&script, &env);
+        for (k, v) in &ev.env_writes {
+            master.write(env_base.add_words(*k), *v);
+        }
+        master.write(out_base.add_words(mtx.0), ev.result);
+        master.write(count_cell, mtx.0 + 1);
+        if ev.exits {
+            IterOutcome::Exit
+        } else {
+            IterOutcome::Continue
+        }
+    })
+}
+
 /// The li kernel.
 #[derive(Debug, Default)]
 pub struct Li;
@@ -170,28 +245,36 @@ impl Li {
         scale: Scale,
         corpus: Corpus,
     ) -> Result<Vec<u64>, KernelError> {
+        if let Mode::Sequential = mode {
+            let (env0, scripts) = generate(scale, corpus);
+            return Ok(Self::sequential(&env0, &scripts, scale));
+        }
+        let lay = layout(scale)?;
+        let result = self.result_corpus(mode, 1, scale, corpus)?;
+        let count = result.master.read(lay.count_cell);
+        let mut out = load_words(&result.master, lay.out_base, count);
+        out.push(count);
+        out.extend(load_words(&result.master, lay.env_base, ENV_WORDS));
+        Ok(out)
+    }
+
+    /// The parallel paths, at an explicit try-commit shard count,
+    /// returning the full run result.
+    fn result_corpus(
+        &self,
+        mode: Mode,
+        shards: usize,
+        scale: Scale,
+        corpus: Corpus,
+    ) -> Result<RunResult, KernelError> {
         let (env0, scripts) = generate(scale, corpus);
         let n = scale.iterations;
         let unit = scale.unit;
-        if let Mode::Sequential = mode {
-            return Ok(Self::sequential(&env0, &scripts, scale));
-        }
-        let mut heap = master_heap();
-        let env_base = heap
-            .alloc_words(ENV_WORDS)
-            .map_err(|e| KernelError(e.to_string()))?;
-        let s_base = heap
-            .alloc_words(n * unit)
-            .map_err(|e| KernelError(e.to_string()))?;
-        let out_base = heap
-            .alloc_words(n)
-            .map_err(|e| KernelError(e.to_string()))?;
-        let count_cell = heap
-            .alloc_words(1)
-            .map_err(|e| KernelError(e.to_string()))?;
-        let mut master = MasterMem::new();
-        store_words(&mut master, env_base, &env0);
-        store_words(&mut master, s_base, &scripts);
+        let lay = layout(scale)?;
+        let master = initial_master(&env0, &scripts, &lay);
+        let (env_base, s_base, out_base, count_cell) =
+            (lay.env_base, lay.s_base, lay.out_base, lay.count_cell);
+        let recovery = recovery_fn(&lay, scale);
 
         let eval_iter = move |ctx: &mut WorkerCtx, i: u64| -> Result<Eval, dsmtx::Interrupt> {
             let script: Vec<u64> = (0..unit)
@@ -204,22 +287,6 @@ impl Li {
                 .collect::<Result<_, _>>()?;
             Ok(eval(&script, &env))
         };
-
-        let recovery = Box::new(move |mtx: MtxId, master: &mut MasterMem| {
-            let script = load_words(master, s_base.add_words(mtx.0 * unit), unit);
-            let env = load_words(master, env_base, ENV_WORDS);
-            let ev = eval(&script, &env);
-            for (k, v) in &ev.env_writes {
-                master.write(env_base.add_words(*k), *v);
-            }
-            master.write(out_base.add_words(mtx.0), ev.result);
-            master.write(count_cell, mtx.0 + 1);
-            if ev.exits {
-                IterOutcome::Exit
-            } else {
-                IterOutcome::Continue
-            }
-        });
 
         // `iteration_limit: None` — termination rides on the speculated
         // EXIT path (or the natural end of the corpus via a limit guard
@@ -255,6 +322,7 @@ impl Li {
                 Pipeline::new()
                     .par(workers.max(1), interpret)
                     .seq(print)
+                    .tuning(Tuning::with_unit_shards(shards))
                     .run(master, recovery, limit)?
             }
             Mode::Tls { workers } => {
@@ -292,16 +360,78 @@ impl Li {
                         IterOutcome::Continue
                     })
                 });
-                Tls::new(workers.max(1)).run(master, body, recovery, limit)?
+                Tls {
+                    replicas: workers.max(1),
+                    tuning: Tuning::with_unit_shards(shards),
+                }
+                .run(master, body, recovery, limit)?
             }
-            Mode::Sequential => unreachable!("handled above"),
+            Mode::Sequential => unreachable!("parallel paths only"),
         };
+        Ok(result)
+    }
 
-        let count = result.master.read(count_cell);
-        let mut out = load_words(&result.master, out_base, count);
-        out.push(count);
-        out.extend(load_words(&result.master, env_base, ENV_WORDS));
-        Ok(out)
+    /// [`Kernel::run_reported`] for an explicit corpus shape — the
+    /// certification tests use the SETENV corpus to observe the
+    /// speculated environment dependence manifesting.
+    ///
+    /// # Errors
+    ///
+    /// Runtime failures (thread panics, configuration errors).
+    pub fn run_corpus_reported(
+        &self,
+        workers: u16,
+        unit_shards: usize,
+        scale: Scale,
+        corpus: Corpus,
+    ) -> Result<RunResult, KernelError> {
+        self.result_corpus(Mode::Dsmtx { workers }, unit_shards, scale, corpus)
+    }
+
+    /// [`Kernel::plan`] for an explicit corpus shape.
+    ///
+    /// # Errors
+    ///
+    /// Address-space exhaustion while rebuilding the heap layout.
+    pub fn plan_corpus(&self, scale: Scale, corpus: Corpus) -> Result<AnalysisPlan, KernelError> {
+        let lay = layout(scale)?;
+        let (env0, scripts) = generate(scale, corpus);
+        let master = initial_master(&env0, &scripts, &lay);
+        let recovery = recovery_fn(&lay, scale);
+        let (env_base, s_base, out_base, count_cell) =
+            (lay.env_base, lay.s_base, lay.out_base, lay.count_cell);
+        let unit = scale.unit;
+        Ok(AnalysisPlan {
+            name: "130.li",
+            iterations: scale.iterations,
+            master,
+            recovery,
+            stages: vec![
+                // Environment reads are validated and the rare SETENV
+                // store is the speculated dependence — both live in the
+                // parallel interpret stage.
+                StageSpec::new(
+                    "interpret",
+                    StageRole::Parallel,
+                    Box::new(move |mtx| {
+                        vec![
+                            Region::read("scripts", s_base.add_words(mtx * unit), unit),
+                            Region::read_write("env", env_base, ENV_WORDS),
+                        ]
+                    }),
+                ),
+                StageSpec::new(
+                    "print",
+                    StageRole::Sequential,
+                    Box::new(move |mtx| {
+                        vec![
+                            Region::write("out", out_base.add_words(mtx), 1),
+                            Region::write("count", count_cell, 1),
+                        ]
+                    }),
+                ),
+            ],
+        })
     }
 }
 
@@ -355,14 +485,20 @@ impl Kernel for Li {
     }
 
     fn run(&self, mode: Mode, scale: Scale) -> Result<Vec<u64>, KernelError> {
-        self.run_corpus(
-            mode,
-            scale,
-            Corpus {
-                with_setenv: false,
-                with_exit: false,
-            },
-        )
+        self.run_corpus(mode, scale, Corpus::pure())
+    }
+
+    fn run_reported(
+        &self,
+        workers: u16,
+        unit_shards: usize,
+        scale: Scale,
+    ) -> Result<RunResult, KernelError> {
+        self.run_corpus_reported(workers, unit_shards, scale, Corpus::pure())
+    }
+
+    fn plan(&self, scale: Scale) -> Result<AnalysisPlan, KernelError> {
+        self.plan_corpus(scale, Corpus::pure())
     }
 }
 

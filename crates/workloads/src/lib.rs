@@ -17,6 +17,7 @@
 //! All three modes must produce identical output — the integration tests
 //! enforce it, with and without injected misspeculation.
 
+pub mod analysis;
 pub mod common;
 pub mod registry;
 
@@ -32,5 +33,6 @@ pub mod li;
 pub mod parser;
 pub mod swaptions;
 
+pub use analysis::AnalysisPlan;
 pub use common::{Kernel, KernelError, Mode, Scale, Table2Entry};
 pub use registry::{all_kernels, kernel_by_name};

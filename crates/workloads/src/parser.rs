@@ -16,15 +16,19 @@
 
 use std::sync::Arc;
 
-use dsmtx::{IterOutcome, MtxId, StageId, WorkerCtx};
+use dsmtx::{
+    IterOutcome, MtxId, RecoveryFn, Region, RunResult, StageId, StageRole, StageSpec, WorkerCtx,
+};
 use dsmtx_mem::MasterMem;
 use dsmtx_paradigms::paradigm::StageLabel;
-use dsmtx_paradigms::{Paradigm, Pipeline, SpecKind, Tls};
+use dsmtx_paradigms::{Paradigm, Pipeline, SpecKind, Tls, Tuning};
 use dsmtx_sim::{
     profile::{StageProfile, StageShape},
     TlsPlan, WorkloadProfile,
 };
+use dsmtx_uva::VAddr;
 
+use crate::analysis::AnalysisPlan;
 use crate::common::{
     load_words, master_heap, store_words, Kernel, KernelError, Mode, Scale, Stream, Table2Entry,
 };
@@ -80,6 +84,61 @@ fn generate(scale: Scale, plant_unknown: bool) -> (Vec<u64>, Vec<u64>) {
     (dict, sentences)
 }
 
+/// Shared layout of the parallel runs. The dictionary length is
+/// data-dependent (sort + dedup), so the layout takes it as a parameter;
+/// the allocation order is fixed, so rebuilding it always yields the same
+/// bases — `plan()` and the runners agree on addresses.
+struct Layout {
+    d_base: VAddr,
+    s_base: VAddr,
+    out_base: VAddr,
+    gen_cell: VAddr,
+}
+
+fn layout(scale: Scale, dict_len: u64) -> Result<Layout, KernelError> {
+    let n = scale.iterations;
+    let mut heap = master_heap();
+    let d_base = heap
+        .alloc_words(dict_len)
+        .map_err(|e| KernelError(e.to_string()))?;
+    let s_base = heap
+        .alloc_words(n * scale.unit)
+        .map_err(|e| KernelError(e.to_string()))?;
+    let out_base = heap
+        .alloc_words(n)
+        .map_err(|e| KernelError(e.to_string()))?;
+    let gen_cell = heap
+        .alloc_words(1)
+        .map_err(|e| KernelError(e.to_string()))?;
+    Ok(Layout {
+        d_base,
+        s_base,
+        out_base,
+        gen_cell,
+    })
+}
+
+fn initial_master(dict: &[u64], sentences: &[u64], lay: &Layout) -> MasterMem {
+    let mut master = MasterMem::new();
+    store_words(&mut master, lay.d_base, dict);
+    store_words(&mut master, lay.s_base, sentences);
+    master
+}
+
+fn recovery_fn(lay: &Layout, scale: Scale, dict_len: u64) -> RecoveryFn {
+    let (d_base, s_base, out_base, gen_cell) = (lay.d_base, lay.s_base, lay.out_base, lay.gen_cell);
+    let unit = scale.unit;
+    Box::new(move |mtx: MtxId, master: &mut MasterMem| {
+        let dict = load_words(master, d_base, dict_len);
+        let sentence = load_words(master, s_base.add_words(mtx.0 * unit), unit);
+        let gen = master.read(gen_cell);
+        let (score, new_gen) = parse(&dict, &sentence, gen);
+        master.write(out_base.add_words(mtx.0), score);
+        master.write(gen_cell, new_gen);
+        IterOutcome::Continue
+    })
+}
+
 impl Parser {
     fn sequential(dict: &[u64], sentences: &[u64], scale: Scale) -> Vec<u64> {
         let mut gen = 0u64;
@@ -101,28 +160,34 @@ impl Parser {
         dict: Vec<u64>,
         sentences: Vec<u64>,
     ) -> Result<Vec<u64>, KernelError> {
-        let n = scale.iterations;
-        let unit = scale.unit;
         if let Mode::Sequential = mode {
             return Ok(Self::sequential(&dict, &sentences, scale));
         }
+        let lay = layout(scale, dict.len() as u64)?;
+        let result = self.result_with_input(mode, 1, scale, dict, sentences)?;
+        let mut out = load_words(&result.master, lay.out_base, scale.iterations);
+        out.push(result.master.read(lay.gen_cell));
+        Ok(out)
+    }
+
+    /// The parallel paths, at an explicit try-commit shard count,
+    /// returning the full run result.
+    fn result_with_input(
+        &self,
+        mode: Mode,
+        shards: usize,
+        scale: Scale,
+        dict: Vec<u64>,
+        sentences: Vec<u64>,
+    ) -> Result<RunResult, KernelError> {
+        let n = scale.iterations;
+        let unit = scale.unit;
         let dict_len = dict.len() as u64;
-        let mut heap = master_heap();
-        let d_base = heap
-            .alloc_words(dict_len)
-            .map_err(|e| KernelError(e.to_string()))?;
-        let s_base = heap
-            .alloc_words(n * unit)
-            .map_err(|e| KernelError(e.to_string()))?;
-        let out_base = heap
-            .alloc_words(n)
-            .map_err(|e| KernelError(e.to_string()))?;
-        let gen_cell = heap
-            .alloc_words(1)
-            .map_err(|e| KernelError(e.to_string()))?;
-        let mut master = MasterMem::new();
-        store_words(&mut master, d_base, &dict);
-        store_words(&mut master, s_base, &sentences);
+        let lay = layout(scale, dict_len)?;
+        let master = initial_master(&dict, &sentences, &lay);
+        let (d_base, s_base, out_base, gen_cell) =
+            (lay.d_base, lay.s_base, lay.out_base, lay.gen_cell);
+        let recovery = recovery_fn(&lay, scale, dict_len);
 
         let parse_iter =
             move |ctx: &mut WorkerCtx, i: u64| -> Result<(u64, u64, u64), dsmtx::Interrupt> {
@@ -140,16 +205,6 @@ impl Parser {
                 let (score, new_gen) = parse(&dict, &sentence, gen);
                 Ok((score, gen, new_gen))
             };
-
-        let recovery = Box::new(move |mtx: MtxId, master: &mut MasterMem| {
-            let dict = load_words(master, d_base, dict_len);
-            let sentence = load_words(master, s_base.add_words(mtx.0 * unit), unit);
-            let gen = master.read(gen_cell);
-            let (score, new_gen) = parse(&dict, &sentence, gen);
-            master.write(out_base.add_words(mtx.0), score);
-            master.write(gen_cell, new_gen);
-            IterOutcome::Continue
-        });
 
         let result = match mode {
             Mode::Dsmtx { workers } => {
@@ -188,6 +243,7 @@ impl Parser {
                     .seq(dispatch)
                     .par(workers.max(1), parse_stage)
                     .seq(emit)
+                    .tuning(Tuning::with_unit_shards(shards))
                     .run(master, recovery, Some(n))?
             }
             Mode::Tls { workers } => {
@@ -212,14 +268,15 @@ impl Parser {
                     ctx.sync_produce(new_gen);
                     Ok(IterOutcome::Continue)
                 });
-                Tls::new(workers.max(1)).run(master, body, recovery, Some(n))?
+                Tls {
+                    replicas: workers.max(1),
+                    tuning: Tuning::with_unit_shards(shards),
+                }
+                .run(master, body, recovery, Some(n))?
             }
-            Mode::Sequential => unreachable!("handled above"),
+            Mode::Sequential => unreachable!("parallel paths only"),
         };
-
-        let mut out = load_words(&result.master, out_base, n);
-        out.push(result.master.read(gen_cell));
-        Ok(out)
+        Ok(result)
     }
 
     /// Runs with one unknown token planted, manifesting the speculated
@@ -231,6 +288,74 @@ impl Parser {
     ) -> Result<Vec<u64>, KernelError> {
         let (dict, sentences) = generate(scale, true);
         self.run_with_input(mode, scale, dict, sentences)
+    }
+
+    /// [`Kernel::run_reported`] with one unknown token planted — the
+    /// certification tests use this to observe the speculated generation
+    /// dependence manifesting as a try-commit conflict.
+    ///
+    /// # Errors
+    ///
+    /// Runtime failures (thread panics, configuration errors).
+    pub fn run_reported_planted_unknown(
+        &self,
+        workers: u16,
+        unit_shards: usize,
+        scale: Scale,
+    ) -> Result<RunResult, KernelError> {
+        let (dict, sentences) = generate(scale, true);
+        self.result_with_input(Mode::Dsmtx { workers }, unit_shards, scale, dict, sentences)
+    }
+
+    fn plan_with(&self, scale: Scale, plant_unknown: bool) -> Result<AnalysisPlan, KernelError> {
+        let (dict, sentences) = generate(scale, plant_unknown);
+        let dict_len = dict.len() as u64;
+        let lay = layout(scale, dict_len)?;
+        let master = initial_master(&dict, &sentences, &lay);
+        let recovery = recovery_fn(&lay, scale, dict_len);
+        let (d_base, s_base, out_base, gen_cell) =
+            (lay.d_base, lay.s_base, lay.out_base, lay.gen_cell);
+        let unit = scale.unit;
+        Ok(AnalysisPlan {
+            name: "197.parser",
+            iterations: scale.iterations,
+            master,
+            recovery,
+            stages: vec![
+                // The dispatcher ships only the iteration id.
+                StageSpec::new("dispatch", StageRole::Sequential, Box::new(|_| Vec::new())),
+                // The parse stage reads the COA-distributed dictionary and
+                // sentence, and speculates on the generation global: its
+                // read is validated and the rare unknown-token bump writes
+                // it back — the genuinely speculated carried dependence.
+                StageSpec::new(
+                    "parse",
+                    StageRole::Parallel,
+                    Box::new(move |mtx| {
+                        vec![
+                            Region::read("dict", d_base, dict_len),
+                            Region::read("sentences", s_base.add_words(mtx * unit), unit),
+                            Region::read_write("gen", gen_cell, 1),
+                        ]
+                    }),
+                ),
+                StageSpec::new(
+                    "emit",
+                    StageRole::Sequential,
+                    Box::new(move |mtx| vec![Region::write("out", out_base.add_words(mtx), 1)]),
+                ),
+            ],
+        })
+    }
+
+    /// [`Kernel::plan`] with one unknown token planted: the generation
+    /// carried dependence becomes value-changing.
+    ///
+    /// # Errors
+    ///
+    /// Address-space exhaustion while rebuilding the heap layout.
+    pub fn plan_with_planted_unknown(&self, scale: Scale) -> Result<AnalysisPlan, KernelError> {
+        self.plan_with(scale, true)
     }
 }
 
@@ -290,6 +415,20 @@ impl Kernel for Parser {
     fn run(&self, mode: Mode, scale: Scale) -> Result<Vec<u64>, KernelError> {
         let (dict, sentences) = generate(scale, false);
         self.run_with_input(mode, scale, dict, sentences)
+    }
+
+    fn run_reported(
+        &self,
+        workers: u16,
+        unit_shards: usize,
+        scale: Scale,
+    ) -> Result<RunResult, KernelError> {
+        let (dict, sentences) = generate(scale, false);
+        self.result_with_input(Mode::Dsmtx { workers }, unit_shards, scale, dict, sentences)
+    }
+
+    fn plan(&self, scale: Scale) -> Result<AnalysisPlan, KernelError> {
+        self.plan_with(scale, false)
     }
 }
 

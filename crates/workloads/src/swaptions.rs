@@ -11,14 +11,16 @@
 
 use std::sync::Arc;
 
-use dsmtx::{IterOutcome, MtxId, WorkerCtx};
+use dsmtx::{IterOutcome, MtxId, RecoveryFn, Region, RunResult, StageRole, StageSpec, WorkerCtx};
 use dsmtx_mem::MasterMem;
-use dsmtx_paradigms::{Paradigm, SpecDoall, SpecKind};
+use dsmtx_paradigms::{Paradigm, SpecDoall, SpecKind, Tuning};
 use dsmtx_sim::{
     profile::{StageProfile, StageShape},
     TlsPlan, WorkloadProfile,
 };
+use dsmtx_uva::VAddr;
 
+use crate::analysis::AnalysisPlan;
 use crate::common::{
     f2w, load_words, master_heap, store_words, w2f, Kernel, KernelError, Mode, Scale, Stream,
     Table2Entry,
@@ -69,6 +71,39 @@ fn error_output(i: u64) -> u64 {
     0x5BAD_0000_0000_0000 | i
 }
 
+/// Heap layout of the parallel plan (deterministic allocation order, so
+/// `plan()` and the runners agree on addresses).
+struct Layout {
+    in_base: VAddr,
+    out_base: VAddr,
+}
+
+fn layout(scale: Scale) -> Result<Layout, KernelError> {
+    let n = scale.iterations;
+    let mut heap = master_heap();
+    let in_base = heap
+        .alloc_words(n * SWAPTION_WORDS)
+        .map_err(|e| KernelError(e.to_string()))?;
+    let out_base = heap
+        .alloc_words(n)
+        .map_err(|e| KernelError(e.to_string()))?;
+    Ok(Layout { in_base, out_base })
+}
+
+fn recovery_fn(lay: &Layout) -> RecoveryFn {
+    let (in_base, out_base) = (lay.in_base, lay.out_base);
+    Box::new(move |mtx: MtxId, master: &mut MasterMem| {
+        let rec = load_words(
+            master,
+            in_base.add_words(mtx.0 * SWAPTION_WORDS),
+            SWAPTION_WORDS,
+        );
+        let out = price(&rec).unwrap_or_else(|()| error_output(mtx.0));
+        master.write(out_base.add_words(mtx.0), out);
+        IterOutcome::Continue
+    })
+}
+
 fn generate(scale: Scale, plant_error: bool) -> Vec<u64> {
     let mut s = Stream::new(scale.seed);
     let mut input = Vec::with_capacity((scale.iterations * SWAPTION_WORDS) as usize);
@@ -102,20 +137,32 @@ impl Swaptions {
         scale: Scale,
         input: Vec<u64>,
     ) -> Result<Vec<u64>, KernelError> {
+        if let Mode::Sequential = mode {
+            return Ok(Self::sequential(&input, scale));
+        }
+        let lay = layout(scale)?;
+        let result = self.result_with_input(mode, 1, scale, input)?;
+        Ok(load_words(&result.master, lay.out_base, scale.iterations))
+    }
+
+    /// The parallel paths, at an explicit try-commit shard count,
+    /// returning the full run result.
+    fn result_with_input(
+        &self,
+        mode: Mode,
+        shards: usize,
+        scale: Scale,
+        input: Vec<u64>,
+    ) -> Result<RunResult, KernelError> {
         let n = scale.iterations;
         let workers = match mode {
-            Mode::Sequential => return Ok(Self::sequential(&input, scale)),
+            Mode::Sequential => unreachable!("parallel paths only"),
             // The paper notes both parallelizations are identical
             // Spec-DOALL for this benchmark.
             Mode::Dsmtx { workers } | Mode::Tls { workers } => workers.max(1),
         };
-        let mut heap = master_heap();
-        let in_base = heap
-            .alloc_words(n * SWAPTION_WORDS)
-            .map_err(|e| KernelError(e.to_string()))?;
-        let out_base = heap
-            .alloc_words(n)
-            .map_err(|e| KernelError(e.to_string()))?;
+        let lay = layout(scale)?;
+        let (in_base, out_base) = (lay.in_base, lay.out_base);
         let mut master = MasterMem::new();
         store_words(&mut master, in_base, &input);
 
@@ -134,18 +181,12 @@ impl Swaptions {
                 Err(()) => ctx.misspec(),
             }
         });
-        let recovery = Box::new(move |mtx: MtxId, master: &mut MasterMem| {
-            let rec = load_words(
-                master,
-                in_base.add_words(mtx.0 * SWAPTION_WORDS),
-                SWAPTION_WORDS,
-            );
-            let out = price(&rec).unwrap_or_else(|()| error_output(mtx.0));
-            master.write(out_base.add_words(mtx.0), out);
-            IterOutcome::Continue
-        });
-        let result = SpecDoall::new(workers).run(master, body, recovery, Some(n))?;
-        Ok(load_words(&result.master, out_base, n))
+        let recovery = recovery_fn(&lay);
+        Ok(SpecDoall {
+            replicas: workers,
+            tuning: Tuning::with_unit_shards(shards),
+        }
+        .run(master, body, recovery, Some(n))?)
     }
 
     /// Runs with one degenerate swaption to exercise the error path.
@@ -195,6 +236,50 @@ impl Kernel for Swaptions {
 
     fn run(&self, mode: Mode, scale: Scale) -> Result<Vec<u64>, KernelError> {
         self.run_with_input(mode, scale, generate(scale, false))
+    }
+
+    fn run_reported(
+        &self,
+        workers: u16,
+        unit_shards: usize,
+        scale: Scale,
+    ) -> Result<RunResult, KernelError> {
+        self.result_with_input(
+            Mode::Dsmtx { workers },
+            unit_shards,
+            scale,
+            generate(scale, false),
+        )
+    }
+
+    fn plan(&self, scale: Scale) -> Result<AnalysisPlan, KernelError> {
+        let lay = layout(scale)?;
+        let mut master = MasterMem::new();
+        store_words(&mut master, lay.in_base, &generate(scale, false));
+        let recovery = recovery_fn(&lay);
+        let (in_base, out_base) = (lay.in_base, lay.out_base);
+        Ok(AnalysisPlan {
+            name: "swaptions",
+            iterations: scale.iterations,
+            master,
+            recovery,
+            // Single Spec-DOALL stage: per-iteration disjoint reads and
+            // writes, nothing carried.
+            stages: vec![StageSpec::new(
+                "price",
+                StageRole::Parallel,
+                Box::new(move |mtx| {
+                    vec![
+                        Region::read(
+                            "swaptions",
+                            in_base.add_words(mtx * SWAPTION_WORDS),
+                            SWAPTION_WORDS,
+                        ),
+                        Region::write("out", out_base.add_words(mtx), 1),
+                    ]
+                }),
+            )],
+        })
     }
 }
 
