@@ -34,12 +34,14 @@ pub mod lint;
 pub mod pdg;
 pub mod record;
 pub mod report;
+pub mod why;
 
 pub use cert::{certify, Certificate};
 pub use lint::{lint, Finding, FindingKind, LintReport, Severity};
 pub use pdg::{build, DepEdge, DepGraph, DepKind};
 pub use record::{record, IterTrace, LoopTrace};
 pub use report::{export_cert_metrics, export_metrics, render_jsonl, render_text, summary_line};
+pub use why::{attribute, cause_counts, export_why_metrics};
 
 use dsmtx_workloads::AnalysisPlan;
 

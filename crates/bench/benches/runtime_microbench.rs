@@ -258,6 +258,7 @@ fn bench_access_stream(c: &mut Criterion) {
             let mut msgs: Vec<Msg> = Vec::with_capacity(stream.len() + 2);
             msgs.push(Msg::SubTxBegin {
                 mtx: MtxId(0),
+                attempt: 0,
                 stage: StageId(0),
             });
             for &(kind, addr, value) in &stream {

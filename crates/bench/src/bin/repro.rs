@@ -2,11 +2,12 @@
 //!
 //! ```text
 //! cargo run --release -p dsmtx-bench --bin repro -- \
-//!     [fig1|fig2|fig3|fig4|fig5a|fig5b|fig6|table1|table2|ablations|trace|shards|valplane|analyze|all] \
+//!     [fig1|fig2|fig3|fig4|fig5a|fig5b|fig6|table1|table2|ablations|trace|shards|valplane|analyze|why|lifecycle|bench-check|all] \
 //!     [--iters N] [--trace-out FILE] [--metrics-out FILE] \
 //!     [--fault-seed S] [--fault-rate R] \
 //!     [--shards N] [--sweep-out FILE] \
-//!     [--workload NAME] [--format text|jsonl]
+//!     [--workload NAME] [--format text|jsonl] \
+//!     [--mtx N] [--top K] [--planted] [--bench-dir DIR]
 //! ```
 //!
 //! The `analyze` section runs the dependence analyzer and partition
@@ -39,6 +40,23 @@
 //! evenly over drop/delay/duplicate/reorder/stall on every link, and the
 //! fault/retry/recovery counters flow through the same occupancy report
 //! and JSONL schema. The same seed replays the same fault schedule.
+//!
+//! The `why` section runs a workload's shipped plan with lifecycle
+//! tracing on and prints causal misspeculation chains: per-attempt
+//! wall-clock decomposition, the squashing conflict, the typed abort
+//! cause, and the retry linkage. `--mtx N` reports one MTX; `--top K`
+//! (default 5) the K most interesting chains; `--planted` (parser only)
+//! plants the unknown-token conflict; `--trace-out` writes the span
+//! Chrome trace. The exit code flags `unpredicted` aborts.
+//!
+//! The `lifecycle` section regenerates the `BENCH_mtx_lifecycle.json`
+//! artifact (per-stage time decomposition plus abort-cause histogram at
+//! shards {1,2,4}); `--sweep-out` names the output file.
+//!
+//! The `bench-check` section regenerates every committed `BENCH_*.json`
+//! baseline (found in `--bench-dir`, default the current directory) and
+//! compares fresh runs against them: strict on structure, tolerance
+//! band on timing-derived numbers. Nonzero exit on drift — the CI gate.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -52,6 +70,10 @@ fn main() {
     let mut sweep_out: Option<String> = None;
     let mut workload: String = "all".into();
     let mut format = dsmtx_bench::AnalyzeFormat::Text;
+    let mut mtx: Option<u64> = None;
+    let mut top: usize = 5;
+    let mut planted = false;
+    let mut bench_dir: String = ".".into();
 
     let mut i = 0;
     while i < args.len() {
@@ -96,6 +118,26 @@ fn main() {
             }
             "--sweep-out" => sweep_out = Some(take_value(&mut i)),
             "--workload" => workload = take_value(&mut i),
+            "--mtx" => {
+                let v = take_value(&mut i);
+                mtx = Some(v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --mtx value `{v}`");
+                    std::process::exit(2);
+                }));
+            }
+            "--top" => {
+                let v = take_value(&mut i);
+                top = v.parse().unwrap_or_else(|_| {
+                    eprintln!("bad --top value `{v}`");
+                    std::process::exit(2);
+                });
+                if top == 0 {
+                    eprintln!("--top must be at least 1");
+                    std::process::exit(2);
+                }
+            }
+            "--planted" => planted = true,
+            "--bench-dir" => bench_dir = take_value(&mut i),
             "--format" => {
                 let v = take_value(&mut i);
                 format = dsmtx_bench::AnalyzeFormat::parse(&v).unwrap_or_else(|| {
@@ -244,9 +286,78 @@ fn main() {
         printed = true;
     }
 
+    if what == "why" {
+        let opts = dsmtx_bench::WhyOptions {
+            workload: workload.clone(),
+            planted,
+            mtx,
+            top,
+            shards,
+            format,
+        };
+        match dsmtx_bench::run_why(&opts) {
+            Ok(outcome) => {
+                print!("{}", outcome.output);
+                if let Some(path) = &trace_out {
+                    if let Err(e) = std::fs::write(path, &outcome.chrome_trace) {
+                        eprintln!("cannot write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                    println!(
+                        "wrote span trace ({} bytes) to {path}",
+                        outcome.chrome_trace.len()
+                    );
+                }
+                printed = true;
+                if outcome.unpredicted > 0 {
+                    eprintln!(
+                        "why: {} abort(s) the analysis cannot explain",
+                        outcome.unpredicted
+                    );
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("why: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if what == "lifecycle" {
+        match dsmtx_bench::run_mtx_lifecycle(&[1, 2, 4]) {
+            Ok(rows) => {
+                println!("{}", dsmtx_bench::mtx_lifecycle_text(&rows));
+                if let Some(path) = &sweep_out {
+                    let json = dsmtx_bench::mtx_lifecycle_json(&rows);
+                    if let Err(e) = std::fs::write(path, &json) {
+                        eprintln!("cannot write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                    println!("wrote lifecycle bench ({} bytes) to {path}", json.len());
+                }
+                printed = true;
+            }
+            Err(e) => {
+                eprintln!("lifecycle: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if what == "bench-check" {
+        let outcome = dsmtx_bench::run_bench_check(std::path::Path::new(&bench_dir));
+        print!("{}", outcome.output);
+        printed = true;
+        if outcome.failed {
+            eprintln!("bench-check: fresh runs drifted from committed baselines");
+            std::process::exit(1);
+        }
+    }
+
     if !printed {
         eprintln!(
-            "unknown target `{what}`; use fig1|fig2|fig3|fig4|fig5a|fig5b|fig6|table1|table2|ablations|trace|shards|valplane|analyze|all"
+            "unknown target `{what}`; use fig1|fig2|fig3|fig4|fig5a|fig5b|fig6|table1|table2|ablations|trace|shards|valplane|analyze|why|lifecycle|bench-check|all"
         );
         std::process::exit(2);
     }

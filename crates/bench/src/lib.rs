@@ -10,15 +10,18 @@
 
 pub mod ablations;
 pub mod analyzecli;
+pub mod benchcheck;
 pub mod figures;
 pub mod format;
 pub mod queuebench;
 pub mod shardsweep;
 pub mod tracedemo;
 pub mod valplane;
+pub mod why;
 
 pub use ablations::ablations_text;
 pub use analyzecli::{run_analyze, AnalyzeFormat, AnalyzeOutcome};
+pub use benchcheck::{run_bench_check, BenchCheckOutcome};
 pub use figures::{
     fig1_text, fig3_text, fig4_data, fig4_text, fig5a_text, fig5b_data, fig5b_text, fig6_text,
     table1_text, table2_text, taxonomy_text, Fig4Row,
@@ -34,4 +37,8 @@ pub use tracedemo::{
 pub use valplane::{
     measured_compaction_factor, run_valplane_sweep, valplane_json, valplane_text, ValPlanePoint,
     ValPlaneSweep,
+};
+pub use why::{
+    mtx_lifecycle_json, mtx_lifecycle_text, run_mtx_lifecycle, run_why, LifecycleRow, WhyOptions,
+    WhyOutcome,
 };

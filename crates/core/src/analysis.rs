@@ -137,7 +137,10 @@ impl TraceAnalysis {
                     }
                     last_commit_at = Some(e.at_us);
                 }
-                TraceKind::RecoveryStart => recoveries += 1,
+                TraceKind::RecoveryStart | TraceKind::FaultRecoveryStart => recoveries += 1,
+                // Intra-subTX phase markers; the span builder consumes
+                // them, the aggregate analysis keeps begin/end semantics.
+                TraceKind::ExecBegin | TraceKind::FlushBegin => {}
                 TraceKind::RecoveryEnd | TraceKind::Terminated => {}
             }
         }
@@ -350,11 +353,13 @@ impl TraceAnalysis {
     pub fn chrome_trace(events: &[TraceEvent]) -> ChromeTrace {
         const PID: u64 = 1;
         const TID_TRY_COMMIT: u64 = 10_000;
-        const TID_COMMIT: u64 = 10_001;
+        // Leaves room for one try-commit track per shard in between.
+        const TID_COMMIT: u64 = 20_000;
         fn tid(role: Role) -> u64 {
             match role {
                 Role::Worker(w) => w as u64,
-                Role::TryCommit => TID_TRY_COMMIT,
+                // One track per shard, above the worker tracks.
+                Role::TryCommit(s) => TID_TRY_COMMIT + s as u64,
                 Role::Commit => TID_COMMIT,
             }
         }
@@ -365,7 +370,7 @@ impl TraceAnalysis {
         named.dedup();
         // Make sure the try-commit and commit tracks exist even if they
         // recorded nothing, and name every track.
-        for extra in [Role::TryCommit, Role::Commit] {
+        for extra in [Role::TryCommit(0), Role::Commit] {
             if !named.contains(&extra) {
                 named.push(extra);
             }
@@ -403,7 +408,7 @@ impl TraceAnalysis {
                     if let Some(mtx) = e.mtx {
                         trace.instant(
                             PID,
-                            TID_TRY_COMMIT,
+                            tid(e.role),
                             &format!("validated {mtx}"),
                             "validate",
                             e.at_us,
@@ -415,7 +420,7 @@ impl TraceAnalysis {
                     let label = e
                         .mtx
                         .map_or_else(|| "conflict".to_string(), |m| format!("conflict {m}"));
-                    trace.instant(PID, TID_TRY_COMMIT, &label, "conflict", e.at_us, &[]);
+                    trace.instant(PID, tid(e.role), &label, "conflict", e.at_us, &[]);
                 }
                 TraceKind::Committed => {
                     if let Some(mtx) = e.mtx {
@@ -429,11 +434,12 @@ impl TraceAnalysis {
                         );
                     }
                 }
-                TraceKind::RecoveryStart => {
+                TraceKind::RecoveryStart | TraceKind::FaultRecoveryStart => {
                     if let Some(mtx) = e.mtx {
                         recovery_start = Some((mtx, e.at_us));
                     }
                 }
+                TraceKind::ExecBegin | TraceKind::FlushBegin => {}
                 TraceKind::RecoveryEnd => {
                     if let Some((mtx, began)) = recovery_start.take() {
                         trace.span(
@@ -464,6 +470,7 @@ mod tests {
         TraceEvent {
             role,
             mtx: Some(MtxId(mtx)),
+            attempt: 0,
             stage: stage.map(StageId),
             kind,
             at_us,
@@ -476,11 +483,11 @@ mod tests {
         vec![
             ev(w, 0, Some(0), TraceKind::SubTxBegin, 0),
             ev(w, 0, Some(0), TraceKind::SubTxEnd, 100),
-            ev(Role::TryCommit, 0, None, TraceKind::Validated, 150),
+            ev(Role::TryCommit(0), 0, None, TraceKind::Validated, 150),
             ev(w, 1, Some(0), TraceKind::SubTxBegin, 120),
             ev(Role::Commit, 0, None, TraceKind::Committed, 200),
             ev(w, 1, Some(0), TraceKind::SubTxEnd, 260),
-            ev(Role::TryCommit, 1, None, TraceKind::Validated, 300),
+            ev(Role::TryCommit(0), 1, None, TraceKind::Validated, 300),
             ev(Role::Commit, 1, None, TraceKind::Committed, 340),
             ev(Role::Commit, 1, None, TraceKind::Terminated, 350),
         ]
@@ -547,7 +554,7 @@ mod tests {
         let w = Role::Worker(0);
         let events = vec![
             ev(w, 0, Some(0), TraceKind::SubTxBegin, 0),
-            ev(Role::TryCommit, 0, None, TraceKind::Validated, 10),
+            ev(Role::TryCommit(0), 0, None, TraceKind::Validated, 10),
             ev(Role::Commit, 0, None, TraceKind::Committed, 20),
         ];
         let a = TraceAnalysis::from_events(&events);
@@ -564,17 +571,17 @@ mod tests {
         let events = vec![
             ev(w, 0, Some(0), TraceKind::SubTxBegin, 0),
             ev(w, 0, Some(0), TraceKind::SubTxEnd, 5),
-            ev(Role::TryCommit, 0, None, TraceKind::Validated, 8),
+            ev(Role::TryCommit(0), 0, None, TraceKind::Validated, 8),
             ev(Role::Commit, 0, None, TraceKind::Committed, 9),
             // Iteration 1 begins, conflicts, and is abandoned by recovery.
             ev(w, 1, Some(0), TraceKind::SubTxBegin, 10),
-            ev(Role::TryCommit, 1, None, TraceKind::Conflict, 12),
+            ev(Role::TryCommit(0), 1, None, TraceKind::Conflict, 12),
             ev(Role::Commit, 1, None, TraceKind::RecoveryStart, 13),
             ev(Role::Commit, 1, None, TraceKind::RecoveryEnd, 20),
             // Speculation resumes past the boundary.
             ev(w, 2, Some(0), TraceKind::SubTxBegin, 21),
             ev(w, 2, Some(0), TraceKind::SubTxEnd, 25),
-            ev(Role::TryCommit, 2, None, TraceKind::Validated, 26),
+            ev(Role::TryCommit(0), 2, None, TraceKind::Validated, 26),
             ev(Role::Commit, 2, None, TraceKind::Committed, 28),
         ];
         let a = TraceAnalysis::from_events(&events);
@@ -591,11 +598,11 @@ mod tests {
         let events = vec![
             ev(w, 0, Some(0), TraceKind::SubTxBegin, 0),
             ev(w, 0, Some(0), TraceKind::SubTxEnd, 5),
-            ev(Role::TryCommit, 0, None, TraceKind::Validated, 6),
+            ev(Role::TryCommit(0), 0, None, TraceKind::Validated, 6),
             ev(Role::Commit, 0, None, TraceKind::Committed, 7),
             ev(w, 2, Some(0), TraceKind::SubTxBegin, 8),
             ev(w, 2, Some(0), TraceKind::SubTxEnd, 12),
-            ev(Role::TryCommit, 2, None, TraceKind::Validated, 13),
+            ev(Role::TryCommit(0), 2, None, TraceKind::Validated, 13),
             ev(Role::Commit, 2, None, TraceKind::Committed, 14),
         ];
         let a = TraceAnalysis::from_events(&events);

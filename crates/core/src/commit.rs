@@ -33,6 +33,9 @@ use crate::wire::{Msg, EPOCH_NONE};
 struct Events {
     misspec: bool,
     exit: bool,
+    /// Speculative attempt number carried by the worker frames (trace
+    /// context), echoed on this unit's lifecycle events for the MTX.
+    attempt: u32,
 }
 
 /// Counters reported at the end of the run.
@@ -55,6 +58,7 @@ pub(crate) struct CommitCounters {
 #[derive(Debug, Default)]
 struct Assembly {
     open: Option<(MtxId, StageId)>,
+    attempt: u32,
     stores: Vec<(u64, u64)>,
 }
 
@@ -170,7 +174,7 @@ impl CommitUnit {
             // spinning forever on queues that will never fill.
             if let Some(Interrupt::Terminate) = self.ctrl.poll(&mut epoch) {
                 self.trace
-                    .record(Role::Commit, None, None, TraceKind::Terminated);
+                    .record(Role::Commit, None, 0, None, TraceKind::Terminated);
                 break;
             }
             let mut progress = self.ingest();
@@ -179,7 +183,7 @@ impl CommitUnit {
             // intermediate MTXs would be silently lost.
             if self.ctrl.take_fabric_fault() {
                 self.counters.fault_recoveries += 1;
-                match self.recover(self.next_commit) {
+                match self.recover(self.next_commit, true) {
                     StepResult::Terminated => break,
                     _ => {
                         backoff.reset();
@@ -221,10 +225,15 @@ impl CommitUnit {
                 let worker = self.from_workers[idx].0;
                 match msg {
                     Msg::CoaRequest { page, have } => self.serve_coa_worker(idx, page, have),
-                    Msg::SubTxBegin { mtx, stage } => {
+                    Msg::SubTxBegin {
+                        mtx,
+                        attempt,
+                        stage,
+                    } => {
                         let asm = self.partial.entry(worker).or_default();
                         assert!(asm.open.is_none(), "nested commit frame from {worker}");
                         asm.open = Some((mtx, stage));
+                        asm.attempt = attempt;
                         asm.stores.clear();
                     }
                     Msg::Store { addr, value } => {
@@ -232,18 +241,26 @@ impl CommitUnit {
                         debug_assert!(asm.open.is_some(), "store outside frame");
                         asm.stores.push((addr, value));
                     }
-                    Msg::SubTxDone { mtx, stage, exit } => {
+                    Msg::SubTxDone {
+                        mtx,
+                        attempt,
+                        stage,
+                        exit,
+                    } => {
                         let asm = self.partial.entry(worker).or_default();
                         let open = asm.open.take().expect("frame footer without header");
                         assert_eq!(open, (mtx, stage), "commit framing mismatch");
                         self.store_sets
                             .insert((mtx.0, stage.0), std::mem::take(&mut asm.stores));
+                        let ev = self.events.entry(mtx.0).or_default();
+                        ev.attempt = attempt;
                         if exit {
-                            self.events.entry(mtx.0).or_default().exit = true;
+                            ev.exit = true;
                         }
                     }
                     Msg::CommitBlock {
                         mtx,
+                        attempt,
                         stage,
                         exit,
                         block,
@@ -258,13 +275,17 @@ impl CommitUnit {
                         let stores: Vec<(u64, u64)> =
                             block.iter().map(|r| (r.addr.raw(), r.value)).collect();
                         self.store_sets.insert((mtx.0, stage.0), stores);
+                        let ev = self.events.entry(mtx.0).or_default();
+                        ev.attempt = attempt;
                         if exit {
-                            self.events.entry(mtx.0).or_default().exit = true;
+                            ev.exit = true;
                         }
                     }
-                    Msg::WorkerMisspec { mtx } => {
+                    Msg::WorkerMisspec { mtx, attempt } => {
                         self.counters.worker_misspecs += 1;
-                        self.events.entry(mtx.0).or_default().misspec = true;
+                        let ev = self.events.entry(mtx.0).or_default();
+                        ev.attempt = attempt;
+                        ev.misspec = true;
                     }
                     other => panic!("unexpected message on commit plane: {other:?}"),
                 }
@@ -371,7 +392,7 @@ impl CommitUnit {
         let ev = self.events.get(&m.0).copied().unwrap_or_default();
         let verdict = self.verdicts.get(&m.0).copied().unwrap_or_default();
         if ev.misspec || verdict.bad {
-            return self.recover(m);
+            return self.recover(m, false);
         }
         // Group-commit decision: every shard must have validated its
         // partition of the MTX.
@@ -399,8 +420,13 @@ impl CommitUnit {
         self.advance_epoch();
         self.counters.committed += 1;
         self.counters.last_iteration = Some(m);
-        self.trace
-            .record(Role::Commit, Some(m), None, TraceKind::Committed);
+        self.trace.record(
+            Role::Commit,
+            Some(m),
+            ev.attempt,
+            None,
+            TraceKind::Committed,
+        );
         if let Some(hook) = &mut self.on_commit {
             hook(m, &self.master);
         }
@@ -415,15 +441,24 @@ impl CommitUnit {
     }
 
     /// Orchestrates the §4.3 recovery protocol around the squashed MTX.
-    fn recover(&mut self, boundary: MtxId) -> StepResult {
+    /// `fault` distinguishes a round answering a fabric-fault request
+    /// from a data-misspeculation squash — downstream attribution treats
+    /// the retries it causes as `fault_induced_retry`, not conflicts.
+    fn recover(&mut self, boundary: MtxId, fault: bool) -> StepResult {
         // A typed channel-down shutdown may have raced in: publishing
         // `Recovering` over it would park this unit at a barrier a dead
         // thread can never reach. Honor the shutdown instead.
         if matches!(self.ctrl.status(), Status::Terminating { .. }) {
             return StepResult::Terminated;
         }
+        let attempt = self.events.get(&boundary.0).map_or(0, |e| e.attempt);
+        let kind = if fault {
+            TraceKind::FaultRecoveryStart
+        } else {
+            TraceKind::RecoveryStart
+        };
         self.trace
-            .record(Role::Commit, Some(boundary), None, TraceKind::RecoveryStart);
+            .record(Role::Commit, Some(boundary), attempt, None, kind);
         self.ctrl.publish(Status::Recovering { boundary });
         let barrier = self.ctrl.barrier().clone();
         barrier.wait(); // B1: every thread is in recovery mode.
@@ -465,8 +500,13 @@ impl CommitUnit {
         if let Some(hook) = &mut self.on_commit {
             hook(boundary, &self.master);
         }
-        self.trace
-            .record(Role::Commit, Some(boundary), None, TraceKind::RecoveryEnd);
+        self.trace.record(
+            Role::Commit,
+            Some(boundary),
+            attempt,
+            None,
+            TraceKind::RecoveryEnd,
+        );
 
         let done = outcome == IterOutcome::Exit || self.limit == Some(boundary.0 + 1);
         if done {
@@ -478,8 +518,13 @@ impl CommitUnit {
         }
         barrier.wait(); // B3: parallel execution may recommence.
         if done {
-            self.trace
-                .record(Role::Commit, Some(boundary), None, TraceKind::Terminated);
+            self.trace.record(
+                Role::Commit,
+                Some(boundary),
+                attempt,
+                None,
+                TraceKind::Terminated,
+            );
             StepResult::Terminated
         } else {
             self.next_commit = boundary.next();
@@ -490,7 +535,7 @@ impl CommitUnit {
     fn terminate(&mut self, last: Option<MtxId>) {
         self.ctrl.publish(Status::Terminating { last });
         self.trace
-            .record(Role::Commit, last, None, TraceKind::Terminated);
+            .record(Role::Commit, last, 0, None, TraceKind::Terminated);
     }
 }
 

@@ -79,6 +79,7 @@ pub mod ids;
 pub mod poll;
 pub mod program;
 pub mod report;
+pub mod spans;
 pub mod system;
 pub mod trace;
 pub mod trycommit;
@@ -92,6 +93,8 @@ pub use footprint::{AccessMode, FootprintFn, Region, StageRole, StageSpec};
 pub use ids::{MtxId, StageId, WorkerId};
 pub use program::{CommitHook, IterOutcome, Program, RecoveryFn, StageFn};
 pub use report::{RunReport, RunResult, ShardStats, ValPlaneStats};
+pub use spans::{build_spans, chrome_spans};
 pub use system::{worker_owner, MtxSystem, RunError};
 pub use trace::{Role, TraceEvent, TraceKind, TraceSink, DEFAULT_TRACE_CAPACITY};
+pub use trycommit::ConflictRecord;
 pub use worker::{AccessFilter, WorkerCtx};

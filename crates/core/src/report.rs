@@ -9,6 +9,7 @@ use dsmtx_obs::{schema, Histogram, Registry};
 use crate::analysis::TraceAnalysis;
 use crate::ids::{MtxId, StageId};
 use crate::trace::TraceEvent;
+use crate::trycommit::ConflictRecord;
 
 /// Per-try-commit-shard statistics (§3.2 parallel speculation units).
 ///
@@ -123,6 +124,11 @@ pub struct RunReport {
     /// Per-try-commit-shard statistics, indexed by shard; length is the
     /// configured `unit_shards`.
     pub shard_stats: Vec<ShardStats>,
+    /// Every conflict any shard detected, with attribution context
+    /// (conflicting page, owning shard, first speculative writer),
+    /// sorted by `(mtx, attempt, shard, page)`. Joined to lifecycle
+    /// spans by `(mtx, attempt)` when `repro why` explains an abort.
+    pub conflict_events: Vec<ConflictRecord>,
     /// Validation-plane compaction and COA-cache counters, aggregated
     /// over all workers.
     pub valplane: ValPlaneStats,
@@ -176,6 +182,14 @@ impl RunReport {
         TraceAnalysis::from_events(&self.trace)
     }
 
+    /// Builds one lifecycle span per `(mtx, attempt)` from the trace,
+    /// joined with the shards' conflict records. Empty when the run was
+    /// not traced. Causes are unset here — attribution lives in
+    /// `dsmtx-analyze`, which joins spans against the PDG.
+    pub fn spans(&self) -> Vec<dsmtx_obs::MtxSpan> {
+        crate::spans::build_spans(&self.trace, &self.conflict_events)
+    }
+
     /// Median subTX execution time for one stage, in microseconds
     /// (0 when untraced or the stage never ran).
     pub fn stage_p50_us(&self, stage: StageId) -> u64 {
@@ -198,6 +212,8 @@ impl RunReport {
             .add(self.recoveries);
         reg.counter(schema::RUN_BYTES, &[]).add(self.stats.bytes());
         reg.counter(schema::RUN_TRACE_DROPPED, &[])
+            .add(self.trace_dropped);
+        reg.counter(schema::TRACE_EVENTS_DROPPED, &[])
             .add(self.trace_dropped);
         reg.counter(schema::RUN_FABRIC_TIMEOUTS, &[])
             .add(self.fabric_timeouts);
@@ -281,6 +297,7 @@ mod tests {
             fault_recoveries: 0,
             channel_downs: 0,
             shard_stats: Vec::new(),
+            conflict_events: Vec::new(),
             valplane: ValPlaneStats::default(),
             stats: FabricStats::new(),
             elapsed: Duration::ZERO,
@@ -321,6 +338,7 @@ mod tests {
             r.trace.push(TraceEvent {
                 role: w,
                 mtx: Some(MtxId(i as u64)),
+                attempt: 0,
                 stage: Some(StageId(0)),
                 kind: TraceKind::SubTxBegin,
                 at_us: *begin,
@@ -328,6 +346,7 @@ mod tests {
             r.trace.push(TraceEvent {
                 role: w,
                 mtx: Some(MtxId(i as u64)),
+                attempt: 0,
                 stage: Some(StageId(0)),
                 kind: TraceKind::SubTxEnd,
                 at_us: *end,

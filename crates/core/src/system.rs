@@ -278,7 +278,8 @@ impl MtxSystem {
 
         let tc_wirings: Vec<TryCommitWiring> = tc_eps
             .iter()
-            .map(|&tc| {
+            .enumerate()
+            .map(|(shard, &tc)| {
                 let ports = mesh.take_ports(tc).expect("try-commit ports");
                 let mut val_in = Vec::new();
                 let mut coa_in = None;
@@ -298,6 +299,7 @@ impl MtxSystem {
                     shape: shape.clone(),
                     ctrl: ctrl.clone(),
                     trace: trace.clone(),
+                    shard: shard as u16,
                     val_in,
                     to_commit: to_commit.expect("verdict port"),
                     coa_in: coa_in.expect("coa reply port"),
@@ -376,8 +378,10 @@ impl MtxSystem {
         let (commit_result, tc_results, worker_results) = outcome;
         let (master, counters) = commit_result.map_err(|_| RunError::ThreadPanic("commit"))?;
         let mut shard_stats = Vec::with_capacity(n_shards);
+        let mut conflict_events = Vec::new();
         for r in tc_results {
             let c = r.map_err(|_| RunError::ThreadPanic("try-commit"))?;
+            conflict_events.extend(c.conflict_events);
             shard_stats.push(crate::report::ShardStats {
                 validated: c.validated,
                 conflicts: c.conflicts,
@@ -388,6 +392,8 @@ impl MtxSystem {
                 busy_ppm: c.busy_ppm,
             });
         }
+        // Deterministic order regardless of shard join order.
+        conflict_events.sort_by_key(|e| (e.mtx, e.attempt, e.shard, e.page));
         let mut valplane = crate::report::ValPlaneStats::default();
         for r in worker_results {
             let ctx = r.map_err(|_| RunError::ThreadPanic("worker"))?;
@@ -406,6 +412,7 @@ impl MtxSystem {
             fault_recoveries: counters.fault_recoveries,
             channel_downs: ctrl.channel_downs(),
             shard_stats,
+            conflict_events,
             valplane,
             stats: mesh.stats(),
             elapsed,

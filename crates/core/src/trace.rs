@@ -16,8 +16,9 @@ use crate::ids::{MtxId, StageId};
 pub enum Role {
     /// A pipeline worker, by worker index.
     Worker(u32),
-    /// The try-commit unit (program-order validation).
-    TryCommit,
+    /// A try-commit speculation-unit shard (program-order validation),
+    /// by shard index. At `unit_shards = 1` the single shard is 0.
+    TryCommit(u16),
     /// The commit unit (group transaction commit, COA service, recovery).
     Commit,
 }
@@ -26,7 +27,10 @@ impl std::fmt::Display for Role {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Role::Worker(w) => write!(f, "worker{w}"),
-            Role::TryCommit => f.write_str("try-commit"),
+            // Shard 0 keeps the legacy single-unit name so existing
+            // traces, goldens, and fault schedules stay stable.
+            Role::TryCommit(0) => f.write_str("try-commit"),
+            Role::TryCommit(s) => write!(f, "try-commit{s}"),
             Role::Commit => f.write_str("commit"),
         }
     }
@@ -37,6 +41,12 @@ impl std::fmt::Display for Role {
 pub enum TraceKind {
     /// A worker entered a subTX (`mtx_begin`).
     SubTxBegin,
+    /// All upstream frames arrived; user code starts. The SubTxBegin →
+    /// ExecBegin gap is the subTX's queue wait.
+    ExecBegin,
+    /// User code finished; the validation/commit flush starts. The
+    /// FlushBegin → SubTxEnd gap is the flush cost.
+    FlushBegin,
     /// A worker exited a subTX (`mtx_end`).
     SubTxEnd,
     /// Try-commit validated the MTX as conflict-free.
@@ -45,8 +55,12 @@ pub enum TraceKind {
     Conflict,
     /// Commit unit committed the MTX.
     Committed,
-    /// Commit unit started recovery for this boundary MTX.
+    /// Commit unit started recovery for this boundary MTX (a data
+    /// misspeculation squash).
     RecoveryStart,
+    /// Commit unit started a recovery round because of a fabric fault
+    /// (timeout / channel down), not a data conflict.
+    FaultRecoveryStart,
     /// Commit unit finished recovery (pipeline restarting).
     RecoveryEnd,
     /// The system terminated after this MTX (if any).
@@ -60,6 +74,11 @@ pub struct TraceEvent {
     pub role: Role,
     /// The MTX involved, when applicable.
     pub mtx: Option<MtxId>,
+    /// Speculative attempt number of that MTX: 0 on first execution,
+    /// bumped past every recovery so a retry's events chain onto a new
+    /// span of the same MTX. Roles learn it from the wire frames'
+    /// propagated trace context.
+    pub attempt: u32,
     /// The stage involved, when applicable.
     pub stage: Option<StageId>,
     /// The event kind.
@@ -126,7 +145,16 @@ impl TraceSink {
     }
 
     /// Records one event (no-op when disabled, counted when full).
-    pub fn record(&self, role: Role, mtx: Option<MtxId>, stage: Option<StageId>, kind: TraceKind) {
+    /// `attempt` is the MTX's speculative attempt number (0 when no MTX
+    /// is involved).
+    pub fn record(
+        &self,
+        role: Role,
+        mtx: Option<MtxId>,
+        attempt: u32,
+        stage: Option<StageId>,
+        kind: TraceKind,
+    ) {
         if let Some(buf) = &self.buf {
             let at_us = self.origin.elapsed().as_micros() as u64;
             let mut b = buf.lock();
@@ -134,6 +162,7 @@ impl TraceSink {
                 b.events.push(TraceEvent {
                     role,
                     mtx,
+                    attempt,
                     stage,
                     kind,
                     at_us,
@@ -170,7 +199,7 @@ mod tests {
     #[test]
     fn disabled_sink_records_nothing() {
         let t = TraceSink::disabled();
-        t.record(Role::Commit, Some(MtxId(1)), None, TraceKind::Committed);
+        t.record(Role::Commit, Some(MtxId(1)), 0, None, TraceKind::Committed);
         assert!(t.events().is_empty());
         assert_eq!(t.dropped_events(), 0);
         assert!(!t.is_enabled());
@@ -180,8 +209,14 @@ mod tests {
     fn enabled_sink_records_in_order() {
         let t = TraceSink::enabled();
         let w = Role::Worker(0);
-        t.record(w, Some(MtxId(0)), Some(StageId(0)), TraceKind::SubTxBegin);
-        t.record(w, Some(MtxId(0)), Some(StageId(0)), TraceKind::SubTxEnd);
+        t.record(
+            w,
+            Some(MtxId(0)),
+            0,
+            Some(StageId(0)),
+            TraceKind::SubTxBegin,
+        );
+        t.record(w, Some(MtxId(0)), 0, Some(StageId(0)), TraceKind::SubTxEnd);
         let ev = t.events();
         assert_eq!(ev.len(), 2);
         assert_eq!(ev[0].kind, TraceKind::SubTxBegin);
@@ -193,15 +228,38 @@ mod tests {
     fn clones_share_buffer() {
         let t = TraceSink::enabled();
         let t2 = t.clone();
-        t2.record(Role::Commit, None, None, TraceKind::Terminated);
+        t2.record(Role::Commit, None, 0, None, TraceKind::Terminated);
         assert_eq!(t.events().len(), 1);
+    }
+
+    #[test]
+    fn attempts_are_carried_on_events() {
+        let t = TraceSink::enabled();
+        let w = Role::Worker(0);
+        t.record(
+            w,
+            Some(MtxId(4)),
+            0,
+            Some(StageId(0)),
+            TraceKind::SubTxBegin,
+        );
+        t.record(
+            w,
+            Some(MtxId(4)),
+            2,
+            Some(StageId(0)),
+            TraceKind::SubTxBegin,
+        );
+        let ev = t.events();
+        assert_eq!(ev[0].attempt, 0);
+        assert_eq!(ev[1].attempt, 2);
     }
 
     #[test]
     fn capacity_bounds_growth_and_counts_drops() {
         let t = TraceSink::with_capacity(3);
         for i in 0..10 {
-            t.record(Role::Commit, Some(MtxId(i)), None, TraceKind::Committed);
+            t.record(Role::Commit, Some(MtxId(i)), 0, None, TraceKind::Committed);
         }
         assert_eq!(t.events().len(), 3);
         assert_eq!(t.dropped_events(), 7);
@@ -213,7 +271,8 @@ mod tests {
     #[test]
     fn role_display_matches_legacy_strings() {
         assert_eq!(Role::Worker(3).to_string(), "worker3");
-        assert_eq!(Role::TryCommit.to_string(), "try-commit");
+        assert_eq!(Role::TryCommit(0).to_string(), "try-commit");
+        assert_eq!(Role::TryCommit(2).to_string(), "try-commit2");
         assert_eq!(Role::Commit.to_string(), "commit");
     }
 }

@@ -48,6 +48,8 @@ use crate::worker::{classify, flush_port};
 #[derive(Debug, Default)]
 struct Assembly {
     open: Option<(MtxId, StageId)>,
+    /// Attempt number carried by the frame header (trace context).
+    attempt: u32,
     records: Vec<AccessRecord>,
 }
 
@@ -58,6 +60,29 @@ struct Assembly {
 enum AccessStream {
     Records(Vec<AccessRecord>),
     Block(Box<AccessBlock>),
+}
+
+/// One detected conflict with its attribution context: which page
+/// mismatched, which shard caught it, and which MTX wrote the page first
+/// in the speculative window (the likely dependence source). Joined to
+/// lifecycle spans by `(mtx, attempt)` and to the analyzer's predicted
+/// conflict sites by `page` when `repro why` attributes the abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConflictRecord {
+    /// The squashed MTX.
+    pub mtx: u64,
+    /// Its speculative attempt number (from the frame's trace context).
+    pub attempt: u32,
+    /// Pipeline stage whose stream exposed the mismatch.
+    pub stage: u16,
+    /// `PageId` of the conflicting load.
+    pub page: u64,
+    /// Try-commit shard owning that page partition.
+    pub shard: u16,
+    /// First speculative writer of that page in this validation window:
+    /// `(mtx, attempt)` of the earliest replayed store, when any stores
+    /// were replayed to the page before the mismatch.
+    pub first_writer: Option<(u64, u32)>,
 }
 
 /// Per-shard statistics returned by [`TryCommitUnit::run`].
@@ -72,6 +97,9 @@ pub(crate) struct TryCommitCounters {
     /// recoveries). The analyzer's certification pass checks this set
     /// against the conflict sites the partition linter predicted.
     pub conflict_pages: Vec<u64>,
+    /// Full attribution context for every conflict this shard detected,
+    /// in detection order (the "why" behind each `conflict_pages` entry).
+    pub conflict_events: Vec<ConflictRecord>,
     /// COA pages fetched into the replay image.
     pub coa_fetches: u64,
     /// Stream arrival → program-order replay start, per subTX stream.
@@ -86,6 +114,8 @@ pub(crate) struct TryCommitUnit {
     shape: PipelineShape,
     ctrl: ControlPlane,
     trace: TraceSink,
+    /// This shard's index (0 at `unit_shards = 1`).
+    shard: u16,
     epoch: u64,
     /// Receive deadline under fault injection (`None` = wait forever).
     data_timeout: Option<std::time::Duration>,
@@ -101,9 +131,16 @@ pub(crate) struct TryCommitUnit {
     partial: FxHashMap<WorkerId, Assembly>,
     /// Completed subTX streams awaiting their replay turn, with their
     /// arrival time (for replay-lag / verdict-latency histograms).
-    done: FxHashMap<(u64, u16), (AccessStream, Instant)>,
+    done: FxHashMap<(u64, u16), (AccessStream, u32, Instant)>,
     cursor_mtx: MtxId,
     cursor_stage: StageId,
+    /// Attempt number of the stream currently replaying (trace context
+    /// from the frame that delivered it).
+    cursor_attempt: u32,
+    /// First speculative writer per page in this validation window:
+    /// `page -> (mtx, attempt)` of the earliest replayed store. Reset at
+    /// recovery together with the image.
+    first_writers: FxHashMap<u64, (u64, u32)>,
     /// Set after reporting a conflict: stop replaying, wait for recovery.
     poisoned: bool,
     counters: TryCommitCounters,
@@ -113,6 +150,7 @@ pub(crate) struct TryCommitWiring {
     pub shape: PipelineShape,
     pub ctrl: ControlPlane,
     pub trace: TraceSink,
+    pub shard: u16,
     pub val_in: Vec<(WorkerId, RecvPort<Msg>)>,
     pub to_commit: SendPort<Msg>,
     pub coa_in: RecvPort<Msg>,
@@ -126,6 +164,7 @@ impl TryCommitUnit {
             shape: w.shape,
             ctrl: w.ctrl,
             trace: w.trace,
+            shard: w.shard,
             epoch,
             data_timeout,
             image: SpecMem::new(),
@@ -136,6 +175,8 @@ impl TryCommitUnit {
             done: FxHashMap::default(),
             cursor_mtx: MtxId(0),
             cursor_stage: StageId(0),
+            cursor_attempt: 0,
+            first_writers: FxHashMap::default(),
             poisoned: false,
             counters: TryCommitCounters::default(),
         }
@@ -231,9 +272,14 @@ impl TryCommitUnit {
                 progress = true;
                 let asm = self.partial.entry(*worker).or_default();
                 match msg {
-                    Msg::SubTxBegin { mtx, stage } => {
+                    Msg::SubTxBegin {
+                        mtx,
+                        attempt,
+                        stage,
+                    } => {
                         assert!(asm.open.is_none(), "nested subTX from {worker}");
                         asm.open = Some((mtx, stage));
+                        asm.attempt = attempt;
                         asm.records.clear();
                     }
                     Msg::Load { addr, value } => asm.records.push(AccessRecord {
@@ -253,11 +299,17 @@ impl TryCommitUnit {
                             (mtx.0, stage.0),
                             (
                                 AccessStream::Records(std::mem::take(&mut asm.records)),
+                                asm.attempt,
                                 Instant::now(),
                             ),
                         );
                     }
-                    Msg::ValBlock { mtx, stage, block } => {
+                    Msg::ValBlock {
+                        mtx,
+                        attempt,
+                        stage,
+                        block,
+                    } => {
                         // A packed frame is framing and records in one
                         // message: it completes the stream on arrival.
                         assert!(
@@ -266,7 +318,7 @@ impl TryCommitUnit {
                         );
                         self.done.insert(
                             (mtx.0, stage.0),
-                            (AccessStream::Block(block), Instant::now()),
+                            (AccessStream::Block(block), attempt, Instant::now()),
                         );
                     }
                     other => panic!("unexpected message on validation plane: {other:?}"),
@@ -279,21 +331,32 @@ impl TryCommitUnit {
     /// Replays every stream whose program-order turn has come.
     fn replay_ready(&mut self) -> Result<bool, Interrupt> {
         let mut progress = false;
-        while let Some((stream, arrived)) =
+        while let Some((stream, attempt, arrived)) =
             self.done.remove(&(self.cursor_mtx.0, self.cursor_stage.0))
         {
             progress = true;
+            self.cursor_attempt = attempt;
             self.counters
                 .replay_lag
                 .record(arrived.elapsed().as_micros() as u64);
             if let Some(conflict_addr) = self.replay(&stream)? {
                 // Conflict: tell the commit unit and freeze until it
                 // orchestrates recovery.
+                let page = conflict_addr.page().0;
                 self.counters.conflicts += 1;
-                self.counters.conflict_pages.push(conflict_addr.page().0);
+                self.counters.conflict_pages.push(page);
+                self.counters.conflict_events.push(ConflictRecord {
+                    mtx: self.cursor_mtx.0,
+                    attempt,
+                    stage: self.cursor_stage.0,
+                    page,
+                    shard: self.shard,
+                    first_writer: self.first_writers.get(&page).copied(),
+                });
                 self.trace.record(
-                    Role::TryCommit,
+                    Role::TryCommit(self.shard),
                     Some(self.cursor_mtx),
+                    attempt,
                     Some(self.cursor_stage),
                     TraceKind::Conflict,
                 );
@@ -305,8 +368,9 @@ impl TryCommitUnit {
             }
             if self.cursor_stage.0 + 1 == self.shape.n_stages() {
                 self.trace.record(
-                    Role::TryCommit,
+                    Role::TryCommit(self.shard),
                     Some(self.cursor_mtx),
+                    attempt,
                     None,
                     TraceKind::Validated,
                 );
@@ -352,7 +416,15 @@ impl TryCommitUnit {
 
     fn replay_record(&mut self, r: AccessRecord) -> Result<Option<VAddr>, Interrupt> {
         match r.kind {
-            AccessKind::Store => self.image.apply_forwarded(r.addr, r.value),
+            AccessKind::Store => {
+                // Remember the earliest speculative writer of each page:
+                // when a later load on the page mismatches, that writer is
+                // the likely source of the manifested dependence.
+                self.first_writers
+                    .entry(r.addr.page().0)
+                    .or_insert((self.cursor_mtx.0, self.cursor_attempt));
+                self.image.apply_forwarded(r.addr, r.value);
+            }
             AccessKind::Load => {
                 let Self {
                     image,
@@ -399,6 +471,7 @@ impl TryCommitUnit {
         self.image.rollback();
         self.partial.clear();
         self.done.clear();
+        self.first_writers.clear();
         self.cursor_mtx = boundary.next();
         self.cursor_stage = StageId(0);
         self.poisoned = false;

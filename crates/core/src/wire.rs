@@ -228,6 +228,10 @@ pub enum Msg {
     SubTxBegin {
         /// Enclosing MTX.
         mtx: MtxId,
+        /// Speculative attempt number (trace context): retries after a
+        /// recovery carry a larger attempt so downstream roles chain
+        /// their lifecycle events onto the right span.
+        attempt: u32,
         /// Pipeline stage executing the subTX.
         stage: StageId,
     },
@@ -258,6 +262,8 @@ pub enum Msg {
     ValBlock {
         /// Enclosing MTX.
         mtx: MtxId,
+        /// Speculative attempt number (propagated trace context).
+        attempt: u32,
         /// Pipeline stage executing the subTX.
         stage: StageId,
         /// The packed records (possibly empty: the frame still advances
@@ -282,6 +288,8 @@ pub enum Msg {
     WorkerMisspec {
         /// The misspeculated MTX.
         mtx: MtxId,
+        /// Speculative attempt number (propagated trace context).
+        attempt: u32,
     },
     /// Footer of a store stream on the commit plane (legacy unpacked
     /// encoding). Carries the loop-exit decision (`mtx_terminate`) in the
@@ -290,6 +298,8 @@ pub enum Msg {
     SubTxDone {
         /// Enclosing MTX.
         mtx: MtxId,
+        /// Speculative attempt number (propagated trace context).
+        attempt: u32,
         /// Pipeline stage executing the subTX.
         stage: StageId,
         /// True when this subTX observed the sequential loop exit at this
@@ -303,6 +313,8 @@ pub enum Msg {
     CommitBlock {
         /// Enclosing MTX.
         mtx: MtxId,
+        /// Speculative attempt number (propagated trace context).
+        attempt: u32,
         /// Pipeline stage executing the subTX.
         stage: StageId,
         /// True when this subTX observed the sequential loop exit.

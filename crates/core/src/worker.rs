@@ -249,6 +249,11 @@ pub struct WorkerCtx {
 
     // ---- per-iteration state ----
     cur: Option<MtxId>,
+    /// Speculative attempt number of the current subTX: the recovery
+    /// count observed at `begin`. Propagated to every downstream unit on
+    /// the wire frames so lifecycle events of a retry chain onto a new
+    /// span of the same MTX.
+    attempt: u32,
     /// Buffered user values per producing stage.
     users: Vec<VecDeque<u64>>,
     /// Buffered ring (synchronized-dependence) values for this iteration.
@@ -319,6 +324,7 @@ impl WorkerCtx {
             coa_cache: PageCache::new(),
             coa_epoch: EPOCH_NONE,
             cur: None,
+            attempt: 0,
             users: vec![VecDeque::new(); n_stages],
             ring_in_vals: VecDeque::new(),
             forwards: Vec::new(),
@@ -637,7 +643,10 @@ impl WorkerCtx {
         self.produces.clear();
         self.ring_produces.clear();
         self.cu_out
-            .produce(Msg::WorkerMisspec { mtx })
+            .produce(Msg::WorkerMisspec {
+                mtx,
+                attempt: self.attempt,
+            })
             .map_err(classify)?;
         flush_port(&self.ctrl, &mut self.epoch, &mut self.cu_out)?;
         // Block until the commit unit orchestrates recovery.
@@ -657,9 +666,15 @@ impl WorkerCtx {
     /// Interrupted by recovery or termination.
     pub fn begin(&mut self, mtx: MtxId) -> Result<(), Interrupt> {
         self.cur = Some(mtx);
+        // The recovery count at entry is the attempt number: a subTX
+        // re-dispatched after recovery *r* is attempt *r*, so its events
+        // (and every downstream unit's, via the wire frames) land on a
+        // fresh span chained to the original.
+        self.attempt = self.ctrl.recoveries() as u32;
         self.trace.record(
             self.role,
             Some(mtx),
+            self.attempt,
             Some(self.stage),
             TraceKind::SubTxBegin,
         );
@@ -682,6 +697,15 @@ impl WorkerCtx {
                 }
             }
         }
+        // All upstream frames are in; user code runs next. The gap back
+        // to SubTxBegin is this subTX's queue wait.
+        self.trace.record(
+            self.role,
+            Some(mtx),
+            self.attempt,
+            Some(self.stage),
+            TraceKind::ExecBegin,
+        );
         Ok(())
     }
 
@@ -694,6 +718,16 @@ impl WorkerCtx {
     /// Interrupted by recovery or termination.
     pub fn end(&mut self, mtx: MtxId, outcome: IterOutcome) -> Result<(), Interrupt> {
         debug_assert_eq!(self.cur, Some(mtx), "end without matching begin");
+        let attempt = self.attempt;
+        // User code is done; everything from here to SubTxEnd is the
+        // validation/commit-plane flush.
+        self.trace.record(
+            self.role,
+            Some(mtx),
+            attempt,
+            Some(self.stage),
+            TraceKind::FlushBegin,
+        );
         let records = self.spec.drain_log();
         let stage = self.stage;
         let exit = outcome == IterOutcome::Exit;
@@ -743,7 +777,15 @@ impl WorkerCtx {
                 self.valplane.bytes_post += ITEM_BYTES + block.wire_bytes();
                 self.valplane.blocks += 1;
                 self.valplane.block_records += u64::from(block.len());
-                send(&mut self.val_out[s], Msg::ValBlock { mtx, stage, block })?;
+                send(
+                    &mut self.val_out[s],
+                    Msg::ValBlock {
+                        mtx,
+                        attempt,
+                        stage,
+                        block,
+                    },
+                )?;
             }
             for port in &mut self.val_out {
                 flush_port(&self.ctrl, &mut self.epoch, port)?;
@@ -760,6 +802,7 @@ impl WorkerCtx {
                 &mut self.cu_out,
                 Msg::CommitBlock {
                     mtx,
+                    attempt,
                     stage,
                     exit,
                     block,
@@ -778,7 +821,14 @@ impl WorkerCtx {
             // shard owning its page. At one shard this is the original
             // single stream verbatim.
             for port in &mut self.val_out {
-                send(port, Msg::SubTxBegin { mtx, stage })?;
+                send(
+                    port,
+                    Msg::SubTxBegin {
+                        mtx,
+                        attempt,
+                        stage,
+                    },
+                )?;
             }
             for r in &records {
                 let msg = match r.kind {
@@ -802,7 +852,14 @@ impl WorkerCtx {
 
             // Store stream to the commit unit (group transaction commit
             // input).
-            send(&mut self.cu_out, Msg::SubTxBegin { mtx, stage })?;
+            send(
+                &mut self.cu_out,
+                Msg::SubTxBegin {
+                    mtx,
+                    attempt,
+                    stage,
+                },
+            )?;
             for (addr, value) in SpecMem::stores_of(&records) {
                 send(
                     &mut self.cu_out,
@@ -812,7 +869,15 @@ impl WorkerCtx {
                     },
                 )?;
             }
-            send(&mut self.cu_out, Msg::SubTxDone { mtx, stage, exit })?;
+            send(
+                &mut self.cu_out,
+                Msg::SubTxDone {
+                    mtx,
+                    attempt,
+                    stage,
+                    exit,
+                },
+            )?;
             flush_port(&self.ctrl, &mut self.epoch, &mut self.cu_out)?;
         }
 
@@ -882,8 +947,13 @@ impl WorkerCtx {
             q.clear();
         }
         self.ring_in_vals.clear();
-        self.trace
-            .record(self.role, Some(mtx), Some(stage), TraceKind::SubTxEnd);
+        self.trace.record(
+            self.role,
+            Some(mtx),
+            attempt,
+            Some(stage),
+            TraceKind::SubTxEnd,
+        );
         self.cur = None;
         Ok(())
     }

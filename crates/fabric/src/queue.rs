@@ -53,7 +53,13 @@ pub const FREELIST_DEPTH: usize = 32;
 /// end-of-stream mark.
 #[derive(Debug)]
 enum Packet<T> {
-    Data { seq: u64, batch: Vec<T> },
+    Data {
+        seq: u64,
+        batch: Vec<T>,
+        /// When the packet hit the transport; the receiver turns this
+        /// into the queue-dwell histogram (`fabric.queue_dwell_us`).
+        shipped: Instant,
+    },
     Eos,
 }
 
@@ -264,7 +270,11 @@ impl<T> SendPort<T> {
         self.cost.charge_send();
         // Fast path: transport has room. Otherwise time the stall so the
         // telemetry shows where the pipeline blocks on the fabric.
-        let batch = match self.tx.try_send(Packet::Data { seq, batch }) {
+        let batch = match self.tx.try_send(Packet::Data {
+            seq,
+            batch,
+            shipped: Instant::now(),
+        }) {
             Ok(()) => {
                 self.next_seq += 1;
                 self.stats.record_packet(items, items * self.item_bytes);
@@ -276,8 +286,14 @@ impl<T> SendPort<T> {
             Err(channel::TrySendError::Disconnected(_)) => return Err(FabricError::Disconnected),
         };
         let stalled = Instant::now();
+        // Stamp at the blocking send, not before the stall: dwell
+        // measures time in the transport, not time blocked entering it.
         self.tx
-            .send(Packet::Data { seq, batch })
+            .send(Packet::Data {
+                seq,
+                batch,
+                shipped: Instant::now(),
+            })
             .map_err(|_| FabricError::Disconnected)?;
         self.next_seq += 1;
         self.stats
@@ -385,6 +401,7 @@ impl<T> SendPort<T> {
                                 let _ = self.tx.try_send(Packet::Data {
                                     seq,
                                     batch: Vec::new(),
+                                    shipped: Instant::now(),
                                 });
                             }
                         }
@@ -439,7 +456,11 @@ impl<T> SendPort<T> {
     /// `Ok(Some(batch))` transport full (batch returned).
     fn raw_try_send(&mut self, seq: u64, batch: Vec<T>) -> Result<Option<Vec<T>>> {
         let items = batch.len() as u64;
-        match self.tx.try_send(Packet::Data { seq, batch }) {
+        match self.tx.try_send(Packet::Data {
+            seq,
+            batch,
+            shipped: Instant::now(),
+        }) {
             Ok(()) => {
                 self.cost.charge_send();
                 self.stats.record_packet(items, items * self.item_bytes);
@@ -573,7 +594,13 @@ impl<T> RecvPort<T> {
     /// deliver in-order runs.
     fn unpack(&mut self, pkt: Packet<T>) {
         match pkt {
-            Packet::Data { seq, batch } => {
+            Packet::Data {
+                seq,
+                batch,
+                shipped,
+            } => {
+                self.stats
+                    .record_queue_dwell_us(shipped.elapsed().as_micros() as u64);
                 if self.resync {
                     // First packet after a recovery drain re-baselines the
                     // sequence (the wire was empty inside the barriers, so
@@ -663,7 +690,7 @@ impl<T> RecvPort<T> {
         // account for them as drained so in-flight bookkeeping settles.
         while let Ok(pkt) = self.rx.try_recv() {
             match pkt {
-                Packet::Data { seq, batch } => {
+                Packet::Data { seq, batch, .. } => {
                     if seq < self.expected_seq {
                         // Ghost duplicate: its send was never counted.
                         self.stats.record_dup_discarded(batch.len() as u64);
@@ -1106,6 +1133,7 @@ mod fault_tests {
             .send(Packet::Data {
                 seq: 0,
                 batch: vec![5],
+                shipped: Instant::now(),
             })
             .unwrap();
         tx.produce(6).unwrap(); // seq 1

@@ -35,6 +35,9 @@ pub struct FabricStats {
     send_stall_us: Histogram,
     /// Microseconds a blocking `consume` waited for data to arrive.
     recv_stall_us: Histogram,
+    /// Microseconds a packet dwelled in the transport between its ship
+    /// and its unpack (the fabric-level component of queue wait).
+    queue_dwell_us: Histogram,
 }
 
 #[derive(Debug, Default)]
@@ -176,6 +179,11 @@ impl FabricStats {
         self.recv_stall_us.record(us);
     }
 
+    /// Records one packet's ship → unpack dwell in the transport.
+    pub fn record_queue_dwell_us(&self, us: u64) {
+        self.queue_dwell_us.record(us);
+    }
+
     /// Number of transport packets sent so far.
     pub fn packets(&self) -> u64 {
         self.inner.packets.load(Ordering::Relaxed)
@@ -312,6 +320,11 @@ impl FabricStats {
         &self.recv_stall_us
     }
 
+    /// Histogram of ship → unpack packet dwell times (µs).
+    pub fn queue_dwell_us(&self) -> &Histogram {
+        &self.queue_dwell_us
+    }
+
     /// Folds `other`'s counters, gauge, and histograms into `self`
     /// (`other` is unchanged). Lets per-queue instances be aggregated
     /// into one fleet-wide view after a run.
@@ -345,6 +358,7 @@ impl FabricStats {
         self.batch_items.merge(&other.batch_items);
         self.send_stall_us.merge(&other.send_stall_us);
         self.recv_stall_us.merge(&other.recv_stall_us);
+        self.queue_dwell_us.merge(&other.queue_dwell_us);
     }
 
     /// Exports every counter, the depth gauge, and the histograms into
@@ -378,6 +392,11 @@ impl FabricStats {
             schema::FABRIC_RECV_STALL_US,
             &[],
             self.recv_stall_us.clone(),
+        );
+        reg.install_histogram(
+            schema::FABRIC_QUEUE_DWELL_US,
+            &[],
+            self.queue_dwell_us.clone(),
         );
         reg.counter(schema::FABRIC_FAULT_DROPS, &[])
             .add(self.fault_drops());
@@ -464,6 +483,9 @@ mod tests {
         assert_eq!(s.send_stall_us().count(), 1);
         assert_eq!(s.recv_stall_us().count(), 2);
         assert_eq!(s.recv_stall_us().sum(), 100);
+        s.record_queue_dwell_us(25);
+        assert_eq!(s.queue_dwell_us().count(), 1);
+        assert_eq!(s.queue_dwell_us().sum(), 25);
     }
 
     #[test]
@@ -570,6 +592,7 @@ mod tests {
             schema::FABRIC_BATCH_ITEMS,
             schema::FABRIC_SEND_STALL_US,
             schema::FABRIC_RECV_STALL_US,
+            schema::FABRIC_QUEUE_DWELL_US,
         ] {
             assert!(dump.contains(name), "missing {name} in:\n{dump}");
         }

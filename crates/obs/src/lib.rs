@@ -23,10 +23,12 @@ pub mod chrome;
 pub mod hist;
 pub mod json;
 pub mod metrics;
+pub mod span;
 
 pub use chrome::ChromeTrace;
 pub use hist::Histogram;
 pub use metrics::{Counter, Gauge, Registry};
+pub use span::{check_spans, AbortCause, ConflictInfo, MtxSpan, SpanOutcome, StageSpan};
 
 /// Shared metric names: the sim engine and the real runtime both emit
 /// these, so a JSONL dump from either is comparable row-for-row.
@@ -45,6 +47,21 @@ pub mod schema {
     /// worker/try-commit/commit track, labeled `role`.
     pub const ROLE_BUSY_PPM: &str = "role.busy_ppm";
 
+    /// Per-MTX critical-path decomposition (from [`crate::MtxSpan`]):
+    /// time blocked on upstream frames before user code ran.
+    pub const MTX_QUEUE_WAIT_US: &str = "mtx.queue_wait_us";
+    /// Time inside user code (summed across stages).
+    pub const MTX_EXEC_US: &str = "mtx.exec_us";
+    /// Time flushing validation/commit streams to the shards.
+    pub const MTX_FLUSH_US: &str = "mtx.flush_us";
+
+    /// Aborted speculative attempts by attributed cause, labeled
+    /// `cause` with an [`crate::AbortCause`] name. A nonzero
+    /// `cause="unpredicted"` count is a soundness red flag.
+    pub const WHY_ABORTS: &str = "why.aborts";
+    /// Speculative attempts observed by the span builder.
+    pub const WHY_ATTEMPTS: &str = "why.attempts";
+
     /// Whole-run roll-ups.
     pub const RUN_ELAPSED_US: &str = "run.elapsed_us";
     pub const RUN_COMMITTED: &str = "run.committed";
@@ -53,6 +70,10 @@ pub mod schema {
     pub const RUN_BANDWIDTH_BPS: &str = "run.bandwidth_bps";
     pub const RUN_SPEEDUP_MILLI: &str = "run.speedup_milli";
     pub const RUN_TRACE_DROPPED: &str = "run.trace_dropped";
+    /// Trace events discarded after the capacity-bounded sink filled.
+    /// Nonzero means the span set is incomplete — `repro why` output
+    /// and the drop counter both surface it.
+    pub const TRACE_EVENTS_DROPPED: &str = "trace.events_dropped";
     /// Fabric timeouts raised to the control plane (each one requests a
     /// timeout-driven recovery round).
     pub const RUN_FABRIC_TIMEOUTS: &str = "run.fabric_timeouts";
@@ -93,6 +114,9 @@ pub mod schema {
     pub const FABRIC_BATCH_ITEMS: &str = "fabric.batch_items";
     pub const FABRIC_SEND_STALL_US: &str = "fabric.send_stall_us";
     pub const FABRIC_RECV_STALL_US: &str = "fabric.recv_stall_us";
+    /// Ship → unpack dwell of a packet in the queue (the fabric-level
+    /// component of an MTX's queue wait).
+    pub const FABRIC_QUEUE_DWELL_US: &str = "fabric.queue_dwell_us";
 
     /// Injected-fault and retry counters (zero on fault-free runs).
     pub const FABRIC_FAULT_DROPS: &str = "fabric.fault.drops";

@@ -338,6 +338,30 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_is_deterministically_ordered() {
+        // Register in scrambled order; the dump must come out sorted by
+        // name then labels so metric snapshots diff cleanly in goldens.
+        let r = Registry::new();
+        r.counter("z.last", &[]).inc();
+        r.counter("a.first", &[("shard", "2")]).inc();
+        r.counter("a.first", &[("shard", "1")]).inc();
+        r.gauge("m.middle", &[]).set(3);
+        let dump = r.to_jsonl();
+        let names: Vec<&str> = dump
+            .lines()
+            .map(|l| {
+                let start = l.find("\"name\":\"").unwrap() + 8;
+                &l[start..start + l[start..].find('"').unwrap()]
+            })
+            .collect();
+        assert_eq!(names, ["a.first", "a.first", "m.middle", "z.last"]);
+        assert!(dump.lines().next().unwrap().contains("\"shard\":\"1\""));
+        assert!(dump.lines().nth(1).unwrap().contains("\"shard\":\"2\""));
+        // Byte-identical on re-export: the snapshot is diffable.
+        assert_eq!(dump, r.to_jsonl());
+    }
+
+    #[test]
     fn jsonl_is_valid_json_per_line() {
         let r = Registry::new();
         r.counter("runs", &[]).add(2);

@@ -4,11 +4,26 @@
 //! and runs a [`Program`]. Workloads supply stage bodies and a sequential
 //! recovery body; the executor owns the shape.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+
 use dsmtx::{
     ConfigError, IterOutcome, MtxSystem, Program, RecoveryFn, RunError, RunResult, StageFn,
     StageId, StageKind, SystemConfig,
 };
 use dsmtx_mem::MasterMem;
+
+/// Process-wide default for [`Tuning::trace`]. Harnesses that need
+/// lifecycle spans from kernels they don't construct directly (e.g.
+/// `repro why` driving a workload's shipped plan) flip this before the
+/// run instead of threading a flag through every executor.
+static TRACE_DEFAULT: AtomicBool = AtomicBool::new(false);
+
+/// Sets the process-wide default for [`Tuning::trace`]; affects tunings
+/// created *after* the call. Returns the previous value so callers can
+/// restore it.
+pub fn set_trace_default(on: bool) -> bool {
+    TRACE_DEFAULT.swap(on, Ordering::Relaxed)
+}
 
 /// Shared tuning knobs for all executors.
 #[derive(Debug, Clone, Copy)]
@@ -20,6 +35,9 @@ pub struct Tuning {
     /// Try-commit shard count (§3.2 parallel speculation units); 1 is
     /// the single-unit topology.
     pub unit_shards: usize,
+    /// Record a lifecycle trace ([`dsmtx::TraceEvent`] stream) for the
+    /// run; defaults to the process-wide [`set_trace_default`] value.
+    pub trace: bool,
 }
 
 impl Default for Tuning {
@@ -28,6 +46,7 @@ impl Default for Tuning {
             batch: 64,
             capacity: 256,
             unit_shards: 1,
+            trace: TRACE_DEFAULT.load(Ordering::Relaxed),
         }
     }
 }
@@ -48,6 +67,10 @@ fn build(cfg: &mut SystemConfig, tuning: Tuning) -> &mut SystemConfig {
     cfg.batch(tuning.batch)
         .capacity(tuning.capacity)
         .unit_shards(tuning.unit_shards)
+}
+
+fn build_system(cfg: &SystemConfig, tuning: Tuning) -> Result<MtxSystem, ConfigError> {
+    Ok(MtxSystem::new(cfg)?.trace(tuning.trace))
 }
 
 /// Spec-DOALL: one parallel stage; all cross-iteration dependences are
@@ -86,7 +109,7 @@ impl SpecDoall {
             replicas: self.replicas,
         });
         build(&mut cfg, self.tuning);
-        let system = MtxSystem::new(&cfg)?;
+        let system = build_system(&cfg, self.tuning)?;
         Ok(system.run(Program {
             master,
             stages: vec![body],
@@ -136,7 +159,7 @@ impl Tls {
         })
         .ring(StageId(0));
         build(&mut cfg, self.tuning);
-        let system = MtxSystem::new(&cfg)?;
+        let system = build_system(&cfg, self.tuning)?;
         Ok(system.run(Program {
             master,
             stages: vec![body],
@@ -250,7 +273,7 @@ impl Pipeline {
             cfg.stage(*kind);
         }
         build(&mut cfg, self.tuning);
-        let system = MtxSystem::new(&cfg)?;
+        let system = build_system(&cfg, self.tuning)?;
         Ok(system.run(Program {
             master,
             stages: self.stages.into_iter().map(|(_, f)| f).collect(),
@@ -399,6 +422,29 @@ mod tests {
             .run(MasterMem::new(), body, no_recovery(), Some(4))
             .unwrap();
         assert_eq!(r.report.committed, 4);
+    }
+
+    #[test]
+    fn trace_default_yields_spans() {
+        let prev = set_trace_default(true);
+        let tuning = Tuning::default();
+        set_trace_default(prev);
+        assert!(tuning.trace);
+
+        let body = Arc::new(|_: &mut WorkerCtx, _: MtxId| Ok(IterOutcome::Continue));
+        let ex = SpecDoall {
+            replicas: 2,
+            tuning: Tuning {
+                trace: true,
+                ..Tuning::default()
+            },
+        };
+        let r = ex
+            .run(MasterMem::new(), body, no_recovery(), Some(6))
+            .unwrap();
+        let spans = r.report.spans();
+        assert_eq!(spans.len(), 6);
+        assert!(spans.iter().all(|s| s.committed_us.is_some()));
     }
 
     #[test]

@@ -43,5 +43,7 @@
 pub mod executor;
 pub mod paradigm;
 
-pub use executor::{no_recovery, Doacross, ExecError, Pipeline, SpecDoall, Tls, Tuning};
+pub use executor::{
+    no_recovery, set_trace_default, Doacross, ExecError, Pipeline, SpecDoall, Tls, Tuning,
+};
 pub use paradigm::{taxonomy, Paradigm, SpecKind, TaxonomyRow};

@@ -1,0 +1,369 @@
+//! MTX lifecycle spans and misspeculation attribution (ISSUE 6).
+//!
+//! Four claims are pinned here:
+//!
+//! 1. **Well-formedness** — spans rebuilt from any traced run satisfy
+//!    the structural invariants (`start <= end`, child phases inside
+//!    the parent stage interval, retry attempts strictly ordered),
+//!    property-tested over random DOALLs and a speculated accumulator
+//!    that actually retries.
+//! 2. **Planted conflicts are explained** — the parser's planted
+//!    unknown-token aborts attribute as `predicted_carried_dep`, never
+//!    `unpredicted`.
+//! 3. **The acceptance matrix holds** — every abort across all registry
+//!    workloads (plus the parser/li planted variants) at 1, 2, and 4
+//!    try-commit shards gets a non-`unpredicted` cause.
+//! 4. **Fault rounds attribute as such** — under a pinned fault seed
+//!    with an empty lint report, squashed attempts come back as
+//!    `fault_induced_retry`, not `unpredicted`.
+
+use std::sync::{Arc, Mutex};
+
+use dsmtx::{
+    FaultTarget, IterOutcome, MtxId, MtxSystem, Program, RunReport, StageKind, SystemConfig,
+    WorkerCtx,
+};
+use dsmtx_analyze::{analyze, attribute, cause_counts};
+use dsmtx_fabric::FaultRates;
+use dsmtx_integration_tests::{seed_from_env, FaultCase, Workload};
+use dsmtx_mem::MasterMem;
+use dsmtx_obs::{check_spans, AbortCause, MtxSpan, SpanOutcome};
+use dsmtx_paradigms::set_trace_default;
+use dsmtx_uva::{OwnerId, RegionAllocator};
+use dsmtx_workloads::{all_kernels, Scale};
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Pinned seeds, mirrored by the fault-matrix tests (overridable
+/// through `DSMTX_FAULT_SEED`).
+const FAULT_SEEDS: [u64; 3] = [1, 20260806, 0xDEAD_BEEF];
+
+/// Kernel runs build their `MtxSystem` through the paradigms executor,
+/// whose tracing default is process-global; tests that flip it must not
+/// interleave.
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with the global tracing default on, restoring the previous
+/// value afterwards (even if `f` panics the poisoned lock keeps later
+/// tests serialized).
+fn with_tracing<T>(f: impl FnOnce() -> T) -> T {
+    let _guard = TRACE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = set_trace_default(true);
+    let out = f();
+    set_trace_default(prev);
+    out
+}
+
+fn heap0() -> RegionAllocator {
+    RegionAllocator::new(OwnerId(0))
+}
+
+/// Asserts that every aborted span carries a cause and that none of
+/// them is the red-flag `Unpredicted`.
+fn assert_all_aborts_explained(what: &str, spans: &[MtxSpan]) {
+    for s in spans {
+        if s.outcome() == SpanOutcome::Aborted {
+            match s.cause {
+                None => panic!(
+                    "{what}: mtx {}#a{} aborted without a cause",
+                    s.mtx, s.attempt
+                ),
+                Some(AbortCause::Unpredicted) => panic!(
+                    "{what}: mtx {}#a{} abort is UNPREDICTED (conflict {:?})",
+                    s.mtx, s.attempt, s.conflict
+                ),
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12, // the runtime spawns threads per case: keep it modest
+        .. ProptestConfig::default()
+    })]
+
+    /// Spans rebuilt from a random traced DOALL are well-formed and
+    /// account for every committed iteration.
+    #[test]
+    fn doall_spans_are_well_formed(
+        values in proptest::collection::vec(any::<u64>(), 1..24),
+        replicas in 1u16..5,
+    ) {
+        let n = values.len() as u64;
+        let mut heap = heap0();
+        let input = heap.alloc_words(n).unwrap();
+        let output = heap.alloc_words(n).unwrap();
+        let mut master = MasterMem::new();
+        for (i, v) in values.iter().enumerate() {
+            master.write(input.add_words(i as u64), *v);
+        }
+        let body = Arc::new(move |ctx: &mut WorkerCtx, mtx: MtxId| {
+            let x = ctx.read(input.add_words(mtx.0))?;
+            ctx.write_no_forward(output.add_words(mtx.0), x ^ mtx.0)?;
+            Ok(IterOutcome::Continue)
+        });
+        let mut cfg = SystemConfig::new();
+        cfg.stage(StageKind::Parallel { replicas });
+        let result = MtxSystem::new(&cfg).unwrap().trace(true).run(Program {
+            master,
+            stages: vec![body],
+            recovery: Box::new(|_, _| IterOutcome::Continue),
+            on_commit: None,
+            iteration_limit: Some(n),
+        }).unwrap();
+        let spans = result.report.spans();
+        if let Err(errs) = check_spans(&spans) {
+            prop_assert!(false, "malformed spans: {errs:?}");
+        }
+        let committed = spans
+            .iter()
+            .filter(|s| s.outcome() == SpanOutcome::Committed)
+            .count() as u64;
+        prop_assert_eq!(committed, n, "every iteration commits exactly once");
+    }
+
+    /// A speculated (unforwarded) accumulator retries under contention;
+    /// its spans stay well-formed and the retry attempts of each MTX
+    /// are strictly ordered — the invariant `check_spans` enforces.
+    #[test]
+    fn speculated_accumulator_spans_are_well_formed(
+        n in 4u64..20,
+        replicas in 2u16..5,
+    ) {
+        let mut heap = heap0();
+        let acc_cell = heap.alloc_words(1).unwrap();
+        let mut master = MasterMem::new();
+        master.write(acc_cell, 0);
+        let body = Arc::new(move |ctx: &mut WorkerCtx, mtx: MtxId| {
+            let acc = ctx.read(acc_cell)?;
+            ctx.write_no_forward(acc_cell, acc + mtx.0 + 1)?;
+            Ok(IterOutcome::Continue)
+        });
+        let mut cfg = SystemConfig::new();
+        cfg.stage(StageKind::Parallel { replicas });
+        let result = MtxSystem::new(&cfg).unwrap().trace(true).run(Program {
+            master,
+            stages: vec![body],
+            recovery: Box::new(move |mtx, m| {
+                let acc = m.read(acc_cell);
+                m.write(acc_cell, acc + mtx.0 + 1);
+                IterOutcome::Continue
+            }),
+            on_commit: None,
+            iteration_limit: Some(n),
+        }).unwrap();
+        prop_assert_eq!(
+            result.master.read(acc_cell),
+            n * (n + 1) / 2,
+            "recovery preserves the sequential fold"
+        );
+        let spans = result.report.spans();
+        if let Err(errs) = check_spans(&spans) {
+            prop_assert!(false, "malformed spans: {errs:?}");
+        }
+    }
+}
+
+/// Satellite (c): the parser's planted unknown-token conflict must be
+/// *explained* — attributed `predicted_carried_dep` — and never fall
+/// into the `unpredicted` bucket. The conflict is schedule-dependent,
+/// hence the bounded retry loop.
+#[test]
+fn parser_planted_abort_attributes_as_predicted() {
+    let k = dsmtx_workloads::parser::Parser;
+    let scale = Scale::test();
+    let mut plan = k.plan_with_planted_unknown(scale).unwrap();
+    let analysis = analyze(&mut plan);
+    assert!(
+        analysis.report.has_errors(),
+        "planted conflict must lint as an error"
+    );
+
+    let mut explained_any = false;
+    with_tracing(|| {
+        for _attempt in 0..8 {
+            for shards in SHARD_COUNTS {
+                let result = k.run_reported_planted_unknown(2, shards, scale).unwrap();
+                let mut spans = result.report.spans();
+                attribute(&mut spans, &analysis.report);
+                assert_all_aborts_explained("197.parser(planted)", &spans);
+                let counts = cause_counts(&spans);
+                let predicted = counts
+                    .iter()
+                    .find(|(c, _)| *c == AbortCause::PredictedCarriedDep)
+                    .map_or(0, |(_, n)| *n);
+                explained_any |= predicted > 0;
+            }
+            if explained_any {
+                break;
+            }
+        }
+    });
+    assert!(
+        explained_any,
+        "no run ever hit the planted conflict — attribution was vacuous"
+    );
+}
+
+/// Acceptance matrix: every abort observed across the full workload
+/// registry — all kernels at 1, 2 and 4 try-commit shards, plus the
+/// parser planted-unknown and li SETENV variants — gets a cause, and
+/// that cause is never `unpredicted`.
+#[test]
+fn every_registry_abort_is_attributed() {
+    with_tracing(|| {
+        for k in all_kernels() {
+            let name = k.info().name;
+            let mut plan = k.plan(Scale::test()).unwrap();
+            let analysis = analyze(&mut plan);
+            for shards in SHARD_COUNTS {
+                let result = k.run_reported(2, shards, Scale::test()).unwrap();
+                let mut spans = result.report.spans();
+                if let Err(errs) = check_spans(&spans) {
+                    panic!("{name} at {shards} shard(s): malformed spans: {errs:?}");
+                }
+                attribute(&mut spans, &analysis.report);
+                assert_all_aborts_explained(&format!("{name}@{shards}"), &spans);
+            }
+        }
+
+        // Planted variants: the runs most likely to abort at all.
+        let parser = dsmtx_workloads::parser::Parser;
+        let scale = Scale::test();
+        let mut plan = parser.plan_with_planted_unknown(scale).unwrap();
+        let parser_lint = analyze(&mut plan);
+        for shards in SHARD_COUNTS {
+            let result = parser
+                .run_reported_planted_unknown(2, shards, scale)
+                .unwrap();
+            let mut spans = result.report.spans();
+            attribute(&mut spans, &parser_lint.report);
+            assert_all_aborts_explained(&format!("parser(planted)@{shards}"), &spans);
+        }
+
+        let li = dsmtx_workloads::li::Li;
+        let corpus = dsmtx_workloads::li::Corpus {
+            with_setenv: true,
+            with_exit: false,
+        };
+        let mut plan = li.plan_corpus(scale, corpus).unwrap();
+        let li_lint = analyze(&mut plan);
+        for shards in SHARD_COUNTS {
+            let result = li.run_corpus_reported(2, shards, scale, corpus).unwrap();
+            let mut spans = result.report.spans();
+            attribute(&mut spans, &li_lint.report);
+            assert_all_aborts_explained(&format!("li(setenv)@{shards}"), &spans);
+        }
+    });
+}
+
+/// Runs the harness DOALL under a pinned fault seed with tracing on
+/// and returns the run report.
+fn faulted_doall_report(seed: u64) -> RunReport {
+    // A 40% drop rate against a 2-attempt ship budget converts a healthy
+    // fraction of messages into fabric timeouts, so the runtime must
+    // take timeout-driven recovery rounds instead of absorbing every
+    // fault in retries (the `exhausted_retries_force_fault_recovery`
+    // recipe).
+    let mut case = FaultCase::quick(
+        seed,
+        FaultRates::only_drop(0.4),
+        FaultTarget::WorkerLinks,
+        Workload::DoallSum,
+    );
+    case.max_attempts = 2;
+    let n = 24u64;
+    let mut heap = heap0();
+    let input = heap.alloc_words(n).unwrap();
+    let out = heap.alloc_words(n).unwrap();
+    let mut master = MasterMem::new();
+    for i in 0..n {
+        master.write(input.add_words(i), i.wrapping_mul(0x9E37_79B9) ^ 0x5bd1)
+    }
+    let body = Arc::new(move |ctx: &mut WorkerCtx, mtx: MtxId| {
+        let x = ctx.read(input.add_words(mtx.0))?;
+        ctx.write_no_forward(out.add_words(mtx.0), x.wrapping_mul(31))?;
+        Ok(IterOutcome::Continue)
+    });
+    let mut cfg = SystemConfig::new();
+    cfg.stage(StageKind::Parallel { replicas: 3 });
+    cfg.faults(case.fault_config());
+    let result = MtxSystem::new(&cfg)
+        .unwrap()
+        .trace(true)
+        .run(Program {
+            master,
+            stages: vec![body],
+            recovery: Box::new(move |mtx, m| {
+                let x = m.read(input.add_words(mtx.0));
+                m.write(out.add_words(mtx.0), x.wrapping_mul(31));
+                IterOutcome::Continue
+            }),
+            on_commit: None,
+            iteration_limit: Some(n),
+        })
+        .unwrap();
+    result.report
+}
+
+/// Fault rounds on a conflict-free DOALL: with an *empty* lint report
+/// (nothing predicted), every squashed attempt must still attribute as
+/// `fault_induced_retry` — the fault recovery, not the analyzer, owns
+/// the explanation. Seeds are pinned; the first one that actually
+/// injects a recovery round carries the assertion.
+#[test]
+fn fault_squashes_attribute_as_fault_induced_retry() {
+    let empty_lint = dsmtx_analyze::LintReport {
+        name: "fault-doall",
+        iterations: 24,
+        findings: Vec::new(),
+        predicted_conflict_pages: std::collections::BTreeSet::new(),
+    };
+    let mut saw_fault_round = false;
+    for seed in FAULT_SEEDS {
+        let report = faulted_doall_report(seed_from_env(seed));
+        let mut spans = report.spans();
+        if let Err(errs) = check_spans(&spans) {
+            panic!("seed {seed:#x}: malformed spans: {errs:?}");
+        }
+        attribute(&mut spans, &empty_lint);
+        let fault_aborts = spans
+            .iter()
+            .filter(|s| s.cause == Some(AbortCause::FaultInducedRetry))
+            .count();
+        for s in &spans {
+            if s.outcome() == SpanOutcome::Aborted {
+                assert_ne!(
+                    s.cause,
+                    Some(AbortCause::Unpredicted),
+                    "seed {seed:#x}: mtx {}#a{} fault squash came back unpredicted",
+                    s.mtx,
+                    s.attempt
+                );
+                assert!(
+                    s.cause.is_some(),
+                    "seed {seed:#x}: mtx {}#a{} aborted without a cause",
+                    s.mtx,
+                    s.attempt
+                );
+            }
+        }
+        if report.fault_recoveries > 0 {
+            assert!(
+                fault_aborts > 0,
+                "seed {seed:#x}: {} fault recoveries but no span attributed \
+                 fault_induced_retry",
+                report.fault_recoveries
+            );
+            saw_fault_round = true;
+        }
+    }
+    assert!(
+        saw_fault_round,
+        "no pinned seed injected a fault recovery — the test is vacuous; \
+         widen FAULT_SEEDS or raise the rate"
+    );
+}
