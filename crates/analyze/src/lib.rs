@@ -18,11 +18,19 @@
 //!    findings with a predicted misspeculation rate per 1000 iterations;
 //! 4. [`cert`] — certification: assert that conflicts the real runtime
 //!    observes are a subset of what the analyzer predicted, closing the
-//!    loop between static claim and dynamic behavior.
+//!    loop between static claim and dynamic behavior;
+//! 5. [`plan`] — the auto-partitioner: condense the recorded dependence
+//!    graph into SCCs, classify each by the weakest schedule that
+//!    preserves it, and emit ranked candidate [`dsmtx::StageSpec`] plans
+//!    (refusing any the linter grades as misspeculating), diffed against
+//!    the hand-written Table 2 partition;
+//! 6. [`exec`] — the replay executor that runs an auto candidate through
+//!    the real runtime so its conflict behavior can be certified too.
 //!
-//! `repro analyze --workload W --format {text,jsonl}` drives all four
-//! from the CLI; the differential test-suite drives them across every
-//! registry workload at 1, 2 and 4 try-commit shards.
+//! `repro analyze --workload W --format {text,jsonl}` drives 1–4 and
+//! `repro plan --workload W [--apply]` drives 5–6 from the CLI; the
+//! differential test-suite drives them across every registry workload at
+//! 1, 2 and 4 try-commit shards.
 
 // ISSUE 5 satellite: this crate builds with perf and correctness lint
 // groups promoted to hard errors.
@@ -30,15 +38,22 @@
 #![deny(missing_docs)]
 
 pub mod cert;
+pub mod exec;
 pub mod lint;
 pub mod pdg;
+pub mod plan;
 pub mod record;
 pub mod report;
 pub mod why;
 
 pub use cert::{certify, Certificate};
+pub use exec::run_candidate;
 pub use lint::{lint, Finding, FindingKind, LintReport, Severity};
 pub use pdg::{build, DepEdge, DepGraph, DepKind};
+pub use plan::{
+    auto_plan, export_plan_metrics, render_plan_jsonl, render_plan_text, Candidate, Divergence,
+    PlanDiff, PlanOutcome, Rejected, SccClass, SccSummary, Score,
+};
 pub use record::{record, IterTrace, LoopTrace};
 pub use report::{export_cert_metrics, export_metrics, render_jsonl, render_text, summary_line};
 pub use why::{attribute, cause_counts, export_why_metrics};
@@ -62,7 +77,7 @@ pub struct Analysis {
 pub fn analyze(plan: &mut AnalysisPlan) -> Analysis {
     let trace = record::record(plan);
     let graph = pdg::build(&trace);
-    let report = lint::lint(&trace, &graph, &plan.stages);
+    let report = lint::lint(&trace, &graph, &plan.stages, plan.shard_map.as_ref());
     Analysis {
         trace,
         graph,
@@ -93,6 +108,7 @@ mod tests {
                 StageRole::Parallel,
                 Box::new(move |mtx| vec![Region::write("out", at(mtx * 8), 1)]),
             )],
+            shard_map: None,
         };
         let analysis = analyze(&mut plan);
         assert_eq!(analysis.trace.iters.len(), 4);

@@ -223,6 +223,7 @@ mod tests {
             master: MasterMem::new(),
             recovery: Box::new(body),
             stages: Vec::new(),
+            shard_map: None,
         };
         build(&record(&mut plan))
     }

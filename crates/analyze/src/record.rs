@@ -32,6 +32,15 @@ pub struct IterTrace {
     pub suppressed: u64,
 }
 
+impl IterTrace {
+    /// The iteration's cost in recorded accesses — the work proxy the
+    /// planner's pipeline-balance model weighs (each load/store is one
+    /// unit of memory traffic the runtime must execute and validate).
+    pub fn cost(&self) -> u64 {
+        self.raw.len() as u64
+    }
+}
+
 /// The whole loop's recorded access streams.
 #[derive(Debug)]
 pub struct LoopTrace {
@@ -65,6 +74,12 @@ impl LoopTrace {
     /// ship to the try-commit shards).
     pub fn filtered_stream(&self) -> Vec<AccessRecord> {
         self.iters.iter().flat_map(|t| t.filtered.clone()).collect()
+    }
+
+    /// Per-iteration costs ([`IterTrace::cost`]) in iteration order —
+    /// the recorder-side input to the planner's balance model.
+    pub fn iter_costs(&self) -> Vec<u64> {
+        self.iters.iter().map(IterTrace::cost).collect()
     }
 }
 
@@ -120,6 +135,7 @@ mod tests {
                 IterOutcome::Continue
             }),
             stages: Vec::new(),
+            shard_map: None,
         }
     }
 

@@ -14,6 +14,10 @@ use crate::cert::Certificate;
 use crate::lint::{LintReport, Severity};
 use crate::pdg::{DepGraph, DepKind};
 
+fn count_severity(report: &LintReport, sev: Severity) -> usize {
+    report.findings.iter().filter(|f| f.severity == sev).count()
+}
+
 fn carried_count(graph: &DepGraph, kind: DepKind, carried: bool) -> u64 {
     graph
         .of_kind(kind)
@@ -43,8 +47,16 @@ pub fn render_text(graph: &DepGraph, report: &LintReport) -> String {
         );
     }
     let errors = report.errors().count();
-    let warnings = report.findings.len() - errors;
-    let _ = writeln!(out, "findings: {errors} error(s), {warnings} warning(s)");
+    let warnings = count_severity(report, Severity::Warning);
+    let infos = count_severity(report, Severity::Info);
+    if infos > 0 {
+        let _ = writeln!(
+            out,
+            "findings: {errors} error(s), {warnings} warning(s), {infos} info"
+        );
+    } else {
+        let _ = writeln!(out, "findings: {errors} error(s), {warnings} warning(s)");
+    }
     for f in &report.findings {
         let _ = writeln!(
             out,
@@ -129,7 +141,7 @@ pub fn export_metrics(reg: &Registry, graph: &DepGraph, report: &LintReport) {
     reg.counter(schema::ANALYZE_FINDINGS_ERROR, &labels)
         .add(report.errors().count() as u64);
     reg.counter(schema::ANALYZE_FINDINGS_WARNING, &labels)
-        .add((report.findings.len() - report.errors().count()) as u64);
+        .add(count_severity(report, Severity::Warning) as u64);
     reg.counter(schema::ANALYZE_PREDICTED_PAGES, &labels)
         .add(report.predicted_conflict_pages.len() as u64);
 }
@@ -150,7 +162,7 @@ pub fn export_cert_metrics(reg: &Registry, cert: &Certificate) {
 /// One-line summary used by the CLI's roll-up footer.
 pub fn summary_line(report: &LintReport) -> String {
     let errors = report.errors().count();
-    let warnings = report.findings.len() - errors;
+    let warnings = count_severity(report, Severity::Warning);
     let verdict = if errors > 0 {
         "FAIL"
     } else if report
@@ -200,10 +212,11 @@ mod tests {
                 StageRole::Parallel,
                 Box::new(|_| vec![Region::read_write("acc", at(0), 1)]),
             )],
+            shard_map: None,
         };
         let trace = record(&mut plan);
         let graph = build(&trace);
-        let report = lint(&trace, &graph, &plan.stages);
+        let report = lint(&trace, &graph, &plan.stages, plan.shard_map.as_ref());
         (graph, report)
     }
 

@@ -2,12 +2,12 @@
 //!
 //! ```text
 //! cargo run --release -p dsmtx-bench --bin repro -- \
-//!     [fig1|fig2|fig3|fig4|fig5a|fig5b|fig6|table1|table2|ablations|trace|shards|valplane|analyze|why|lifecycle|bench-check|all] \
+//!     [fig1|fig2|fig3|fig4|fig5a|fig5b|fig6|table1|table2|ablations|trace|shards|valplane|analyze|plan|why|lifecycle|bench-check|all] \
 //!     [--iters N] [--trace-out FILE] [--metrics-out FILE] \
 //!     [--fault-seed S] [--fault-rate R] \
 //!     [--shards N] [--sweep-out FILE] \
 //!     [--workload NAME] [--format text|jsonl] \
-//!     [--mtx N] [--top K] [--planted] [--bench-dir DIR]
+//!     [--mtx N] [--top K] [--planted] [--apply] [--bench-dir DIR]
 //! ```
 //!
 //! The `analyze` section runs the dependence analyzer and partition
@@ -18,6 +18,18 @@
 //! restricts it to one kernel (default all eleven); `--format jsonl`
 //! emits machine-readable rows instead of text. The exit code is a CI
 //! gate: any Error-severity finding on a shipped plan exits nonzero.
+//!
+//! The `plan` section runs the auto-partitioner (`dsmtx-analyze`'s SCC
+//! condensation over the recorded dependence graph): per-workload
+//! candidate plans ranked by predicted misspeculation and pipeline
+//! balance, refused shapes with the forcing dependence named, and an
+//! address-level diff against the hand-written Table 2 partition.
+//! `--apply` additionally executes each top-ranked auto plan through the
+//! real runtime and certifies that the conflicts it observes stay inside
+//! its own predicted superset, printing auto-vs-hand conflict counts.
+//! The exit code is a CI gate: a workload with no lint-clean candidate,
+//! or an applied plan whose conflicts escape the prediction, exits
+//! nonzero.
 //!
 //! The `shards` section runs the real-runtime speculation-unit shard
 //! sweep (`unit_shards` up to `--shards`, default 4) on a
@@ -73,6 +85,7 @@ fn main() {
     let mut mtx: Option<u64> = None;
     let mut top: usize = 5;
     let mut planted = false;
+    let mut apply = false;
     let mut bench_dir: String = ".".into();
 
     let mut i = 0;
@@ -137,6 +150,7 @@ fn main() {
                 }
             }
             "--planted" => planted = true,
+            "--apply" => apply = true,
             "--bench-dir" => bench_dir = take_value(&mut i),
             "--format" => {
                 let v = take_value(&mut i);
@@ -256,6 +270,31 @@ fn main() {
         }
     }
 
+    if what == "plan" {
+        match dsmtx_bench::run_plan(&workload, format, apply) {
+            Ok(outcome) => {
+                print!("{}", outcome.output);
+                // Keep stdout machine-readable in jsonl mode (see the
+                // analyze section).
+                if matches!(format, dsmtx_bench::AnalyzeFormat::Text) {
+                    println!("{}", "=".repeat(72));
+                }
+                printed = true;
+                if outcome.gate_failed {
+                    eprintln!(
+                        "plan: no viable auto plan, or an applied plan's observed \
+                         conflicts escaped its prediction"
+                    );
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("plan: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     if what == "trace" || what == "all" {
         let fault = fault_seed.map(|seed| {
             println!(
@@ -357,7 +396,7 @@ fn main() {
 
     if !printed {
         eprintln!(
-            "unknown target `{what}`; use fig1|fig2|fig3|fig4|fig5a|fig5b|fig6|table1|table2|ablations|trace|shards|valplane|analyze|why|lifecycle|bench-check|all"
+            "unknown target `{what}`; use fig1|fig2|fig3|fig4|fig5a|fig5b|fig6|table1|table2|ablations|trace|shards|valplane|analyze|plan|why|lifecycle|bench-check|all"
         );
         std::process::exit(2);
     }

@@ -13,6 +13,7 @@ pub mod analyzecli;
 pub mod benchcheck;
 pub mod figures;
 pub mod format;
+pub mod plancli;
 pub mod queuebench;
 pub mod shardsweep;
 pub mod tracedemo;
@@ -26,6 +27,7 @@ pub use figures::{
     fig1_text, fig3_text, fig4_data, fig4_text, fig5a_text, fig5b_data, fig5b_text, fig6_text,
     table1_text, table2_text, taxonomy_text, Fig4Row,
 };
+pub use plancli::{run_plan, PlanCliOutcome};
 pub use queuebench::{measure_queue_throughput, QueueThroughput};
 pub use shardsweep::{
     run_shard_sweep, run_validation_bound, shard_sweep_json, shard_sweep_text, ShardSweep,

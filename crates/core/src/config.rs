@@ -9,6 +9,7 @@
 //! and DOACROSS forward synchronized cross-iteration dependences.
 
 use dsmtx_fabric::{FaultRates, RetryPolicy};
+use dsmtx_mem::ShardMap;
 
 use crate::ids::{MtxId, StageId, WorkerId};
 
@@ -149,6 +150,7 @@ pub struct SystemConfig {
     capacity: usize,
     unit_shards: usize,
     compaction: bool,
+    shard_map: Option<ShardMap>,
     fault: Option<FaultConfig>,
 }
 
@@ -164,6 +166,7 @@ impl SystemConfig {
             capacity: 256,
             unit_shards: 1,
             compaction: true,
+            shard_map: None,
             fault: None,
         }
     }
@@ -210,6 +213,16 @@ impl SystemConfig {
     /// prototype's single speculation unit.
     pub fn unit_shards(&mut self, shards: usize) -> &mut Self {
         self.unit_shards = shards;
+        self
+    }
+
+    /// Installs a profile-guided page→shard placement. Workers route the
+    /// pages it names to the recorded shard instead of the hash
+    /// partition — the explicit thread/data mapping the auto-planner
+    /// ships when the store profile is skewed. All threads read the same
+    /// map from the shared shape, so the partition stays agreed-upon.
+    pub fn shard_map(&mut self, map: ShardMap) -> &mut Self {
+        self.shard_map = Some(map);
         self
     }
 
@@ -269,6 +282,7 @@ impl SystemConfig {
             capacity: self.capacity,
             unit_shards: self.unit_shards,
             compaction: self.compaction,
+            shard_map: self.shard_map.clone(),
             fault: self.fault,
         })
     }
@@ -292,6 +306,7 @@ pub struct PipelineShape {
     capacity: usize,
     unit_shards: usize,
     compaction: bool,
+    shard_map: Option<ShardMap>,
     fault: Option<FaultConfig>,
 }
 
@@ -409,6 +424,11 @@ impl PipelineShape {
     /// packed frames (default) or the legacy per-record encoding.
     pub fn compaction(&self) -> bool {
         self.compaction
+    }
+
+    /// The profile-guided page→shard placement, if one was installed.
+    pub fn shard_map(&self) -> Option<&ShardMap> {
+        self.shard_map.as_ref()
     }
 
     /// The fault-injection plan, if one was configured.
@@ -545,6 +565,20 @@ mod tests {
         assert!(cfg.build().unwrap().compaction());
         cfg.compaction(false);
         assert!(!cfg.build().unwrap().compaction());
+    }
+
+    #[test]
+    fn shard_map_flows_into_the_shape() {
+        let mut map = ShardMap::new();
+        map.assign(dsmtx_uva::PageId(7), 3);
+        let mut cfg = SystemConfig::new();
+        cfg.stage(StageKind::Sequential).shard_map(map.clone());
+        let p = cfg.build().unwrap();
+        assert_eq!(p.shard_map(), Some(&map));
+        // Absent unless installed.
+        let mut plain = SystemConfig::new();
+        plain.stage(StageKind::Sequential);
+        assert!(plain.build().unwrap().shard_map().is_none());
     }
 
     #[test]

@@ -38,6 +38,17 @@ pub enum StageRole {
     Ring,
 }
 
+impl StageRole {
+    /// Stable lowercase name, for reports and golden files.
+    pub fn name(self) -> &'static str {
+        match self {
+            StageRole::Sequential => "sequential",
+            StageRole::Parallel => "parallel",
+            StageRole::Ring => "ring",
+        }
+    }
+}
+
 /// Declared direction of access to a region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessMode {
@@ -114,6 +125,21 @@ impl Region {
         let (base, off) = (self.base.offset(), addr.offset());
         off >= base && off < base + 8 * self.words
     }
+
+    /// The word addresses of the span, ascending — the enumeration the
+    /// plan differ walks when comparing footprints address-by-address.
+    pub fn words_iter(&self) -> impl Iterator<Item = VAddr> + '_ {
+        let owner = self.base.owner();
+        let base = self.base.offset();
+        (0..self.words).map(move |w| VAddr::new(owner, base + 8 * w))
+    }
+
+    /// Distinct pages the span touches, ascending.
+    pub fn pages(&self) -> Vec<dsmtx_uva::PageId> {
+        let mut out: Vec<dsmtx_uva::PageId> = self.words_iter().map(|a| a.page()).collect();
+        out.dedup();
+        out
+    }
 }
 
 /// Per-iteration footprint function: the regions a stage may touch when
@@ -172,6 +198,13 @@ impl StageSpec {
     pub fn forwards(&self, addr: VAddr) -> bool {
         self.forwarded.iter().any(|r| r.contains(addr))
     }
+
+    /// Evaluates the footprint at iteration `mtx` — the introspection
+    /// entry point planners and differs use to enumerate a stage's
+    /// declared regions without reaching into the closure.
+    pub fn regions(&self, mtx: u64) -> Vec<Region> {
+        (self.footprint)(mtx)
+    }
 }
 
 impl std::fmt::Debug for StageSpec {
@@ -229,6 +262,16 @@ mod tests {
         assert!(!spec.covers_store(3, at(24)), "read-only region");
         assert!(spec.covers_store(3, at(1048)));
         assert!(!spec.forwards(at(24)));
+    }
+
+    #[test]
+    fn region_word_and_page_enumeration() {
+        let r = Region::write("buf", at(4088), 3);
+        let words: Vec<u64> = r.words_iter().map(|a| a.offset()).collect();
+        assert_eq!(words, vec![4088, 4096, 4104]);
+        let pages: Vec<u64> = r.pages().iter().map(|p| p.0).collect();
+        assert_eq!(pages, vec![0, 1], "span straddles the page boundary");
+        assert_eq!(StageRole::Parallel.name(), "parallel");
     }
 
     #[test]

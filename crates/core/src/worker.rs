@@ -23,7 +23,7 @@ use std::collections::VecDeque;
 use std::time::Duration;
 
 use dsmtx_fabric::{FabricError, RecvPort, SendPort};
-use dsmtx_mem::{shard_of, AccessKind, AccessRecord, Page, PageCache, SpecMem};
+use dsmtx_mem::{route, AccessKind, AccessRecord, Page, PageCache, ShardMap, SpecMem};
 use dsmtx_uva::{PageId, RegionAllocator, VAddr};
 
 use crate::config::PipelineShape;
@@ -218,10 +218,14 @@ pub struct WorkerCtx {
     /// predecessor).
     inn: Vec<(WorkerId, RecvPort<Msg>)>,
     /// Validation streams, one per try-commit shard: each access record
-    /// goes to the shard owning its page ([`shard_of`]); the
+    /// goes to the shard owning its page ([`route`]); the
     /// `SubTxBegin`/`SubTxEnd` framing goes to every shard so all replay
     /// cursors advance in lockstep.
     val_out: Vec<SendPort<Msg>>,
+    /// Profile-guided page→shard overrides from the shared shape; pages
+    /// outside the map route by the hash partition. Identical on every
+    /// worker, so the partition stays agreed-upon without communication.
+    shard_map: Option<ShardMap>,
     /// Store stream, events, and COA requests to the commit unit.
     cu_out: SendPort<Msg>,
     /// COA replies from the commit unit.
@@ -298,6 +302,7 @@ impl WorkerCtx {
         let epoch = w.ctrl.epoch();
         let data_timeout = w.shape.recv_deadline();
         let compaction = w.shape.compaction();
+        let shard_map = w.shape.shard_map().cloned();
         let n_shards = w.val_out.len();
         WorkerCtx {
             role: Role::Worker(w.worker.0 as u32),
@@ -313,6 +318,7 @@ impl WorkerCtx {
             out: w.out,
             inn: w.inn,
             val_out: w.val_out,
+            shard_map,
             cu_out: w.cu_out,
             coa_in: w.coa_in,
             compaction,
@@ -755,6 +761,7 @@ impl WorkerCtx {
                 val_blocks,
                 commit_block,
                 valplane,
+                shard_map,
                 ..
             } = self;
             valplane.records_filtered += filter.filter_into(&records, filtered);
@@ -762,7 +769,11 @@ impl WorkerCtx {
                 block.clear();
             }
             for r in filtered.iter() {
-                val_blocks[shard_of(r.addr.page(), n_shards)].push(r.kind, r.addr.raw(), r.value);
+                val_blocks[route(shard_map.as_ref(), r.addr.page(), n_shards)].push(
+                    r.kind,
+                    r.addr.raw(),
+                    r.value,
+                );
             }
             commit_block.clear();
             for (addr, value) in SpecMem::stores_of(filtered) {
@@ -841,7 +852,8 @@ impl WorkerCtx {
                         value: r.value,
                     },
                 };
-                send(&mut self.val_out[shard_of(r.addr.page(), n_shards)], msg)?;
+                let s = route(self.shard_map.as_ref(), r.addr.page(), n_shards);
+                send(&mut self.val_out[s], msg)?;
             }
             for port in &mut self.val_out {
                 send(port, Msg::SubTxEnd { mtx, stage })?;

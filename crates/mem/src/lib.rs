@@ -58,6 +58,6 @@ pub use cache::PageCache;
 pub use log::{ReadLog, WriteLog};
 pub use master::MasterMem;
 pub use page::{Page, PageDiff};
-pub use shard::{partition_stream, shard_of, store_shard_load};
+pub use shard::{partition_stream, route, shard_of, store_shard_load, ShardMap};
 pub use spec::{AccessKind, AccessRecord, SpecMem};
 pub use table::{PageFault, PageState, PageTable};

@@ -190,4 +190,28 @@ pub mod schema {
     /// Observed conflict pages the analyzer failed to predict — any
     /// nonzero value is an analyzer soundness bug.
     pub const CERT_UNPREDICTED_PAGES: &str = "cert.unpredicted_pages";
+
+    /// Auto-partitioner counters (the `repro plan` planning pass),
+    /// labeled `workload`.
+    ///
+    /// Strongly connected components condensed from the address
+    /// dependence graph.
+    pub const PLAN_SCCS: &str = "plan.sccs";
+    /// Candidate plans that passed the linter and were ranked.
+    pub const PLAN_CANDIDATES: &str = "plan.candidates";
+    /// Candidate plans refused for Error-severity findings.
+    pub const PLAN_REJECTED: &str = "plan.rejected";
+    /// Addresses where the auto and hand partitions agree.
+    pub const PLAN_AGREEMENTS: &str = "plan.agreements";
+    /// Addresses where they diverge.
+    pub const PLAN_DIVERGENCES: &str = "plan.divergences";
+
+    /// Auto-plan execution (`repro plan --apply`) counters, labeled
+    /// `workload` and `shards`.
+    ///
+    /// Value-validation conflicts the auto plan's replay run observed.
+    pub const PLAN_APPLY_CONFLICTS: &str = "plan.apply.conflicts";
+    /// Observed conflict pages outside the auto plan's own predicted
+    /// superset — nonzero fails the gate.
+    pub const PLAN_APPLY_UNPREDICTED: &str = "plan.apply.unpredicted";
 }

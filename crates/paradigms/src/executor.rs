@@ -215,6 +215,7 @@ impl Doacross {
 pub struct Pipeline {
     stages: Vec<(StageKind, StageFn)>,
     tuning: Tuning,
+    shard_map: Option<dsmtx_mem::ShardMap>,
     on_commit: Option<dsmtx::CommitHook>,
 }
 
@@ -224,6 +225,7 @@ impl Pipeline {
         Pipeline {
             stages: Vec::new(),
             tuning: Tuning::default(),
+            shard_map: None,
             on_commit: None,
         }
     }
@@ -252,6 +254,13 @@ impl Pipeline {
         self
     }
 
+    /// Installs a profile-guided page→shard placement for the run
+    /// (`None` keeps the default hash partition).
+    pub fn shard_map(mut self, map: Option<dsmtx_mem::ShardMap>) -> Self {
+        self.shard_map = map;
+        self
+    }
+
     /// Total worker count of the pipeline.
     pub fn workers(&self) -> u16 {
         self.stages.iter().map(|(k, _)| k.replicas()).sum()
@@ -273,6 +282,9 @@ impl Pipeline {
             cfg.stage(*kind);
         }
         build(&mut cfg, self.tuning);
+        if let Some(map) = self.shard_map.clone() {
+            cfg.shard_map(map);
+        }
         let system = build_system(&cfg, self.tuning)?;
         Ok(system.run(Program {
             master,
@@ -413,6 +425,42 @@ mod tests {
         let r = p.run(MasterMem::new(), no_recovery(), Some(6)).unwrap();
         let expect: u64 = (1..=6u64).map(|x| x * x).sum();
         assert_eq!(r.master.read(sum), expect);
+    }
+
+    #[test]
+    fn pipeline_with_shard_map_commits_identical_memory() {
+        // A plan-shipped page→shard map must not change committed state:
+        // it only re-routes validation traffic. Run the same DOALL body
+        // with and without a map that pins every touched page to one
+        // shard, at 2 try-commit shards, and compare the heap.
+        let mut heap = RegionAllocator::new(OwnerId(0));
+        let out = heap.alloc_words(16).unwrap();
+        let body = Arc::new(move |ctx: &mut WorkerCtx, mtx: MtxId| {
+            ctx.write_no_forward(out.add_words(mtx.0), mtx.0 + 7)?;
+            Ok(IterOutcome::Continue)
+        });
+        let mut map = dsmtx_mem::ShardMap::new();
+        for w in 0..16 {
+            map.assign(out.add_words(w).page(), 1);
+        }
+        let tuning = Tuning::with_unit_shards(2);
+        let base = Pipeline::new()
+            .par(2, body.clone())
+            .tuning(tuning)
+            .run(MasterMem::new(), no_recovery(), Some(16))
+            .unwrap();
+        let mapped = Pipeline::new()
+            .par(2, body)
+            .tuning(tuning)
+            .shard_map(Some(map))
+            .run(MasterMem::new(), no_recovery(), Some(16))
+            .unwrap();
+        for w in 0..16 {
+            let a = out.add_words(w);
+            assert_eq!(base.master.read(a), mapped.master.read(a));
+            assert_eq!(mapped.master.read(a), w + 7);
+        }
+        assert_eq!(mapped.report.committed, 16);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use dsmtx::{
     IterOutcome, MtxId, RecoveryFn, Region, RunResult, StageFn, StageRole, StageSpec, WorkerCtx,
 };
 use dsmtx_mem::MasterMem;
-use dsmtx_paradigms::{Paradigm, SpecDoall, SpecKind, Tuning};
+use dsmtx_paradigms::{Paradigm, Pipeline, SpecDoall, SpecKind, Tuning};
 use dsmtx_sim::{
     profile::{StageProfile, StageShape},
     InvocationProfile, TlsPlan, WorkloadProfile,
@@ -29,8 +29,8 @@ use dsmtx_uva::VAddr;
 
 use crate::analysis::AnalysisPlan;
 use crate::common::{
-    f2w, load_words, master_heap, store_words, w2f, Kernel, KernelError, Mode, Scale, Stream,
-    Table2Entry,
+    f2w, load_words, master_heap, profiled_shard_map, store_words, w2f, Kernel, KernelError, Mode,
+    Scale, Stream, Table2Entry,
 };
 
 /// Input neurons.
@@ -340,11 +340,15 @@ impl Kernel for Alvinn {
         let master = initial_master(&lay, scale);
         let body = body_fn(&lay, n);
         let recovery = recovery_fn(&lay);
-        Ok(SpecDoall {
-            replicas: workers.max(1),
-            tuning: Tuning::with_unit_shards(unit_shards),
-        }
-        .run(master, body, recovery, Some(n))?)
+        // The plan ships a profile-guided shard map (the store stream is
+        // heavily page-skewed); install it so the certified run routes
+        // validation traffic the way the analyzer weighed it.
+        let shard_map = profiled_shard_map(initial_master(&lay, scale), &mut recovery_fn(&lay), n);
+        Ok(Pipeline::new()
+            .par(workers.max(1), body)
+            .tuning(Tuning::with_unit_shards(unit_shards))
+            .shard_map(Some(shard_map))
+            .run(master, recovery, Some(n))?)
     }
 
     /// The first invocation's loop: weights are live-in (validated
@@ -353,6 +357,11 @@ impl Kernel for Alvinn {
         let lay = layout(scale)?;
         let master = initial_master(&lay, scale);
         let recovery = recovery_fn(&lay);
+        let shard_map = profiled_shard_map(
+            initial_master(&lay, scale),
+            &mut recovery_fn(&lay),
+            scale.iterations,
+        );
         let (w_base, s_base, g_base) = (lay.w_base, lay.s_base, lay.g_base);
         Ok(AnalysisPlan {
             name: "052.alvinn",
@@ -374,6 +383,7 @@ impl Kernel for Alvinn {
                     ]
                 }),
             )],
+            shard_map: Some(shard_map),
         })
     }
 }

@@ -14,7 +14,7 @@
 //! classifies.
 
 use dsmtx::{RecoveryFn, StageSpec};
-use dsmtx_mem::MasterMem;
+use dsmtx_mem::{MasterMem, ShardMap};
 
 /// Everything the analyzer needs to record, classify, and lint one
 /// kernel's shipped plan.
@@ -30,6 +30,12 @@ pub struct AnalysisPlan {
     pub recovery: RecoveryFn,
     /// Declared stage partition, in pipeline order.
     pub stages: Vec<StageSpec>,
+    /// Profile-guided page→shard placement shipped with the plan
+    /// (`None` keeps the default hash partition). Kernels whose store
+    /// profile is skewed ship a [`ShardMap::balance`] of their recorded
+    /// filtered store stream; `run_reported` installs it and the linter
+    /// weighs its histogram instead of the hash's.
+    pub shard_map: Option<ShardMap>,
 }
 
 impl std::fmt::Debug for AnalysisPlan {
@@ -38,6 +44,7 @@ impl std::fmt::Debug for AnalysisPlan {
             .field("name", &self.name)
             .field("iterations", &self.iterations)
             .field("stages", &self.stages)
+            .field("shard_map", &self.shard_map)
             .finish_non_exhaustive()
     }
 }

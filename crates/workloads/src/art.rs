@@ -338,6 +338,7 @@ impl Kernel for Art {
                     }),
                 ),
             ],
+            shard_map: None,
         })
     }
 }

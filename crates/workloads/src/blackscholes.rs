@@ -340,6 +340,7 @@ impl Kernel for BlackScholes {
                     Box::new(move |mtx| vec![Region::write("out", out_base.add_words(mtx), 1)]),
                 ),
             ],
+            shard_map: None,
         })
     }
 }

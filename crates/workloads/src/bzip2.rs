@@ -28,7 +28,8 @@ use dsmtx_uva::VAddr;
 
 use crate::analysis::AnalysisPlan;
 use crate::common::{
-    load_words, master_heap, store_words, Kernel, KernelError, Mode, Scale, Stream, Table2Entry,
+    load_words, master_heap, profiled_shard_map, store_words, Kernel, KernelError, Mode, Scale,
+    Stream, Table2Entry,
 };
 
 /// Rare error marker (speculated untaken).
@@ -254,11 +255,20 @@ impl Bzip2 {
                     ctx.write(cursor, cur + 1 + len)?;
                     Ok(IterOutcome::Continue)
                 });
+                // Install the plan's profile-guided shard map so the
+                // certified run routes its skewed store stream the way
+                // the analyzer weighed it.
+                let shard_map = profiled_shard_map(
+                    initial_master(&input, &lay),
+                    &mut recovery_fn(&lay, scale),
+                    n,
+                );
                 Pipeline::new()
                     .seq(read)
                     .par(workers.max(1), compress)
                     .seq(emit)
                     .tuning(Tuning::with_unit_shards(shards))
+                    .shard_map(Some(shard_map))
                     .run(master, recovery, Some(n))?
             }
             Mode::Tls { workers } => {
@@ -382,6 +392,11 @@ impl Kernel for Bzip2 {
         let lay = layout(scale)?;
         let master = initial_master(&generate(scale, false), &lay);
         let recovery = recovery_fn(&lay, scale);
+        let shard_map = profiled_shard_map(
+            initial_master(&generate(scale, false), &lay),
+            &mut recovery_fn(&lay, scale),
+            scale.iterations,
+        );
         let (in_base, stream_base, cursor) = (lay.in_base, lay.stream_base, lay.cursor);
         let (unit, stream_cap) = (scale.unit, lay.stream_cap);
         Ok(AnalysisPlan {
@@ -411,6 +426,7 @@ impl Kernel for Bzip2 {
                     }),
                 ),
             ],
+            shard_map: Some(shard_map),
         })
     }
 }

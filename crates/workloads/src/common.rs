@@ -189,6 +189,40 @@ pub fn load_words(master: &MasterMem, base: VAddr, len: u64) -> Vec<u64> {
     (0..len).map(|i| master.read(base.add_words(i))).collect()
 }
 
+/// Profiles a kernel's sequential body and builds a balanced page→shard
+/// placement from the stores a worker would actually ship: runs
+/// `recovery` once per iteration against `master` with recording on,
+/// filters each iteration's access log through the worker-side
+/// [`dsmtx::AccessFilter`] (so coalesced stores weigh once, as on the
+/// wire), and greedily balances the per-page store counts over four
+/// nominal shards ([`dsmtx_mem::ShardMap::balance`] — the map re-wraps
+/// `% n` so it stays valid at any shard count).
+///
+/// Kernels with a skewed store profile call this from `plan()` and ship
+/// the result in [`AnalysisPlan::shard_map`]; `run_reported` installs it
+/// on the pipeline.
+pub fn profiled_shard_map(
+    mut master: MasterMem,
+    recovery: &mut dsmtx::RecoveryFn,
+    iterations: u64,
+) -> dsmtx_mem::ShardMap {
+    let mut filter = dsmtx::AccessFilter::new();
+    let mut filtered = Vec::new();
+    let mut stream = Vec::new();
+    for i in 0..iterations {
+        master.set_recording(true);
+        let outcome = recovery(dsmtx::MtxId(i), &mut master);
+        master.set_recording(false);
+        let raw = master.drain_recorded();
+        filter.filter_into(&raw, &mut filtered);
+        stream.append(&mut filtered);
+        if matches!(outcome, dsmtx::IterOutcome::Exit) {
+            break;
+        }
+    }
+    dsmtx_mem::ShardMap::balance(&stream, 4)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -322,6 +322,7 @@ impl Kernel for Crc32 {
                     Box::new(move |mtx| vec![Region::write("out", out_base.add_words(mtx), 1)]),
                 ),
             ],
+            shard_map: None,
         })
     }
 }

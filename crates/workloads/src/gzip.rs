@@ -407,6 +407,7 @@ impl Kernel for Gzip {
                     }),
                 ),
             ],
+            shard_map: None,
         })
     }
 }

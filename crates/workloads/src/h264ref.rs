@@ -356,6 +356,7 @@ impl Kernel for H264Ref {
                     }),
                 ),
             ],
+            shard_map: None,
         })
     }
 }

@@ -326,6 +326,7 @@ impl Kernel for Hmmer {
                     Box::new(move |_| vec![Region::read_write("hist", h_base, BUCKETS + 1)]),
                 ),
             ],
+            shard_map: None,
         })
     }
 }

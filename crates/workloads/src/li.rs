@@ -431,6 +431,7 @@ impl Li {
                     }),
                 ),
             ],
+            shard_map: None,
         })
     }
 }

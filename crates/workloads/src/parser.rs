@@ -345,6 +345,7 @@ impl Parser {
                     Box::new(move |mtx| vec![Region::write("out", out_base.add_words(mtx), 1)]),
                 ),
             ],
+            shard_map: None,
         })
     }
 

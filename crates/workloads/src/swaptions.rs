@@ -279,6 +279,7 @@ impl Kernel for Swaptions {
                     ]
                 }),
             )],
+            shard_map: None,
         })
     }
 }

@@ -68,6 +68,7 @@ fn doall_plan() -> AnalysisPlan {
                 ]
             }),
         )],
+        shard_map: None,
     }
 }
 
@@ -100,6 +101,7 @@ fn forwarded_plan() -> AnalysisPlan {
             }),
         )
         .forward(Region::read_write("acc", at(0), 1))],
+        shard_map: None,
     }
 }
 
@@ -158,6 +160,7 @@ fn mispartitioned_two_stage_program_is_flagged() {
                 Box::new(|_| vec![Region::read("acc", at(0), 1)]),
             ),
         ],
+        shard_map: None,
     };
     let analysis = analyze(&mut plan);
     assert!(analysis.report.has_errors());
